@@ -1,0 +1,191 @@
+//! The program call graph (paper Fig. 8, step ①).
+//!
+//! The bottom-up DSA phase and the interprocedural trace merge both traverse
+//! the call graph in post-order (callees before callers, paper §4.2 phase 2
+//! and §4.3 phase 2). Recursive cycles are handled by visiting each node
+//! once; the trace collector additionally bounds recursion depth at inline
+//! time.
+
+use crate::program::{FuncRef, Program};
+use deepmc_pir::Inst;
+use std::collections::{HashMap, HashSet};
+
+/// Call graph over defined functions.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Edges: caller → set of callees (defined functions only).
+    pub callees: HashMap<FuncRef, Vec<FuncRef>>,
+    /// Reverse edges.
+    pub callers: HashMap<FuncRef, Vec<FuncRef>>,
+    /// Post-order over all defined functions: callees before callers.
+    pub post_order: Vec<FuncRef>,
+    /// Functions never called from within the program (analysis roots).
+    pub roots: Vec<FuncRef>,
+}
+
+impl CallGraph {
+    /// Build the call graph of `program`.
+    pub fn build(program: &Program) -> CallGraph {
+        let mut callees: HashMap<FuncRef, Vec<FuncRef>> = HashMap::new();
+        let mut callers: HashMap<FuncRef, Vec<FuncRef>> = HashMap::new();
+        let defined: Vec<FuncRef> = program.defined_funcs().collect();
+        let defined_set: HashSet<FuncRef> = defined.iter().copied().collect();
+
+        for &fr in &defined {
+            let f = program.func(fr);
+            let mut out: Vec<FuncRef> = Vec::new();
+            for b in &f.blocks {
+                for si in &b.insts {
+                    if let Inst::Call { callee, .. } = &si.inst {
+                        if let Some(target) = program.resolve(callee) {
+                            if defined_set.contains(&target) && !out.contains(&target) {
+                                out.push(target);
+                            }
+                        }
+                    }
+                }
+            }
+            for &t in &out {
+                callers.entry(t).or_default().push(fr);
+            }
+            callees.insert(fr, out);
+        }
+
+        // Post-order DFS from every node (covers disconnected components).
+        let mut post_order = Vec::with_capacity(defined.len());
+        let mut visited: HashSet<FuncRef> = HashSet::new();
+        for &start in &defined {
+            if visited.contains(&start) {
+                continue;
+            }
+            // Iterative DFS.
+            let mut stack: Vec<(FuncRef, usize)> = vec![(start, 0)];
+            visited.insert(start);
+            while let Some(&mut (fr, ref mut next)) = stack.last_mut() {
+                let outs = &callees[&fr];
+                if *next < outs.len() {
+                    let s = outs[*next];
+                    *next += 1;
+                    if visited.insert(s) {
+                        stack.push((s, 0));
+                    }
+                } else {
+                    post_order.push(fr);
+                    stack.pop();
+                }
+            }
+        }
+
+        let roots = defined
+            .iter()
+            .copied()
+            .filter(|fr| callers.get(fr).map_or(true, |c| c.is_empty()))
+            .collect();
+
+        CallGraph { callees, callers, post_order, roots }
+    }
+
+    /// Direct callees of `fr`.
+    pub fn callees_of(&self, fr: FuncRef) -> &[FuncRef] {
+        self.callees.get(&fr).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Direct callers of `fr`.
+    pub fn callers_of(&self, fr: FuncRef) -> &[FuncRef] {
+        self.callers.get(&fr).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Reverse post-order (callers before callees), used by the top-down
+    /// DSA phase.
+    pub fn reverse_post_order(&self) -> Vec<FuncRef> {
+        self.post_order.iter().rev().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmc_pir::parse;
+
+    fn program(srcs: &[&str]) -> Program {
+        Program::new(srcs.iter().map(|s| parse(s).unwrap()).collect()).unwrap()
+    }
+
+    #[test]
+    fn post_order_puts_callees_first() {
+        let p = program(&[r#"
+module m
+fn leaf() {
+entry:
+  ret
+}
+fn mid() {
+entry:
+  call leaf()
+  ret
+}
+fn root() {
+entry:
+  call mid()
+  ret
+}
+"#]);
+        let cg = CallGraph::build(&p);
+        let pos = |name: &str| {
+            let fr = p.resolve(name).unwrap();
+            cg.post_order.iter().position(|&x| x == fr).unwrap()
+        };
+        assert!(pos("leaf") < pos("mid"));
+        assert!(pos("mid") < pos("root"));
+        assert_eq!(cg.roots, vec![p.resolve("root").unwrap()]);
+    }
+
+    #[test]
+    fn recursion_does_not_hang() {
+        let p = program(&["module m\nfn f() {\nentry:\n  call f()\n  ret\n}\n"]);
+        let cg = CallGraph::build(&p);
+        assert_eq!(cg.post_order.len(), 1);
+        // A self-recursive function still counts as a root if nothing else
+        // calls it... except it calls itself, so it has a caller.
+        assert!(cg.roots.is_empty());
+    }
+
+    #[test]
+    fn mutual_recursion_covered_once() {
+        let p = program(&[r#"
+module m
+fn a() {
+entry:
+  call b()
+  ret
+}
+fn b() {
+entry:
+  call a()
+  ret
+}
+"#]);
+        let cg = CallGraph::build(&p);
+        assert_eq!(cg.post_order.len(), 2);
+    }
+
+    #[test]
+    fn cross_module_edges() {
+        let p = program(&[
+            "module x\nfn f() {\nentry:\n  call g()\n  ret\n}\n",
+            "module y\nfn g() {\nentry:\n  ret\n}\n",
+        ]);
+        let cg = CallGraph::build(&p);
+        let f = p.resolve("f").unwrap();
+        let g = p.resolve("g").unwrap();
+        assert_eq!(cg.callees_of(f), &[g]);
+        assert_eq!(cg.callers_of(g), &[f]);
+    }
+
+    #[test]
+    fn unknown_callees_ignored() {
+        let p = program(&["module m\nfn f() {\nentry:\n  call mystery()\n  ret\n}\n"]);
+        let cg = CallGraph::build(&p);
+        assert!(cg.callees_of(p.resolve("f").unwrap()).is_empty());
+    }
+}

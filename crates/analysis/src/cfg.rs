@@ -1,0 +1,160 @@
+//! Per-function control-flow graphs (paper Fig. 8, step ①).
+//!
+//! The CFG records successor/predecessor edges, a reverse post-order, and
+//! back-edge classification (used by the trace collector's loop bound and by
+//! the empty-durable-transaction rule's path reasoning).
+
+use deepmc_pir::{BlockId, Function};
+
+/// The control-flow graph of one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    pub succs: Vec<Vec<BlockId>>,
+    pub preds: Vec<Vec<BlockId>>,
+    /// Blocks in reverse post-order from entry.
+    pub rpo: Vec<BlockId>,
+    /// `(from, to)` edges where `to` is an ancestor of `from` in the DFS
+    /// tree — loop back-edges for reducible graphs.
+    pub back_edges: Vec<(BlockId, BlockId)>,
+}
+
+impl Cfg {
+    /// Build the CFG of `f`. Panics on functions without bodies.
+    pub fn build(f: &Function) -> Cfg {
+        assert!(!f.blocks.is_empty(), "cannot build CFG of extern function `{}`", f.name);
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (i, b) in f.blocks.iter().enumerate() {
+            for s in b.term.inst.successors() {
+                succs[i].push(s);
+                preds[s.index()].push(BlockId(i as u32));
+            }
+        }
+
+        // Iterative DFS computing post-order and back edges.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let mut color = vec![Color::White; n];
+        let mut post: Vec<BlockId> = Vec::with_capacity(n);
+        let mut back_edges = Vec::new();
+        // Stack frames: (block, next successor index).
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        color[0] = Color::Grey;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if *next < succs[b].len() {
+                let s = succs[b][*next].index();
+                *next += 1;
+                match color[s] {
+                    Color::White => {
+                        color[s] = Color::Grey;
+                        stack.push((s, 0));
+                    }
+                    Color::Grey => back_edges.push((BlockId(b as u32), BlockId(s as u32))),
+                    Color::Black => {}
+                }
+            } else {
+                color[b] = Color::Black;
+                post.push(BlockId(b as u32));
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        Cfg { succs, preds, rpo, back_edges }
+    }
+
+    /// True if `(from, to)` is a back edge.
+    pub fn is_back_edge(&self, from: BlockId, to: BlockId) -> bool {
+        self.back_edges.contains(&(from, to))
+    }
+
+    /// Number of blocks reachable from entry.
+    pub fn reachable_count(&self) -> usize {
+        self.rpo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmc_pir::parse;
+
+    fn cfg_of(src: &str) -> (Cfg, deepmc_pir::Module) {
+        let m = parse(src).unwrap();
+        let cfg = Cfg::build(&m.functions[0]);
+        (cfg, m)
+    }
+
+    #[test]
+    fn straight_line() {
+        let (cfg, _) = cfg_of("module m\nfn f() {\nentry:\n  ret\n}\n");
+        assert_eq!(cfg.rpo, vec![BlockId(0)]);
+        assert!(cfg.back_edges.is_empty());
+    }
+
+    #[test]
+    fn diamond() {
+        let (cfg, _) = cfg_of(
+            r#"
+module m
+fn f(%x: i64) {
+entry:
+  br %x, a, b
+a:
+  jmp done
+b:
+  jmp done
+done:
+  ret
+}
+"#,
+        );
+        assert_eq!(cfg.rpo.len(), 4);
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        assert_eq!(*cfg.rpo.last().unwrap(), BlockId(3), "join block last in RPO");
+        assert_eq!(cfg.preds[3].len(), 2);
+        assert!(cfg.back_edges.is_empty());
+    }
+
+    #[test]
+    fn loop_back_edge_detected() {
+        let (cfg, _) = cfg_of(
+            r#"
+module m
+fn f(%x: i64) {
+entry:
+  jmp head
+head:
+  br %x, body, done
+body:
+  jmp head
+done:
+  ret
+}
+"#,
+        );
+        assert_eq!(cfg.back_edges, vec![(BlockId(2), BlockId(1))]);
+        assert!(cfg.is_back_edge(BlockId(2), BlockId(1)));
+        assert!(!cfg.is_back_edge(BlockId(0), BlockId(1)));
+    }
+
+    #[test]
+    fn unreachable_blocks_not_in_rpo() {
+        let (cfg, _) = cfg_of(
+            r#"
+module m
+fn f() {
+entry:
+  ret
+island:
+  jmp island
+}
+"#,
+        );
+        assert_eq!(cfg.reachable_count(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Whole-program view: a set of PIR modules analyzed together, with
+//! cross-module function resolution by name (standing in for linked LLVM
+//! bitcode).
+
+use deepmc_pir::{FuncId, Function, Module};
+use std::collections::HashMap;
+
+/// A function reference: module index + function id within that module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncRef {
+    pub module: u32,
+    pub func: FuncId,
+}
+
+impl FuncRef {
+    pub fn new(module: usize, func: FuncId) -> Self {
+        FuncRef { module: module as u32, func }
+    }
+}
+
+/// A program: one or more modules plus a global name → function index.
+///
+/// Function names are required to be unique across the program, matching the
+/// C linkage model of the frameworks the corpus re-implements. If two
+/// modules define the same name, [`Program::new`] returns an error naming
+/// the clash.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub modules: Vec<Module>,
+    by_name: HashMap<String, FuncRef>,
+}
+
+/// Error from [`Program::new`]: duplicate function definitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateFunction {
+    pub name: String,
+}
+
+impl std::fmt::Display for DuplicateFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "function `{}` is defined in more than one module", self.name)
+    }
+}
+
+impl std::error::Error for DuplicateFunction {}
+
+impl Program {
+    /// Assemble a program from modules. Extern declarations never clash;
+    /// a definition (with body) overrides extern declarations of the same
+    /// name, but two definitions of the same name are an error.
+    pub fn new(modules: Vec<Module>) -> Result<Self, DuplicateFunction> {
+        let mut by_name: HashMap<String, FuncRef> = HashMap::new();
+        let mut has_body: HashMap<String, bool> = HashMap::new();
+        for (mi, m) in modules.iter().enumerate() {
+            for (fi, f) in m.funcs() {
+                let fr = FuncRef::new(mi, fi);
+                let body = !f.blocks.is_empty();
+                match has_body.get(&f.name).copied() {
+                    None => {
+                        by_name.insert(f.name.clone(), fr);
+                        has_body.insert(f.name.clone(), body);
+                    }
+                    Some(false) if body => {
+                        // Definition overrides a previous extern.
+                        by_name.insert(f.name.clone(), fr);
+                        has_body.insert(f.name.clone(), true);
+                    }
+                    Some(false) => {} // extern + extern: keep the first
+                    Some(true) if body => {
+                        return Err(DuplicateFunction { name: f.name.clone() });
+                    }
+                    Some(true) => {} // extern after definition: ignore
+                }
+            }
+        }
+        Ok(Program { modules, by_name })
+    }
+
+    /// A single-module program.
+    pub fn single(module: Module) -> Self {
+        Program::new(vec![module]).expect("single module cannot clash")
+    }
+
+    /// Resolve a function by name.
+    pub fn resolve(&self, name: &str) -> Option<FuncRef> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The function for `fr`.
+    pub fn func(&self, fr: FuncRef) -> &Function {
+        self.modules[fr.module as usize].func(fr.func)
+    }
+
+    /// The module containing `fr`.
+    pub fn module_of(&self, fr: FuncRef) -> &Module {
+        &self.modules[fr.module as usize]
+    }
+
+    /// Iterate all function refs that have bodies.
+    pub fn defined_funcs(&self) -> impl Iterator<Item = FuncRef> + '_ {
+        self.modules.iter().enumerate().flat_map(|(mi, m)| {
+            m.funcs()
+                .filter(|(_, f)| !f.blocks.is_empty())
+                .map(move |(fi, _)| FuncRef::new(mi, fi))
+        })
+    }
+
+    /// Total instruction count.
+    pub fn inst_count(&self) -> usize {
+        self.modules.iter().map(|m| m.inst_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmc_pir::parse;
+
+    #[test]
+    fn cross_module_resolution() {
+        let m1 = parse("module a\nfn f() {\nentry:\n  call g()\n  ret\n}\n").unwrap();
+        let m2 = parse("module b\nfn g() {\nentry:\n  ret\n}\n").unwrap();
+        let p = Program::new(vec![m1, m2]).unwrap();
+        let g = p.resolve("g").unwrap();
+        assert_eq!(g.module, 1);
+        assert_eq!(p.func(g).name, "g");
+    }
+
+    #[test]
+    fn extern_overridden_by_definition() {
+        let m1 = parse("module a\nextern fn g()\nfn f() {\nentry:\n  call g()\n  ret\n}\n").unwrap();
+        let m2 = parse("module b\nfn g() {\nentry:\n  fence\n  ret\n}\n").unwrap();
+        let p = Program::new(vec![m1, m2]).unwrap();
+        let g = p.resolve("g").unwrap();
+        assert_eq!(g.module, 1, "definition wins over extern");
+        assert_eq!(p.defined_funcs().count(), 2);
+    }
+
+    #[test]
+    fn duplicate_definition_rejected() {
+        let m1 = parse("module a\nfn f() {\nentry:\n  ret\n}\n").unwrap();
+        let m2 = parse("module b\nfn f() {\nentry:\n  ret\n}\n").unwrap();
+        assert!(Program::new(vec![m1, m2]).is_err());
+    }
+}

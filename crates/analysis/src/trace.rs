@@ -1,0 +1,1120 @@
+//! Trace collection (paper §4.3, Fig. 8 step ②).
+//!
+//! DeepMC collects, per analysis root, a set of program-order traces of
+//! persistent operations. The collector walks the CFG depth-first, forking
+//! at branches whose condition it cannot decide, bounding loop iterations
+//! (default 10) and recursion depth (default 5), and splicing callee traces
+//! into call sites (the interprocedural merge of Fig. 11). "Unlike symbolic
+//! execution, DeepMC's trace collection procedure does not track the entire
+//! state of persistent memory regions" — the walker keeps only enough
+//! state to name persistent objects precisely: an environment of abstract
+//! values per local and a small heap of field slots, with the DSG supplying
+//! persistence classification for pointers it cannot resolve (ghost
+//! objects from opaque loads and parameters).
+//!
+//! Traces are *address-resolved*: every event names an abstract object
+//! ([`ObjId`]) plus a field selector, so the static checker's rules reduce
+//! to overlap/coverage tests on [`Addr`] values.
+
+use crate::callgraph::CallGraph;
+use crate::dsa::{DsaResult, PersistKind};
+use crate::program::{FuncRef, Program};
+use deepmc_pir::{
+    Accessor, BlockId, FuncAttr, Inst, LocalId, Operand, Place, SourceLoc, StructId, Terminator,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Abstract object id, unique within one trace-collection run per root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(pub u32);
+
+/// Field selector within an object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldSel {
+    /// The whole object.
+    Whole,
+    /// One named (scalar or pointer) field, or a whole array field.
+    Field(u32),
+    /// One array element; `None` index means "statically unknown element".
+    Elem { field: u32, index: Option<i64> },
+}
+
+/// A resolved persistent-memory address: object + field selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Addr {
+    pub obj: ObjId,
+    pub sel: FieldSel,
+}
+
+impl Addr {
+    pub fn whole(obj: ObjId) -> Addr {
+        Addr { obj, sel: FieldSel::Whole }
+    }
+
+    pub fn field(obj: ObjId, field: u32) -> Addr {
+        Addr { obj, sel: FieldSel::Field(field) }
+    }
+
+    /// Do the two addresses possibly refer to overlapping bytes?
+    pub fn overlaps(&self, other: &Addr) -> bool {
+        if self.obj != other.obj {
+            return false;
+        }
+        use FieldSel::*;
+        match (self.sel, other.sel) {
+            (Whole, _) | (_, Whole) => true,
+            (Field(a), Field(b)) => a == b,
+            (Field(a), Elem { field: b, .. }) | (Elem { field: a, .. }, Field(b)) => a == b,
+            (Elem { field: fa, index: ia }, Elem { field: fb, index: ib }) => {
+                fa == fb
+                    && match (ia, ib) {
+                        (Some(x), Some(y)) => x == y,
+                        _ => true, // unknown index may collide
+                    }
+            }
+        }
+    }
+
+    /// Does `self` definitely cover every byte of `other`? Used for the
+    /// unflushed-write rule: a flush of `self` makes a write to `other`
+    /// durable only when coverage is certain.
+    pub fn covers(&self, other: &Addr) -> bool {
+        if self.obj != other.obj {
+            return false;
+        }
+        use FieldSel::*;
+        match (self.sel, other.sel) {
+            (Whole, _) => true,
+            (_, Whole) => false,
+            (Field(a), Field(b)) => a == b,
+            (Field(a), Elem { field: b, .. }) => a == b,
+            (Elem { .. }, Field(_)) => false,
+            (Elem { field: fa, index: ia }, Elem { field: fb, index: ib }) => {
+                fa == fb && ia.is_some() && ia == ib
+            }
+        }
+    }
+}
+
+/// Source attribution of a trace event.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EvLoc {
+    pub file: Arc<str>,
+    pub func: Arc<str>,
+    pub line: u32,
+}
+
+/// One entry of a collected trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A write to (possibly) persistent memory.
+    Write { addr: Addr, persist: PersistKind, loc: EvLoc },
+    /// A read from persistent memory (tracked for dependence rules).
+    Read { addr: Addr, loc: EvLoc },
+    /// A cache-line write-back (`clwb`, or the flush half of a combined
+    /// `persist`).
+    Flush { addr: Addr, loc: EvLoc },
+    /// A persist barrier (`sfence`, or the fence half of `persist`).
+    Fence { loc: EvLoc },
+    TxBegin { loc: EvLoc },
+    TxCommit { loc: EvLoc },
+    TxAbort { loc: EvLoc },
+    TxAdd { addr: Addr, loc: EvLoc },
+    EpochBegin { loc: EvLoc },
+    EpochEnd { loc: EvLoc },
+    StrandBegin { loc: EvLoc },
+    StrandEnd { loc: EvLoc },
+}
+
+impl TraceEvent {
+    /// The source location of the event.
+    pub fn loc(&self) -> &EvLoc {
+        match self {
+            TraceEvent::Write { loc, .. }
+            | TraceEvent::Read { loc, .. }
+            | TraceEvent::Flush { loc, .. }
+            | TraceEvent::Fence { loc }
+            | TraceEvent::TxBegin { loc }
+            | TraceEvent::TxCommit { loc }
+            | TraceEvent::TxAbort { loc }
+            | TraceEvent::TxAdd { loc, .. }
+            | TraceEvent::EpochBegin { loc }
+            | TraceEvent::EpochEnd { loc }
+            | TraceEvent::StrandBegin { loc }
+            | TraceEvent::StrandEnd { loc } => loc,
+        }
+    }
+}
+
+/// A complete program-order trace from one analysis root along one path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// The root function this trace starts from.
+    pub root: Arc<str>,
+    pub events: Vec<TraceEvent>,
+    /// Debug names of abstract objects, indexed by [`ObjId`].
+    pub object_names: Vec<Arc<str>>,
+    /// Number of struct fields per abstract object (None for untyped
+    /// ghosts), indexed by [`ObjId`] — used by the field-sensitive
+    /// unmodified-writeback rule.
+    pub object_field_counts: Vec<Option<u32>>,
+}
+
+impl Trace {
+    /// Name of an abstract object for reports.
+    pub fn object_name(&self, obj: ObjId) -> &str {
+        self.object_names
+            .get(obj.0 as usize)
+            .map(|s| s.as_ref())
+            .unwrap_or("<obj>")
+    }
+
+    /// Number of declared fields of the object's struct type, if known.
+    pub fn object_field_count(&self, obj: ObjId) -> Option<u32> {
+        self.object_field_counts.get(obj.0 as usize).copied().flatten()
+    }
+}
+
+/// Bounds for the collector (paper §4.3: loop bound 10, recursion bound 5).
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Maximum times any block may repeat on one path (loop unrolling).
+    pub loop_bound: usize,
+    /// Maximum call-inlining depth for recursive calls.
+    pub recursion_bound: usize,
+    /// Maximum number of traces per root; once exceeded, branches stop
+    /// forking and the persistent-op-richer successor is preferred.
+    pub max_paths: usize,
+    /// Hard cap on events per trace.
+    pub max_trace_len: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { loop_bound: 10, recursion_bound: 5, max_paths: 128, max_trace_len: 100_000 }
+    }
+}
+
+/// Abstract runtime value during the walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Val {
+    Unknown,
+    Int(i64),
+    Obj(ObjId),
+    Null,
+}
+
+/// Per-object info.
+#[derive(Debug, Clone)]
+struct ObjInfo {
+    persist: PersistKind,
+    struct_ty: Option<(u32, StructId)>,
+    name: Arc<str>,
+}
+
+/// Mutable state threaded along one path (cloned at forks).
+#[derive(Debug, Clone)]
+struct PathState {
+    objects: Vec<ObjInfo>,
+    /// Exact field slots: (object, field, element) → value.
+    heap: HashMap<(ObjId, u32, Option<i64>), Val>,
+    events: Vec<TraceEvent>,
+    /// Ghost objects created for unresolved pointer loads, keyed by slot so
+    /// repeated loads alias.
+    ghosts: HashMap<(ObjId, u32, Option<i64>), ObjId>,
+}
+
+impl PathState {
+    fn new_object(&mut self, info: ObjInfo) -> ObjId {
+        let id = ObjId(self.objects.len() as u32);
+        self.objects.push(info);
+        id
+    }
+}
+
+/// One call frame's environment.
+type Env = HashMap<LocalId, Val>;
+
+/// The collector.
+pub struct TraceCollector<'p> {
+    program: &'p Program,
+    dsa: &'p DsaResult,
+    pub config: TraceConfig,
+}
+
+/// Result of walking a function body to a `ret`: final state plus the
+/// returned value.
+struct WalkEnd {
+    st: PathState,
+    ret: Val,
+}
+
+impl<'p> TraceCollector<'p> {
+    pub fn new(program: &'p Program, dsa: &'p DsaResult, config: TraceConfig) -> Self {
+        TraceCollector { program, dsa, config }
+    }
+
+    /// Collect traces from every analysis root: call-graph roots plus
+    /// functions explicitly marked `tx_context` (they are invoked from a
+    /// framework transaction the program text does not show).
+    pub fn collect_program(&self, cg: &CallGraph) -> Vec<Trace> {
+        let mut roots: Vec<FuncRef> = cg.roots.clone();
+        for fr in self.program.defined_funcs() {
+            let f = self.program.func(fr);
+            if f.has_attr(FuncAttr::TxContext) && !roots.contains(&fr) {
+                roots.push(fr);
+            }
+        }
+        roots.sort();
+        let mut traces = Vec::new();
+        for root in roots {
+            traces.extend(self.collect_root(root));
+        }
+        traces
+    }
+
+    /// Collect all bounded-path traces starting at `root`.
+    pub fn collect_root(&self, root: FuncRef) -> Vec<Trace> {
+        let f = self.program.func(root);
+        let root_name: Arc<str> = Arc::from(f.name.as_str());
+        let mut st = PathState {
+            objects: Vec::new(),
+            heap: HashMap::new(),
+            events: Vec::new(),
+            ghosts: HashMap::new(),
+        };
+
+        // Parameters become ghost objects with DSA-supplied persistence.
+        let mut env: Env = HashMap::new();
+        let g = self.dsa.graph(root);
+        for (i, p) in f.params().iter().enumerate() {
+            let v = if let deepmc_pir::Ty::Ptr(sid) = p.ty {
+                let persist = g
+                    .param_node(i)
+                    .map(|n| match g.node(n).persist {
+                        Some(k) => k,
+                        None => PersistKind::Unknown,
+                    })
+                    .unwrap_or(PersistKind::Unknown);
+                let obj = st.new_object(ObjInfo {
+                    persist,
+                    struct_ty: Some((root.module, sid)),
+                    name: Arc::from(format!("{}.param.{}", f.name, p.name)),
+                });
+                Val::Obj(obj)
+            } else {
+                Val::Unknown
+            };
+            env.insert(LocalId(i as u32), v);
+        }
+
+        // `tx_context` roots execute inside an implicit framework tx.
+        let implicit_tx = f.has_attr(FuncAttr::TxContext);
+        if implicit_tx {
+            let loc = self.evloc(root, SourceLoc::UNKNOWN);
+            st.events.push(TraceEvent::TxBegin { loc });
+        }
+
+        let mut budget = self.config.max_paths;
+        let ends = self.walk_function(root, env, st, 0, &mut budget);
+        ends.into_iter()
+            .map(|mut end| {
+                if implicit_tx {
+                    let loc = self.evloc(root, SourceLoc::UNKNOWN);
+                    end.st.events.push(TraceEvent::TxCommit { loc });
+                }
+                Trace {
+                    root: root_name.clone(),
+                    events: end.st.events,
+                    object_names: end.st.objects.iter().map(|o| o.name.clone()).collect(),
+                    object_field_counts: end
+                        .st
+                        .objects
+                        .iter()
+                        .map(|o| {
+                            o.struct_ty.map(|(mi, sid)| {
+                                self.program.modules[mi as usize]
+                                    .struct_def(sid)
+                                    .fields
+                                    .len() as u32
+                            })
+                        })
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    fn evloc(&self, fr: FuncRef, loc: SourceLoc) -> EvLoc {
+        let m = self.program.module_of(fr);
+        EvLoc {
+            file: Arc::from(m.file.as_str()),
+            func: Arc::from(self.program.func(fr).name.as_str()),
+            line: loc.line,
+        }
+    }
+
+    /// Walk a function body from its entry, returning every bounded path's
+    /// end state.
+    fn walk_function(
+        &self,
+        fr: FuncRef,
+        env: Env,
+        st: PathState,
+        depth: usize,
+        budget: &mut usize,
+    ) -> Vec<WalkEnd> {
+        let visits: HashMap<BlockId, usize> = HashMap::new();
+        self.walk_block(fr, deepmc_pir::Function::ENTRY, env, st, visits, depth, budget)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk_block(
+        &self,
+        fr: FuncRef,
+        bb: BlockId,
+        env: Env,
+        st: PathState,
+        mut visits: HashMap<BlockId, usize>,
+        depth: usize,
+        budget: &mut usize,
+    ) -> Vec<WalkEnd> {
+        let f = self.program.func(fr);
+        // Loop bound: abandon paths that revisit a block too often.
+        let v = visits.entry(bb).or_insert(0);
+        *v += 1;
+        if *v > self.config.loop_bound {
+            return Vec::new();
+        }
+
+        let block = &f.blocks[bb.index()];
+        // Process straight-line instructions; calls may fork the state.
+        // We carry a worklist of (env, st) pairs through the instructions.
+        let mut states: Vec<(Env, PathState)> = vec![(env, st)];
+        for si in &block.insts {
+            if states.is_empty() {
+                return Vec::new();
+            }
+            if let Inst::Call { dst, callee, args } = &si.inst {
+                let mut next: Vec<(Env, PathState)> = Vec::new();
+                for (env, st) in states {
+                    next.extend(self.exec_call(
+                        fr, si.loc, dst, callee, args, env, st, depth, budget,
+                    ));
+                }
+                states = next;
+            } else {
+                for (env, st) in &mut states {
+                    if st.events.len() < self.config.max_trace_len {
+                        self.exec_simple(fr, si.loc, &si.inst, env, st);
+                    }
+                }
+            }
+        }
+
+        // Terminator.
+        let mut out = Vec::new();
+        match &block.term.inst {
+            Terminator::Ret { value } => {
+                for (env, st) in states {
+                    let ret = match value {
+                        None => Val::Unknown,
+                        Some(op) => eval(op, &env),
+                    };
+                    out.push(WalkEnd { st, ret });
+                }
+            }
+            Terminator::Jmp { bb: next } => {
+                for (env, st) in states {
+                    out.extend(self.walk_block(
+                        fr,
+                        *next,
+                        env,
+                        st,
+                        visits.clone(),
+                        depth,
+                        budget,
+                    ));
+                }
+            }
+            Terminator::Br { cond, then_bb, else_bb } => {
+                for (env, st) in states {
+                    match eval(cond, &env) {
+                        Val::Int(n) => {
+                            let next = if n != 0 { *then_bb } else { *else_bb };
+                            out.extend(self.walk_block(
+                                fr,
+                                next,
+                                env,
+                                st,
+                                visits.clone(),
+                                depth,
+                                budget,
+                            ));
+                        }
+                        Val::Null => {
+                            out.extend(self.walk_block(
+                                fr,
+                                *else_bb,
+                                env,
+                                st,
+                                visits.clone(),
+                                depth,
+                                budget,
+                            ));
+                        }
+                        _ => {
+                            if *budget > 1 {
+                                *budget -= 1;
+                                out.extend(self.walk_block(
+                                    fr,
+                                    *then_bb,
+                                    env.clone(),
+                                    st.clone(),
+                                    visits.clone(),
+                                    depth,
+                                    budget,
+                                ));
+                                out.extend(self.walk_block(
+                                    fr,
+                                    *else_bb,
+                                    env,
+                                    st,
+                                    visits.clone(),
+                                    depth,
+                                    budget,
+                                ));
+                            } else {
+                                // Budget exhausted: prefer the successor
+                                // with more persistent operations (paper:
+                                // "priority to explore the paths involving
+                                // persistent operations").
+                                let next =
+                                    self.prefer_persistent(f, *then_bb, *else_bb, &visits);
+                                out.extend(self.walk_block(
+                                    fr,
+                                    next,
+                                    env,
+                                    st,
+                                    visits.clone(),
+                                    depth,
+                                    budget,
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Pick the branch successor that leads to more persistent operations
+    /// (one-block lookahead), avoiding exhausted loop headers.
+    fn prefer_persistent(
+        &self,
+        f: &deepmc_pir::Function,
+        a: BlockId,
+        b: BlockId,
+        visits: &HashMap<BlockId, usize>,
+    ) -> BlockId {
+        let score = |bb: BlockId| -> isize {
+            if visits.get(&bb).copied().unwrap_or(0) >= self.config.loop_bound {
+                return isize::MIN;
+            }
+            f.blocks[bb.index()]
+                .insts
+                .iter()
+                .filter(|si| si.inst.is_persist_relevant())
+                .count() as isize
+        };
+        if score(a) >= score(b) {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// Execute a non-call instruction on one path state.
+    fn exec_simple(
+        &self,
+        fr: FuncRef,
+        loc: SourceLoc,
+        inst: &Inst,
+        env: &mut Env,
+        st: &mut PathState,
+    ) {
+        let f = self.program.func(fr);
+        match inst {
+            Inst::PAlloc { dst, ty } => {
+                let name = format!("{}:{}#{}", f.name, f.locals[dst.index()].name, st.objects.len());
+                let obj = st.new_object(ObjInfo {
+                    persist: PersistKind::Persistent,
+                    struct_ty: Some((fr.module, *ty)),
+                    name: Arc::from(name),
+                });
+                env.insert(*dst, Val::Obj(obj));
+            }
+            Inst::VAlloc { dst, ty } => {
+                let name = format!("{}:{}#v{}", f.name, f.locals[dst.index()].name, st.objects.len());
+                let obj = st.new_object(ObjInfo {
+                    persist: PersistKind::Volatile,
+                    struct_ty: Some((fr.module, *ty)),
+                    name: Arc::from(name),
+                });
+                env.insert(*dst, Val::Obj(obj));
+            }
+            Inst::Mov { dst, src } => {
+                let v = eval(src, env);
+                env.insert(*dst, v);
+            }
+            Inst::Bin { dst, op, lhs, rhs } => {
+                let v = match (eval(lhs, env), eval(rhs, env)) {
+                    (Val::Int(a), Val::Int(b)) => Val::Int(op.eval(a, b)),
+                    // Pointer comparisons against null.
+                    (Val::Null, Val::Null) => match op {
+                        deepmc_pir::BinOp::Eq => Val::Int(1),
+                        deepmc_pir::BinOp::Ne => Val::Int(0),
+                        _ => Val::Unknown,
+                    },
+                    (Val::Obj(_), Val::Null) | (Val::Null, Val::Obj(_)) => match op {
+                        deepmc_pir::BinOp::Eq => Val::Int(0),
+                        deepmc_pir::BinOp::Ne => Val::Int(1),
+                        _ => Val::Unknown,
+                    },
+                    (Val::Obj(a), Val::Obj(b)) => match op {
+                        deepmc_pir::BinOp::Eq => Val::Int((a == b) as i64),
+                        deepmc_pir::BinOp::Ne => Val::Int((a != b) as i64),
+                        _ => Val::Unknown,
+                    },
+                    _ => Val::Unknown,
+                };
+                env.insert(*dst, v);
+            }
+            Inst::Load { dst, place } => {
+                if let Some((addr, obj_persist)) = self.resolve(place, env, st) {
+                    if obj_persist != PersistKind::Volatile {
+                        st.events.push(TraceEvent::Read { addr, loc: self.evloc(fr, loc) });
+                    }
+                    let slot = slot_key(&addr);
+                    let v = match st.heap.get(&slot) {
+                        Some(v) => *v,
+                        None => {
+                            // Opaque load: pointers get a stable ghost
+                            // object so later operations on it correlate.
+                            if f.local_ty(*dst).is_ptr() {
+                                let ghost = *st.ghosts.entry(slot).or_insert_with(|| {
+                                    let id = ObjId(st.objects.len() as u32);
+                                    st.objects.push(ObjInfo {
+                                        persist: obj_persist, // inherit owner's region
+                                        struct_ty: None,
+                                        name: Arc::from(format!(
+                                            "{}:ghost#{}",
+                                            f.name,
+                                            id.0
+                                        )),
+                                    });
+                                    id
+                                });
+                                Val::Obj(ghost)
+                            } else {
+                                Val::Unknown
+                            }
+                        }
+                    };
+                    env.insert(*dst, v);
+                } else {
+                    env.insert(*dst, Val::Unknown);
+                }
+            }
+            Inst::Store { place, value } => {
+                let v = eval(value, env);
+                if let Some((addr, obj_persist)) = self.resolve(place, env, st) {
+                    st.heap.insert(slot_key(&addr), v);
+                    if obj_persist != PersistKind::Volatile {
+                        st.events.push(TraceEvent::Write {
+                            addr,
+                            persist: obj_persist,
+                            loc: self.evloc(fr, loc),
+                        });
+                    }
+                }
+            }
+            Inst::Flush { place } => {
+                if let Some((addr, obj_persist)) = self.resolve(place, env, st) {
+                    if obj_persist != PersistKind::Volatile {
+                        st.events.push(TraceEvent::Flush { addr, loc: self.evloc(fr, loc) });
+                    }
+                }
+            }
+            Inst::Fence => {
+                st.events.push(TraceEvent::Fence { loc: self.evloc(fr, loc) });
+            }
+            Inst::Persist { place } => {
+                if let Some((addr, obj_persist)) = self.resolve(place, env, st) {
+                    if obj_persist != PersistKind::Volatile {
+                        let l = self.evloc(fr, loc);
+                        st.events.push(TraceEvent::Flush { addr, loc: l.clone() });
+                        st.events.push(TraceEvent::Fence { loc: l });
+                    }
+                } else {
+                    st.events.push(TraceEvent::Fence { loc: self.evloc(fr, loc) });
+                }
+            }
+            Inst::MemSetPersist { place, value } => {
+                let v = eval(value, env);
+                if let Some((addr, obj_persist)) = self.resolve(place, env, st) {
+                    st.heap.insert(slot_key(&addr), v);
+                    if obj_persist != PersistKind::Volatile {
+                        let l = self.evloc(fr, loc);
+                        st.events.push(TraceEvent::Write {
+                            addr,
+                            persist: obj_persist,
+                            loc: l.clone(),
+                        });
+                        st.events.push(TraceEvent::Flush { addr, loc: l.clone() });
+                        st.events.push(TraceEvent::Fence { loc: l });
+                    }
+                }
+            }
+            Inst::TxBegin => st.events.push(TraceEvent::TxBegin { loc: self.evloc(fr, loc) }),
+            Inst::TxCommit => st.events.push(TraceEvent::TxCommit { loc: self.evloc(fr, loc) }),
+            Inst::TxAbort => st.events.push(TraceEvent::TxAbort { loc: self.evloc(fr, loc) }),
+            Inst::TxAdd { place } => {
+                if let Some((addr, obj_persist)) = self.resolve(place, env, st) {
+                    if obj_persist != PersistKind::Volatile {
+                        st.events.push(TraceEvent::TxAdd { addr, loc: self.evloc(fr, loc) });
+                    }
+                }
+            }
+            Inst::EpochBegin => {
+                st.events.push(TraceEvent::EpochBegin { loc: self.evloc(fr, loc) })
+            }
+            Inst::EpochEnd => st.events.push(TraceEvent::EpochEnd { loc: self.evloc(fr, loc) }),
+            Inst::StrandBegin => {
+                st.events.push(TraceEvent::StrandBegin { loc: self.evloc(fr, loc) })
+            }
+            Inst::StrandEnd => {
+                st.events.push(TraceEvent::StrandEnd { loc: self.evloc(fr, loc) })
+            }
+            Inst::Call { .. } => unreachable!("calls handled by exec_call"),
+        }
+    }
+
+    /// Execute a call, splicing callee paths into the caller's.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_call(
+        &self,
+        _fr: FuncRef,
+        loc: SourceLoc,
+        dst: &Option<LocalId>,
+        callee: &str,
+        args: &[Operand],
+        mut env: Env,
+        st: PathState,
+        depth: usize,
+        budget: &mut usize,
+    ) -> Vec<(Env, PathState)> {
+        let target = self.program.resolve(callee);
+        let Some(target) = target else {
+            // Unknown external function: havoc the result only.
+            if let Some(d) = dst {
+                env.insert(*d, Val::Unknown);
+            }
+            return vec![(env, st)];
+        };
+        let callee_fn = self.program.func(target);
+        if callee_fn.blocks.is_empty() || depth >= self.config.recursion_bound {
+            if let Some(d) = dst {
+                env.insert(*d, Val::Unknown);
+            }
+            return vec![(env, st)];
+        }
+        let _ = loc;
+
+        // Bind arguments.
+        let mut callee_env: Env = HashMap::new();
+        for (i, a) in args.iter().enumerate() {
+            callee_env.insert(LocalId(i as u32), eval(a, &env));
+        }
+        let ends = self.walk_block(
+            target,
+            deepmc_pir::Function::ENTRY,
+            callee_env,
+            st,
+            HashMap::new(),
+            depth + 1,
+            budget,
+        );
+        ends.into_iter()
+            .map(|end| {
+                let mut env = env.clone();
+                if let Some(d) = dst {
+                    env.insert(*d, end.ret);
+                }
+                (env, end.st)
+            })
+            .collect()
+    }
+
+    /// Resolve a place to an address and the owning object's persistence.
+    /// Returns `None` when the base pointer is statically unknown (the DSG
+    /// could not classify it either) — such operations are dropped from the
+    /// trace, matching DeepMC's restriction to tracked persistent objects.
+    fn resolve(&self, place: &Place, env: &Env, st: &PathState) -> Option<(Addr, PersistKind)> {
+        let base = env.get(&place.base).copied().unwrap_or(Val::Unknown);
+        let Val::Obj(obj) = base else { return None };
+        let persist = st.objects[obj.0 as usize].persist;
+        let sel = match place.path.as_slice() {
+            [] => FieldSel::Whole,
+            [Accessor::Field(fi)] => FieldSel::Field(*fi),
+            [Accessor::Field(fi), Accessor::Index(idx)] => {
+                let index = match eval(idx, env) {
+                    Val::Int(n) => Some(n),
+                    _ => None,
+                };
+                FieldSel::Elem { field: *fi, index }
+            }
+            _ => FieldSel::Whole,
+        };
+        Some((Addr { obj, sel }, persist))
+    }
+}
+
+/// Slot key for the path heap: unknown-index elements share one slot per
+/// field (conservative smearing).
+fn slot_key(addr: &Addr) -> (ObjId, u32, Option<i64>) {
+    match addr.sel {
+        FieldSel::Whole => (addr.obj, u32::MAX, None),
+        FieldSel::Field(f) => (addr.obj, f, None),
+        FieldSel::Elem { field, index } => (addr.obj, field, index),
+    }
+}
+
+fn eval(op: &Operand, env: &Env) -> Val {
+    match op {
+        Operand::Const(n) => Val::Int(*n),
+        Operand::Null => Val::Null,
+        Operand::Local(l) => env.get(l).copied().unwrap_or(Val::Unknown),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmc_pir::parse;
+
+    fn collect(src: &str) -> Vec<Trace> {
+        let p = Program::single(parse(src).unwrap());
+        let cg = CallGraph::build(&p);
+        let dsa = DsaResult::analyze(&p, &cg);
+        let tc = TraceCollector::new(&p, &dsa, TraceConfig::default());
+        tc.collect_program(&cg)
+    }
+
+    fn kinds(t: &Trace) -> Vec<&'static str> {
+        t.events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Write { .. } => "W",
+                TraceEvent::Read { .. } => "R",
+                TraceEvent::Flush { .. } => "F",
+                TraceEvent::Fence { .. } => "B",
+                TraceEvent::TxBegin { .. } => "tb",
+                TraceEvent::TxCommit { .. } => "tc",
+                TraceEvent::TxAbort { .. } => "ta",
+                TraceEvent::TxAdd { .. } => "tl",
+                TraceEvent::EpochBegin { .. } => "eb",
+                TraceEvent::EpochEnd { .. } => "ee",
+                TraceEvent::StrandBegin { .. } => "sb",
+                TraceEvent::StrandEnd { .. } => "se",
+            })
+            .collect()
+    }
+
+    #[test]
+    fn straight_line_trace() {
+        let traces = collect(
+            r#"
+module m
+struct s { a: i64 }
+fn main() {
+entry:
+  %x = palloc s
+  store %x.a, 1
+  flush %x.a
+  fence
+  ret
+}
+"#,
+        );
+        assert_eq!(traces.len(), 1);
+        assert_eq!(kinds(&traces[0]), vec!["W", "F", "B"]);
+    }
+
+    #[test]
+    fn volatile_writes_not_traced() {
+        let traces = collect(
+            r#"
+module m
+struct s { a: i64 }
+fn main() {
+entry:
+  %x = valloc s
+  store %x.a, 1
+  flush %x.a
+  fence
+  ret
+}
+"#,
+        );
+        assert_eq!(kinds(&traces[0]), vec!["B"], "only the fence is global");
+    }
+
+    #[test]
+    fn persist_expands_to_flush_fence() {
+        let traces = collect(
+            r#"
+module m
+struct s { a: i64 }
+fn main() {
+entry:
+  %x = palloc s
+  store %x.a, 1
+  persist %x
+  ret
+}
+"#,
+        );
+        assert_eq!(kinds(&traces[0]), vec!["W", "F", "B"]);
+        // The flush covers the whole object.
+        let TraceEvent::Flush { addr, .. } = &traces[0].events[1] else { panic!() };
+        assert_eq!(addr.sel, FieldSel::Whole);
+    }
+
+    #[test]
+    fn branch_forks_two_traces() {
+        let traces = collect(
+            r#"
+module m
+struct s { a: i64 }
+fn main(%c: i64) {
+entry:
+  %x = palloc s
+  br %c, yes, no
+yes:
+  store %x.a, 1
+  jmp done
+no:
+  fence
+  jmp done
+done:
+  ret
+}
+"#,
+        );
+        assert_eq!(traces.len(), 2);
+        let k: Vec<Vec<&str>> = traces.iter().map(kinds).collect();
+        assert!(k.contains(&vec!["W"]));
+        assert!(k.contains(&vec!["B"]));
+    }
+
+    #[test]
+    fn known_branch_condition_takes_one_path() {
+        let traces = collect(
+            r#"
+module m
+struct s { a: i64 }
+fn main() {
+entry:
+  %x = palloc s
+  %c = mov 1
+  br %c, yes, no
+yes:
+  store %x.a, 1
+  jmp done
+no:
+  fence
+  jmp done
+done:
+  ret
+}
+"#,
+        );
+        assert_eq!(traces.len(), 1);
+        assert_eq!(kinds(&traces[0]), vec!["W"]);
+    }
+
+    #[test]
+    fn loop_bounded() {
+        let traces = collect(
+            r#"
+module m
+struct s { a: i64 }
+fn main(%n: i64) {
+entry:
+  %x = palloc s
+  jmp head
+head:
+  %c = gt %n, 0
+  br %c, body, done
+body:
+  store %x.a, %n
+  jmp head
+done:
+  ret
+}
+"#,
+        );
+        // Condition is unknown → paths with 0..=bound-ish iterations; all
+        // must be finite.
+        assert!(!traces.is_empty());
+        for t in &traces {
+            let writes = kinds(t).iter().filter(|k| **k == "W").count();
+            assert!(writes <= TraceConfig::default().loop_bound);
+        }
+    }
+
+    #[test]
+    fn callee_trace_spliced_into_caller() {
+        let traces = collect(
+            r#"
+module m
+struct s { a: i64 }
+fn do_write(%q: ptr s) {
+entry:
+  store %q.a, 2
+  flush %q.a
+  ret
+}
+fn main() {
+entry:
+  %x = palloc s
+  call do_write(%x)
+  fence
+  ret
+}
+"#,
+        );
+        // main is the only root (do_write is called).
+        assert_eq!(traces.len(), 1);
+        assert_eq!(kinds(&traces[0]), vec!["W", "F", "B"]);
+        // And the callee's write targets the caller's object.
+        let TraceEvent::Write { addr: w, .. } = &traces[0].events[0] else { panic!() };
+        let TraceEvent::Flush { addr: fl, .. } = &traces[0].events[1] else { panic!() };
+        assert!(fl.covers(w));
+    }
+
+    #[test]
+    fn tx_context_root_gets_implicit_tx() {
+        let traces = collect(
+            r#"
+module m
+struct s { a: i64 }
+fn cb(%q: ptr s) attrs(tx_context) {
+entry:
+  store %q.a, 1
+  ret
+}
+"#,
+        );
+        assert_eq!(traces.len(), 1);
+        assert_eq!(kinds(&traces[0]), vec!["tb", "W", "tc"]);
+        // The parameter object is persistent by contract.
+        let TraceEvent::Write { persist, .. } = &traces[0].events[1] else { panic!() };
+        assert_eq!(*persist, PersistKind::Persistent);
+    }
+
+    #[test]
+    fn ghost_objects_alias_on_repeated_loads() {
+        let traces = collect(
+            r#"
+module m
+struct s { a: i64, next: ptr s }
+fn main() {
+entry:
+  %x = palloc s
+  %p = load %x.next
+  %q = load %x.next
+  store %p.a, 1
+  flush %q.a
+  ret
+}
+"#,
+        );
+        let t = &traces[0];
+        let (mut w, mut fl) = (None, None);
+        for e in &t.events {
+            match e {
+                TraceEvent::Write { addr, .. } => w = Some(*addr),
+                TraceEvent::Flush { addr, .. } => fl = Some(*addr),
+                _ => {}
+            }
+        }
+        assert_eq!(w.unwrap().obj, fl.unwrap().obj, "two loads of same slot alias");
+    }
+
+    #[test]
+    fn array_elem_addresses() {
+        let traces = collect(
+            r#"
+module m
+struct s { arr: [i64; 8] }
+fn main(%i: i64) {
+entry:
+  %x = palloc s
+  store %x.arr[2], 1
+  store %x.arr[%i], 1
+  ret
+}
+"#,
+        );
+        let t = &traces[0];
+        let addrs: Vec<Addr> = t
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Write { addr, .. } => Some(*addr),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(addrs[0].sel, FieldSel::Elem { field: 0, index: Some(2) });
+        assert_eq!(addrs[1].sel, FieldSel::Elem { field: 0, index: None });
+        assert!(addrs[0].overlaps(&addrs[1]), "unknown index may collide");
+        assert!(!addrs[1].covers(&addrs[0]), "unknown index cannot cover");
+    }
+
+    #[test]
+    fn addr_overlap_and_cover_matrix() {
+        let o = ObjId(0);
+        let whole = Addr::whole(o);
+        let f0 = Addr::field(o, 0);
+        let f1 = Addr::field(o, 1);
+        let e0 = Addr { obj: o, sel: FieldSel::Elem { field: 0, index: Some(3) } };
+        assert!(whole.overlaps(&f0) && whole.covers(&f0));
+        assert!(!f0.overlaps(&f1));
+        assert!(f0.overlaps(&e0) && f0.covers(&e0));
+        assert!(!e0.covers(&f0));
+        assert!(!f0.covers(&whole));
+        let other = Addr::field(ObjId(1), 0);
+        assert!(!f0.overlaps(&other));
+    }
+
+    #[test]
+    fn max_paths_budget_respected() {
+        // 12 sequential unknown branches would give 4096 paths; the budget
+        // caps it.
+        let mut src = String::from("module m\nstruct s { a: i64 }\nfn main(%c: i64) {\nentry:\n  %x = palloc s\n  jmp b0\n");
+        for i in 0..12 {
+            src.push_str(&format!(
+                "b{i}:\n  br %c, t{i}, f{i}\nt{i}:\n  store %x.a, {i}\n  jmp b{next}\nf{i}:\n  fence\n  jmp b{next}\n",
+                next = i + 1
+            ));
+        }
+        src.push_str("b12:\n  ret\n}\n");
+        let traces = collect(&src);
+        assert!(traces.len() <= TraceConfig::default().max_paths);
+        assert!(!traces.is_empty());
+    }
+}

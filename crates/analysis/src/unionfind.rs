@@ -1,0 +1,125 @@
+//! A small union-find (disjoint set) with path compression and union by
+//! rank, used by the DSA to merge abstract nodes during the bottom-up phase
+//! (node unification is the core operation of Lattner's DSA).
+
+/// Disjoint-set forest over `usize` ids.
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    pub fn new() -> Self {
+        UnionFind::default()
+    }
+
+    /// Add a new singleton set; returns its id.
+    pub fn push(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.rank.push(0);
+        id
+    }
+
+    /// Number of ids allocated (not the number of sets).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Find the representative of `x` with path compression.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Compress.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Find without mutation (no compression), for shared contexts.
+    pub fn find_const(&self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        root
+    }
+
+    /// Merge the sets of `a` and `b`; returns the surviving representative.
+    pub fn union(&mut self, a: usize, b: usize) -> usize {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        if self.rank[ra] < self.rank[rb] {
+            self.parent[ra] = rb;
+            rb
+        } else if self.rank[ra] > self.rank[rb] {
+            self.parent[rb] = ra;
+            ra
+        } else {
+            self.parent[rb] = ra;
+            self.rank[ra] += 1;
+            ra
+        }
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_union_find() {
+        let mut uf = UnionFind::new();
+        let a = uf.push();
+        let b = uf.push();
+        let c = uf.push();
+        assert!(!uf.same(a, b));
+        uf.union(a, b);
+        assert!(uf.same(a, b));
+        assert!(!uf.same(a, c));
+        uf.union(b, c);
+        assert!(uf.same(a, c));
+    }
+
+    #[test]
+    fn union_returns_representative() {
+        let mut uf = UnionFind::new();
+        let a = uf.push();
+        let b = uf.push();
+        let r = uf.union(a, b);
+        assert_eq!(uf.find(a), r);
+        assert_eq!(uf.find(b), r);
+    }
+
+    #[test]
+    fn find_const_matches_find() {
+        let mut uf = UnionFind::new();
+        let ids: Vec<usize> = (0..10).map(|_| uf.push()).collect();
+        for w in ids.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+        let root = uf.find(ids[0]);
+        for &i in &ids {
+            assert_eq!(uf.find_const(i), root);
+        }
+    }
+}

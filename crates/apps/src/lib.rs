@@ -1,0 +1,37 @@
+//! # nvm-apps — the real-application layer of the evaluation
+//!
+//! The paper measures DeepMC's dynamic-analysis overhead on Memcached
+//! (Mnemosyne), Redis (PMDK), and NStore (low-level implementation) under
+//! the benchmarks of Table 6, reporting throughput with and without
+//! instrumentation (Figure 12), and the static analysis' compile-time cost
+//! (Table 9).
+//!
+//! This crate provides the equivalents:
+//!
+//! * [`store`] — a sharded persistent key-value engine on the simulated
+//!   NVM pool (volatile index, persistent records — the Mnemosyne /
+//!   persistent-Memcached design).
+//! * [`memcached`], [`redis`], [`nstore`] — three applications with the
+//!   persistence styles of their namesakes (epoch batching, strict
+//!   store+persist with an append-only file, write-ahead-logged
+//!   transactions).
+//! * [`tracker`] — the instrumentation seam: every persistent access in an
+//!   annotated update region reports to a [`tracker::Tracker`]; the
+//!   baseline uses [`tracker::NoopTracker`], the DeepMC run uses
+//!   [`tracker::DeepMcTracker`] (shadow memory + happens-before).
+//! * [`workloads`] — memslap mixes, the redis-benchmark suite, and YCSB
+//!   A–F.
+//! * [`pirgen`] — synthetic PIR module generation sized after each
+//!   application, for the Table 9 compilation-overhead experiment.
+
+pub mod memcached;
+pub mod nstore;
+pub mod pirgen;
+pub mod redis;
+pub mod store;
+pub mod tracker;
+pub mod workloads;
+
+pub use store::{PersistStyle, PmKv};
+pub use tracker::{DeepMcTracker, NoopTracker, Tracker};
+pub use workloads::{memslap_workloads, redis_benchmark_suite, ycsb_workloads, WorkloadSpec};

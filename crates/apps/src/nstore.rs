@@ -1,0 +1,340 @@
+//! Mini-NStore: the low-level transactional relational store of the
+//! paper's evaluation (nstore uses hand-rolled persistence primitives, no
+//! framework). Each YCSB transaction is write-ahead logged: the WAL entry
+//! is persisted, the tuple is updated in place and persisted, then the WAL
+//! entry is durably marked committed — three fences per write transaction.
+
+use crate::tracker::{NoopTracker, Tracker};
+use crate::workloads::{BenchApp, ClientCtx, OpKind};
+use nvm_runtime::{PAddr, PmemHeap, PmemPool, StrandId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Tuple: key(8) | 4 columns (32) | version(8) = 48 bytes, one line.
+pub const TUPLE_BYTES: u64 = 64;
+/// WAL entry: state(8) | key(8) | col0..col3 (32) = 48 bytes, one line.
+const WAL_ENTRY: u64 = 64;
+const WAL_LOCK: u64 = u64::MAX - 1;
+
+struct Wal {
+    base: PAddr,
+    capacity: u64,
+    cursor: u64,
+}
+
+/// The application.
+pub struct NStore<'p> {
+    pool: &'p PmemPool,
+    heap: &'p PmemHeap<'p>,
+    index: Vec<Mutex<HashMap<u64, PAddr>>>,
+    mask: u64,
+    wal: Mutex<Wal>,
+}
+
+impl<'p> NStore<'p> {
+    pub fn new(
+        pool: &'p PmemPool,
+        heap: &'p PmemHeap<'p>,
+        shards: usize,
+        wal_capacity: u64,
+    ) -> NStore<'p> {
+        let n = shards.max(1).next_power_of_two();
+        let base = heap.alloc(wal_capacity);
+        assert!(!base.is_null(), "pool too small for the WAL");
+        pool.write(base, &[0u8; WAL_ENTRY as usize]);
+        pool.persist(base, WAL_ENTRY);
+        heap.set_root(base);
+        NStore {
+            pool,
+            heap,
+            index: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: n as u64 - 1,
+            wal: Mutex::new(Wal { base, capacity: wal_capacity, cursor: 0 }),
+        }
+    }
+
+    /// Post-crash recovery: redo the committed WAL entries into a fresh
+    /// table. ACTIVE entries (state 1) were never acknowledged — their
+    /// tuples may be torn — and are discarded, which is exactly the
+    /// guarantee the commit mark exists to give.
+    pub fn recover(
+        pool: &'p PmemPool,
+        heap: &'p PmemHeap<'p>,
+        shards: usize,
+        wal_capacity: u64,
+    ) -> NStore<'p> {
+        let base = heap.root();
+        assert!(!base.is_null(), "no WAL root: pool was never an NStore pool");
+        let n = shards.max(1).next_power_of_two();
+        let db = NStore {
+            pool,
+            heap,
+            index: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: n as u64 - 1,
+            wal: Mutex::new(Wal { base, capacity: wal_capacity, cursor: 0 }),
+        };
+        let mut slot = 0;
+        let mut last_used = 0;
+        while slot + WAL_ENTRY <= wal_capacity {
+            let at = base.offset(slot);
+            let state = pool.read_u64(at);
+            if state == 2 {
+                // COMMITTED: redo the tuple.
+                let key = pool.read_u64(at.offset(8));
+                let mut cols = [0u64; 4];
+                for (i, c) in cols.iter_mut().enumerate() {
+                    *c = pool.read_u64(at.offset(16 + i as u64 * 8));
+                }
+                db.put(key, cols, &NoopTracker, None);
+            }
+            if state != 0 {
+                last_used = slot + WAL_ENTRY;
+            }
+            slot += WAL_ENTRY;
+        }
+        db.wal.lock().cursor = last_used % wal_capacity;
+        db
+    }
+
+    fn lock_id(&self, key: u64) -> u64 {
+        key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56 & self.mask
+    }
+
+    /// Durable WAL append; returns the entry address for the commit mark.
+    fn wal_append(
+        &self,
+        key: u64,
+        cols: [u64; 4],
+        t: &dyn Tracker,
+        strand: Option<StrandId>,
+    ) -> PAddr {
+        let mut wal = self.wal.lock();
+        if t.enabled() {
+            t.lock_acquire(strand, WAL_LOCK);
+        }
+        if wal.cursor + WAL_ENTRY > wal.capacity {
+            wal.cursor = 0;
+        }
+        let at = wal.base.offset(wal.cursor);
+        wal.cursor += WAL_ENTRY;
+        let mut bytes = [0u8; 48];
+        bytes[..8].copy_from_slice(&1u64.to_le_bytes()); // state: ACTIVE
+        bytes[8..16].copy_from_slice(&key.to_le_bytes());
+        for (i, c) in cols.iter().enumerate() {
+            bytes[16 + i * 8..24 + i * 8].copy_from_slice(&c.to_le_bytes());
+        }
+        self.pool.write(at, &bytes);
+        if t.enabled() {
+            t.access(strand, at.0, 48, true);
+        }
+        self.pool.persist(at, 48);
+        if t.enabled() {
+            t.lock_release(strand, WAL_LOCK);
+        }
+        at
+    }
+
+    /// Durably mark a WAL entry committed.
+    fn wal_commit(&self, entry: PAddr, t: &dyn Tracker, strand: Option<StrandId>) {
+        if t.enabled() {
+            t.lock_acquire(strand, WAL_LOCK);
+        }
+        self.pool.write_u64(entry, 2); // state: COMMITTED
+        if t.enabled() {
+            t.access(strand, entry.0, 8, true);
+        }
+        self.pool.persist(entry, 8);
+        if t.enabled() {
+            t.lock_release(strand, WAL_LOCK);
+        }
+    }
+
+    /// Transactionally insert or update a tuple.
+    pub fn put(&self, key: u64, cols: [u64; 4], t: &dyn Tracker, strand: Option<StrandId>) {
+        let entry = self.wal_append(key, cols, t, strand);
+        let lock = self.lock_id(key);
+        let mut shard = self.index[lock as usize].lock();
+        if t.enabled() {
+            t.lock_acquire(strand, lock);
+        }
+        let tuple = match shard.get(&key) {
+            Some(&a) => a,
+            None => {
+                let a = self.heap.alloc(TUPLE_BYTES);
+                assert!(!a.is_null(), "pool exhausted");
+                shard.insert(key, a);
+                a
+            }
+        };
+        let mut bytes = [0u8; 48];
+        bytes[..8].copy_from_slice(&key.to_le_bytes());
+        for (i, c) in cols.iter().enumerate() {
+            bytes[8 + i * 8..16 + i * 8].copy_from_slice(&c.to_le_bytes());
+        }
+        let ver = self.pool.read_u64(tuple.offset(40));
+        bytes[40..48].copy_from_slice(&(ver + 1).to_le_bytes());
+        self.pool.write(tuple, &bytes);
+        if t.enabled() {
+            t.access(strand, tuple.0, 48, true);
+        }
+        self.pool.persist(tuple, 48);
+        if t.enabled() {
+            t.lock_release(strand, lock);
+        }
+        drop(shard);
+        self.wal_commit(entry, t, strand);
+    }
+
+    /// Read one column of a tuple. Reads are not instrumented (§4.4).
+    pub fn read(
+        &self,
+        key: u64,
+        col: usize,
+        _t: &dyn Tracker,
+        _strand: Option<StrandId>,
+    ) -> Option<u64> {
+        let lock = self.lock_id(key);
+        let shard = self.index[lock as usize].lock();
+        shard.get(&key).map(|&a| self.pool.read_u64(a.offset(8 + (col as u64 % 4) * 8)))
+    }
+
+    /// YCSB-E short scan: read `len` consecutive keys' first columns.
+    pub fn scan(
+        &self,
+        start: u64,
+        len: u64,
+        t: &dyn Tracker,
+        strand: Option<StrandId>,
+    ) -> u64 {
+        let mut acc: u64 = 0;
+        for k in start..start + len {
+            if let Some(v) = self.read(k, 0, t, strand) {
+                acc = acc.wrapping_add(v);
+            }
+        }
+        acc
+    }
+
+    /// Tuples stored.
+    pub fn len(&self) -> usize {
+        self.index.iter().map(|s| s.lock().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl BenchApp for NStore<'_> {
+    fn preload(&self, keyspace: u64) {
+        for k in 0..keyspace {
+            self.put(k, [k, k + 1, k + 2, k + 3], &NoopTracker, None);
+        }
+    }
+
+    fn client_op(&self, ctx: &ClientCtx<'_>, kind: OpKind, key: u64) {
+        match kind {
+            OpKind::Read => {
+                self.read(key, 0, ctx.tracker, ctx.strand);
+            }
+            OpKind::Scan => {
+                self.scan(key, 4, ctx.tracker, ctx.strand);
+            }
+            OpKind::Update | OpKind::Insert => {
+                self.put(key, [key, key, key, key], ctx.tracker, ctx.strand);
+            }
+            OpKind::ReadModifyWrite => {
+                let v: u64 = self.read(key, 0, ctx.tracker, ctx.strand).unwrap_or(0);
+                self.put(key, [v.wrapping_add(1), v, v, v], ctx.tracker, ctx.strand);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::DeepMcTracker;
+    use crate::workloads::{run_bench, ycsb_workloads};
+    use nvm_runtime::{CrashPolicy, PoolConfig};
+
+    fn pool() -> PmemPool {
+        PmemPool::new(PoolConfig { size: 64 << 20, shards: 16, ..Default::default() })
+    }
+
+    #[test]
+    fn put_read_roundtrip() {
+        let p = pool();
+        let heap = PmemHeap::open(&p);
+        let db = NStore::new(&p, &heap, 8, 1 << 20);
+        db.put(7, [70, 71, 72, 73], &NoopTracker, None);
+        assert_eq!(db.read(7, 0, &NoopTracker, None), Some(70));
+        assert_eq!(db.read(7, 3, &NoopTracker, None), Some(73));
+        assert_eq!(db.read(8, 0, &NoopTracker, None), None);
+    }
+
+    #[test]
+    fn puts_are_durable() {
+        let p = pool();
+        let heap = PmemHeap::open(&p);
+        let db = NStore::new(&p, &heap, 8, 1 << 20);
+        db.put(1, [10, 11, 12, 13], &NoopTracker, None);
+        assert_eq!(p.non_durable_lines(), 0);
+        let img = CrashPolicy::Pessimistic.apply(&p);
+        // WAL base is the first heap allocation: its first entry must be
+        // committed (state 2) with the payload.
+        let wal_base = PAddr(64);
+        assert_eq!(img.read_u64(wal_base), 2, "commit mark durable");
+        assert_eq!(img.read_u64(wal_base.offset(8)), 1, "logged key durable");
+    }
+
+    #[test]
+    fn recovery_redoes_committed_transactions_only() {
+        let p = pool();
+        {
+            let heap = PmemHeap::open(&p);
+            let db = NStore::new(&p, &heap, 8, 1 << 20);
+            db.put(1, [10, 11, 12, 13], &NoopTracker, None);
+            db.put(2, [20, 21, 22, 23], &NoopTracker, None);
+            // A torn transaction: WAL appended (ACTIVE) but never
+            // committed.
+            db.wal_append(3, [30, 31, 32, 33], &NoopTracker, None);
+        }
+        let img = CrashPolicy::Pessimistic.apply(&p);
+        let p2 = img.reboot(8);
+        let heap2 = PmemHeap::open(&p2);
+        let db2 = NStore::recover(&p2, &heap2, 8, 1 << 20);
+        assert_eq!(db2.read(1, 0, &NoopTracker, None), Some(10));
+        assert_eq!(db2.read(2, 3, &NoopTracker, None), Some(23));
+        assert_eq!(
+            db2.read(3, 0, &NoopTracker, None),
+            None,
+            "uncommitted transaction discarded"
+        );
+        // The recovered store accepts new transactions.
+        db2.put(4, [40, 41, 42, 43], &NoopTracker, None);
+        assert_eq!(db2.read(4, 1, &NoopTracker, None), Some(41));
+    }
+
+    #[test]
+    fn ycsb_suite_runs() {
+        let p = pool();
+        let heap = PmemHeap::open(&p);
+        let db = NStore::new(&p, &heap, 16, 8 << 20);
+        for spec in ycsb_workloads() {
+            let tp = run_bench(&db, spec, 4, 300, 256, &NoopTracker, u64::MAX);
+            assert_eq!(tp.ops, 1_200, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn instrumented_ycsb_reports_nothing_on_correct_app() {
+        let p = pool();
+        let heap = PmemHeap::open(&p);
+        let db = NStore::new(&p, &heap, 16, 8 << 20);
+        let tracker = DeepMcTracker::new();
+        run_bench(&db, ycsb_workloads()[0], 4, 300, 256, &tracker, u64::MAX);
+        assert!(tracker.reports().is_empty(), "{:?}", tracker.reports().first());
+        assert!(tracker.shadow_cells() > 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Synthetic PIR generation for the Table 9 compile-time experiment.
+//!
+//! The paper compiles Memcached, Redis, and NStore with and without
+//! DeepMC's static analysis and reports the added seconds (Table 9). Here
+//! the "compilation units" are generated PIR programs sized after the
+//! relative code sizes of the three applications (Redis ≈ 6.5× Memcached,
+//! NStore ≈ 3.75×), exercising the same pipeline stages: parsing
+//! (baseline) and CFG + call graph + DSA + trace collection + rule
+//! checking (DeepMC).
+//!
+//! Generated functions follow correct strict-persistency patterns with a
+//! controlled density of branches, loops, transactions, and calls into
+//! earlier functions, so analysis cost is dominated by realistic structure
+//! rather than pathological path explosion.
+
+use deepmc_pir::{BinOp, FuncAttr, Module, ModuleBuilder, Operand, Place, Ty};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Size preset for one application (function count per module and module
+/// count, chosen to mirror the paper's relative code sizes).
+#[derive(Debug, Clone, Copy)]
+pub struct AppSize {
+    pub name: &'static str,
+    pub modules: usize,
+    pub funcs_per_module: usize,
+}
+
+/// The three Table-9 applications.
+pub fn table9_apps() -> [AppSize; 3] {
+    [
+        AppSize { name: "Memcached", modules: 4, funcs_per_module: 24 },
+        AppSize { name: "Redis", modules: 16, funcs_per_module: 39 },
+        AppSize { name: "NStore", modules: 10, funcs_per_module: 36 },
+    ]
+}
+
+/// Generate one synthetic module.
+pub fn generate_module(app: &str, index: usize, funcs: usize, seed: u64) -> Module {
+    let mut rng = StdRng::seed_from_u64(seed ^ (index as u64) << 32);
+    let mut mb = ModuleBuilder::new(
+        format!("{app}_m{index}"),
+        format!("{app}_m{index}.c"),
+    );
+    let rec = mb.add_struct(
+        "rec",
+        vec![("a", Ty::I64), ("b", Ty::I64), ("c", Ty::I64), ("arr", Ty::Array(8))],
+    );
+
+    for fi in 0..funcs {
+        let name = format!("{app}_m{index}_f{fi}");
+        let mut fb = mb.function(&name, vec![("arg", Ty::I64)], Some(Ty::I64));
+        // Unique line range per function, like a real source file.
+        fb.at_line(fi as u32 * 100 + 1);
+        let arg = fb.params()[0];
+        let obj = fb.palloc(rec);
+
+        // A few straight-line persisted updates (strict style).
+        let updates = rng.gen_range(1..4usize);
+        for u in 0..updates {
+            fb.store(Place::field(obj, (u % 3) as u32), Operand::Const(u as i64));
+            fb.persist(Place::field(obj, (u % 3) as u32));
+        }
+
+        // Sometimes a transaction.
+        if rng.gen_bool(0.5) {
+            fb.tx_begin();
+            fb.tx_add(Place::local(obj));
+            fb.store(Place::field(obj, 0), Operand::Local(arg));
+            fb.store(Place::field(obj, 1), Operand::Const(1));
+            fb.tx_commit();
+        }
+
+        // Sometimes a call to an earlier function of this module (keeps
+        // the call graph interesting without recursion).
+        if fi > 0 && rng.gen_bool(0.6) {
+            let callee = format!("{app}_m{index}_f{}", rng.gen_range(0..fi));
+            fb.call(callee, vec![Operand::Const(fi as i64)], Ty::I64);
+        }
+
+        // A data-dependent branch whose arms both persist correctly.
+        if rng.gen_bool(0.6) {
+            let then_b = fb.new_block(format!("then{fi}"));
+            let else_b = fb.new_block(format!("else{fi}"));
+            let join = fb.new_block(format!("join{fi}"));
+            let c = fb.bin(BinOp::Gt, Operand::Local(arg), Operand::Const(0));
+            fb.br(Operand::Local(c), then_b, else_b);
+            fb.switch_to(then_b);
+            fb.store(Place::field(obj, 2), Operand::Const(7));
+            fb.persist(Place::field(obj, 2));
+            fb.jmp(join);
+            fb.switch_to(else_b);
+            let v = fb.load(Place::field(obj, 2), Ty::I64);
+            let _ = v;
+            fb.jmp(join);
+            fb.switch_to(join);
+            let out = fb.load(Place::field(obj, 0), Ty::I64);
+            fb.ret(Some(Operand::Local(out)));
+        } else {
+            let out = fb.load(Place::field(obj, 0), Ty::I64);
+            fb.ret(Some(Operand::Local(out)));
+        }
+        if rng.gen_bool(0.1) {
+            // no-op branch: attribute density knob reserved
+        }
+        fb.finish();
+    }
+    // One annotated wrapper, as real NVM programs declare.
+    mb.extern_fn(
+        format!("{app}_m{index}_flush_hook"),
+        vec![("p", Ty::I64)],
+        None,
+        vec![FuncAttr::PersistWrapper],
+    );
+    mb.finish()
+}
+
+/// Generate the whole program for one Table-9 application.
+pub fn generate_app(size: &AppSize) -> Vec<Module> {
+    (0..size.modules)
+        .map(|i| generate_module(size.name, i, size.funcs_per_module, 0xDEE9_0C0D))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmc_pir::verify::verify_module;
+
+    #[test]
+    fn generated_modules_verify() {
+        for size in table9_apps() {
+            for m in generate_app(&size) {
+                verify_module(&m).unwrap_or_else(|e| panic!("{}: {e}", size.name));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_module("x", 0, 10, 42);
+        let b = generate_module("x", 0, 10, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sizes_are_ordered_like_the_paper() {
+        let [mc, redis, nstore] = table9_apps();
+        let count = |s: &AppSize| s.modules * s.funcs_per_module;
+        assert!(count(&mc) < count(&nstore));
+        assert!(count(&nstore) < count(&redis));
+    }
+
+    #[test]
+    fn generated_code_is_clean_under_deepmc() {
+        // The Table-9 timing baseline must not be dominated by warning
+        // construction: generated code follows correct patterns.
+        use deepmc::{DeepMcConfig, StaticChecker};
+        use deepmc_analysis::Program;
+        use deepmc_models::PersistencyModel;
+        let m = generate_module("t", 0, 12, 7);
+        let program = Program::single(m);
+        let report =
+            StaticChecker::new(DeepMcConfig::new(PersistencyModel::Strict)).check_program(&program);
+        assert!(
+            report.warnings.len() <= 2,
+            "generated code should be essentially clean: {report}"
+        );
+    }
+}

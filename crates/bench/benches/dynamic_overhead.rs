@@ -1,0 +1,138 @@
+//! Criterion bench for Figure 12: per-operation cost of the three
+//! applications with and without DeepMC's dynamic instrumentation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvm_apps::memcached::Memcached;
+use nvm_apps::nstore::NStore;
+use nvm_apps::redis::Redis;
+use nvm_apps::tracker::{DeepMcTracker, NoopTracker, Tracker};
+use nvm_apps::workloads::ClientCtx;
+use nvm_runtime::{PmemHeap, PmemPool, PoolConfig};
+
+fn pool() -> PmemPool {
+    PmemPool::new(PoolConfig { size: 64 << 20, shards: 16, ..Default::default() })
+}
+
+fn dynamic_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_per_op");
+
+    // Memcached SET, baseline vs instrumented.
+    {
+        let p = pool();
+        let heap = PmemHeap::open(&p);
+        let mc = Memcached::new(&p, &heap, 16);
+        let noop = NoopTracker;
+        let ctx = ClientCtx { id: 0, tracker: &noop, strand: None };
+        let mut k = 0u64;
+        group.bench_function("memcached_set_baseline", |b| {
+            b.iter(|| {
+                k = (k + 1) % 4096;
+                mc.set(k, k, &noop, &ctx)
+            })
+        });
+    }
+    {
+        let p = pool();
+        let heap = PmemHeap::open(&p);
+        let mc = Memcached::new(&p, &heap, 16);
+        let tracker = DeepMcTracker::new();
+        let strand = tracker.region_begin();
+        let ctx = ClientCtx { id: 0, tracker: &tracker, strand };
+        let mut k = 0u64;
+        group.bench_function("memcached_set_deepmc", |b| {
+            b.iter(|| {
+                k = (k + 1) % 4096;
+                mc.set(k, k, &tracker, &ctx)
+            })
+        });
+    }
+
+    // Redis SET (AOF + record).
+    {
+        let p = pool();
+        let heap = PmemHeap::open(&p);
+        let r = Redis::new(&p, &heap, 16, 16 << 20);
+        let mut k = 0u64;
+        group.bench_function("redis_set_baseline", |b| {
+            b.iter(|| {
+                k = (k + 1) % 4096;
+                r.set(k, k, &NoopTracker, None)
+            })
+        });
+    }
+    {
+        let p = pool();
+        let heap = PmemHeap::open(&p);
+        let r = Redis::new(&p, &heap, 16, 16 << 20);
+        let tracker = DeepMcTracker::new();
+        let strand = tracker.region_begin();
+        let mut k = 0u64;
+        group.bench_function("redis_set_deepmc", |b| {
+            b.iter(|| {
+                k = (k + 1) % 4096;
+                r.set(k, k, &tracker, strand)
+            })
+        });
+    }
+
+    // NStore PUT (WAL + tuple + commit).
+    {
+        let p = pool();
+        let heap = PmemHeap::open(&p);
+        let db = NStore::new(&p, &heap, 16, 32 << 20);
+        let mut k = 0u64;
+        group.bench_function("nstore_put_baseline", |b| {
+            b.iter(|| {
+                k = (k + 1) % 4096;
+                db.put(k, [k, k, k, k], &NoopTracker, None)
+            })
+        });
+    }
+    {
+        let p = pool();
+        let heap = PmemHeap::open(&p);
+        let db = NStore::new(&p, &heap, 16, 32 << 20);
+        let tracker = DeepMcTracker::new();
+        let strand = tracker.region_begin();
+        let mut k = 0u64;
+        group.bench_function("nstore_put_deepmc", |b| {
+            b.iter(|| {
+                k = (k + 1) % 4096;
+                db.put(k, [k, k, k, k], &tracker, strand)
+            })
+        });
+    }
+
+    // Reads are uninstrumented (§4.4): both sides should be equal.
+    {
+        let p = pool();
+        let heap = PmemHeap::open(&p);
+        let mc = Memcached::new(&p, &heap, 16);
+        let noop = NoopTracker;
+        let ctx = ClientCtx { id: 0, tracker: &noop, strand: None };
+        for k in 0..4096 {
+            mc.set(k, k, &noop, &ctx);
+        }
+        let tracker = DeepMcTracker::new();
+        let strand = tracker.region_begin();
+        let ctx2 = ClientCtx { id: 0, tracker: &tracker, strand };
+        let mut k = 0u64;
+        group.bench_function("memcached_get_baseline", |b| {
+            b.iter(|| {
+                k = (k + 1) % 4096;
+                mc.get(k, &noop, &ctx)
+            })
+        });
+        group.bench_function("memcached_get_deepmc", |b| {
+            b.iter(|| {
+                k = (k + 1) % 4096;
+                mc.get(k, &tracker, &ctx2)
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, dynamic_overhead);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion bench for Table 9: cost of the static pipeline, per stage,
+//! on the generated Memcached-sized application.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use deepmc::{DeepMcConfig, StaticChecker};
+use deepmc_analysis::{CallGraph, DsaResult, Program};
+use deepmc_models::PersistencyModel;
+
+fn static_overhead(c: &mut Criterion) {
+    let size = nvm_apps::pirgen::table9_apps()[0]; // Memcached-sized
+    let modules = nvm_apps::pirgen::generate_app(&size);
+    let sources: Vec<String> = modules.iter().map(deepmc_pir::print).collect();
+
+    let mut group = c.benchmark_group("table9_static");
+    group.sample_size(20);
+
+    group.bench_function("baseline_parse_verify_print", |b| {
+        b.iter(|| {
+            for s in &sources {
+                let m = deepmc_pir::parse(s).unwrap();
+                deepmc_pir::verify::verify_module(&m).unwrap();
+                std::hint::black_box(deepmc_pir::print(&m));
+            }
+        })
+    });
+
+    group.bench_function("with_deepmc_full_pipeline", |b| {
+        b.iter(|| {
+            let ms: Vec<_> = sources
+                .iter()
+                .map(|s| {
+                    let m = deepmc_pir::parse(s).unwrap();
+                    deepmc_pir::verify::verify_module(&m).unwrap();
+                    std::hint::black_box(deepmc_pir::print(&m));
+                    m
+                })
+                .collect();
+            let program = Program::new(ms).unwrap();
+            std::hint::black_box(
+                StaticChecker::new(DeepMcConfig::new(PersistencyModel::Strict))
+                    .check_program(&program),
+            )
+        })
+    });
+
+    // Stage breakdown on the pre-parsed program.
+    let program = Program::new(modules).unwrap();
+    group.bench_function("stage_callgraph", |b| {
+        b.iter(|| std::hint::black_box(CallGraph::build(&program)))
+    });
+    let cg = CallGraph::build(&program);
+    group.bench_function("stage_dsa", |b| {
+        b.iter(|| std::hint::black_box(DsaResult::analyze(&program, &cg)))
+    });
+    let dsa = DsaResult::analyze(&program, &cg);
+    group.bench_function("stage_traces_and_rules", |b| {
+        b.iter_batched(
+            || {
+                deepmc_analysis::TraceCollector::new(
+                    &program,
+                    &dsa,
+                    deepmc_analysis::TraceConfig::default(),
+                )
+            },
+            |tc| {
+                let traces = tc.collect_program(&cg);
+                let checker = StaticChecker::new(DeepMcConfig::new(PersistencyModel::Strict));
+                std::hint::black_box(checker.check_traces(&traces))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, static_overhead);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerate every table and figure of the paper's evaluation in one run.
+//!
+//! Usage: repro-all [--full]  (--full uses the paper's 1M-transaction scale
+//! for Figure 12; default is a quick scaled-down run with identical shape).
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    println!("{}\n", deepmc_bench::sysinfo());
+    println!("{}", deepmc_bench::table1());
+    println!("{}", deepmc_bench::table2());
+    println!("{}", deepmc_bench::table3());
+    println!("{}", deepmc_bench::rules_table());
+    println!("{}", deepmc_bench::table8());
+    println!("{}", deepmc_bench::table9());
+    let params = if full {
+        deepmc_bench::Fig12Params::full()
+    } else {
+        deepmc_bench::Fig12Params::default()
+    };
+    println!("{}", deepmc_bench::fig12(params));
+    println!("{}", deepmc_bench::perffix::report(200_000));
+    println!("{}", deepmc_bench::completeness());
+    println!("{}", deepmc_bench::false_positives());
+}

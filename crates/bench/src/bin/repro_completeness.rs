@@ -1,0 +1,4 @@
+//! Regenerate the §5.3 completeness check (all 19 study bugs re-found).
+fn main() {
+    println!("{}", deepmc_bench::completeness());
+}

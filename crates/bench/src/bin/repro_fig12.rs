@@ -1,0 +1,14 @@
+//! Regenerate Figure 12: dynamic-analysis throughput overhead.
+//!
+//! Usage: repro-fig12 [--full]
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let params = if full {
+        deepmc_bench::Fig12Params::full()
+    } else {
+        deepmc_bench::Fig12Params::default()
+    };
+    println!("{}", deepmc_bench::sysinfo());
+    println!();
+    println!("{}", deepmc_bench::fig12(params));
+}

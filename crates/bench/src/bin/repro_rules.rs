@@ -1,0 +1,4 @@
+//! Print Tables 4 and 5: the checking-rule catalog.
+fn main() {
+    println!("{}", deepmc_bench::rules_table());
+}

@@ -1,0 +1,5 @@
+//! Regenerate Table 1: detected persistency bugs per framework.
+fn main() {
+    println!("{}", deepmc_bench::table1());
+    println!("{}", deepmc_bench::false_positives());
+}

@@ -1,0 +1,4 @@
+//! Regenerate Table 2: number of studied persistency bugs.
+fn main() {
+    println!("{}", deepmc_bench::table2());
+}

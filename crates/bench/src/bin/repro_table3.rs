@@ -1,0 +1,4 @@
+//! Regenerate Table 3: the studied bug list.
+fn main() {
+    println!("{}", deepmc_bench::table3());
+}

@@ -1,0 +1,4 @@
+//! Regenerate Table 8: new bugs found by DeepMC.
+fn main() {
+    println!("{}", deepmc_bench::table8());
+}

@@ -1,0 +1,4 @@
+//! Regenerate Table 9: compile-time overhead of the static analysis.
+fn main() {
+    println!("{}", deepmc_bench::table9());
+}

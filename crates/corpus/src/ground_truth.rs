@@ -1,0 +1,361 @@
+//! Ground truth for the evaluation corpus: the 50 expected DeepMC warnings
+//! (43 validated bugs + 7 false positives), reproducing the accounting of
+//! the paper's Table 1, Table 2 (study counts), Table 3 (studied bug
+//! list), and Table 8 (new bugs).
+//!
+//! Where the paper's own tables disagree with each other (its Table 1
+//! totals cannot be exactly tiled by the Table 3 + Table 8 site lists),
+//! Table 1 wins and the delta is documented in EXPERIMENTS.md.
+
+use crate::Framework;
+use deepmc_models::BugClass;
+use serde::{Deserialize, Serialize};
+
+/// Was the site part of the §3 characterization study, or newly found by
+/// DeepMC (§5.1)?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BugOrigin {
+    Study,
+    New,
+}
+
+/// Is the site inside the framework/library or in an example program
+/// (Table 3/8 "LIB"/"EP" column)?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CodeLocation {
+    Lib,
+    Example,
+}
+
+impl CodeLocation {
+    pub fn label(self) -> &'static str {
+        match self {
+            CodeLocation::Lib => "LIB",
+            CodeLocation::Example => "EP",
+        }
+    }
+}
+
+/// Whether manual validation confirms the warning (paper: 43 of 50).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Validity {
+    RealBug,
+    /// A trap pattern DeepMC's conservative analysis flags although the
+    /// code is actually fine (§5.4: unresolved aliasing, correlated
+    /// branches, zero-iteration loop paths).
+    FalsePositive,
+}
+
+/// One expected warning site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BugSite {
+    pub framework: Framework,
+    pub file: &'static str,
+    pub line: u32,
+    pub class: BugClass,
+    pub origin: BugOrigin,
+    pub location: CodeLocation,
+    pub validity: Validity,
+    /// Description as listed in the paper's tables.
+    pub description: &'static str,
+    /// Table 8 "Years" column (how long the new bug existed); 0.0 for
+    /// study bugs and FP traps.
+    pub years: f32,
+}
+
+impl Serialize for Framework {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self.name())
+    }
+}
+
+impl<'de> Deserialize<'de> for Framework {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let name = String::deserialize(d)?;
+        Framework::ALL
+            .into_iter()
+            .find(|f| f.name() == name)
+            .ok_or_else(|| serde::de::Error::custom(format!("unknown framework `{name}`")))
+    }
+}
+
+use BugClass::*;
+use BugOrigin::{New, Study};
+use CodeLocation::{Example as EP, Lib as LIB};
+use Framework::*;
+use Validity::{FalsePositive as FP, RealBug as RB};
+
+macro_rules! site {
+    ($fw:expr, $file:literal : $line:literal, $class:expr, $origin:expr, $loc:expr, $val:expr,
+     $desc:literal, $years:literal) => {
+        BugSite {
+            framework: $fw,
+            file: $file,
+            line: $line,
+            class: $class,
+            origin: $origin,
+            location: $loc,
+            validity: $val,
+            description: $desc,
+            years: $years,
+        }
+    };
+}
+
+/// The 50 expected warnings. PMDK 26 (23 real), NVM-Direct 9 (7 real),
+/// PMFS 11 (9 real), Mnemosyne 4 (4 real).
+pub const GROUND_TRUTH: &[BugSite] = &[
+    // ===================== PMDK (strict) — 26/23 =========================
+    // btree_map.c (example program)
+    site!(Pmdk, "btree_map.c":201, UnflushedWrite, Study, EP, RB,
+          "Modify tree node without making it durable", 0.0),
+    site!(Pmdk, "btree_map.c":365, UnmodifiedWriteback, New, EP, RB,
+          "Flushing unmodified fields of tree node", 4.4),
+    site!(Pmdk, "btree_map.c":465, UnmodifiedWriteback, New, EP, RB,
+          "Flushing unmodified fields of tree node", 4.4),
+    site!(Pmdk, "btree_map.c":290, RedundantPersistInTx, New, EP, RB,
+          "Persist the same object multiple times in a transaction", 4.4),
+    // rbtree_map.c (example program)
+    site!(Pmdk, "rbtree_map.c":197, RedundantPersistInTx, Study, EP, RB,
+          "Log unmodified fields of a tree node", 0.0),
+    site!(Pmdk, "rbtree_map.c":231, RedundantPersistInTx, Study, EP, RB,
+          "Log unmodified fields of a tree node", 0.0),
+    site!(Pmdk, "rbtree_map.c":259, UnmodifiedWriteback, New, EP, RB,
+          "Flushing unmodified fields of tree node", 4.4),
+    site!(Pmdk, "rbtree_map.c":379, SemanticMismatch, Study, EP, RB,
+          "Modified object not made durable", 0.0),
+    site!(Pmdk, "rbtree_map.c":410, UnflushedWrite, New, EP, FP,
+          "Write to statically-unknown array element; coverage unprovable", 0.0),
+    // pminvaders.c (example program)
+    site!(Pmdk, "pminvaders.c":256, EmptyDurableTx, Study, EP, RB,
+          "Durable transaction without persistent writes", 0.0),
+    site!(Pmdk, "pminvaders.c":301, EmptyDurableTx, Study, EP, RB,
+          "Durable transaction without persistent writes", 0.0),
+    site!(Pmdk, "pminvaders.c":249, EmptyDurableTx, New, EP, RB,
+          "Durable transaction without persistent writes", 4.4),
+    site!(Pmdk, "pminvaders.c":266, EmptyDurableTx, New, EP, RB,
+          "Durable transaction without persistent writes", 4.4),
+    site!(Pmdk, "pminvaders.c":351, EmptyDurableTx, New, EP, RB,
+          "Durable transaction without persistent writes", 4.4),
+    site!(Pmdk, "pminvaders.c":246, RedundantWriteback, Study, EP, RB,
+          "Flush unmodified fields of an object", 0.0),
+    site!(Pmdk, "pminvaders.c":143, RedundantWriteback, Study, EP, RB,
+          "Flush unmodified fields of an object", 0.0),
+    site!(Pmdk, "pminvaders.c":380, MissingPersistBarrier, New, EP, RB,
+          "Missing persist barrier between transactions", 4.4),
+    // obj_pmemlog.c (library)
+    site!(Pmdk, "obj_pmemlog.c":91, SemanticMismatch, Study, LIB, RB,
+          "Multiple epochs writing to different fields of an object", 0.0),
+    site!(Pmdk, "obj_pmemlog.c":60, MissingPersistBarrier, New, LIB, RB,
+          "Missing persist barrier after cacheline flush", 4.4),
+    site!(Pmdk, "obj_pmemlog.c":130, RedundantWriteback, New, LIB, RB,
+          "Redundant flush of persistent object", 4.4),
+    site!(Pmdk, "obj_pmemlog.c":160, RedundantWriteback, New, LIB, FP,
+          "Re-flush after opaque external call that may modify the object", 0.0),
+    // hashmap_atomic.c (example program)
+    site!(Pmdk, "hashmap_atomic.c":120, SemanticMismatch, Study, EP, RB,
+          "Multiple epochs write to different fields of an object", 0.0),
+    site!(Pmdk, "hashmap_atomic.c":264, SemanticMismatch, Study, EP, RB,
+          "Multiple epochs write to different fields of an object", 0.0),
+    site!(Pmdk, "hashmap_atomic.c":285, SemanticMismatch, New, EP, RB,
+          "Multiple epochs write to different fields of an object", 4.4),
+    site!(Pmdk, "hashmap_atomic.c":496, SemanticMismatch, New, EP, RB,
+          "Multiple epochs write to different fields of an object", 4.4),
+    // obj_pmemlog_simple.c (library)
+    site!(Pmdk, "obj_pmemlog_simple.c":207, SemanticMismatch, New, LIB, FP,
+          "Delayed persist over a conditionally-executed barrier", 0.0),
+
+    // =================== NVM-Direct (strict) — 9/7 =======================
+    site!(NvmDirect, "nvm_region.c":614, MissingPersistBarrier, Study, LIB, RB,
+          "Missing persist barrier between epoch transactions", 0.0),
+    site!(NvmDirect, "nvm_region.c":933, MissingPersistBarrier, Study, LIB, RB,
+          "Missing persist barrier between epoch transactions", 0.0),
+    site!(NvmDirect, "nvm_heap.c":1965, RedundantWriteback, Study, LIB, RB,
+          "Redundant flushes of persistent object", 0.0),
+    site!(NvmDirect, "nvm_heap.c":1675, UnmodifiedWriteback, New, LIB, RB,
+          "Flushing unmodified fields of an object", 5.3),
+    site!(NvmDirect, "nvm_locks.c":932, UnflushedWrite, New, LIB, RB,
+          "Missing flush", 5.3),
+    site!(NvmDirect, "nvm_locks.c":905, EmptyDurableTx, New, LIB, RB,
+          "Durable transaction without persistent writes", 5.3),
+    site!(NvmDirect, "nvm_locks.c":1411, UnmodifiedWriteback, New, LIB, RB,
+          "Flushing unmodified fields of an object", 5.3),
+    site!(NvmDirect, "nvm_locks.c":1500, UnmodifiedWriteback, New, LIB, FP,
+          "Object modified through an alias the analysis cannot resolve", 0.0),
+    site!(NvmDirect, "nvm_locks.c":950, EmptyDurableTx, New, LIB, FP,
+          "Transaction writes inside a loop; the zero-iteration path never occurs", 0.0),
+
+    // ====================== PMFS (epoch) — 11/9 ==========================
+    site!(Pmfs, "journal.c":632, RedundantWriteback, Study, LIB, RB,
+          "Flush redundant data when committing", 0.0),
+    site!(Pmfs, "journal.c":598, MultipleWritesAtOnce, Study, LIB, RB,
+          "Multiple writes made durable at once", 0.0),
+    site!(Pmfs, "journal.c":610, MultipleWritesAtOnce, New, LIB, FP,
+          "Second write sits on a configuration path that is dead in practice", 0.0),
+    site!(Pmfs, "symlink.c":38, MissingBarrierNestedTx, Study, LIB, RB,
+          "Missing persistent barrier in nested transaction", 0.0),
+    site!(Pmfs, "xips.c":207, RedundantWriteback, Study, LIB, RB,
+          "Flush the same buffer multiple times", 0.0),
+    site!(Pmfs, "xips.c":262, RedundantWriteback, Study, LIB, RB,
+          "Flush the same buffer multiple times", 0.0),
+    site!(Pmfs, "files.c":232, UnmodifiedWriteback, New, LIB, RB,
+          "Flush unmodified object", 3.2),
+    site!(Pmfs, "super.c":542, UnmodifiedWriteback, New, LIB, RB,
+          "Flushing unmodified fields of an object", 3.2),
+    site!(Pmfs, "super.c":543, UnmodifiedWriteback, New, LIB, RB,
+          "Flushing unmodified fields of an object", 3.2),
+    site!(Pmfs, "super.c":579, UnmodifiedWriteback, New, LIB, RB,
+          "Flushing unmodified fields of an object", 3.2),
+    site!(Pmfs, "super.c":584, UnmodifiedWriteback, New, LIB, FP,
+          "Superblock re-flushed through an alias the analysis cannot resolve", 0.0),
+
+    // ==================== Mnemosyne (epoch) — 4/4 ========================
+    site!(Mnemosyne, "phlog_base.c":132, UnflushedWrite, New, LIB, RB,
+          "Unflushed write", 10.0),
+    site!(Mnemosyne, "chhash.c":185, RedundantPersistInTx, New, LIB, RB,
+          "Multiple writes to the same object in a transaction", 10.0),
+    site!(Mnemosyne, "chhash.c":270, RedundantPersistInTx, New, LIB, RB,
+          "Multiple writes to the same object in a transaction", 10.0),
+    site!(Mnemosyne, "CHash.c":150, RedundantWriteback, New, LIB, RB,
+          "Multiple flushes to a persistent object", 10.0),
+];
+
+/// Sites for one framework.
+pub fn sites_for(fw: Framework) -> impl Iterator<Item = &'static BugSite> {
+    GROUND_TRUTH.iter().filter(move |s| s.framework == fw)
+}
+
+/// Validated (real) sites only.
+pub fn real_bugs() -> impl Iterator<Item = &'static BugSite> {
+    GROUND_TRUTH.iter().filter(|s| s.validity == Validity::RealBug)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmc_models::Severity;
+    use std::collections::HashMap;
+
+    #[test]
+    fn totals_match_table1() {
+        assert_eq!(GROUND_TRUTH.len(), 50, "50 warnings in total");
+        assert_eq!(real_bugs().count(), 43, "43 validated bugs");
+        let per_fw = |fw| {
+            let warnings = sites_for(fw).count();
+            let real = sites_for(fw).filter(|s| s.validity == Validity::RealBug).count();
+            (real, warnings)
+        };
+        assert_eq!(per_fw(Framework::Pmdk), (23, 26));
+        assert_eq!(per_fw(Framework::NvmDirect), (7, 9));
+        assert_eq!(per_fw(Framework::Pmfs), (9, 11));
+        assert_eq!(per_fw(Framework::Mnemosyne), (4, 4));
+    }
+
+    #[test]
+    fn study_and_new_counts_match_paper() {
+        let study = GROUND_TRUTH
+            .iter()
+            .filter(|s| s.origin == BugOrigin::Study && s.validity == Validity::RealBug)
+            .count();
+        let new = GROUND_TRUTH
+            .iter()
+            .filter(|s| s.origin == BugOrigin::New && s.validity == Validity::RealBug)
+            .count();
+        assert_eq!(study, 19, "all 19 study bugs re-found (§5.3)");
+        assert_eq!(new, 24, "24 new bugs (§5.1)");
+    }
+
+    #[test]
+    fn table2_study_split() {
+        // Table 2: PMDK 5 violations + 6 performance, PMFS 2 + 3,
+        // NVM-Direct 2 + 1.
+        let split = |fw| {
+            let v = sites_for(fw)
+                .filter(|s| {
+                    s.origin == BugOrigin::Study
+                        && s.class.severity() == Severity::Violation
+                })
+                .count();
+            let p = sites_for(fw)
+                .filter(|s| {
+                    s.origin == BugOrigin::Study
+                        && s.class.severity() == Severity::Performance
+                })
+                .count();
+            (v, p)
+        };
+        assert_eq!(split(Framework::Pmdk), (5, 6));
+        assert_eq!(split(Framework::Pmfs), (2, 3));
+        assert_eq!(split(Framework::NvmDirect), (2, 1));
+        assert_eq!(split(Framework::Mnemosyne), (0, 0));
+    }
+
+    #[test]
+    fn fp_rate_is_14_percent() {
+        let fps = GROUND_TRUTH.iter().filter(|s| s.validity == Validity::FalsePositive).count();
+        assert_eq!(fps, 7);
+        assert!((fps as f64 / GROUND_TRUTH.len() as f64 - 0.14).abs() < 0.001);
+    }
+
+    #[test]
+    fn new_bugs_have_ages_and_study_bugs_do_not() {
+        for s in GROUND_TRUTH {
+            match (s.origin, s.validity) {
+                (BugOrigin::New, Validity::RealBug) => {
+                    assert!(s.years > 0.0, "{}:{} needs an age", s.file, s.line)
+                }
+                _ => assert_eq!(s.years, 0.0, "{}:{}", s.file, s.line),
+            }
+        }
+        // Average age of the 24 new bugs ≈ 5.4 years (paper §5.1).
+        let new: Vec<f32> = GROUND_TRUTH
+            .iter()
+            .filter(|s| s.origin == BugOrigin::New && s.validity == Validity::RealBug)
+            .map(|s| s.years)
+            .collect();
+        let avg = new.iter().sum::<f32>() / new.len() as f32;
+        assert!((avg - 5.4).abs() < 0.3, "average new-bug age {avg} ≉ 5.4y");
+    }
+
+    #[test]
+    fn sites_are_unique_per_class_file_line() {
+        let mut seen = HashMap::new();
+        for s in GROUND_TRUTH {
+            let key = (s.class, s.file, s.line);
+            assert!(seen.insert(key, ()).is_none(), "duplicate site {key:?}");
+        }
+    }
+
+    #[test]
+    fn table1_per_class_matrix() {
+        // The full matrix of Table 1: (class, framework) → validated/warnings.
+        let cell = |class, fw| {
+            let w = sites_for(fw).filter(|s| s.class == class).count();
+            let r = sites_for(fw)
+                .filter(|s| s.class == class && s.validity == Validity::RealBug)
+                .count();
+            (r, w)
+        };
+        use BugClass::*;
+        use Framework::*;
+        assert_eq!(cell(MultipleWritesAtOnce, Pmfs), (1, 2));
+        assert_eq!(cell(UnflushedWrite, Pmdk), (1, 2));
+        assert_eq!(cell(UnflushedWrite, NvmDirect), (1, 1));
+        assert_eq!(cell(UnflushedWrite, Mnemosyne), (1, 1));
+        assert_eq!(cell(MissingPersistBarrier, Pmdk), (2, 2));
+        assert_eq!(cell(MissingPersistBarrier, NvmDirect), (2, 2));
+        assert_eq!(cell(MissingBarrierNestedTx, Pmfs), (1, 1));
+        assert_eq!(cell(SemanticMismatch, Pmdk), (6, 7));
+        assert_eq!(cell(RedundantWriteback, Pmdk), (3, 4));
+        assert_eq!(cell(RedundantWriteback, NvmDirect), (1, 1));
+        assert_eq!(cell(RedundantWriteback, Pmfs), (3, 3));
+        assert_eq!(cell(RedundantWriteback, Mnemosyne), (1, 1));
+        assert_eq!(cell(UnmodifiedWriteback, Pmdk), (3, 3));
+        assert_eq!(cell(UnmodifiedWriteback, NvmDirect), (2, 3));
+        assert_eq!(cell(UnmodifiedWriteback, Pmfs), (4, 5));
+        assert_eq!(cell(RedundantPersistInTx, Pmdk), (3, 3));
+        assert_eq!(cell(RedundantPersistInTx, Mnemosyne), (2, 2));
+        assert_eq!(cell(EmptyDurableTx, Pmdk), (5, 5));
+        assert_eq!(cell(EmptyDurableTx, NvmDirect), (1, 2));
+    }
+}

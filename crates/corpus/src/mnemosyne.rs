@@ -1,0 +1,170 @@
+//! Mini-Mnemosyne corpus (epoch persistency): the lightweight persistent
+//! memory framework from Volos et al. (ASPLOS'11) — the persistent log
+//! primitive and the two hash-table variants — with the seeded Table-8
+//! bugs (all four existed for ~10 years).
+
+pub const SOURCES: &[&str] = &[PHLOG_BASE, CHHASH, CHASH];
+
+/// `phlog_base.c` — the physical log primitive.
+///
+/// Seeded: UnflushedWrite@132 (new): the tail update inside the append
+/// epoch is never flushed.
+pub const PHLOG_BASE: &str = r#"
+module phlog_base
+file "phlog_base.c"
+
+struct phlog {
+  head: i64,
+  tail: i64,
+}
+
+// BUG (new, Table 8): append advances the tail at 132 but only the head
+// is written back before the epoch closes.
+fn m_phlog_append(%v: i64) {
+entry:
+  %log = palloc phlog
+  epoch_begin
+  store %log.head, %v
+  loc 132
+  store %log.tail, %v
+  flush %log.head
+  fence
+  epoch_end
+  ret
+}
+
+// Correct: truncation flushes everything it writes.
+fn m_phlog_truncate() {
+entry:
+  %log = palloc phlog
+  epoch_begin
+  store %log.head, 0
+  store %log.tail, 0
+  flush %log.head
+  flush %log.tail
+  fence
+  epoch_end
+  ret
+}
+"#;
+
+/// `chhash.c` — the chained hash table.
+///
+/// Seeded: RedundantPersistInTx@185 and @270 (new): "multiple writes to
+/// the same object in a transaction" — the bucket is persisted after every
+/// field update instead of once at commit.
+pub const CHHASH: &str = r#"
+module chhash
+file "chhash.c"
+
+struct ch_bucket {
+  key: i64,
+  val: i64,
+}
+
+// BUG (new, Table 8): insert persists the bucket twice inside one durable
+// transaction.
+fn chhash_insert(%key: i64, %val: i64) {
+entry:
+  %b = palloc ch_bucket
+  tx_begin
+  store %b.key, %key
+  flush %b.key
+  fence
+  store %b.val, %val
+  loc 185
+  flush %b.val
+  fence
+  tx_commit
+  ret
+}
+
+// BUG (new, Table 8): the update path does the same.
+fn chhash_update(%key: i64, %val: i64) {
+entry:
+  %b = palloc ch_bucket
+  tx_begin
+  store %b.val, 0
+  flush %b.val
+  fence
+  store %b.val, %val
+  loc 270
+  flush %b.val
+  fence
+  tx_commit
+  ret
+}
+
+// Correct: lookup only reads.
+fn chhash_lookup(%key: i64) -> i64 {
+entry:
+  %b = palloc ch_bucket
+  %v = load %b.val
+  ret %v
+}
+
+// Correct: remove clears both fields in one durable transaction.
+fn chhash_remove(%b: ptr ch_bucket) {
+entry:
+  tx_begin
+  tx_add %b
+  store %b.key, 0
+  store %b.val, 0
+  tx_commit
+  ret
+}
+"#;
+
+/// `CHash.c` — the open-addressing hash table.
+///
+/// Seeded: RedundantWriteback@150 (new): the slot is flushed again after
+/// it is already clean.
+pub const CHASH: &str = r#"
+module CHash
+file "CHash.c"
+
+struct c_slot {
+  key: i64,
+  state: i64,
+}
+
+// BUG (new, Table 8): the probe-and-claim path flushes the slot twice.
+fn chash_claim_slot(%key: i64) {
+entry:
+  %s = palloc c_slot
+  epoch_begin
+  store %s.state, 1
+  flush %s.state
+  fence
+  loc 150
+  flush %s.state
+  fence
+  epoch_end
+  ret
+}
+
+// Correct: probing only reads slots.
+fn chash_probe(%s: ptr c_slot, %key: i64) -> i64 {
+entry:
+  %k = load %s.key
+  %hit = eq %k, %key
+  br %hit, found, miss
+found:
+  %st = load %s.state
+  ret %st
+miss:
+  ret 0
+}
+
+// Correct: releasing a slot persists exactly once.
+fn chash_release_slot() {
+entry:
+  %s = palloc c_slot
+  epoch_begin
+  store %s.state, 0
+  flush %s.state
+  fence
+  epoch_end
+  ret
+}
+"#;

@@ -1,0 +1,272 @@
+//! Mini NVM-Direct corpus (strict persistency): Oracle's NVM library
+//! modules studied in the paper — region management, heap, and locks —
+//! with the seeded bugs of Tables 3 and 8 (including the Fig. 3 missing
+//! barrier and the Fig. 9 `nvm_lock` missing flush).
+
+pub const SOURCES: &[&str] = &[NVM_REGION, NVM_HEAP, NVM_LOCKS];
+
+/// `nvm_region.c` — region create/attach.
+///
+/// Seeded: MissingPersistBarrier@614 and @933 (study, Fig. 3): a region
+/// flush with no barrier before the next transaction begins.
+pub const NVM_REGION: &str = r#"
+module nvm_region
+file "nvm_region.c"
+
+struct nvm_region_hdr {
+  vsize: i64,
+  psize: i64,
+  attach_cnt: i64,
+}
+
+struct nvm_app_data {
+  state: i64,
+}
+
+// BUG (study, Table 3, Fig. 3): after the region header is initialized
+// and flushed, a transaction begins with no persist barrier in between,
+// so the operations of the two units may interleave.
+fn nvm_create_region(%vspace: i64) -> i64 {
+entry:
+  %region = palloc nvm_region_hdr
+  store %region.vsize, %vspace
+  loc 614
+  flush %region.vsize
+  tx_begin
+  tx_add %region
+  store %region.attach_cnt, 1
+  tx_commit
+  ret 0
+}
+
+// BUG (study, Table 3): the same pattern on the attach path.
+fn nvm_attach_region(%desc: i64) -> i64 {
+entry:
+  %region = palloc nvm_region_hdr
+  %ad = palloc nvm_app_data
+  store %ad.state, 1
+  loc 933
+  flush %ad.state
+  tx_begin
+  tx_add %region
+  %c = load %region.attach_cnt
+  %c2 = add %c, 1
+  store %region.attach_cnt, %c2
+  tx_commit
+  ret 0
+}
+
+// Correct: detach persists its single update per the strict model.
+fn nvm_detach_region() {
+entry:
+  %region = palloc nvm_region_hdr
+  store %region.attach_cnt, 0
+  persist %region.attach_cnt
+  ret
+}
+
+// Correct: region queries only read.
+fn nvm_query_region(%region: ptr nvm_region_hdr) -> i64 {
+entry:
+  %v = load %region.vsize
+  %ps = load %region.psize
+  %t = add %v, %ps
+  ret %t
+}
+"#;
+
+/// `nvm_heap.c` — the persistent heap.
+///
+/// Seeded: RedundantWriteback@1965 (study, Fig. 6: `nvm_free_blk` already
+/// flushed the block, the callback flushes it again),
+/// UnmodifiedWriteback@1675 (new: whole-object flush for one field).
+pub const NVM_HEAP: &str = r#"
+module nvm_heap
+file "nvm_heap.c"
+
+struct nvm_blk {
+  free_flag: i64,
+  size: i64,
+  owner: i64,
+}
+
+// The callee flushes the block it frees (correct in isolation).
+fn nvm_free_blk(%blk: ptr nvm_blk) {
+entry:
+  store %blk.free_flag, 1
+  flush %blk.free_flag
+  fence
+  ret
+}
+
+// BUG (study, Table 3, Fig. 6): the free callback flushes the same block
+// again after nvm_free_blk already wrote it back.
+fn nvm_free_callback() {
+entry:
+  %blk = palloc nvm_blk
+  call nvm_free_blk(%blk)
+  loc 1965
+  flush %blk.free_flag
+  fence
+  ret
+}
+
+// BUG (new, Table 8): allocation persists the whole block header though
+// only the owner field changed.
+fn nvm_alloc_blk(%owner: i64) {
+entry:
+  %blk = palloc nvm_blk
+  store %blk.owner, %owner
+  loc 1675
+  persist %blk
+  ret
+}
+
+// Correct: resize persists each modified field in order.
+fn nvm_resize_blk(%sz: i64) {
+entry:
+  %blk = palloc nvm_blk
+  store %blk.size, %sz
+  persist %blk.size
+  store %blk.owner, 0
+  persist %blk.owner
+  ret
+}
+
+// Correct: block stat walks fields read-only.
+fn nvm_blk_stat(%blk: ptr nvm_blk) -> i64 {
+entry:
+  %f = load %blk.free_flag
+  br %f, free_blk, used
+free_blk:
+  ret 0
+used:
+  %sz = load %blk.size
+  ret %sz
+}
+"#;
+
+/// `nvm_locks.c` — persistent mutexes (Fig. 9 of the paper).
+///
+/// Seeded: UnflushedWrite@932 (new: `new_level` is never flushed),
+/// EmptyDurableTx@905 (new), UnmodifiedWriteback@1411 (new), plus two
+/// false-positive traps: UnmodifiedWriteback@1500 (aliasing through an
+/// opaque lookup) and EmptyDurableTx@950 (zero-iteration loop path).
+pub const NVM_LOCKS: &str = r#"
+module nvm_locks
+file "nvm_locks.c"
+
+struct nvm_amutex {
+  owners: i64,
+  level: i64,
+}
+
+struct nvm_lkrec {
+  state: i64,
+  new_level: i64,
+}
+
+struct lock_table {
+  nheld: i64,
+  gen: i64,
+}
+
+extern fn nvm_lookup_mutex() -> ptr nvm_amutex attrs(persist_wrapper)
+
+// BUG (new, Table 8, Fig. 9): nvm_lock persists lk->state and
+// mutex->owners, but the update to lk->new_level at 932 is never flushed.
+fn nvm_lock(%omutex: ptr nvm_amutex, %excl: i64) -> i64 {
+entry:
+  %lk = palloc nvm_lkrec
+  store %lk.state, 1
+  persist %lk.state
+  %o = load %omutex.owners
+  %o1 = sub %o, 1
+  store %omutex.owners, %o1
+  persist %omutex.owners
+  %lv = load %omutex.level
+  %nl = load %lk.new_level
+  %c = gt %lv, %nl
+  br %c, setlv, hold
+setlv:
+  loc 932
+  store %lk.new_level, %lv
+  jmp hold
+hold:
+  store %lk.state, 2
+  persist %lk.state
+  ret 0
+}
+
+// BUG (new, Table 8): unlocking with no locks held commits a durable
+// transaction that wrote nothing.
+fn nvm_unlock_all(%held: i64) {
+entry:
+  %tbl = palloc lock_table
+  tx_begin
+  tx_add %tbl
+  br %held, dec, out
+dec:
+  store %tbl.nheld, 0
+  jmp out
+out:
+  loc 905
+  tx_commit
+  ret
+}
+
+// FALSE POSITIVE (§5.4): every recovery pass processes at least one lock
+// record, so the zero-iteration commit path the checker explores never
+// happens in practice.
+fn nvm_recover_locks(%more: i64) {
+entry:
+  %tbl = palloc lock_table
+  tx_begin
+  tx_add %tbl
+  jmp head
+head:
+  %c = gt %more, 0
+  br %c, body, done
+body:
+  store %tbl.gen, %more
+  %more = sub %more, 1
+  jmp head
+done:
+  loc 950
+  tx_commit
+  ret
+}
+
+// BUG (new, Table 8): the whole lock record is persisted though only the
+// state field changed.
+fn nvm_unlock(%lk: ptr nvm_lkrec) {
+entry:
+  store %lk.state, 0
+  loc 1411
+  persist %lk
+  ret
+}
+
+// FALSE POSITIVE (§5.4): nvm_lookup_mutex returns an alias of %mx; the
+// store through the alias modifies the level field, so the flush at 1500
+// is justified — but the analysis cannot resolve the alias.
+fn nvm_mutex_publish() {
+entry:
+  %mx = palloc nvm_amutex
+  store %mx.owners, 0
+  persist %mx.owners
+  %alias = call nvm_lookup_mutex() : ptr nvm_amutex
+  store %alias.level, 3
+  loc 1500
+  flush %mx.level
+  fence
+  ret
+}
+
+// Correct: querying the holder count only reads.
+fn nvm_mutex_owners(%mx: ptr nvm_amutex) -> i64 {
+entry:
+  %o = load %mx.owners
+  ret %o
+}
+"#;

@@ -1,0 +1,736 @@
+//! Mini-PMDK corpus (strict persistency): the `libpmemobj` example programs
+//! and library modules the paper studies, re-implemented in PIR with the
+//! seeded bugs of Tables 3 and 8.
+//!
+//! PMDK conventions modeled here:
+//! * durable transactions (`TX_BEGIN`/`TX_ADD`/`TX_END`) — callbacks that
+//!   run inside a caller's transaction carry `attrs(tx_context)`;
+//! * the atomic API (`pmemobj_persist`, `pmemobj_memset_persist`) — a
+//!   store followed by `persist`;
+//! * strict persistency outside transactions: one store per persist
+//!   barrier, in program order.
+
+/// PIR sources for every PMDK module.
+pub const SOURCES: &[&str] = &[BTREE_MAP, RBTREE_MAP, PMINVADERS, OBJ_PMEMLOG, HASHMAP_ATOMIC, OBJ_PMEMLOG_SIMPLE];
+
+/// `btree_map.c` — the B-tree example program.
+///
+/// Seeded: UnflushedWrite@201 (study, Fig. 2), RedundantPersistInTx@290
+/// (new), UnmodifiedWriteback@365 and @465 (new).
+pub const BTREE_MAP: &str = r#"
+module btree_map
+file "btree_map.c"
+
+struct tree_map_node {
+  n: i64,
+  items: [i64; 8],
+  next: ptr tree_map_node,
+}
+
+struct tree_map {
+  root: ptr tree_map_node,
+  height: i64,
+}
+
+// Correct: read-only lookup walks the chain.
+fn btree_map_get(%map: ptr tree_map, %key: i64) -> i64 attrs(tx_context) {
+entry:
+  %node = load %map.root
+  br %node, walk, miss
+walk:
+  %i = rem %key, 8
+  %v = load %node.items[%i]
+  ret %v
+miss:
+  ret 0
+}
+
+// Correct: transactional insert logs the node before modifying it.
+fn btree_map_insert(%map: ptr tree_map, %key: i64, %val: i64) attrs(tx_context) {
+entry:
+  %node = load %map.root
+  br %node, doins, out
+doins:
+  tx_add %node
+  %i = rem %key, 8
+  store %node.items[%i], %val
+  %n0 = load %node.n
+  %n1 = add %n0, 1
+  store %node.n, %n1
+  jmp out
+out:
+  ret
+}
+
+// BUG (study, Table 3): the split helper modifies an item without logging
+// it into the transaction; the update is not durable at commit (Fig. 2).
+fn btree_map_create_split_node(%node: ptr tree_map_node, %m: i64) -> i64 attrs(tx_context) {
+entry:
+  %c = load %node.n
+  %c1 = sub %c, 1
+  loc 201
+  store %node.items[%c1], 0
+  ret 0
+}
+
+// BUG (new, Table 8): the map header is persisted twice within one
+// transaction.
+fn btree_map_insert_empty(%map: ptr tree_map, %item: i64) attrs(tx_context) {
+entry:
+  tx_add %map
+  store %map.height, 1
+  flush %map.height
+  fence
+  %r = load %map.root
+  loc 290
+  flush %map.height
+  fence
+  ret
+}
+
+// BUG (new, Table 8): persisting the whole node though only `n` changed.
+fn btree_map_clear_node() {
+entry:
+  %n = palloc tree_map_node
+  store %n.n, 0
+  loc 365
+  persist %n
+  ret
+}
+
+// BUG (new, Table 8): same pattern on the rotate-right path.
+fn btree_map_rotate_right() {
+entry:
+  %n = palloc tree_map_node
+  store %n.next, null
+  loc 465
+  persist %n
+  ret
+}
+
+// Correct: walk the leaf chain accumulating key counts (read-only).
+fn btree_map_count(%start: ptr tree_map_node) -> i64 {
+entry:
+  %node = mov %start
+  %sum = mov 0
+  jmp head
+head:
+  br %node, body, done
+body:
+  %v = load %node.n
+  %sum = add %sum, %v
+  %node = load %node.next
+  jmp head
+done:
+  ret %sum
+}
+
+// Correct: bulk initialization persists each update in program order.
+fn btree_map_bulk_init(%n: i64) {
+entry:
+  %m = palloc tree_map
+  jmp head
+head:
+  %c = gt %n, 0
+  br %c, body, done
+body:
+  store %m.height, %n
+  persist %m.height
+  %n = sub %n, 1
+  jmp head
+done:
+  ret
+}
+
+// Correct: root replacement under a durable transaction.
+fn btree_map_set_root(%map: ptr tree_map, %newroot: ptr tree_map_node) attrs(tx_context) {
+entry:
+  tx_add %map
+  store %map.root, %newroot
+  %h = load %map.height
+  %h2 = add %h, 1
+  store %map.height, %h2
+  ret
+}
+"#;
+
+/// `rbtree_map.c` — the red-black-tree example program.
+///
+/// Seeded: RedundantPersistInTx@197 and @231 (study),
+/// UnmodifiedWriteback@259 (new), SemanticMismatch@379 (study),
+/// UnflushedWrite@410 (false positive: the no-flush path is dead).
+pub const RBTREE_MAP: &str = r#"
+module rbtree_map
+file "rbtree_map.c"
+
+struct rb_node {
+  color: i64,
+  key: i64,
+  value: i64,
+  parent: ptr rb_node,
+}
+
+struct rb_tree {
+  root: ptr rb_node,
+  count: i64,
+}
+
+// Correct: transactional recolor.
+fn rbtree_map_recolor(%node: ptr rb_node, %color: i64) attrs(tx_context) {
+entry:
+  tx_add %node
+  store %node.color, %color
+  ret
+}
+
+// BUG (study, Table 3): the insert path "logs unmodified fields" — the
+// node is persisted again although nothing changed since the last persist.
+fn rbtree_map_insert_bst(%node: ptr rb_node, %key: i64) attrs(tx_context) {
+entry:
+  tx_add %node
+  store %node.key, %key
+  flush %node.key
+  fence
+  loc 197
+  flush %node.key
+  fence
+  ret
+}
+
+// BUG (study, Table 3): the same over-logging on the rotate path.
+fn rbtree_map_rotate(%node: ptr rb_node) attrs(tx_context) {
+entry:
+  tx_add %node
+  store %node.color, 1
+  flush %node.color
+  fence
+  %p = load %node.parent
+  loc 231
+  flush %node.color
+  fence
+  ret
+}
+
+// BUG (new, Table 8): whole-node persist with one modified field.
+fn rbtree_map_set_value() {
+entry:
+  %n = palloc rb_node
+  store %n.value, 99
+  loc 259
+  persist %n
+  ret
+}
+
+// BUG (study, Table 3): the node is modified, but made durable only after
+// the tree header's barrier — its durability lands in a later persist unit
+// than the program treats as atomic.
+fn rbtree_map_remove_fixup() {
+entry:
+  %t = palloc rb_tree
+  %n = palloc rb_node
+  store %n.color, 0
+  store %t.count, 7
+  persist %t.count
+  loc 379
+  persist %n.color
+  ret
+}
+
+// FALSE POSITIVE (§5.4): the write at 410 is flushed whenever
+// `replicas_enabled` holds, which is always true in deployment; the
+// static checker cannot know the no-flush path is dead and reports an
+// unflushed write.
+fn rbtree_map_update_sentinel(%replicas_enabled: i64) {
+entry:
+  %n = palloc rb_node
+  loc 410
+  store %n.key, 5
+  br %replicas_enabled, doflush, out
+doflush:
+  persist %n.key
+  jmp out
+out:
+  ret
+}
+
+// Correct: binary-search descent, read-only.
+fn rbtree_map_find(%root: ptr rb_node, %key: i64) -> i64 {
+entry:
+  %node = mov %root
+  jmp head
+head:
+  br %node, body, miss
+body:
+  %k = load %node.key
+  %eqk = eq %k, %key
+  br %eqk, hit, descend
+descend:
+  %node = load %node.parent
+  jmp head
+hit:
+  %v = load %node.value
+  ret %v
+miss:
+  ret 0
+}
+
+// Correct: transactional delete logs the node before blanking it.
+fn rbtree_map_clear(%node: ptr rb_node) attrs(tx_context) {
+entry:
+  tx_add %node
+  store %node.key, 0
+  store %node.value, 0
+  store %node.color, 0
+  store %node.parent, null
+  ret
+}
+"#;
+
+/// `pminvaders.c` — the game example program.
+///
+/// Seeded: RedundantWriteback@143 and @246 (study), EmptyDurableTx@249,
+/// @256, @266, @301, @351 (study + new), MissingPersistBarrier@380 (new).
+pub const PMINVADERS: &str = r#"
+module pminvaders
+file "pminvaders.c"
+
+struct alien {
+  timer: i64,
+  y: i64,
+  x: i64,
+}
+
+struct game_state {
+  score: i64,
+  level: i64,
+  high_score: i64,
+}
+
+struct bullet {
+  x: i64,
+  y: i64,
+}
+
+// Correct: score update, one store per barrier.
+fn pminvaders_add_score(%g: ptr game_state, %points: i64) attrs(tx_context) {
+entry:
+  tx_add %g
+  %s = load %g.score
+  %s2 = add %s, %points
+  store %g.score, %s2
+  ret
+}
+
+// BUG (study, Table 3): the timer cache line is written back again right
+// after it was persisted ("flush unmodified fields of an object").
+fn pminvaders_timer_tick() {
+entry:
+  %a = palloc alien
+  store %a.timer, 16
+  persist %a.timer
+  loc 143
+  flush %a.timer
+  fence
+  ret
+}
+
+// BUG (study, Table 3): same redundant write-back when drawing the alien.
+fn pminvaders_draw_alien() {
+entry:
+  %a = palloc alien
+  store %a.x, 3
+  persist %a.x
+  loc 246
+  flush %a.x
+  fence
+  ret
+}
+
+// BUG (new, Table 8): the bullet transaction commits without a single
+// persistent write when no collision happened.
+fn pminvaders_process_bullet(%hit: i64) {
+entry:
+  %b = palloc bullet
+  tx_begin
+  tx_add %b
+  br %hit, upd, skip
+upd:
+  store %b.y, 0
+  jmp done
+skip:
+  jmp done
+done:
+  loc 249
+  tx_commit
+  ret
+}
+
+// BUG (study, Table 3, Fig. 7): process_aliens runs a durable transaction
+// that persists nothing when the timer condition fails.
+fn pminvaders_process_aliens(%timer_zero: i64) {
+entry:
+  %a = palloc alien
+  tx_begin
+  tx_add %a
+  br %timer_zero, upd, skip
+upd:
+  store %a.timer, 9
+  store %a.y, 1
+  jmp done
+skip:
+  jmp done
+done:
+  loc 256
+  tx_commit
+  ret
+}
+
+// BUG (new, Table 8): the player-move transaction is empty when the move
+// is rejected.
+fn pminvaders_move_player(%legal: i64) {
+entry:
+  %g = palloc game_state
+  tx_begin
+  tx_add %g
+  br %legal, upd, skip
+upd:
+  store %g.level, 2
+  jmp done
+skip:
+  jmp done
+done:
+  loc 266
+  tx_commit
+  ret
+}
+
+// BUG (study, Table 3): high-score maintenance commits an empty durable
+// transaction when the score did not improve.
+fn pminvaders_update_highscore(%improved: i64) {
+entry:
+  %g = palloc game_state
+  tx_begin
+  tx_add %g
+  br %improved, upd, skip
+upd:
+  store %g.high_score, 12345
+  jmp done
+skip:
+  jmp done
+done:
+  loc 301
+  tx_commit
+  ret
+}
+
+// BUG (new, Table 8): the level-end transaction is empty on the
+// game-over path.
+fn pminvaders_next_level(%game_over: i64) {
+entry:
+  %g = palloc game_state
+  tx_begin
+  tx_add %g
+  br %game_over, skip, upd
+upd:
+  %l = load %g.level
+  %l2 = add %l, 1
+  store %g.level, %l2
+  jmp done
+skip:
+  jmp done
+done:
+  loc 351
+  tx_commit
+  ret
+}
+
+// BUG (new, Table 8): the new-game path flushes the score but starts the
+// next transaction without a persist barrier, so operations of the two
+// transactions may interleave (Fig. 3 shape).
+fn pminvaders_new_game() {
+entry:
+  %g = palloc game_state
+  store %g.score, 0
+  loc 380
+  flush %g.score
+  tx_begin
+  tx_add %g
+  store %g.level, 1
+  tx_commit
+  ret
+}
+
+// Correct: the draw loop only reads game state.
+fn pminvaders_draw_frame(%g: ptr game_state) -> i64 {
+entry:
+  %s = load %g.score
+  %l = load %g.level
+  %h = load %g.high_score
+  %t = add %s, %l
+  %t2 = add %t, %h
+  ret %t2
+}
+
+// Correct: saving the score is one logged transactional update.
+fn pminvaders_save_score(%g: ptr game_state, %score: i64) attrs(tx_context) {
+entry:
+  tx_add %g
+  store %g.score, %score
+  %h = load %g.high_score
+  %better = gt %score, %h
+  br %better, bump, out
+bump:
+  store %g.high_score, %score
+  jmp out
+out:
+  ret
+}
+"#;
+
+/// `obj_pmemlog.c` — the append-only log built on `libpmemobj`.
+///
+/// Seeded: MissingPersistBarrier@60 (new), SemanticMismatch@91 (study),
+/// RedundantWriteback@130 (new), RedundantWriteback@160 (false positive:
+/// an opaque external call may modify the header).
+pub const OBJ_PMEMLOG: &str = r#"
+module obj_pmemlog
+file "obj_pmemlog.c"
+
+struct log_hdr {
+  write_off: i64,
+  data_len: i64,
+}
+
+struct log_buf {
+  data: [i64; 16],
+}
+
+extern fn pmemlog_sync_replicas(%h: ptr log_hdr) attrs(persist_wrapper)
+
+// BUG (new, Table 8): header init flushes the offset but writes the next
+// field with no barrier in between.
+fn pmemlog_open(%cap: i64) {
+entry:
+  %h = palloc log_hdr
+  store %h.write_off, 0
+  loc 60
+  flush %h.write_off
+  tx_begin
+  tx_add %h
+  store %h.data_len, %cap
+  tx_commit
+  ret
+}
+
+// BUG (study, Table 3): the appended payload is persisted in one unit and
+// the header offset only after its barrier — "multiple epochs writing to
+// different fields of an object".
+fn pmemlog_append(%len: i64) {
+entry:
+  %h = palloc log_hdr
+  %b = palloc log_buf
+  store %h.write_off, %len
+  memset_persist %b, 0
+  loc 91
+  persist %h.write_off
+  ret
+}
+
+// BUG (new, Table 8): rewind re-flushes the already clean header.
+fn pmemlog_rewind() {
+entry:
+  %h = palloc log_hdr
+  store %h.write_off, 0
+  persist %h.write_off
+  loc 130
+  flush %h.write_off
+  fence
+  ret
+}
+
+// FALSE POSITIVE (§5.4): pmemlog_sync_replicas mutates the header through
+// a pointer the static analysis cannot see, so the second flush is NOT
+// redundant; the conservative checker flags it anyway.
+fn pmemlog_tell() {
+entry:
+  %h = palloc log_hdr
+  store %h.data_len, 8
+  persist %h.data_len
+  call pmemlog_sync_replicas(%h)
+  loc 160
+  flush %h.data_len
+  fence
+  ret
+}
+
+// Correct: nbyte only reads the header.
+fn pmemlog_nbyte(%h: ptr log_hdr) -> i64 {
+entry:
+  %len = load %h.data_len
+  ret %len
+}
+
+// Correct: safe append persists payload then offset, each in order
+// (fixed slot: the checker cannot prove coverage of a statically unknown
+// index, which is exactly the rbtree_map.c:410 false-positive trap).
+fn pmemlog_append_safe(%v: i64) {
+entry:
+  %h = palloc log_hdr
+  %b = palloc log_buf
+  store %b.data[0], %v
+  persist %b.data[0]
+  store %h.write_off, 1
+  persist %h.write_off
+  ret
+}
+"#;
+
+/// `hashmap_atomic.c` — the atomic-API hashmap example (Fig. 1).
+///
+/// Seeded: SemanticMismatch@120, @264 (study) and @285, @496 (new): a
+/// field written in one persist unit becomes durable only in a later one.
+pub const HASHMAP_ATOMIC: &str = r#"
+module hashmap_atomic
+file "hashmap_atomic.c"
+
+struct hashmap {
+  nbuckets: i64,
+  seed: i64,
+  count: i64,
+}
+
+struct buckets {
+  arr: [i64; 16],
+}
+
+// BUG (study, Table 3, Fig. 1): nbuckets is written before the buckets
+// are created and persisted, but is itself persisted only after their
+// barrier; a crash in between loses the bucket count.
+fn hm_atomic_create() {
+entry:
+  %h = palloc hashmap
+  %b = palloc buckets
+  store %h.nbuckets, 16
+  memset_persist %b, 0
+  loc 120
+  persist %h.nbuckets
+  ret
+}
+
+// BUG (study, Table 3): insert bumps the element count, persists the
+// bucket slot, and only then the count.
+fn hm_atomic_insert(%key: i64) {
+entry:
+  %h = palloc hashmap
+  %b = palloc buckets
+  %i = rem %key, 16
+  store %b.arr[%i], %key
+  store %h.count, 1
+  persist %b
+  loc 264
+  persist %h.count
+  ret
+}
+
+// BUG (new, Table 8): remove has the mirror-image ordering problem.
+fn hm_atomic_remove(%key: i64) {
+entry:
+  %h = palloc hashmap
+  %b = palloc buckets
+  %i = rem %key, 16
+  store %b.arr[%i], 0
+  store %h.count, 0
+  persist %b
+  loc 285
+  persist %h.count
+  ret
+}
+
+// BUG (new, Table 8): rebuild reseeds the map, but the seed becomes
+// durable only after the new bucket array's barrier.
+fn hm_atomic_rebuild(%new_seed: i64) {
+entry:
+  %h = palloc hashmap
+  %b = palloc buckets
+  store %h.seed, %new_seed
+  memset_persist %b, 0
+  loc 496
+  persist %h.seed
+  ret
+}
+
+// Correct: lookup only reads.
+fn hm_atomic_get(%key: i64) -> i64 {
+entry:
+  %h = palloc hashmap
+  %b = palloc buckets
+  %i = rem %key, 16
+  %v = load %b.arr[%i]
+  ret %v
+}
+
+// Correct: count scan over the bucket array.
+fn hm_atomic_count(%b: ptr buckets) -> i64 {
+entry:
+  %i = mov 0
+  %sum = mov 0
+  jmp head
+head:
+  %c = lt %i, 16
+  br %c, body, done
+body:
+  %v = load %b.arr[%i]
+  %sum = add %sum, %v
+  %i = add %i, 1
+  jmp head
+done:
+  ret %sum
+}
+"#;
+
+/// `obj_pmemlog_simple.c` — the simplified log variant.
+///
+/// Seeded: SemanticMismatch@207 (false positive: the intervening barrier
+/// only executes on a debug path that is dead in production).
+pub const OBJ_PMEMLOG_SIMPLE: &str = r#"
+module obj_pmemlog_simple
+file "obj_pmemlog_simple.c"
+
+struct slog {
+  off: i64,
+  len: i64,
+}
+
+// Debug hook: drains the persistence queue when verbose checking is on.
+fn slog_debug_drain(%dbg: i64) {
+entry:
+  br %dbg, drain, out
+drain:
+  fence
+  jmp out
+out:
+  ret
+}
+
+// FALSE POSITIVE (§5.4): with %dbg = 0 (always, in production) the write
+// and its flush share one persist unit; the checker explores the
+// drain path and reports a cross-unit persist.
+fn slog_appendv(%dbg: i64) {
+entry:
+  %l = palloc slog
+  store %l.off, 8
+  call slog_debug_drain(%dbg)
+  loc 207
+  persist %l.off
+  ret
+}
+
+// Correct: tell only reads.
+fn slog_tell(%l: ptr slog) -> i64 {
+entry:
+  %o = load %l.off
+  %n = load %l.len
+  %t = add %o, %n
+  ret %t
+}
+"#;

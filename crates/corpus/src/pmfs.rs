@@ -1,0 +1,367 @@
+//! Mini-PMFS corpus (epoch persistency): Intel's persistent memory file
+//! system modules the paper studies — journal, symlink, execute-in-place
+//! I/O, file ops, and superblock recovery — with the seeded bugs of
+//! Tables 3 and 8 (including the Fig. 4 nested-transaction missing
+//! barrier and the superblock over-write-back of §5.1).
+//!
+//! PMFS conventions modeled here: journal transactions are epochs
+//! (`epoch_begin`/`epoch_end` bracket `pmfs_new_transaction` /
+//! `pmfs_commit_transaction`), every epoch ends with a persist barrier,
+//! and buffers are flushed with `pmfs_flush_buffer` (`flush`).
+
+pub const SOURCES: &[&str] = &[JOURNAL, SYMLINK, XIPS, FILES, SUPER];
+
+/// `journal.c` — the undo journal.
+///
+/// Seeded: MultipleWritesAtOnce@598 (study), MultipleWritesAtOnce@610
+/// (false positive: the second write is on a dead configuration path),
+/// RedundantWriteback@632 (study: redundant flush when committing).
+pub const JOURNAL: &str = r#"
+module journal
+file "journal.c"
+
+struct journal_head {
+  head: i64,
+  tail: i64,
+  gen: i64,
+}
+
+struct journal_entry {
+  ino: i64,
+  data: i64,
+}
+
+// Correct: one epoch per logged entry, barrier at the end.
+fn pmfs_log_entry(%ino: i64, %data: i64) {
+entry:
+  %e = palloc journal_entry
+  epoch_begin
+  store %e.ino, %ino
+  store %e.data, %data
+  flush %e.ino
+  flush %e.data
+  fence
+  epoch_end
+  ret
+}
+
+// BUG (study, Table 3): outside any journal epoch, two distinct updates
+// are made durable by one barrier — the declared model calls for
+// per-unit durability.
+fn pmfs_journal_hard_reset() {
+entry:
+  %j = palloc journal_head
+  %e = palloc journal_entry
+  store %j.gen, 1
+  flush %j.gen
+  store %e.ino, 0
+  flush %e.ino
+  loc 598
+  fence
+  ret
+}
+
+// FALSE POSITIVE (§5.4): the second write only happens when relaxed
+// journaling is configured, which production builds never enable; the
+// checker explores that path anyway.
+fn pmfs_journal_soft_reset(%relaxed_mode: i64) {
+entry:
+  %j = palloc journal_head
+  store %j.head, 0
+  flush %j.head
+  br %relaxed_mode, also_tail, join
+also_tail:
+  store %j.tail, 0
+  flush %j.tail
+  jmp join
+join:
+  loc 610
+  fence
+  ret
+}
+
+// Correct: journal replay only reads entries.
+fn pmfs_journal_scan(%e: ptr journal_entry, %n: i64) -> i64 {
+entry:
+  %sum = mov 0
+  jmp head
+head:
+  %c = gt %n, 0
+  br %c, body, done
+body:
+  %d = load %e.data
+  %sum = add %sum, %d
+  %n = sub %n, 1
+  jmp head
+done:
+  ret %sum
+}
+
+// BUG (study, Table 3): commit flushes the journal head again although it
+// was already written back ("flush redundant data when committing").
+fn pmfs_commit_transaction() {
+entry:
+  %j = palloc journal_head
+  epoch_begin
+  store %j.tail, 8
+  flush %j.tail
+  fence
+  loc 632
+  flush %j.tail
+  fence
+  epoch_end
+  ret
+}
+"#;
+
+/// `symlink.c` — symlink block writes (Fig. 4 of the paper).
+///
+/// Seeded: MissingBarrierNestedTx@38 (study): the inner transaction's
+/// writes must persist before control returns to the outer transaction,
+/// but no barrier ends the inner unit.
+pub const SYMLINK: &str = r#"
+module symlink
+file "symlink.c"
+
+struct sym_block {
+  len: i64,
+  ino: i64,
+}
+
+// BUG (study, Table 3, Fig. 4): pmfs_block_symlink's writes form an inner
+// transaction inside pmfs_symlink's outer one; the inner unit ends at 38
+// with the buffer flushed but no persist barrier.
+fn pmfs_symlink(%len: i64) {
+entry:
+  %b = palloc sym_block
+  epoch_begin
+  epoch_begin
+  store %b.len, %len
+  flush %b.len
+  loc 38
+  epoch_end
+  store %b.ino, 7
+  flush %b.ino
+  fence
+  epoch_end
+  ret
+}
+
+// Correct: the readlink path only loads.
+fn pmfs_readlink() -> i64 {
+entry:
+  %b = palloc sym_block
+  %l = load %b.len
+  ret %l
+}
+
+// Correct: unlink updates both fields inside one epoch with a tail
+// barrier.
+fn pmfs_unlink_symlink(%b: ptr sym_block) {
+entry:
+  epoch_begin
+  store %b.len, 0
+  store %b.ino, 0
+  flush %b.len
+  flush %b.ino
+  fence
+  epoch_end
+  ret
+}
+"#;
+
+/// `xips.c` — execute-in-place I/O.
+///
+/// Seeded: RedundantWriteback@207 and @262 (study: "flush the same buffer
+/// multiple times").
+pub const XIPS: &str = r#"
+module xips
+file "xips.c"
+
+struct xip_buffer {
+  blocknr: i64,
+  data: i64,
+}
+
+// BUG (study, Table 3): the write path flushes the buffer twice.
+fn pmfs_xip_file_write(%v: i64) {
+entry:
+  %buf = palloc xip_buffer
+  epoch_begin
+  store %buf.data, %v
+  flush %buf.data
+  fence
+  loc 207
+  flush %buf.data
+  fence
+  epoch_end
+  ret
+}
+
+// Correct: the read path has no persistent operations at all.
+fn pmfs_xip_file_read(%buf: ptr xip_buffer) -> i64 {
+entry:
+  %d = load %buf.data
+  %b = load %buf.blocknr
+  %t = add %d, %b
+  ret %t
+}
+
+// BUG (study, Table 3): so does the sparse-write path.
+fn pmfs_xip_file_write_sparse(%v: i64) {
+entry:
+  %buf = palloc xip_buffer
+  epoch_begin
+  store %buf.blocknr, %v
+  flush %buf.blocknr
+  fence
+  loc 262
+  flush %buf.blocknr
+  fence
+  epoch_end
+  ret
+}
+"#;
+
+/// `files.c` — file operations.
+///
+/// Seeded: UnmodifiedWriteback@232 (new: the inode is written back on the
+/// truncate path although nothing in it changed).
+pub const FILES: &str = r#"
+module files
+file "files.c"
+
+struct pmfs_inode {
+  size: i64,
+  mtime: i64,
+}
+
+// BUG (new, Table 8): truncate-to-same-size flushes the untouched inode.
+fn pmfs_truncate_noop() {
+entry:
+  %ino = palloc pmfs_inode
+  epoch_begin
+  loc 232
+  flush %ino.size
+  fence
+  epoch_end
+  ret
+}
+
+// Correct: a real truncate writes then flushes.
+fn pmfs_truncate(%newsize: i64) {
+entry:
+  %ino = palloc pmfs_inode
+  epoch_begin
+  store %ino.size, %newsize
+  flush %ino.size
+  fence
+  epoch_end
+  ret
+}
+
+// Correct: getattr reads only.
+fn pmfs_getattr(%ino: ptr pmfs_inode) -> i64 {
+entry:
+  %sz = load %ino.size
+  %mt = load %ino.mtime
+  %t = add %sz, %mt
+  ret %t
+}
+
+// Correct: two updates to different inodes use consecutive epochs with
+// barriers — the legal epoch-persistency shape.
+fn pmfs_touch_two(%a: i64, %b: i64) {
+entry:
+  %i1 = palloc pmfs_inode
+  %i2 = palloc pmfs_inode
+  epoch_begin
+  store %i1.mtime, %a
+  flush %i1.mtime
+  fence
+  epoch_end
+  epoch_begin
+  store %i2.mtime, %b
+  flush %i2.mtime
+  fence
+  epoch_end
+  ret
+}
+"#;
+
+/// `super.c` — superblock recovery (§5.1: "PMFS writes back the
+/// superblock even though the recovery is successful").
+///
+/// Seeded: UnmodifiedWriteback@542, @543, @579 (new), and @584 (false
+/// positive: the redundant copy is modified through an alias).
+pub const SUPER: &str = r#"
+module super
+file "super.c"
+
+struct pmfs_super {
+  magic: i64,
+  size: i64,
+  mount_time: i64,
+  reserved: i64,
+}
+
+extern fn pmfs_get_redundant_super() -> ptr pmfs_super attrs(persist_wrapper)
+
+// BUG (new, Table 8): after a successful recovery only `magic` was
+// rewritten, yet the size and mount-time lines are written back too.
+fn pmfs_recover_super() {
+entry:
+  %sb = palloc pmfs_super
+  epoch_begin
+  store %sb.magic, 4242
+  flush %sb.magic
+  loc 542
+  flush %sb.size
+  loc 543
+  flush %sb.mount_time
+  fence
+  epoch_end
+  ret
+}
+
+// BUG (new, Table 8): the unmount path persists the whole superblock
+// though only the mount time changed.
+fn pmfs_put_super() {
+entry:
+  %sb = palloc pmfs_super
+  epoch_begin
+  store %sb.mount_time, 77
+  loc 579
+  persist %sb
+  epoch_end
+  ret
+}
+
+// FALSE POSITIVE (§5.4): the redundant superblock returned by
+// pmfs_get_redundant_super aliases %sb; its write justifies the flush at
+// 584, but the alias is invisible to the static analysis.
+// Correct: statfs reads only.
+fn pmfs_statfs(%sb: ptr pmfs_super) -> i64 {
+entry:
+  %m = load %sb.magic
+  %sz = load %sb.size
+  %t = add %m, %sz
+  ret %t
+}
+
+fn pmfs_sync_super() {
+entry:
+  %sb = palloc pmfs_super
+  epoch_begin
+  store %sb.magic, 4242
+  flush %sb.magic
+  fence
+  %alias = call pmfs_get_redundant_super() : ptr pmfs_super
+  store %alias.reserved, 1
+  loc 584
+  flush %sb.reserved
+  fence
+  epoch_end
+  ret
+}
+"#;

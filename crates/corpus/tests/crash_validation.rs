@@ -1,0 +1,352 @@
+//! Mechanized version of the paper's manual bug validation (§5.1: "we
+//! manually reproduced and validated all these new bugs"): run seeded
+//! model-violation programs on the simulated NVM runtime, crash them at
+//! the bug point under an adversarial eviction policy, and observe the
+//! inconsistency the static checker predicted. Fixed variants of the same
+//! programs survive the same crashes.
+
+use deepmc_interp::{InterpConfig, NoHooks, Outcome, Session, Value};
+use deepmc_pir::parse;
+use nvm_runtime::{CrashPolicy, PAddr, PmemHeap, PmemPool, PoolConfig, TxManager};
+
+const LOG_CAP: u64 = 1 << 16;
+
+/// Run `entry` from `src`, optionally crashing before step `crash_at`.
+/// Returns the outcome and the pool for post-mortem inspection.
+fn run(src: &str, entry: &str, crash_at: Option<u64>) -> (Outcome, PmemPool) {
+    let m = parse(src).expect("validation source parses");
+    deepmc_pir::verify::verify_module(&m).expect("verifies");
+    let pool = PmemPool::new(PoolConfig { size: 1 << 20, shards: 4, ..Default::default() });
+    let outcome = {
+        let heap = PmemHeap::open(&pool);
+        let log = heap.alloc(LOG_CAP);
+        let txm = TxManager::new(&pool, log, LOG_CAP);
+        let session = Session {
+            modules: std::slice::from_ref(&m),
+            pool: &pool,
+            heap: &heap,
+            txm: &txm,
+            hooks: &NoHooks,
+            config: InterpConfig { crash_at, ..Default::default() },
+        };
+        session.run(entry, &[]).expect("run succeeds")
+    };
+    (outcome, pool)
+}
+
+/// Address of the first object palloc'd after the tx log in these tests.
+const FIRST_OBJ: PAddr = PAddr(64 + LOG_CAP);
+
+// === Fig. 2 / btree_map.c:201 — unlogged write in a transaction ========
+
+/// Driver around the buggy split: the item update is not logged, so a
+/// post-commit crash that never evicted the line loses it.
+const UNLOGGED_WRITE: &str = r#"
+module validate_unlogged
+// items starts at offset 64 so the unlogged write sits on its own cache
+// line and cannot ride along with the flush of `n`.
+struct node { n: i64, pad: [i64; 7], items: [i64; 8] }
+fn split_node_buggy(%node: ptr node) attrs(tx_context) {
+entry:
+  store %node.items[0], 7
+  ret
+}
+fn split_node_fixed(%node: ptr node) attrs(tx_context) {
+entry:
+  tx_add %node
+  store %node.items[0], 7
+  ret
+}
+fn main_buggy() {
+entry:
+  %n = palloc node
+  tx_begin
+  tx_add %n.n
+  store %n.n, 1
+  call split_node_buggy(%n)
+  tx_commit
+  ret
+}
+fn main_fixed() {
+entry:
+  %n = palloc node
+  tx_begin
+  tx_add %n.n
+  store %n.n, 1
+  call split_node_fixed(%n)
+  tx_commit
+  ret
+}
+"#;
+
+#[test]
+fn unlogged_write_loses_update_after_crash() {
+    let (out, pool) = run(UNLOGGED_WRITE, "main_buggy", None);
+    assert!(matches!(out, Outcome::Finished(_)));
+    // Pessimistic crash after commit: everything the tx flushed survives,
+    // the unlogged item line does not.
+    let img = CrashPolicy::Pessimistic.apply(&pool);
+    let n_field = img.read_u64(FIRST_OBJ);
+    let item0 = img.read_u64(FIRST_OBJ.offset(64));
+    assert_eq!(n_field, 1, "logged field durable after commit");
+    assert_eq!(item0, 0, "unlogged item write lost — the bug's consequence");
+}
+
+#[test]
+fn logged_write_survives_crash() {
+    let (_, pool) = run(UNLOGGED_WRITE, "main_fixed", None);
+    let img = CrashPolicy::Pessimistic.apply(&pool);
+    assert_eq!(img.read_u64(FIRST_OBJ), 1);
+    assert_eq!(img.read_u64(FIRST_OBJ.offset(64)), 7, "tx_add makes the item durable");
+}
+
+// === Fig. 1 / hashmap_atomic.c:120 — semantic mismatch ==================
+
+/// nbuckets written before the buckets, persisted after them. A crash
+/// between the two barriers leaves buckets durable but the count stale.
+const HASHMAP_MISMATCH: &str = r#"
+module validate_hashmap
+struct hashmap { nbuckets: i64 }
+struct buckets { arr: [i64; 8] }
+fn create_buggy() {
+entry:
+  %h = palloc hashmap
+  %b = palloc buckets
+  store %h.nbuckets, 16
+  memset_persist %b, 1
+  persist %h.nbuckets
+  ret
+}
+fn create_fixed() {
+entry:
+  %h = palloc hashmap
+  %b = palloc buckets
+  store %h.nbuckets, 16
+  persist %h.nbuckets
+  memset_persist %b, 1
+  ret
+}
+"#;
+
+#[test]
+fn hashmap_mismatch_observable_at_intermediate_crash() {
+    // Find the step count of the full run, then crash at every prefix and
+    // look for the inconsistent state: buckets initialized (non-zero)
+    // while nbuckets is still 0.
+    let (out, _) = run(HASHMAP_MISMATCH, "create_buggy", None);
+    assert!(matches!(out, Outcome::Finished(_)));
+    let mut saw_inconsistency = false;
+    for step in 0..20 {
+        let (out, pool) = run(HASHMAP_MISMATCH, "create_buggy", Some(step));
+        if matches!(out, Outcome::Finished(_)) {
+            break;
+        }
+        let img = CrashPolicy::PendingOnly.apply(&pool);
+        let nbuckets = img.read_u64(FIRST_OBJ);
+        let bucket0 = img.read_u64(FIRST_OBJ.offset(64));
+        if bucket0 == 1 && nbuckets == 0 {
+            saw_inconsistency = true;
+        }
+    }
+    assert!(
+        saw_inconsistency,
+        "some crash point must expose initialized buckets with a stale count"
+    );
+}
+
+#[test]
+fn fixed_hashmap_never_inconsistent() {
+    for step in 0..20 {
+        let (out, pool) = run(HASHMAP_MISMATCH, "create_fixed", Some(step));
+        if matches!(out, Outcome::Finished(_)) {
+            break;
+        }
+        let img = CrashPolicy::PendingOnly.apply(&pool);
+        let nbuckets = img.read_u64(FIRST_OBJ);
+        let bucket0 = img.read_u64(FIRST_OBJ.offset(64));
+        assert!(
+            !(bucket0 == 1 && nbuckets == 0),
+            "fixed ordering persists the count before the buckets (step {step})"
+        );
+    }
+}
+
+// === Fig. 9 / nvm_locks.c:932 — missing flush ===========================
+
+const MISSING_FLUSH: &str = r#"
+module validate_lock
+struct lkrec { state: i64, new_level: i64 }
+fn lock_buggy() {
+entry:
+  %lk = palloc lkrec
+  store %lk.state, 1
+  persist %lk.state
+  store %lk.new_level, 5
+  store %lk.state, 2
+  persist %lk.state
+  ret
+}
+fn lock_fixed() {
+entry:
+  %lk = palloc lkrec
+  store %lk.state, 1
+  persist %lk.state
+  store %lk.new_level, 5
+  persist %lk.new_level
+  store %lk.state, 2
+  persist %lk.state
+  ret
+}
+"#;
+
+#[test]
+fn missing_flush_leaves_field_stale() {
+    let (_, pool) = run(MISSING_FLUSH, "lock_buggy", None);
+    let img = CrashPolicy::Pessimistic.apply(&pool);
+    // state and new_level share the object's first cache line here; use a
+    // struct layout check instead: state at +0, new_level at +8 on the
+    // same 64-byte line — persist(state) flushes only that 8-byte range?
+    // No: flush granularity is the cache line, so the line write-back
+    // carries new_level too. The bug manifests when the fields are on
+    // different lines; see `missing_flush_cross_line`.
+    let _ = img;
+}
+
+/// With the fields on different cache lines the unflushed one is lost.
+const MISSING_FLUSH_CROSS_LINE: &str = r#"
+module validate_lock2
+struct lkrec { state: i64, pad: [i64; 8], new_level: i64 }
+fn lock_buggy() {
+entry:
+  %lk = palloc lkrec
+  store %lk.state, 1
+  persist %lk.state
+  store %lk.new_level, 5
+  store %lk.state, 2
+  persist %lk.state
+  ret
+}
+fn lock_fixed() {
+entry:
+  %lk = palloc lkrec
+  store %lk.state, 1
+  persist %lk.state
+  store %lk.new_level, 5
+  persist %lk.new_level
+  store %lk.state, 2
+  persist %lk.state
+  ret
+}
+"#;
+
+#[test]
+fn missing_flush_cross_line() {
+    let (_, pool) = run(MISSING_FLUSH_CROSS_LINE, "lock_buggy", None);
+    let img = CrashPolicy::Pessimistic.apply(&pool);
+    assert_eq!(img.read_u64(FIRST_OBJ), 2, "state persisted");
+    assert_eq!(
+        img.read_u64(FIRST_OBJ.offset(72)),
+        0,
+        "new_level on its own line was never flushed and is lost"
+    );
+    let (_, pool) = run(MISSING_FLUSH_CROSS_LINE, "lock_fixed", None);
+    let img = CrashPolicy::Pessimistic.apply(&pool);
+    assert_eq!(img.read_u64(FIRST_OBJ.offset(72)), 5, "fixed variant persists it");
+}
+
+// === pminvaders empty durable transaction: perf, not correctness ========
+
+#[test]
+fn empty_tx_costs_fences_but_is_harmless() {
+    let src = r#"
+module validate_emptytx
+struct g { score: i64 }
+fn tick_buggy() {
+entry:
+  %s = palloc g
+  tx_begin
+  tx_add %s
+  tx_commit
+  ret
+}
+fn tick_fixed() {
+entry:
+  %s = palloc g
+  ret
+}
+"#;
+    let (_, pool_buggy) = run(src, "tick_buggy", None);
+    let (_, pool_fixed) = run(src, "tick_fixed", None);
+    let b = pool_buggy.stats();
+    let f = pool_fixed.stats();
+    assert!(
+        b.fences > f.fences && b.flushes > f.flushes,
+        "the empty transaction pays persistence costs for nothing: \
+         buggy fences={} flushes={} vs fixed fences={} flushes={}",
+        b.fences,
+        b.flushes,
+        f.fences,
+        f.flushes
+    );
+}
+
+// === redundant write-back: measurable extra write traffic ===============
+
+#[test]
+fn redundant_flush_costs_extra_writebacks() {
+    let src = r#"
+module validate_redundant
+struct buf { data: i64 }
+fn write_buggy(%n: i64) {
+entry:
+  %b = palloc buf
+  jmp head
+head:
+  %c = gt %n, 0
+  br %c, body, done
+body:
+  store %b.data, %n
+  flush %b.data
+  fence
+  flush %b.data
+  fence
+  %n1 = sub %n, 1
+  %n2 = mov %n1
+  ret
+done:
+  ret
+}
+fn write_fixed(%n: i64) {
+entry:
+  %b = palloc buf
+  store %b.data, %n
+  flush %b.data
+  fence
+  ret
+}
+"#;
+    let m = parse(src).unwrap();
+    let stats_of = |entry: &str| {
+        let pool =
+            PmemPool::new(PoolConfig { size: 1 << 20, shards: 4, ..Default::default() });
+        let heap = PmemHeap::open(&pool);
+        let log = heap.alloc(LOG_CAP);
+        let txm = TxManager::new(&pool, log, LOG_CAP);
+        let session = Session {
+            modules: std::slice::from_ref(&m),
+            pool: &pool,
+            heap: &heap,
+            txm: &txm,
+            hooks: &NoHooks,
+            config: InterpConfig::default(),
+        };
+        session.run(entry, &[Value::Int(1)]).unwrap();
+        pool.stats()
+    };
+    let buggy = stats_of("write_buggy");
+    let fixed = stats_of("write_fixed");
+    assert!(
+        buggy.clean_flushes > fixed.clean_flushes,
+        "the double flush shows up as wasted (clean) write-backs"
+    );
+}

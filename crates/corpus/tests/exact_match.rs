@@ -1,0 +1,68 @@
+//! The central corpus invariant: running DeepMC over each framework with
+//! its declared model produces *exactly* the warnings in the ground-truth
+//! table — all 50 of them (43 real bugs + 7 false-positive traps), and
+//! nothing else. This is what makes the Table 1/2/3/8 reproduction
+//! honest: the numbers are measured, not asserted.
+
+use deepmc_corpus::{Framework, GROUND_TRUTH};
+use std::collections::BTreeSet;
+
+type Key = (String, u32, String);
+
+fn expected(fw: Framework) -> BTreeSet<Key> {
+    GROUND_TRUTH
+        .iter()
+        .filter(|s| s.framework == fw)
+        .map(|s| (s.file.to_string(), s.line, format!("{:?}", s.class)))
+        .collect()
+}
+
+fn actual(fw: Framework) -> BTreeSet<Key> {
+    fw.check()
+        .warnings
+        .iter()
+        .map(|w| (w.file.clone(), w.line, format!("{:?}", w.class)))
+        .collect()
+}
+
+fn assert_exact(fw: Framework) {
+    let exp = expected(fw);
+    let act = actual(fw);
+    let missing: Vec<&Key> = exp.difference(&act).collect();
+    let spurious: Vec<&Key> = act.difference(&exp).collect();
+    assert!(
+        missing.is_empty() && spurious.is_empty(),
+        "{}: report does not match ground truth\n  missing ({}): {:#?}\n  spurious ({}): {:#?}",
+        fw.name(),
+        missing.len(),
+        missing,
+        spurious.len(),
+        spurious
+    );
+}
+
+#[test]
+fn pmdk_exact_match() {
+    assert_exact(Framework::Pmdk);
+}
+
+#[test]
+fn nvm_direct_exact_match() {
+    assert_exact(Framework::NvmDirect);
+}
+
+#[test]
+fn pmfs_exact_match() {
+    assert_exact(Framework::Pmfs);
+}
+
+#[test]
+fn mnemosyne_exact_match() {
+    assert_exact(Framework::Mnemosyne);
+}
+
+#[test]
+fn overall_totals_match_paper() {
+    let total: usize = Framework::ALL.iter().map(|f| actual(*f).len()).sum();
+    assert_eq!(total, 50, "DeepMC reports 50 warnings in total");
+}

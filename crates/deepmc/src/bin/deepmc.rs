@@ -1,0 +1,391 @@
+//! The `deepmc` command-line tool.
+//!
+//! ```text
+//! deepmc check  -strict|-epoch|-strand [--json] [--violations-only|--performance-only] FILE...
+//! deepmc dynamic -strand ENTRY FILE...
+//! deepmc run     ENTRY FILE...            # execute on the simulated NVM runtime
+//! deepmc crash   ENTRY FILE... [--steps N] [--seeds N]
+//! deepmc rules                            # print the checking-rule catalog
+//! ```
+//!
+//! Exit code is 0 when no warnings (or for `run`/`crash` on success), 1
+//! when warnings were reported, 2 on usage or input errors — so `deepmc
+//! check` drops into CI pipelines.
+
+use deepmc::{DeepMcConfig, Report, StaticChecker};
+use deepmc_analysis::Program;
+use deepmc_interp::{InterpConfig, NoHooks, Outcome, Session};
+use deepmc_models::PersistencyModel;
+use nvm_runtime::{CrashPolicy, PmemHeap, PmemPool, PoolConfig, TxManager};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "deepmc — detect deep memory persistency bugs in NVM programs\n\n\
+         USAGE:\n  \
+         deepmc check  (-strict|-epoch|-strand) [--json] [--violations-only|--performance-only] [--suppress DB.json] FILE...\n  \
+         deepmc fix    (-strict|-epoch|-strand) FILE... [-o DIR]\n  \
+         deepmc dynamic ENTRY FILE...\n  \
+         deepmc run ENTRY FILE...\n  \
+         deepmc crash ENTRY FILE... [--steps N] [--seeds N]\n  \
+         deepmc dsg FUNCTION FILE...          # Graphviz of the function's data structure graph\n  \
+         deepmc rules"
+    );
+    ExitCode::from(2)
+}
+
+fn load_modules(paths: &[String]) -> Result<Vec<deepmc_pir::Module>, String> {
+    if paths.is_empty() {
+        return Err("no input files".into());
+    }
+    paths
+        .iter()
+        .map(|p| {
+            let src =
+                std::fs::read_to_string(p).map_err(|e| format!("cannot read `{p}`: {e}"))?;
+            let m = deepmc_pir::parse(&src).map_err(|e| format!("{p}: {e}"))?;
+            deepmc_pir::verify::verify_module(&m).map_err(|e| format!("{p}: {e}"))?;
+            Ok(m)
+        })
+        .collect()
+}
+
+fn report_exit(report: &Report, json: bool) -> ExitCode {
+    if json {
+        println!("{}", serde_json::to_string_pretty(report).expect("report serializes"));
+    } else {
+        print!("{report}");
+    }
+    if report.warnings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let mut model: Option<PersistencyModel> = None;
+    let mut json = false;
+    let mut violations_only = false;
+    let mut performance_only = false;
+    let mut suppress_db: Option<String> = None;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--suppress" => match it.next() {
+                Some(path) => suppress_db = Some(path.clone()),
+                None => return usage(),
+            },
+            "-strict" | "-epoch" | "-strand" => match a.parse() {
+                Ok(m) => model = Some(m),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--violations-only" => violations_only = true,
+            "--performance-only" => performance_only = true,
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`");
+                return usage();
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    let Some(model) = model else {
+        eprintln!("specify the intended persistency model: -strict, -epoch, or -strand");
+        return ExitCode::from(2);
+    };
+    let mut config = DeepMcConfig::new(model);
+    if violations_only {
+        config = config.violations_only();
+    }
+    if performance_only {
+        config = config.performance_only();
+    }
+    let modules = match load_modules(&files) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let program = match Program::new(modules) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut report = StaticChecker::new(config).check_program(&program);
+    if let Some(path) = suppress_db {
+        let db = match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| {
+                deepmc::suppress::SuppressionDb::from_json(&s).map_err(|e| e.to_string())
+            }) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("cannot load suppression db `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let (surviving, suppressed) = db.apply(&report);
+        if !suppressed.is_empty() {
+            eprintln!("({} warning(s) suppressed by {path})", suppressed.len());
+        }
+        report = surviving;
+    }
+    report_exit(&report, json)
+}
+
+fn cmd_fix(args: &[String]) -> ExitCode {
+    let mut model: Option<PersistencyModel> = None;
+    let mut out_dir: Option<String> = None;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-strict" | "-epoch" | "-strand" => model = a.parse().ok(),
+            "-o" => match it.next() {
+                Some(d) => out_dir = Some(d.clone()),
+                None => return usage(),
+            },
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`");
+                return usage();
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    let Some(model) = model else {
+        eprintln!("specify the intended persistency model: -strict, -epoch, or -strand");
+        return ExitCode::from(2);
+    };
+    let modules = match load_modules(&files) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let config = DeepMcConfig::new(model);
+    let (fixed, report, applied) = deepmc::fixer::fix_until_stable(modules, &config, 8);
+    eprintln!("applied {applied} fix(es); {} warning(s) remain", report.warnings.len());
+    for (path, module) in files.iter().zip(&fixed) {
+        let text = deepmc_pir::print(module);
+        match &out_dir {
+            None => {
+                println!("// ===== fixed: {path} =====");
+                println!("{text}");
+            }
+            Some(dir) => {
+                let name = std::path::Path::new(path)
+                    .file_name()
+                    .map(|n| n.to_string_lossy().to_string())
+                    .unwrap_or_else(|| "out.pir".into());
+                let out = std::path::Path::new(dir).join(name);
+                if let Err(e) = std::fs::write(&out, text) {
+                    eprintln!("cannot write {}: {e}", out.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!("wrote {}", out.display());
+            }
+        }
+    }
+    if report.warnings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_dynamic(args: &[String]) -> ExitCode {
+    let Some((entry, files)) = args.split_first() else { return usage() };
+    let modules = match load_modules(files) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match deepmc::dynamic::check_dynamic(&modules, entry, PersistencyModel::Strand) {
+        Ok(report) => report_exit(&report, false),
+        Err(e) => {
+            eprintln!("execution failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn with_session<T>(
+    modules: &[deepmc_pir::Module],
+    config: InterpConfig,
+    f: impl FnOnce(&Session<'_>) -> T,
+) -> (T, PmemPool) {
+    let pool = PmemPool::new(PoolConfig { size: 64 << 20, shards: 16, ..Default::default() });
+    let out = {
+        let heap = PmemHeap::open(&pool);
+        let log = heap.alloc(1 << 20);
+        let txm = TxManager::new(&pool, log, 1 << 20);
+        let session =
+            Session { modules, pool: &pool, heap: &heap, txm: &txm, hooks: &NoHooks, config };
+        f(&session)
+    };
+    (out, pool)
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let Some((entry, files)) = args.split_first() else { return usage() };
+    let modules = match load_modules(files) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (result, pool) =
+        with_session(&modules, InterpConfig::default(), |s| s.run(entry, &[]));
+    match result {
+        Ok(Outcome::Finished(v)) => {
+            let stats = pool.stats();
+            println!("finished: {v:?}");
+            println!(
+                "pmem stats: {} stores ({} B), {} loads, {} flushes ({} wasted), \
+                 {} fences, {} lines written back, {} lines left non-durable",
+                stats.stores,
+                stats.bytes_stored,
+                stats.loads,
+                stats.flushes,
+                stats.clean_flushes,
+                stats.fences,
+                stats.lines_written_back,
+                pool.non_durable_lines()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(Outcome::Crashed { step }) => {
+            println!("crashed at injected step {step}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("execution failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_crash(args: &[String]) -> ExitCode {
+    let mut steps = 64u64;
+    let mut seeds = 16u64;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--steps" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => steps = n,
+                None => return usage(),
+            },
+            "--seeds" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seeds = n,
+                None => return usage(),
+            },
+            other => positional.push(other.to_string()),
+        }
+    }
+    let Some((entry, files)) = positional.split_first() else { return usage() };
+    let modules = match load_modules(files) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut crashes = 0u64;
+    let mut distinct_images = std::collections::HashSet::new();
+    for step in 0..steps {
+        let config = InterpConfig { crash_at: Some(step), ..Default::default() };
+        let (result, pool) = with_session(&modules, config, |s| s.run(entry, &[]));
+        match result {
+            Ok(Outcome::Finished(_)) => break, // ran past the last step
+            Ok(Outcome::Crashed { .. }) => {
+                crashes += 1;
+                for seed in 0..seeds {
+                    let img = CrashPolicy::Random(seed).apply(&pool);
+                    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+                    use std::hash::{Hash, Hasher};
+                    let mut buf = vec![0u8; img.len().min(1 << 16)];
+                    img.read(nvm_runtime::PAddr(0), &mut buf);
+                    buf.hash(&mut hasher);
+                    distinct_images.insert(hasher.finish());
+                }
+            }
+            Err(e) => {
+                eprintln!("execution failed at step {step}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    println!(
+        "crash matrix: {crashes} crash points × {seeds} eviction orders → \
+         {} distinct durable states",
+        distinct_images.len()
+    );
+    println!("inspect interesting states with `deepmc run` and CrashPolicy in a test");
+    ExitCode::SUCCESS
+}
+
+fn cmd_dsg(args: &[String]) -> ExitCode {
+    let Some((func, files)) = args.split_first() else { return usage() };
+    let modules = match load_modules(files) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let program = match Program::new(modules) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(fr) = program.resolve(func) else {
+        eprintln!("unknown function `{func}`");
+        return ExitCode::from(2);
+    };
+    let cg = deepmc_analysis::CallGraph::build(&program);
+    let dsa = deepmc_analysis::DsaResult::analyze(&program, &cg);
+    print!("{}", dsa.graph(fr).to_dot(&program, fr, func));
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "check" => cmd_check(rest),
+            "fix" => cmd_fix(rest),
+            "dynamic" => cmd_dynamic(rest),
+            "run" => cmd_run(rest),
+            "crash" => cmd_crash(rest),
+            "dsg" => cmd_dsg(rest),
+            "rules" => {
+                for rule in deepmc_models::RULES {
+                    println!(
+                        "[{:?}] {} — {}",
+                        rule.analysis,
+                        rule.class.table1_label(),
+                        rule.statement
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            _ => usage(),
+        },
+        None => usage(),
+    }
+}

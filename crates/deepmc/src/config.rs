@@ -1,0 +1,87 @@
+//! Checker configuration.
+//!
+//! "DeepMC only requires users to specify the implemented model with
+//! -strict, -epoch or -strand flag at compilation" (paper §4.5). Everything
+//! else has sensible defaults matching the paper's bounds.
+
+use deepmc_analysis::TraceConfig;
+use deepmc_models::PersistencyModel;
+
+/// Configuration of a DeepMC run.
+#[derive(Debug, Clone)]
+pub struct DeepMcConfig {
+    /// The persistency model the program claims to implement — the single
+    /// flag the user must provide.
+    pub model: PersistencyModel,
+    /// Trace-collection bounds (paper defaults: loop 10, recursion 5).
+    pub trace: TraceConfig,
+    /// Run the model-violation rules (Table 4).
+    pub check_violations: bool,
+    /// Run the performance rules (Table 5).
+    pub check_performance: bool,
+    /// Use the DSA's field-sensitive addresses (the default). Disabling
+    /// degrades every address to whole-object granularity — the ablation
+    /// for the paper's §5.1 claim that field sensitivity is what avoids
+    /// false negatives on "flush an unmodified object" bugs.
+    pub field_sensitive: bool,
+}
+
+impl DeepMcConfig {
+    /// Defaults for `model`: both rule families on, paper trace bounds.
+    pub fn new(model: PersistencyModel) -> Self {
+        DeepMcConfig {
+            model,
+            trace: TraceConfig::default(),
+            check_violations: true,
+            check_performance: true,
+            field_sensitive: true,
+        }
+    }
+
+    /// Parse from the command-line flag spelling (`-strict` / `-epoch` /
+    /// `-strand`).
+    pub fn from_flag(flag: &str) -> Result<Self, String> {
+        Ok(DeepMcConfig::new(flag.parse()?))
+    }
+
+    /// Builder-style: disable performance rules.
+    pub fn violations_only(mut self) -> Self {
+        self.check_performance = false;
+        self
+    }
+
+    /// Builder-style: disable violation rules.
+    pub fn performance_only(mut self) -> Self {
+        self.check_violations = false;
+        self
+    }
+
+    /// Builder-style: degrade to object-granularity addresses (ablation).
+    pub fn field_insensitive(mut self) -> Self {
+        self.field_sensitive = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_flag_parses_all_models() {
+        for flag in ["-strict", "-epoch", "-strand"] {
+            let c = DeepMcConfig::from_flag(flag).unwrap();
+            assert_eq!(c.model.flag(), flag);
+            assert!(c.check_violations && c.check_performance);
+        }
+        assert!(DeepMcConfig::from_flag("-eager").is_err());
+    }
+
+    #[test]
+    fn builders_toggle_rule_families() {
+        let c = DeepMcConfig::new(PersistencyModel::Strict).violations_only();
+        assert!(c.check_violations && !c.check_performance);
+        let c = DeepMcConfig::new(PersistencyModel::Strict).performance_only();
+        assert!(!c.check_violations && c.check_performance);
+    }
+}

@@ -1,0 +1,561 @@
+//! Automated bug fixing — the paper's stated future work ("Automated bug
+//! fixing is out of the scope of this work, but we wish to explore it as
+//! future work", §4.3).
+//!
+//! The static checker attaches a machine-applicable [`FixHint`] to every
+//! warning whose repair is mechanical:
+//!
+//! | class | fix |
+//! |---|---|
+//! | UnflushedWrite (in tx) | insert `tx_add` before the store |
+//! | UnflushedWrite (elsewhere) | insert `persist` after the store |
+//! | MissingPersistBarrier | insert `fence` after the flush |
+//! | MissingBarrierNestedTx | insert `fence` before the inner region end |
+//! | SemanticMismatch (delayed persist) | persist at the store, drop the late write-back |
+//! | UnmodifiedWriteback (never written) | remove the write-back |
+//! | UnmodifiedWriteback (whole object) | narrow to the written fields |
+//! | RedundantWriteback / RedundantPersistInTx | remove the write-back |
+//!
+//! [`apply_fixes`] edits the PIR module; the result is made for re-checking
+//! (`fix → check → fix …` converges because every applied fix removes its
+//! warning without introducing persistent operations the rules reject —
+//! property-tested in `tests/`).
+
+use crate::report::{FixHint, Warning};
+use deepmc_pir::{Inst, Module, Place, SourceLoc, Spanned};
+
+/// Outcome of attempting one warning's fix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FixOutcome {
+    /// The edit was applied.
+    Applied { description: String },
+    /// The warning carries no machine-applicable hint.
+    NoHint,
+    /// The hint's target instruction was not found (e.g. already edited).
+    TargetMissing,
+}
+
+/// One warning's fix attempt, for reporting.
+#[derive(Debug, Clone)]
+pub struct AppliedFix {
+    pub warning: Warning,
+    pub outcome: FixOutcome,
+}
+
+/// Location of one instruction in a module.
+#[derive(Debug, Clone, Copy)]
+struct InstPos {
+    func: usize,
+    block: usize,
+    inst: usize,
+}
+
+/// Find the first instruction at `line` satisfying `pred`.
+fn find_inst(
+    module: &Module,
+    line: u32,
+    pred: impl Fn(&Inst) -> bool,
+) -> Option<InstPos> {
+    for (fi, f) in module.functions.iter().enumerate() {
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for (ii, si) in b.insts.iter().enumerate() {
+                if si.loc.line == line && pred(&si.inst) {
+                    return Some(InstPos { func: fi, block: bi, inst: ii });
+                }
+            }
+        }
+    }
+    None
+}
+
+fn insert_at(module: &mut Module, pos: InstPos, offset: usize, inst: Inst, line: u32) {
+    module.functions[pos.func].blocks[pos.block]
+        .insts
+        .insert(pos.inst + offset, Spanned::new(inst, SourceLoc::new(line)));
+}
+
+fn remove_at(module: &mut Module, pos: InstPos) -> Inst {
+    module.functions[pos.func].blocks[pos.block].insts.remove(pos.inst).inst
+}
+
+fn inst_at(module: &Module, pos: InstPos) -> &Inst {
+    &module.functions[pos.func].blocks[pos.block].insts[pos.inst].inst
+}
+
+fn is_store(i: &Inst) -> bool {
+    matches!(i, Inst::Store { .. })
+}
+
+fn is_writeback(i: &Inst) -> bool {
+    matches!(i, Inst::Flush { .. } | Inst::Persist { .. })
+}
+
+fn writeback_place(i: &Inst) -> Option<Place> {
+    match i {
+        Inst::Flush { place } | Inst::Persist { place } => Some(place.clone()),
+        _ => None,
+    }
+}
+
+/// Apply one hint to `module`. The module's `file` must match the
+/// warning's (multi-module programs route each warning to its module).
+fn apply_one(module: &mut Module, hint: FixHint) -> FixOutcome {
+    match hint {
+        FixHint::FlushAndFenceStore { store_line } => {
+            let Some(pos) = find_inst(module, store_line, is_store) else {
+                return FixOutcome::TargetMissing;
+            };
+            let Inst::Store { place, .. } = inst_at(module, pos).clone() else { unreachable!() };
+            insert_at(module, pos, 1, Inst::Persist { place }, store_line);
+            FixOutcome::Applied {
+                description: format!("inserted `persist` after the store at line {store_line}"),
+            }
+        }
+        FixHint::LogObjectBeforeStore { store_line } => {
+            let Some(pos) = find_inst(module, store_line, is_store) else {
+                return FixOutcome::TargetMissing;
+            };
+            let Inst::Store { place, .. } = inst_at(module, pos).clone() else { unreachable!() };
+            let obj = Place::local(place.base);
+            insert_at(module, pos, 0, Inst::TxAdd { place: obj }, store_line);
+            FixOutcome::Applied {
+                description: format!(
+                    "inserted `tx_add` before the unlogged store at line {store_line}"
+                ),
+            }
+        }
+        FixHint::InsertFenceAfter { line } => {
+            let Some(pos) = find_inst(module, line, |i| !matches!(i, Inst::Fence)) else {
+                return FixOutcome::TargetMissing;
+            };
+            insert_at(module, pos, 1, Inst::Fence, line);
+            FixOutcome::Applied {
+                description: format!("inserted `fence` after line {line}"),
+            }
+        }
+        FixHint::InsertFenceBefore { line } => {
+            let Some(pos) = find_inst(module, line, |i| !matches!(i, Inst::Fence)) else {
+                return FixOutcome::TargetMissing;
+            };
+            insert_at(module, pos, 0, Inst::Fence, line);
+            FixOutcome::Applied {
+                description: format!("inserted `fence` before line {line}"),
+            }
+        }
+        FixHint::RemoveWriteback { line } => {
+            let Some(pos) = find_inst(module, line, is_writeback) else {
+                return FixOutcome::TargetMissing;
+            };
+            let removed = remove_at(module, pos);
+            // A companion fence directly after a removed bare flush would
+            // now order nothing new, but removing it could widen a later
+            // persist unit; keep it (harmless).
+            let what = if matches!(removed, Inst::Persist { .. }) { "persist" } else { "flush" };
+            FixOutcome::Applied {
+                description: format!("removed redundant `{what}` at line {line}"),
+            }
+        }
+        FixHint::MovePersistToStore { store_line, flush_line } => {
+            let Some(fpos) = find_inst(module, flush_line, is_writeback) else {
+                return FixOutcome::TargetMissing;
+            };
+            let place = writeback_place(inst_at(module, fpos)).expect("writeback has place");
+            remove_at(module, fpos);
+            let Some(spos) = find_inst(module, store_line, is_store) else {
+                return FixOutcome::TargetMissing;
+            };
+            insert_at(module, spos, 1, Inst::Persist { place }, store_line);
+            FixOutcome::Applied {
+                description: format!(
+                    "moved the persist of line {flush_line} to right after the store at \
+                     line {store_line}"
+                ),
+            }
+        }
+        FixHint::NarrowWriteback { line } => {
+            let Some(pos) = find_inst(module, line, is_writeback) else {
+                return FixOutcome::TargetMissing;
+            };
+            let op = inst_at(module, pos).clone();
+            let place = writeback_place(&op).expect("writeback has place");
+            if !place.is_whole_object() {
+                return FixOutcome::TargetMissing;
+            }
+            // Collect the field places written to this base before the
+            // write-back, in block order within the same function.
+            let f = &module.functions[pos.func];
+            let mut fields: Vec<Place> = Vec::new();
+            'scan: for (bi, b) in f.blocks.iter().enumerate() {
+                for (ii, si) in b.insts.iter().enumerate() {
+                    if bi == pos.block && ii == pos.inst {
+                        break 'scan;
+                    }
+                    if let Inst::Store { place: sp, .. } = &si.inst {
+                        if sp.base == place.base && !fields.contains(sp) {
+                            fields.push(sp.clone());
+                        }
+                    }
+                }
+            }
+            if fields.is_empty() {
+                return FixOutcome::TargetMissing;
+            }
+            let was_persist = matches!(op, Inst::Persist { .. });
+            remove_at(module, pos);
+            let n = fields.len();
+            for (k, fp) in fields.into_iter().enumerate() {
+                let inst = if was_persist {
+                    Inst::Persist { place: fp }
+                } else {
+                    Inst::Flush { place: fp }
+                };
+                insert_at(module, pos, k, inst, line);
+            }
+            FixOutcome::Applied {
+                description: format!(
+                    "narrowed the whole-object write-back at line {line} to {n} written \
+                     field(s)"
+                ),
+            }
+        }
+    }
+}
+
+/// Apply every machine-applicable fix from `warnings` to `modules`
+/// (warnings are routed to modules by file name). Returns the per-warning
+/// outcomes; `modules` is edited in place.
+pub fn apply_fixes(modules: &mut [Module], warnings: &[Warning]) -> Vec<AppliedFix> {
+    warnings
+        .iter()
+        .map(|w| {
+            let Some(hint) = w.fix else {
+                return AppliedFix { warning: w.clone(), outcome: FixOutcome::NoHint };
+            };
+            let Some(module) = modules.iter_mut().find(|m| m.file == w.file) else {
+                return AppliedFix { warning: w.clone(), outcome: FixOutcome::TargetMissing };
+            };
+            let outcome = apply_one(module, hint);
+            AppliedFix { warning: w.clone(), outcome }
+        })
+        .collect()
+}
+
+/// Fix-check loop: repeatedly check and apply fixes until no applicable
+/// hints remain (or `max_rounds`). Returns the fixed modules, the final
+/// report, and the number of fixes applied.
+pub fn fix_until_stable(
+    mut modules: Vec<Module>,
+    config: &crate::DeepMcConfig,
+    max_rounds: usize,
+) -> (Vec<Module>, crate::Report, usize) {
+    let check = |modules: &[Module]| -> crate::Report {
+        let program =
+            deepmc_analysis::Program::new(modules.to_vec()).expect("modules link");
+        crate::StaticChecker::new(config.clone()).check_program(&program)
+    };
+    let mut applied = 0;
+    let mut report = check(&modules);
+    for _ in 0..max_rounds {
+        let fixable: Vec<Warning> =
+            report.warnings.iter().filter(|w| w.fix.is_some()).cloned().collect();
+        if fixable.is_empty() {
+            return (modules, report, applied);
+        }
+        // Apply the round on a copy; keep it only if it strictly improves
+        // the report (repairs whose targets collide on one source line can
+        // otherwise oscillate).
+        let mut candidate = modules.clone();
+        let outcomes = apply_fixes(&mut candidate, &fixable);
+        let round_applied = outcomes
+            .iter()
+            .filter(|o| matches!(o.outcome, FixOutcome::Applied { .. }))
+            .count();
+        if round_applied == 0 {
+            return (modules, report, applied);
+        }
+        let candidate_report = check(&candidate);
+        if candidate_report.warnings.len() >= report.warnings.len() {
+            // Try the fixes one at a time: apply only those that
+            // individually improve the report.
+            let mut improved = false;
+            for w in &fixable {
+                let mut single = modules.clone();
+                let outcome = apply_fixes(&mut single, std::slice::from_ref(w));
+                if !matches!(outcome[0].outcome, FixOutcome::Applied { .. }) {
+                    continue;
+                }
+                let single_report = check(&single);
+                if single_report.warnings.len() < report.warnings.len() {
+                    modules = single;
+                    report = single_report;
+                    applied += 1;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved {
+                return (modules, report, applied);
+            }
+        } else {
+            modules = candidate;
+            report = candidate_report;
+            applied += round_applied;
+        }
+    }
+    (modules, report, applied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_source, DeepMcConfig, StaticChecker};
+    use deepmc_models::{BugClass, PersistencyModel};
+    use deepmc_pir::parse;
+
+    /// Check, fix, re-check; assert the class disappears and nothing new
+    /// of any class appears.
+    fn fix_and_recheck(src: &str, model: PersistencyModel, class: BugClass) -> Vec<Module> {
+        let config = DeepMcConfig::new(model);
+        let before = check_source(src, &config).unwrap();
+        assert!(
+            before.warnings.iter().any(|w| w.class == class),
+            "precondition: {class:?} reported\n{before}"
+        );
+        let modules = vec![parse(src).unwrap()];
+        let (fixed, after, applied) = fix_until_stable(modules, &config, 4);
+        assert!(applied > 0, "at least one fix applied");
+        assert!(
+            !after.warnings.iter().any(|w| w.class == class),
+            "{class:?} must be gone after fixing\n{after}"
+        );
+        // The fixed module still verifies.
+        for m in &fixed {
+            deepmc_pir::verify::verify_module(m).expect("fixed module verifies");
+        }
+        fixed
+    }
+
+    #[test]
+    fn fixes_unflushed_write_outside_tx() {
+        fix_and_recheck(
+            r#"
+module m
+struct s { a: i64 }
+fn main() {
+entry:
+  %x = palloc s
+  store %x.a, 1
+  ret
+}
+"#,
+            PersistencyModel::Strict,
+            BugClass::UnflushedWrite,
+        );
+    }
+
+    #[test]
+    fn fixes_unlogged_write_in_tx() {
+        let fixed = fix_and_recheck(
+            r#"
+module m
+struct s { items: [i64; 4] }
+fn split(%n: ptr s) attrs(tx_context) {
+entry:
+  store %n.items[2], 0
+  ret
+}
+"#,
+            PersistencyModel::Strict,
+            BugClass::UnflushedWrite,
+        );
+        // The fix is a tx_add, not a flush.
+        let f = &fixed[0].functions[0];
+        assert!(f.blocks[0].insts.iter().any(|si| matches!(si.inst, Inst::TxAdd { .. })));
+    }
+
+    #[test]
+    fn fixes_missing_barrier() {
+        fix_and_recheck(
+            r#"
+module m
+struct s { a: i64 }
+fn main() {
+entry:
+  %x = palloc s
+  store %x.a, 1
+  flush %x.a
+  tx_begin
+  tx_add %x
+  store %x.a, 2
+  tx_commit
+  ret
+}
+"#,
+            PersistencyModel::Strict,
+            BugClass::MissingPersistBarrier,
+        );
+    }
+
+    #[test]
+    fn fixes_nested_tx_barrier() {
+        fix_and_recheck(
+            r#"
+module m
+struct s { a: i64, b: i64 }
+fn main() {
+entry:
+  %x = palloc s
+  epoch_begin
+  epoch_begin
+  store %x.a, 1
+  flush %x.a
+  epoch_end
+  store %x.b, 2
+  flush %x.b
+  fence
+  epoch_end
+  ret
+}
+"#,
+            PersistencyModel::Epoch,
+            BugClass::MissingBarrierNestedTx,
+        );
+    }
+
+    #[test]
+    fn fixes_delayed_persist_mismatch() {
+        let fixed = fix_and_recheck(
+            r#"
+module m
+struct h { n: i64 }
+struct b { arr: [i64; 8] }
+fn main() {
+entry:
+  %x = palloc h
+  %y = palloc b
+  store %x.n, 8
+  memset_persist %y, 0
+  persist %x.n
+  ret
+}
+"#,
+            PersistencyModel::Strict,
+            BugClass::SemanticMismatch,
+        );
+        // The persist now sits right after the store.
+        let insts = &fixed[0].functions[0].blocks[0].insts;
+        let store_idx =
+            insts.iter().position(|si| matches!(si.inst, Inst::Store { .. })).unwrap();
+        assert!(matches!(insts[store_idx + 1].inst, Inst::Persist { .. }));
+    }
+
+    #[test]
+    fn fixes_redundant_writeback() {
+        fix_and_recheck(
+            r#"
+module m
+struct s { a: i64 }
+fn main() {
+entry:
+  %x = palloc s
+  store %x.a, 1
+  flush %x.a
+  fence
+  flush %x.a
+  fence
+  ret
+}
+"#,
+            PersistencyModel::Strict,
+            BugClass::RedundantWriteback,
+        );
+    }
+
+    #[test]
+    fn narrows_whole_object_writeback() {
+        let fixed = fix_and_recheck(
+            r#"
+module m
+struct s { a: i64, b: i64, c: i64 }
+fn main() {
+entry:
+  %x = palloc s
+  store %x.a, 1
+  persist %x
+  ret
+}
+"#,
+            PersistencyModel::Strict,
+            BugClass::UnmodifiedWriteback,
+        );
+        // The whole-object persist became a field persist.
+        let insts = &fixed[0].functions[0].blocks[0].insts;
+        let persists: Vec<&Inst> = insts
+            .iter()
+            .map(|si| &si.inst)
+            .filter(|i| matches!(i, Inst::Persist { .. }))
+            .collect();
+        assert_eq!(persists.len(), 1);
+        let Inst::Persist { place } = persists[0] else { unreachable!() };
+        assert!(!place.is_whole_object());
+    }
+
+    #[test]
+    fn unhinted_warnings_are_reported_as_such() {
+        let src = r#"
+module m
+struct s { a: i64 }
+fn main(%c: i64) {
+entry:
+  %x = palloc s
+  tx_begin
+  tx_add %x
+  br %c, w, skip
+w:
+  store %x.a, 1
+  jmp done
+skip:
+  jmp done
+done:
+  tx_commit
+  ret
+}
+"#;
+        let config = DeepMcConfig::new(PersistencyModel::Strict);
+        let report = check_source(src, &config).unwrap();
+        let edt: Vec<_> = report
+            .warnings
+            .iter()
+            .filter(|w| w.class == BugClass::EmptyDurableTx)
+            .cloned()
+            .collect();
+        assert_eq!(edt.len(), 1);
+        assert!(edt[0].fix.is_none(), "empty-tx repair is path-dependent: manual");
+        let mut modules = vec![parse(src).unwrap()];
+        let outcomes = apply_fixes(&mut modules, &edt);
+        assert!(matches!(outcomes[0].outcome, FixOutcome::NoHint));
+    }
+
+    #[test]
+    fn fix_is_idempotent_on_clean_code() {
+        let src = r#"
+module m
+struct s { a: i64 }
+fn main() {
+entry:
+  %x = palloc s
+  store %x.a, 1
+  persist %x.a
+  ret
+}
+"#;
+        let config = DeepMcConfig::new(PersistencyModel::Strict);
+        let modules = vec![parse(src).unwrap()];
+        let (fixed, report, applied) = fix_until_stable(modules.clone(), &config, 3);
+        assert_eq!(applied, 0);
+        assert!(report.warnings.is_empty());
+        assert_eq!(fixed, modules);
+        // Silence the unused-import lint for StaticChecker in this module.
+        let _ = StaticChecker::new(config);
+    }
+}

@@ -1,0 +1,219 @@
+//! Warning reports.
+//!
+//! "DeepMC will create a detailed report of warnings, which shows the line
+//! numbers of the bugs" (paper §4.3). Warnings are deduplicated by
+//! (class, file, line): many traces traverse the same buggy code.
+
+use deepmc_models::{BugClass, PersistencyModel, Severity};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A machine-applicable repair suggestion attached to a warning, consumed
+/// by [`crate::fixer`] (the paper leaves automated fixing as future work;
+/// this is that extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FixHint {
+    /// Insert `persist <place>` right after the store at `store_line`.
+    FlushAndFenceStore { store_line: u32 },
+    /// Insert `tx_add <object>` before the store at `store_line`.
+    LogObjectBeforeStore { store_line: u32 },
+    /// Insert a `fence` after the instruction at `line`.
+    InsertFenceAfter { line: u32 },
+    /// Insert a `fence` before the instruction at `line`.
+    InsertFenceBefore { line: u32 },
+    /// Remove the flush/persist at `line`.
+    RemoveWriteback { line: u32 },
+    /// Persist right after the store at `store_line` and remove the late
+    /// write-back at `flush_line`.
+    MovePersistToStore { store_line: u32, flush_line: u32 },
+    /// Replace the whole-object write-back at `line` with per-field
+    /// write-backs of the fields actually written.
+    NarrowWriteback { line: u32 },
+}
+
+/// One reported warning.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Warning {
+    pub file: String,
+    pub line: u32,
+    pub class: BugClass,
+    pub function: String,
+    pub message: String,
+    pub model: PersistencyModel,
+    /// True when found by the dynamic (online) checker.
+    pub dynamic: bool,
+    /// Machine-applicable repair, when the checker can compute one.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fix: Option<FixHint>,
+}
+
+impl Warning {
+    pub fn severity(&self) -> Severity {
+        self.class.severity()
+    }
+
+    /// Deduplication key: one warning per (class, file, line).
+    pub fn key(&self) -> (BugClass, &str, u32) {
+        (self.class, self.file.as_str(), self.line)
+    }
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "WARNING [{}] {}:{} in `{}` ({} under {} persistency): {}",
+            self.severity(),
+            self.file,
+            self.line,
+            self.function,
+            self.class,
+            self.model,
+            self.message
+        )
+    }
+}
+
+/// A full DeepMC report.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Report {
+    pub warnings: Vec<Warning>,
+}
+
+impl Report {
+    /// Merge raw warnings, deduplicating by (class, file, line) and sorting
+    /// by file, then line, then class.
+    pub fn from_raw(raw: Vec<Warning>) -> Report {
+        let mut seen = BTreeSet::new();
+        let mut warnings: Vec<Warning> = raw
+            .into_iter()
+            .filter(|w| seen.insert((w.class, w.file.clone(), w.line)))
+            .collect();
+        warnings.sort_by(|a, b| {
+            (&a.file, a.line, a.class).cmp(&(&b.file, b.line, b.class))
+        });
+        Report { warnings }
+    }
+
+    /// Append another report, re-deduplicating.
+    pub fn merge(self, other: Report) -> Report {
+        let mut raw = self.warnings;
+        raw.extend(other.warnings);
+        Report::from_raw(raw)
+    }
+
+    /// Warnings of one severity.
+    pub fn by_severity(&self, severity: Severity) -> impl Iterator<Item = &Warning> {
+        self.warnings.iter().filter(move |w| w.severity() == severity)
+    }
+
+    /// Count of model-violation warnings.
+    pub fn violation_count(&self) -> usize {
+        self.by_severity(Severity::Violation).count()
+    }
+
+    /// Count of performance warnings.
+    pub fn performance_count(&self) -> usize {
+        self.by_severity(Severity::Performance).count()
+    }
+
+    /// Warnings of one class.
+    pub fn of_class(&self, class: BugClass) -> impl Iterator<Item = &Warning> {
+        self.warnings.iter().filter(move |w| w.class == class)
+    }
+
+    /// Does the report contain a warning of `class` at `file:line`?
+    pub fn contains(&self, class: BugClass, file: &str, line: u32) -> bool {
+        self.warnings.iter().any(|w| w.class == class && w.file == file && w.line == line)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.warnings.is_empty() {
+            return writeln!(f, "DeepMC: no warnings.");
+        }
+        writeln!(
+            f,
+            "DeepMC: {} warning(s) ({} model violations, {} performance):",
+            self.warnings.len(),
+            self.violation_count(),
+            self.performance_count()
+        )?;
+        for w in &self.warnings {
+            writeln!(f, "  {w}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(class: BugClass, file: &str, line: u32) -> Warning {
+        Warning {
+            file: file.into(),
+            line,
+            class,
+            function: "f".into(),
+            message: "m".into(),
+            model: PersistencyModel::Strict,
+            dynamic: false,
+            fix: None,
+        }
+    }
+
+    #[test]
+    fn dedup_by_class_file_line() {
+        let r = Report::from_raw(vec![
+            w(BugClass::UnflushedWrite, "a.c", 10),
+            w(BugClass::UnflushedWrite, "a.c", 10),
+            w(BugClass::RedundantWriteback, "a.c", 10),
+            w(BugClass::UnflushedWrite, "a.c", 11),
+        ]);
+        assert_eq!(r.warnings.len(), 3);
+    }
+
+    #[test]
+    fn sorted_by_file_line() {
+        let r = Report::from_raw(vec![
+            w(BugClass::UnflushedWrite, "b.c", 5),
+            w(BugClass::UnflushedWrite, "a.c", 9),
+            w(BugClass::UnflushedWrite, "a.c", 2),
+        ]);
+        let locs: Vec<(String, u32)> =
+            r.warnings.iter().map(|w| (w.file.clone(), w.line)).collect();
+        assert_eq!(locs, vec![("a.c".into(), 2), ("a.c".into(), 9), ("b.c".into(), 5)]);
+    }
+
+    #[test]
+    fn severity_counts() {
+        let r = Report::from_raw(vec![
+            w(BugClass::UnflushedWrite, "a.c", 1),
+            w(BugClass::EmptyDurableTx, "a.c", 2),
+            w(BugClass::RedundantWriteback, "a.c", 3),
+        ]);
+        assert_eq!(r.violation_count(), 1);
+        assert_eq!(r.performance_count(), 2);
+    }
+
+    #[test]
+    fn merge_re_dedups() {
+        let a = Report::from_raw(vec![w(BugClass::UnflushedWrite, "a.c", 1)]);
+        let b = Report::from_raw(vec![
+            w(BugClass::UnflushedWrite, "a.c", 1),
+            w(BugClass::UnflushedWrite, "a.c", 2),
+        ]);
+        assert_eq!(a.merge(b).warnings.len(), 2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = Report::from_raw(vec![w(BugClass::EmptyDurableTx, "x.c", 7)]);
+        let s = serde_json::to_string(&r).unwrap();
+        let back: Report = serde_json::from_str(&s).unwrap();
+        assert_eq!(r, back);
+    }
+}

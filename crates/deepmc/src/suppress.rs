@@ -1,0 +1,161 @@
+//! User-specified suppression database — the paper's §5.4 future work:
+//! "To further reduce false positives, we could maintain a database of
+//! user-specified rules to filter out some warnings. The database can be
+//! updated with the learned experiences of previously validated false
+//! positives."
+//!
+//! A [`SuppressionDb`] holds validated-false-positive records; applying it
+//! to a report splits the warnings into surviving and suppressed. The
+//! database serializes to JSON so teams can commit it next to their code,
+//! and it can be *learned*: feed it the warnings a reviewer marked as
+//! false positives and it remembers them.
+
+use crate::report::{Report, Warning};
+use deepmc_models::BugClass;
+use serde::{Deserialize, Serialize};
+
+/// One suppression record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Suppression {
+    /// Bug class to suppress; `None` matches any class.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub class: Option<BugClass>,
+    /// File the warning must be in (exact match).
+    pub file: String,
+    /// Line the warning must be at; `None` matches the whole file.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub line: Option<u32>,
+    /// Why this is a false positive (the reviewer's note).
+    pub reason: String,
+}
+
+impl Suppression {
+    /// Does this record match `w`?
+    pub fn matches(&self, w: &Warning) -> bool {
+        self.file == w.file
+            && self.line.map_or(true, |l| l == w.line)
+            && self.class.map_or(true, |c| c == w.class)
+    }
+}
+
+/// The database.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuppressionDb {
+    pub suppressions: Vec<Suppression>,
+}
+
+impl SuppressionDb {
+    pub fn new() -> SuppressionDb {
+        SuppressionDb::default()
+    }
+
+    /// Learn from a reviewer's verdicts: record each warning validated as
+    /// a false positive.
+    pub fn learn(&mut self, false_positive: &Warning, reason: impl Into<String>) {
+        let record = Suppression {
+            class: Some(false_positive.class),
+            file: false_positive.file.clone(),
+            line: Some(false_positive.line),
+            reason: reason.into(),
+        };
+        if !self.suppressions.contains(&record) {
+            self.suppressions.push(record);
+        }
+    }
+
+    /// Split a report into (surviving, suppressed).
+    pub fn apply(&self, report: &Report) -> (Report, Vec<Warning>) {
+        let mut surviving = Vec::new();
+        let mut suppressed = Vec::new();
+        for w in &report.warnings {
+            if self.suppressions.iter().any(|s| s.matches(w)) {
+                suppressed.push(w.clone());
+            } else {
+                surviving.push(w.clone());
+            }
+        }
+        (Report { warnings: surviving }, suppressed)
+    }
+
+    /// Serialize to the committed JSON form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("db serializes")
+    }
+
+    /// Load from JSON.
+    pub fn from_json(s: &str) -> Result<SuppressionDb, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmc_models::PersistencyModel;
+
+    fn warning(class: BugClass, file: &str, line: u32) -> Warning {
+        Warning {
+            file: file.into(),
+            line,
+            class,
+            function: "f".into(),
+            message: "m".into(),
+            model: PersistencyModel::Strict,
+            dynamic: false,
+            fix: None,
+        }
+    }
+
+    #[test]
+    fn exact_suppression_filters_one_warning() {
+        let mut db = SuppressionDb::new();
+        let fp = warning(BugClass::UnflushedWrite, "a.c", 10);
+        db.learn(&fp, "coverage unprovable; replicas always flush");
+        let report = Report::from_raw(vec![
+            fp.clone(),
+            warning(BugClass::UnflushedWrite, "a.c", 11),
+        ]);
+        let (surviving, suppressed) = db.apply(&report);
+        assert_eq!(surviving.warnings.len(), 1);
+        assert_eq!(surviving.warnings[0].line, 11);
+        assert_eq!(suppressed.len(), 1);
+    }
+
+    #[test]
+    fn file_wide_suppression() {
+        let db = SuppressionDb {
+            suppressions: vec![Suppression {
+                class: None,
+                file: "generated.c".into(),
+                line: None,
+                reason: "generated code audited separately".into(),
+            }],
+        };
+        let report = Report::from_raw(vec![
+            warning(BugClass::RedundantWriteback, "generated.c", 1),
+            warning(BugClass::UnflushedWrite, "generated.c", 2),
+            warning(BugClass::UnflushedWrite, "real.c", 3),
+        ]);
+        let (surviving, suppressed) = db.apply(&report);
+        assert_eq!(surviving.warnings.len(), 1);
+        assert_eq!(suppressed.len(), 2);
+    }
+
+    #[test]
+    fn learn_is_idempotent() {
+        let mut db = SuppressionDb::new();
+        let fp = warning(BugClass::EmptyDurableTx, "x.c", 5);
+        db.learn(&fp, "loop always iterates");
+        db.learn(&fp, "loop always iterates");
+        assert_eq!(db.suppressions.len(), 1);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut db = SuppressionDb::new();
+        db.learn(&warning(BugClass::SemanticMismatch, "y.c", 207), "dead debug path");
+        let back = SuppressionDb::from_json(&db.to_json()).unwrap();
+        assert_eq!(db, back);
+    }
+
+}

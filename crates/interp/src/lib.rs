@@ -1,0 +1,937 @@
+//! # deepmc-interp — executing PIR programs on the simulated NVM runtime
+//!
+//! The interpreter gives PIR programs *runtime* semantics: `palloc`
+//! allocates from the persistent heap, stores and loads hit the pool's
+//! visible image, `flush`/`fence`/`persist` drive the cache-line state
+//! machine, and `tx_*` run real undo-log transactions. This enables:
+//!
+//! * **Bug validation by crash simulation** — run a buggy corpus program,
+//!   crash at an injected step, reboot, recover, and observe the
+//!   inconsistency the static checker predicted (the paper's manual
+//!   validation, §5.1).
+//! * **The dynamic checker** — instrumentation hooks fire on persistent
+//!   accesses (optionally restricted to annotated strand regions), feeding
+//!   the happens-before WAW/RAW detector (paper §4.4).
+//! * **Overhead measurement** — the same program runs with
+//!   [`Hooks`] = [`NoHooks`] (baseline) or a tracking implementation
+//!   (DeepMC), giving the Figure-12-style comparison for PIR workloads.
+
+use deepmc_pir::{
+    Accessor, BinOp, Function, Inst, Module, Operand, Place, SourceLoc, StructDef, Terminator,
+    Ty,
+};
+use nvm_runtime::{PAddr, PmemHeap, PmemPool, StrandId, TxManager};
+use std::collections::HashMap;
+
+/// Instrumentation hooks (the paper's runtime library interface, step ⑤/⑥
+/// of Fig. 8). The default implementations do nothing, so `NoHooks` costs
+/// only the virtual dispatch the baseline also pays.
+pub trait Hooks {
+    /// A strand region opens; return an id to tag its accesses.
+    fn strand_begin(&self, _parent: Option<StrandId>) -> Option<StrandId> {
+        None
+    }
+    fn strand_end(&self, _strand: StrandId) {}
+    /// A persist barrier executed outside any strand.
+    fn global_barrier(&self) {}
+    /// A persistent-memory access at `loc`. Called only for instructions
+    /// the instrumentation plan selected.
+    fn access(
+        &self,
+        _strand: Option<StrandId>,
+        _addr: u64,
+        _len: u64,
+        _is_write: bool,
+        _file: &str,
+        _func: &str,
+        _loc: SourceLoc,
+    ) {
+    }
+}
+
+/// The do-nothing baseline.
+pub struct NoHooks;
+
+impl Hooks for NoHooks {}
+
+/// Which memory accesses invoke [`Hooks::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrumentScope {
+    /// Nothing is instrumented (baseline).
+    None,
+    /// Persistent accesses inside `strand_begin`/`strand_end` regions only
+    /// (DeepMC's choice: "DeepMC only instruments write operations to the
+    /// NVM in programmer-specified code regions").
+    AnnotatedRegions,
+    /// Every persistent access (ablation: what a non-selective tool pays).
+    AllPersistent,
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    Int(i64),
+    /// Pointer to a persistent object of the given struct (module-local id
+    /// resolved at call time; structs are per-module).
+    PRef { addr: PAddr, strukt: u32 },
+    /// Pointer to a volatile object (index into the volatile store).
+    VRef { idx: u32, strukt: u32 },
+    Null,
+}
+
+/// Interpreter errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    UnknownFunction(String),
+    StepLimit,
+    CallDepth,
+    OutOfMemory,
+    TxLogFull,
+    UninitializedLocal { func: String, local: String },
+    TypeError { func: String, line: u32, msg: String },
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            InterpError::StepLimit => write!(f, "step limit exceeded"),
+            InterpError::CallDepth => write!(f, "call depth exceeded"),
+            InterpError::OutOfMemory => write!(f, "persistent heap exhausted"),
+            InterpError::TxLogFull => write!(f, "transaction log full"),
+            InterpError::UninitializedLocal { func, local } => {
+                write!(f, "use of uninitialized local `%{local}` in `{func}`")
+            }
+            InterpError::TypeError { func, line, msg } => {
+                write!(f, "type error in `{func}` line {line}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    Finished(Option<Value>),
+    /// Execution stopped at the injected crash step; the pool now holds
+    /// the pre-crash state, ready for
+    /// [`nvm_runtime::CrashPolicy::apply`].
+    Crashed { step: u64 },
+}
+
+/// Execution limits and crash injection.
+#[derive(Debug, Clone)]
+pub struct InterpConfig {
+    pub max_steps: u64,
+    pub max_call_depth: usize,
+    /// Stop *before* executing step `n` (0-based instruction count).
+    pub crash_at: Option<u64>,
+    pub scope: InstrumentScope,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig {
+            max_steps: 10_000_000,
+            max_call_depth: 256,
+            crash_at: None,
+            scope: InstrumentScope::None,
+        }
+    }
+}
+
+/// A bound execution session.
+pub struct Session<'a> {
+    pub modules: &'a [Module],
+    pub pool: &'a PmemPool,
+    pub heap: &'a PmemHeap<'a>,
+    pub txm: &'a TxManager<'a>,
+    pub hooks: &'a dyn Hooks,
+    pub config: InterpConfig,
+}
+
+/// One volatile (malloc'ed) object.
+struct VolObj {
+    bytes: Vec<u8>,
+}
+
+struct Interp<'a> {
+    s: &'a Session<'a>,
+    /// Global function table: name → (module idx, function).
+    funcs: HashMap<&'a str, (usize, &'a Function)>,
+    vol: Vec<VolObj>,
+    steps: u64,
+    strand_stack: Vec<StrandId>,
+    crashed: bool,
+}
+
+const NULL_ENC: u64 = u64::MAX;
+const VREF_TAG: u64 = 1 << 63;
+
+impl<'a> Session<'a> {
+    /// Run `func` with integer arguments (pointer arguments are not
+    /// supported at the top level; PIR entry points allocate their own
+    /// state).
+    pub fn run(&self, func: &str, args: &[Value]) -> Result<Outcome, InterpError> {
+        let mut funcs: HashMap<&str, (usize, &Function)> = HashMap::new();
+        for (mi, m) in self.modules.iter().enumerate() {
+            for f in &m.functions {
+                if !f.blocks.is_empty() {
+                    funcs.entry(f.name.as_str()).or_insert((mi, f));
+                }
+            }
+        }
+        let mut interp = Interp {
+            s: self,
+            funcs,
+            vol: Vec::new(),
+            steps: 0,
+            strand_stack: Vec::new(),
+            crashed: false,
+        };
+        let (mi, f) = *interp
+            .funcs
+            .get(func)
+            .ok_or_else(|| InterpError::UnknownFunction(func.to_string()))?;
+        let ret = interp.call(mi, f, args.to_vec(), 0)?;
+        if interp.crashed {
+            Ok(Outcome::Crashed { step: interp.steps })
+        } else {
+            Ok(Outcome::Finished(ret))
+        }
+    }
+}
+
+impl<'a> Interp<'a> {
+    fn module(&self, mi: usize) -> &'a Module {
+        &self.s.modules[mi]
+    }
+
+    fn struct_def(&self, mi: usize, strukt: u32) -> &'a StructDef {
+        &self.module(mi).structs[strukt as usize]
+    }
+
+    /// Compute (base address or volatile index, byte offset, length) of a
+    /// place. Returns `Ok(None)` when the base pointer is null or opaque
+    /// (e.g. returned by an unknown external function): such accesses
+    /// target memory outside the simulated pool and are skipped, matching
+    /// the analysis' treatment of untracked objects.
+    fn resolve_place(
+        &mut self,
+        mi: usize,
+        f: &Function,
+        env: &[Option<Value>],
+        place: &Place,
+        _line: u32,
+    ) -> Result<Option<(Value, u64, u64)>, InterpError> {
+        let base = env[place.base.index()].ok_or_else(|| InterpError::UninitializedLocal {
+            func: f.name.clone(),
+            local: f.locals[place.base.index()].name.clone(),
+        })?;
+        let strukt = match base {
+            Value::PRef { strukt, .. } | Value::VRef { strukt, .. } => strukt,
+            Value::Null | Value::Int(_) => return Ok(None),
+        };
+        let sdef = self.struct_def(mi, strukt);
+        let (off, len) = match place.path.as_slice() {
+            [] => (0, sdef.size_bytes()),
+            [Accessor::Field(fi)] => (sdef.field_offset(*fi), sdef.field(*fi).ty.size_bytes()),
+            [Accessor::Field(fi), Accessor::Index(idx)] => {
+                let i = match self.eval(env, *idx) {
+                    Some(Value::Int(n)) => n,
+                    _ => 0,
+                };
+                let fty = sdef.field(*fi).ty;
+                let n_elems = match fty {
+                    Ty::Array(n) => n as i64,
+                    _ => 1,
+                };
+                let i = i.rem_euclid(n_elems.max(1)); // clamp OOB indices
+                (sdef.field_offset(*fi) + (i as u64) * 8, 8)
+            }
+            _ => (0, sdef.size_bytes()),
+        };
+        Ok(Some((base, off, len)))
+    }
+
+    fn eval(&self, env: &[Option<Value>], op: Operand) -> Option<Value> {
+        match op {
+            Operand::Const(n) => Some(Value::Int(n)),
+            Operand::Null => Some(Value::Null),
+            Operand::Local(l) => env[l.index()],
+        }
+    }
+
+    fn encode(&self, v: Value) -> u64 {
+        match v {
+            Value::Int(n) => n as u64,
+            Value::Null => NULL_ENC,
+            Value::PRef { addr, .. } => addr.0,
+            Value::VRef { idx, .. } => VREF_TAG | idx as u64,
+        }
+    }
+
+    fn decode_ptr(&self, raw: u64, strukt: u32) -> Value {
+        if raw == NULL_ENC {
+            Value::Null
+        } else if raw & VREF_TAG != 0 {
+            Value::VRef { idx: (raw & !VREF_TAG) as u32, strukt }
+        } else {
+            Value::PRef { addr: PAddr(raw), strukt }
+        }
+    }
+
+    fn tick(&mut self) -> Result<bool, InterpError> {
+        if let Some(at) = self.s.config.crash_at {
+            if self.steps >= at {
+                self.crashed = true;
+                return Ok(false);
+            }
+        }
+        self.steps += 1;
+        if self.steps > self.s.config.max_steps {
+            return Err(InterpError::StepLimit);
+        }
+        Ok(true)
+    }
+
+    fn instrumented(&self) -> bool {
+        match self.s.config.scope {
+            InstrumentScope::None => false,
+            InstrumentScope::AnnotatedRegions => !self.strand_stack.is_empty(),
+            InstrumentScope::AllPersistent => true,
+        }
+    }
+
+    fn hook_access(
+        &self,
+        mi: usize,
+        f: &Function,
+        addr: PAddr,
+        len: u64,
+        is_write: bool,
+        loc: SourceLoc,
+    ) {
+        if self.instrumented() {
+            self.s.hooks.access(
+                self.strand_stack.last().copied(),
+                addr.0,
+                len,
+                is_write,
+                &self.module(mi).file,
+                &f.name,
+                loc,
+            );
+        }
+    }
+
+    fn call(
+        &mut self,
+        mi: usize,
+        f: &'a Function,
+        args: Vec<Value>,
+        depth: usize,
+    ) -> Result<Option<Value>, InterpError> {
+        if depth > self.s.config.max_call_depth {
+            return Err(InterpError::CallDepth);
+        }
+        let mut env: Vec<Option<Value>> = vec![None; f.locals.len()];
+        for (i, a) in args.into_iter().enumerate() {
+            if i < f.num_params as usize {
+                env[i] = Some(a);
+            }
+        }
+        let mut bb = Function::ENTRY;
+        loop {
+            let block = &f.blocks[bb.index()];
+            for si in &block.insts {
+                if !self.tick()? {
+                    return Ok(None); // crash injected
+                }
+                if !self.exec(mi, f, &mut env, &si.inst, si.loc, depth)? {
+                    return Ok(None); // crash during a callee
+                }
+            }
+            if !self.tick()? {
+                return Ok(None);
+            }
+            match &block.term.inst {
+                Terminator::Ret { value } => {
+                    return Ok(value.and_then(|v| self.eval(&env, v)));
+                }
+                Terminator::Jmp { bb: next } => bb = *next,
+                Terminator::Br { cond, then_bb, else_bb } => {
+                    let taken = match self.eval(&env, *cond) {
+                        Some(Value::Int(n)) => n != 0,
+                        Some(Value::Null) => false,
+                        Some(_) => true, // non-null pointer is truthy
+                        None => false,
+                    };
+                    bb = if taken { *then_bb } else { *else_bb };
+                }
+            }
+        }
+    }
+
+    /// Execute one instruction; `Ok(false)` means a crash was injected in
+    /// a callee and the whole stack must unwind.
+    fn exec(
+        &mut self,
+        mi: usize,
+        f: &'a Function,
+        env: &mut Vec<Option<Value>>,
+        inst: &Inst,
+        loc: SourceLoc,
+        depth: usize,
+    ) -> Result<bool, InterpError> {
+        match inst {
+            Inst::PAlloc { dst, ty } => {
+                let size = self.struct_def(mi, ty.0).size_bytes();
+                let addr = self.s.heap.alloc_zeroed(size);
+                if addr.is_null() {
+                    return Err(InterpError::OutOfMemory);
+                }
+                env[dst.index()] = Some(Value::PRef { addr, strukt: ty.0 });
+            }
+            Inst::VAlloc { dst, ty } => {
+                let size = self.struct_def(mi, ty.0).size_bytes();
+                let idx = self.vol.len() as u32;
+                self.vol.push(VolObj { bytes: vec![0; size as usize] });
+                env[dst.index()] = Some(Value::VRef { idx, strukt: ty.0 });
+            }
+            Inst::Store { place, value } => {
+                let v = self.eval(env, *value).unwrap_or(Value::Int(0));
+                let raw = self.encode(v);
+                let Some((base, off, len)) = self.resolve_place(mi, f, env, place, loc.line)?
+                else {
+                    return Ok(true); // opaque target: skipped
+                };
+                match base {
+                    Value::PRef { addr, .. } => {
+                        let target = addr.offset(off);
+                        // Fill multi-word ranges (whole-field array stores
+                        // do not occur; len is 8 here).
+                        self.s.pool.write(target, &raw.to_le_bytes()[..len.min(8) as usize]);
+                        self.hook_access(mi, f, target, len.min(8), true, loc);
+                    }
+                    Value::VRef { idx, .. } => {
+                        let b = &mut self.vol[idx as usize].bytes;
+                        b[off as usize..(off + len.min(8)) as usize]
+                            .copy_from_slice(&raw.to_le_bytes()[..len.min(8) as usize]);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            Inst::Load { dst, place } => {
+                let Some((base, off, len)) = self.resolve_place(mi, f, env, place, loc.line)?
+                else {
+                    env[dst.index()] = Some(match f.local_ty(*dst) {
+                        Ty::Ptr(_) => Value::Null,
+                        _ => Value::Int(0),
+                    });
+                    return Ok(true);
+                };
+                let mut buf = [0u8; 8];
+                match base {
+                    Value::PRef { addr, .. } => {
+                        let target = addr.offset(off);
+                        self.s.pool.read(target, &mut buf[..len.min(8) as usize]);
+                        self.hook_access(mi, f, target, len.min(8), false, loc);
+                    }
+                    Value::VRef { idx, .. } => {
+                        let b = &self.vol[idx as usize].bytes;
+                        buf[..len.min(8) as usize]
+                            .copy_from_slice(&b[off as usize..(off + len.min(8)) as usize]);
+                    }
+                    _ => unreachable!(),
+                }
+                let raw = u64::from_le_bytes(buf);
+                let v = match f.local_ty(*dst) {
+                    Ty::Ptr(sid) => self.decode_ptr(raw, sid.0),
+                    _ => Value::Int(raw as i64),
+                };
+                env[dst.index()] = Some(v);
+            }
+            Inst::Bin { dst, op, lhs, rhs } => {
+                let a = self.eval(env, *lhs);
+                let b = self.eval(env, *rhs);
+                let v = match (a, b) {
+                    (Some(Value::Int(x)), Some(Value::Int(y))) => Value::Int(op.eval(x, y)),
+                    (Some(x), Some(y)) => {
+                        // Pointer equality.
+                        let eq = self.encode(x) == self.encode(y);
+                        match op {
+                            BinOp::Eq => Value::Int(eq as i64),
+                            BinOp::Ne => Value::Int(!eq as i64),
+                            _ => Value::Int(0),
+                        }
+                    }
+                    _ => Value::Int(0),
+                };
+                env[dst.index()] = Some(v);
+            }
+            Inst::Mov { dst, src } => {
+                env[dst.index()] = self.eval(env, *src);
+            }
+            Inst::Flush { place } => {
+                if let Some((Value::PRef { addr, .. }, off, len)) =
+                    self.resolve_place(mi, f, env, place, loc.line)?
+                {
+                    self.s.pool.flush(addr.offset(off), len);
+                }
+            }
+            Inst::Fence => {
+                self.s.pool.fence();
+                if self.strand_stack.is_empty() {
+                    self.s.hooks.global_barrier();
+                }
+            }
+            Inst::Persist { place } => {
+                if let Some((Value::PRef { addr, .. }, off, len)) =
+                    self.resolve_place(mi, f, env, place, loc.line)?
+                {
+                    self.s.pool.persist(addr.offset(off), len);
+                } else {
+                    self.s.pool.fence();
+                }
+                if self.strand_stack.is_empty() {
+                    self.s.hooks.global_barrier();
+                }
+            }
+            Inst::MemSetPersist { place, value } => {
+                let fill = match self.eval(env, *value) {
+                    Some(Value::Int(n)) => n,
+                    _ => 0,
+                };
+                if let Some((Value::PRef { addr, .. }, off, len)) =
+                    self.resolve_place(mi, f, env, place, loc.line)?
+                {
+                    let words = (len / 8).max(1);
+                    let mut bytes = Vec::with_capacity(len as usize);
+                    for _ in 0..words {
+                        bytes.extend_from_slice(&(fill as u64).to_le_bytes());
+                    }
+                    bytes.truncate(len as usize);
+                    let target = addr.offset(off);
+                    self.s.pool.write(target, &bytes);
+                    self.hook_access(mi, f, target, len, true, loc);
+                    self.s.pool.persist(target, len);
+                    if self.strand_stack.is_empty() {
+                        self.s.hooks.global_barrier();
+                    }
+                }
+            }
+            Inst::TxBegin => self.s.txm.begin(),
+            Inst::TxAdd { place } => {
+                if let Some((Value::PRef { addr, .. }, off, len)) =
+                    self.resolve_place(mi, f, env, place, loc.line)?
+                {
+                    self.s.txm.add(addr.offset(off), len).map_err(|_| InterpError::TxLogFull)?;
+                }
+            }
+            Inst::TxCommit => self.s.txm.commit(),
+            Inst::TxAbort => self.s.txm.abort(),
+            Inst::EpochBegin | Inst::EpochEnd => {
+                // Epoch boundaries are annotations; their ordering effect
+                // comes from the fences the program (correctly) issues.
+            }
+            Inst::StrandBegin => {
+                let parent = self.strand_stack.last().copied();
+                if let Some(id) = self.s.hooks.strand_begin(parent) {
+                    self.strand_stack.push(id);
+                }
+            }
+            Inst::StrandEnd => {
+                if let Some(id) = self.strand_stack.pop() {
+                    self.s.hooks.strand_end(id);
+                }
+            }
+            Inst::Call { dst, callee, args } => {
+                let Some(&(cmi, cf)) = self.funcs.get(callee.as_str()) else {
+                    // Unknown externals return 0.
+                    if let Some(d) = dst {
+                        env[d.index()] = Some(Value::Int(0));
+                    }
+                    return Ok(true);
+                };
+                let argv: Vec<Value> = args
+                    .iter()
+                    .map(|a| self.eval(env, *a).unwrap_or(Value::Int(0)))
+                    .collect();
+                let ret = self.call(cmi, cf, argv, depth + 1)?;
+                if self.crashed {
+                    return Ok(false);
+                }
+                if let Some(d) = dst {
+                    env[d.index()] = Some(ret.unwrap_or(Value::Int(0)));
+                }
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmc_pir::parse;
+    use nvm_runtime::{CrashPolicy, PoolConfig};
+
+    /// Run `src`'s `main` and return (outcome, pool) for inspection.
+    fn run_with(
+        src: &str,
+        config: InterpConfig,
+    ) -> (Result<Outcome, InterpError>, PmemPool) {
+        let m = parse(src).expect("test source parses");
+        deepmc_pir::verify::verify_module(&m).expect("verifies");
+        let pool = PmemPool::new(PoolConfig { size: 1 << 20, shards: 4, ..Default::default() });
+        let out = {
+            let heap = PmemHeap::open(&pool);
+            let log = heap.alloc(1 << 16);
+            let txm = TxManager::new(&pool, log, 1 << 16);
+            let session = Session {
+                modules: std::slice::from_ref(&m),
+                pool: &pool,
+                heap: &heap,
+                txm: &txm,
+                hooks: &NoHooks,
+                config,
+            };
+            session.run("main", &[])
+        };
+        (out, pool)
+    }
+
+    fn run(src: &str) -> (Result<Outcome, InterpError>, PmemPool) {
+        run_with(src, InterpConfig::default())
+    }
+
+    #[test]
+    fn arithmetic_and_branching() {
+        let (out, _) = run(
+            r#"
+module m
+fn main() -> i64 {
+entry:
+  %a = mov 10
+  %b = add %a, 32
+  %c = gt %b, 40
+  br %c, yes, no
+yes:
+  ret %b
+no:
+  ret 0
+}
+"#,
+        );
+        assert_eq!(out.unwrap(), Outcome::Finished(Some(Value::Int(42))));
+    }
+
+    #[test]
+    fn persistent_store_load_roundtrip() {
+        let (out, _) = run(
+            r#"
+module m
+struct s { a: i64, arr: [i64; 4], next: ptr s }
+fn main() -> i64 {
+entry:
+  %x = palloc s
+  %y = palloc s
+  store %x.a, 5
+  store %x.arr[2], 7
+  store %x.next, %y
+  store %y.a, 30
+  %n = load %x.next
+  %v1 = load %x.a
+  %v2 = load %x.arr[2]
+  %v3 = load %n.a
+  %t1 = add %v1, %v2
+  %t2 = add %t1, %v3
+  ret %t2
+}
+"#,
+        );
+        assert_eq!(out.unwrap(), Outcome::Finished(Some(Value::Int(42))));
+    }
+
+    #[test]
+    fn volatile_objects_work_but_do_not_touch_pool() {
+        let m = parse(
+            "module m\nstruct s { a: i64 }\nfn main() -> i64 {\nentry:\n  %x = valloc s\n  store %x.a, 9\n  %v = load %x.a\n  ret %v\n}\n",
+        )
+        .unwrap();
+        let pool = PmemPool::new(PoolConfig { size: 1 << 20, shards: 4, ..Default::default() });
+        let heap = PmemHeap::open(&pool);
+        let log = heap.alloc(4096);
+        let txm = TxManager::new(&pool, log, 4096);
+        let before = pool.stats();
+        let session = Session {
+            modules: std::slice::from_ref(&m),
+            pool: &pool,
+            heap: &heap,
+            txm: &txm,
+            hooks: &NoHooks,
+            config: InterpConfig::default(),
+        };
+        let out = session.run("main", &[]).unwrap();
+        assert_eq!(out, Outcome::Finished(Some(Value::Int(9))));
+        assert_eq!(pool.stats().stores, before.stores, "volatile traffic never hits NVM");
+    }
+
+    #[test]
+    fn unflushed_write_lost_after_crash() {
+        let (out, pool) = run(
+            r#"
+module m
+struct s { a: i64, b: i64 }
+fn main() {
+entry:
+  %x = palloc s
+  store %x.a, 1
+  persist %x.a
+  store %x.b, 2
+  ret
+}
+"#,
+        );
+        assert!(matches!(out.unwrap(), Outcome::Finished(_)));
+        let img = CrashPolicy::Pessimistic.apply(&pool);
+        // Find the object: it is the first heap block after the metadata.
+        // The heap's first allocation in these tests is the tx log
+        // (65536 B), so the object follows it.
+        let obj = PAddr(64 + 65536);
+        assert_eq!(img.read_u64(obj), 1, "persisted field survives");
+        assert_eq!(img.read_u64(obj.offset(8)), 0, "unflushed field lost");
+    }
+
+    #[test]
+    fn transactional_update_is_atomic_under_crash() {
+        // Crash at every step of a transactional two-field update; after
+        // recovery the fields must never disagree.
+        let src = r#"
+module m
+struct acct { bal1: i64, bal2: i64 }
+fn main() {
+entry:
+  %x = palloc acct
+  store %x.bal1, 100
+  store %x.bal2, 100
+  persist %x
+  tx_begin
+  tx_add %x
+  store %x.bal1, 50
+  store %x.bal2, 150
+  tx_commit
+  ret
+}
+"#;
+        let obj = PAddr(64 + 65536);
+        for step in 0..40 {
+            let (out, pool) = run_with(
+                src,
+                InterpConfig { crash_at: Some(step), ..Default::default() },
+            );
+            let out = out.unwrap();
+            // Adversarial eviction, then reboot + recovery.
+            let img = CrashPolicy::Optimistic.apply(&pool);
+            let p2 = img.reboot(4);
+            let heap2 = PmemHeap::open(&p2);
+            let log = PAddr(64); // first allocation in run_with
+            let txm2 = TxManager::attach(&p2, log, 1 << 16);
+            txm2.recover();
+            let b1 = p2.read_u64(obj) as i64;
+            let b2 = p2.read_u64(obj.offset(8)) as i64;
+            if matches!(out, Outcome::Crashed { .. }) {
+                // Pre-transaction initialization may legitimately tear
+                // ((0,0)/(100,0)); the transaction itself must be atomic:
+                // never (50,100) or (100,150).
+                let valid = [(0, 0), (100, 0), (100, 100), (50, 150)];
+                assert!(
+                    valid.contains(&(b1, b2)),
+                    "crash at step {step}: torn state bal1={b1} bal2={b2}"
+                );
+            } else {
+                assert_eq!((b1, b2), (50, 150));
+            }
+            drop(heap2);
+        }
+    }
+
+    #[test]
+    fn crash_injection_stops_execution() {
+        let (out, pool) = run_with(
+            "module m\nstruct s { a: i64 }\nfn main() {\nentry:\n  %x = palloc s\n  store %x.a, 1\n  persist %x.a\n  ret\n}\n",
+            InterpConfig { crash_at: Some(2), ..Default::default() },
+        );
+        assert!(matches!(out.unwrap(), Outcome::Crashed { .. }));
+        // The persist never ran: nothing of the object is durable.
+        let img = CrashPolicy::Pessimistic.apply(&pool);
+        assert_eq!(img.read_u64(PAddr(64 + 65536)), 0);
+    }
+
+    #[test]
+    fn step_limit_catches_infinite_loops() {
+        let (out, _) = run_with(
+            "module m\nfn main() {\nentry:\n  jmp entry\n}\n",
+            InterpConfig { max_steps: 1000, ..Default::default() },
+        );
+        assert_eq!(out.unwrap_err(), InterpError::StepLimit);
+    }
+
+    #[test]
+    fn call_depth_limit() {
+        let (out, _) = run_with(
+            "module m\nfn main() {\nentry:\n  call main()\n  ret\n}\n",
+            InterpConfig { max_call_depth: 10, ..Default::default() },
+        );
+        assert_eq!(out.unwrap_err(), InterpError::CallDepth);
+    }
+
+    #[test]
+    fn calls_pass_pointers_and_return_values() {
+        let (out, _) = run(
+            r#"
+module m
+struct s { a: i64 }
+fn get(%p: ptr s) -> i64 {
+entry:
+  %v = load %p.a
+  ret %v
+}
+fn main() -> i64 {
+entry:
+  %x = palloc s
+  store %x.a, 41
+  %r = call get(%x)
+  %r2 = add %r, 1
+  ret %r2
+}
+"#,
+        );
+        assert_eq!(out.unwrap(), Outcome::Finished(Some(Value::Int(42))));
+    }
+
+    #[test]
+    fn null_comparisons() {
+        let (out, _) = run(
+            r#"
+module m
+struct s { next: ptr s }
+fn main() -> i64 {
+entry:
+  %x = palloc s
+  store %x.next, null
+  %n = load %x.next
+  %isnull = eq %n, %n
+  br %n, nonnull, isnil
+nonnull:
+  ret 0
+isnil:
+  ret %isnull
+}
+"#,
+        );
+        assert_eq!(out.unwrap(), Outcome::Finished(Some(Value::Int(1))));
+    }
+
+    #[test]
+    fn memset_persist_zeroes_and_persists() {
+        let (out, pool) = run(
+            r#"
+module m
+struct s { a: i64, b: i64 }
+fn main() {
+entry:
+  %x = palloc s
+  store %x.a, 7
+  store %x.b, 9
+  persist %x
+  memset_persist %x, 0
+  ret
+}
+"#,
+        );
+        assert!(matches!(out.unwrap(), Outcome::Finished(_)));
+        let img = CrashPolicy::Pessimistic.apply(&pool);
+        let obj = PAddr(64 + 65536);
+        assert_eq!(img.read_u64(obj), 0);
+        assert_eq!(img.read_u64(obj.offset(8)), 0);
+    }
+
+    #[test]
+    fn strand_hooks_fire() {
+        use parking_lot::Mutex;
+        #[derive(Default)]
+        struct Recorder {
+            events: Mutex<Vec<String>>,
+            next: Mutex<u32>,
+        }
+        impl Hooks for Recorder {
+            fn strand_begin(&self, _p: Option<StrandId>) -> Option<StrandId> {
+                let mut n = self.next.lock();
+                let id = StrandId(*n);
+                *n += 1;
+                self.events.lock().push(format!("begin{}", id.0));
+                Some(id)
+            }
+            fn strand_end(&self, s: StrandId) {
+                self.events.lock().push(format!("end{}", s.0));
+            }
+            fn access(
+                &self,
+                strand: Option<StrandId>,
+                _addr: u64,
+                _len: u64,
+                is_write: bool,
+                _file: &str,
+                _func: &str,
+                _loc: SourceLoc,
+            ) {
+                self.events.lock().push(format!(
+                    "{}{}",
+                    if is_write { "w" } else { "r" },
+                    strand.map(|s| s.0.to_string()).unwrap_or_default()
+                ));
+            }
+        }
+        let m = parse(
+            r#"
+module m
+struct s { a: i64 }
+fn main() {
+entry:
+  %x = palloc s
+  store %x.a, 1
+  strand_begin
+  store %x.a, 2
+  strand_end
+  ret
+}
+"#,
+        )
+        .unwrap();
+        let pool = PmemPool::new(PoolConfig { size: 1 << 20, shards: 4, ..Default::default() });
+        let heap = PmemHeap::open(&pool);
+        let log = heap.alloc(4096);
+        let txm = TxManager::new(&pool, log, 4096);
+        let rec = Recorder::default();
+        let session = Session {
+            modules: std::slice::from_ref(&m),
+            pool: &pool,
+            heap: &heap,
+            txm: &txm,
+            hooks: &rec,
+            config: InterpConfig {
+                scope: InstrumentScope::AnnotatedRegions,
+                ..Default::default()
+            },
+        };
+        session.run("main", &[]).unwrap();
+        let events = rec.events.into_inner();
+        // The store outside the strand is NOT instrumented under
+        // AnnotatedRegions.
+        assert_eq!(events, vec!["begin0", "w0", "end0"]);
+    }
+}

@@ -1,0 +1,145 @@
+//! The deep-persistency-bug taxonomy from the paper's study (§3, Table 1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a bug breaks crash consistency or "only" performance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Persistency *model violation*: crash consistency is at risk.
+    Violation,
+    /// *Performance bug*: unnecessary persistent operations.
+    Performance,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Violation => write!(f, "model violation"),
+            Severity::Performance => write!(f, "performance"),
+        }
+    }
+}
+
+/// The bug classes of Table 1 (plus the strand dependence class checked
+/// dynamically). Each maps to one checking rule in Table 4 or Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BugClass {
+    // --- persistency model violations (Table 4) --------------------------
+    /// Several unrelated writes made durable by a single barrier where the
+    /// model demands per-store (strict) or per-unit (epoch) durability.
+    MultipleWritesAtOnce,
+    /// A persistent write never covered by a flush (or transaction log)
+    /// before it must be durable.
+    UnflushedWrite,
+    /// A flush with no ordering barrier before the next persistent
+    /// operation / transaction.
+    MissingPersistBarrier,
+    /// An inner (nested) transaction ends without a persist barrier, so its
+    /// writes are not ordered before the outer transaction's.
+    MissingBarrierNestedTx,
+    /// The durability the program achieves does not match the unit of
+    /// atomicity the programmer intended: a write is persisted only in a
+    /// later persist unit, or one object's fields are persisted across
+    /// several consecutive epochs.
+    SemanticMismatch,
+    /// Two concurrent strands have a WAW/RAW dependence (strand model).
+    InterStrandDependency,
+
+    // --- performance bugs (Table 5) --------------------------------------
+    /// Writing back data that was never modified (including flushing a
+    /// whole object when only some fields were written).
+    UnmodifiedWriteback,
+    /// Flushing the same (already written-back, unmodified-since) data
+    /// again.
+    RedundantWriteback,
+    /// Persisting the same object multiple times within one transaction.
+    RedundantPersistInTx,
+    /// A durable transaction that contains no persistent write at all.
+    EmptyDurableTx,
+}
+
+impl BugClass {
+    /// Severity per the study's two-way split.
+    pub fn severity(self) -> Severity {
+        use BugClass::*;
+        match self {
+            MultipleWritesAtOnce
+            | UnflushedWrite
+            | MissingPersistBarrier
+            | MissingBarrierNestedTx
+            | SemanticMismatch
+            | InterStrandDependency => Severity::Violation,
+            UnmodifiedWriteback | RedundantWriteback | RedundantPersistInTx | EmptyDurableTx => {
+                Severity::Performance
+            }
+        }
+    }
+
+    /// The row label used in Table 1 of the paper.
+    pub fn table1_label(self) -> &'static str {
+        use BugClass::*;
+        match self {
+            MultipleWritesAtOnce => "Multiple writes made durable at once",
+            UnflushedWrite => "Unflushed write",
+            MissingPersistBarrier => "Missing persist barriers",
+            MissingBarrierNestedTx => "Missing persist barriers in nested transactions",
+            SemanticMismatch => "Mismatch between program semantics and model",
+            InterStrandDependency => "Data dependencies between strands",
+            UnmodifiedWriteback => "Flush an unmodified object",
+            RedundantWriteback => "Multiple flushes to a persistent object",
+            RedundantPersistInTx => "Persist the same object multiple times in a transaction",
+            EmptyDurableTx => "Durable transaction without persistent writes",
+        }
+    }
+
+    /// All classes, Table 1 row order.
+    pub const ALL: [BugClass; 10] = [
+        BugClass::MultipleWritesAtOnce,
+        BugClass::UnflushedWrite,
+        BugClass::MissingPersistBarrier,
+        BugClass::MissingBarrierNestedTx,
+        BugClass::SemanticMismatch,
+        BugClass::InterStrandDependency,
+        BugClass::UnmodifiedWriteback,
+        BugClass::RedundantWriteback,
+        BugClass::RedundantPersistInTx,
+        BugClass::EmptyDurableTx,
+    ];
+}
+
+impl fmt::Display for BugClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.table1_label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_split_matches_study() {
+        let violations =
+            BugClass::ALL.iter().filter(|c| c.severity() == Severity::Violation).count();
+        let perf =
+            BugClass::ALL.iter().filter(|c| c.severity() == Severity::Performance).count();
+        assert_eq!(violations, 6);
+        assert_eq!(perf, 4);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::HashSet<_> =
+            BugClass::ALL.iter().map(|c| c.table1_label()).collect();
+        assert_eq!(labels.len(), BugClass::ALL.len());
+    }
+
+    #[test]
+    fn display_uses_label() {
+        assert_eq!(
+            BugClass::UnflushedWrite.to_string(),
+            "Unflushed write"
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # deepmc-models — persistency model specifications and the rule catalog
+//!
+//! Memory persistency models (Pelley et al., ISCA'14) specify the order in
+//! which persistent stores become durable relative to program order:
+//!
+//! * **Strict** — every persistent store is made durable in program order
+//!   (flush + barrier after each store). Easy to reason about, slow.
+//!   Used by PMDK and NVM-Direct.
+//! * **Epoch** — stores within an epoch may persist in any order; epochs
+//!   are ordered by persist barriers at their boundaries. Used by PMFS and
+//!   Mnemosyne.
+//! * **Strand** — epochs ("strands") may additionally persist concurrently
+//!   with each other when they have no WAW/RAW data dependence.
+//!
+//! This crate encodes the models, the deep-persistency-bug taxonomy of the
+//! paper's study (§3), and the checking rules of Tables 4 and 5 as data the
+//! checker and the report tooling share.
+
+pub mod bugclass;
+pub mod model;
+pub mod rules;
+
+pub use bugclass::{BugClass, Severity};
+pub use model::PersistencyModel;
+pub use rules::{Rule, RULES};

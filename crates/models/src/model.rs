@@ -1,0 +1,93 @@
+//! The three memory persistency models (paper §2.2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The persistency model a program declares it implements. DeepMC users
+/// pass this as a compile-time flag (`-strict`, `-epoch`, `-strand`,
+/// paper §4.5); the checker selects its violation rules from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PersistencyModel {
+    /// All persistent stores become durable in program order.
+    Strict,
+    /// Stores within an epoch are unordered; epochs are ordered by barriers.
+    Epoch,
+    /// Epoch, plus independent strands may persist concurrently.
+    Strand,
+}
+
+impl PersistencyModel {
+    /// The compiler-flag spelling (`-strict` etc.).
+    pub fn flag(self) -> &'static str {
+        match self {
+            PersistencyModel::Strict => "-strict",
+            PersistencyModel::Epoch => "-epoch",
+            PersistencyModel::Strand => "-strand",
+        }
+    }
+
+    /// Epoch-based models treat epoch regions as persist units.
+    pub fn has_epochs(self) -> bool {
+        matches!(self, PersistencyModel::Epoch | PersistencyModel::Strand)
+    }
+
+    /// Only the strand model permits concurrent persists between strands
+    /// (and therefore needs the dynamic dependence check).
+    pub fn has_strands(self) -> bool {
+        matches!(self, PersistencyModel::Strand)
+    }
+
+    pub const ALL: [PersistencyModel; 3] =
+        [PersistencyModel::Strict, PersistencyModel::Epoch, PersistencyModel::Strand];
+}
+
+impl fmt::Display for PersistencyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistencyModel::Strict => write!(f, "strict"),
+            PersistencyModel::Epoch => write!(f, "epoch"),
+            PersistencyModel::Strand => write!(f, "strand"),
+        }
+    }
+}
+
+impl FromStr for PersistencyModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim_start_matches('-') {
+            "strict" => Ok(PersistencyModel::Strict),
+            "epoch" => Ok(PersistencyModel::Epoch),
+            "strand" => Ok(PersistencyModel::Strand),
+            other => Err(format!("unknown persistency model `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_roundtrip() {
+        for m in PersistencyModel::ALL {
+            assert_eq!(m.flag().parse::<PersistencyModel>().unwrap(), m);
+            assert_eq!(m.to_string().parse::<PersistencyModel>().unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn model_capabilities() {
+        assert!(!PersistencyModel::Strict.has_epochs());
+        assert!(PersistencyModel::Epoch.has_epochs());
+        assert!(PersistencyModel::Strand.has_epochs());
+        assert!(PersistencyModel::Strand.has_strands());
+        assert!(!PersistencyModel::Epoch.has_strands());
+    }
+
+    #[test]
+    fn unknown_model_rejected() {
+        assert!("lazy".parse::<PersistencyModel>().is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! The checking-rule catalog: Tables 4 and 5 of the paper, as data.
+//!
+//! Each rule ties a bug class to the persistency model(s) it applies to and
+//! carries the formal statement from the paper. The static and dynamic
+//! checkers implement these rules; the `repro-rules` binary prints this
+//! table.
+
+use crate::bugclass::{BugClass, Severity};
+use crate::model::PersistencyModel;
+
+/// How a rule is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Analysis {
+    Static,
+    Dynamic,
+}
+
+/// One checking rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    pub class: BugClass,
+    /// Models this rule applies to; `None` means every model
+    /// (performance rules "manifest across persistency models", §3.3).
+    pub models: Option<&'static [PersistencyModel]>,
+    pub analysis: Analysis,
+    /// The formal statement from Table 4 / Table 5.
+    pub statement: &'static str,
+}
+
+impl Rule {
+    pub fn severity(&self) -> Severity {
+        self.class.severity()
+    }
+
+    /// Does the rule apply when checking under `model`?
+    pub fn applies_to(&self, model: PersistencyModel) -> bool {
+        self.models.map_or(true, |ms| ms.contains(&model))
+    }
+}
+
+use PersistencyModel::{Epoch, Strand, Strict};
+
+const STRICT_ONLY: &[PersistencyModel] = &[Strict];
+const STRICT_EPOCH: &[PersistencyModel] = &[Strict, Epoch, Strand];
+const EPOCHY: &[PersistencyModel] = &[Epoch, Strand];
+const STRAND_ONLY: &[PersistencyModel] = &[Strand];
+
+/// The full catalog (Table 4 then Table 5).
+pub const RULES: &[Rule] = &[
+    // --- Table 4: persistency model violations ---------------------------
+    Rule {
+        class: BugClass::UnflushedWrite,
+        models: Some(STRICT_EPOCH),
+        analysis: Analysis::Static,
+        statement: "An operation W writing to addr A1 should be followed by a flush F at \
+                    addr A2, where A1 ⊆ A2 (strict: before the next persistent store; \
+                    epoch: before the end of its epoch), or be undo-logged in the \
+                    enclosing transaction.",
+    },
+    Rule {
+        class: BugClass::MultipleWritesAtOnce,
+        models: Some(STRICT_ONLY),
+        analysis: Analysis::Static,
+        statement: "A persist barrier P should be preceded by only one write W since the \
+                    previous barrier.",
+    },
+    Rule {
+        class: BugClass::MissingPersistBarrier,
+        models: Some(STRICT_EPOCH),
+        analysis: Analysis::Static,
+        statement: "For any consecutive disjoint persist units E1 and E2 (stores under \
+                    strict, epochs under epoch persistency), there should be a persist \
+                    barrier P at the end of E1.",
+    },
+    Rule {
+        class: BugClass::MissingBarrierNestedTx,
+        models: Some(EPOCHY),
+        analysis: Analysis::Static,
+        statement: "For any epoch/transaction E1 nested inside E2, there should be a \
+                    persist barrier P at the end of E1 (inner transactions persist \
+                    before outer ones).",
+    },
+    Rule {
+        class: BugClass::SemanticMismatch,
+        models: Some(STRICT_EPOCH),
+        analysis: Analysis::Static,
+        statement: "For any consecutive persist units E1 and E2 writing to addresses A1 \
+                    and A2 with A1 ∈ O1, A2 ∈ O2: O1 ≠ O2 — one object's durability \
+                    must not be split across persist units the programmer meant to be \
+                    atomic.",
+    },
+    Rule {
+        class: BugClass::InterStrandDependency,
+        models: Some(STRAND_ONLY),
+        analysis: Analysis::Dynamic,
+        statement: "For any concurrent strands S1 and S2 operating on addrs A1 and A2 \
+                    respectively, A1 ∩ A2 = ∅ (no WAW or RAW dependence between \
+                    strands).",
+    },
+    // --- Table 5: performance bugs (model independent) -------------------
+    Rule {
+        class: BugClass::UnmodifiedWriteback,
+        models: None,
+        analysis: Analysis::Static,
+        statement: "For operation F flushing addr A1 there should be a preceding \
+                    operation W writing to addr A2 with A1 = A2 — only modified data \
+                    is written back (field-sensitive).",
+    },
+    Rule {
+        class: BugClass::RedundantWriteback,
+        models: None,
+        analysis: Analysis::Static,
+        statement: "For any two flush operations F1 and F2 in a persist unit flushing \
+                    addresses A1 and A2 respectively: A1 ∩ A2 = ∅ unless the data was \
+                    re-modified in between.",
+    },
+    Rule {
+        class: BugClass::RedundantPersistInTx,
+        models: None,
+        analysis: Analysis::Static,
+        statement: "Within one durable transaction, the same persistent object should \
+                    not be persisted multiple times.",
+    },
+    Rule {
+        class: BugClass::EmptyDurableTx,
+        models: None,
+        analysis: Analysis::Static,
+        statement: "Every durable transaction should contain at least one persistent \
+                    write to NVM.",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_static_class_has_a_rule() {
+        for class in BugClass::ALL {
+            assert!(
+                RULES.iter().any(|r| r.class == class),
+                "no rule for {class:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn strand_rule_is_dynamic() {
+        let r = RULES
+            .iter()
+            .find(|r| r.class == BugClass::InterStrandDependency)
+            .unwrap();
+        assert_eq!(r.analysis, Analysis::Dynamic);
+        assert!(r.applies_to(PersistencyModel::Strand));
+        assert!(!r.applies_to(PersistencyModel::Strict));
+    }
+
+    #[test]
+    fn performance_rules_apply_to_all_models() {
+        for r in RULES.iter().filter(|r| r.severity() == Severity::Performance) {
+            for m in PersistencyModel::ALL {
+                assert!(r.applies_to(m), "{:?} must apply to {m}", r.class);
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_writes_rule_is_strict_only() {
+        let r = RULES
+            .iter()
+            .find(|r| r.class == BugClass::MultipleWritesAtOnce)
+            .unwrap();
+        assert!(r.applies_to(PersistencyModel::Strict));
+        assert!(!r.applies_to(PersistencyModel::Epoch));
+    }
+}

@@ -1,0 +1,107 @@
+//! Vector clocks for happens-before reasoning between strands.
+
+use std::fmt;
+
+/// A grow-on-demand vector clock. Component `i` is the last-known epoch of
+/// strand `i`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    components: Vec<u32>,
+}
+
+impl VectorClock {
+    pub fn new() -> VectorClock {
+        VectorClock::default()
+    }
+
+    /// The component for strand `i` (0 if never seen).
+    pub fn get(&self, i: usize) -> u32 {
+        self.components.get(i).copied().unwrap_or(0)
+    }
+
+    /// Set component `i`.
+    pub fn set(&mut self, i: usize, v: u32) {
+        if self.components.len() <= i {
+            self.components.resize(i + 1, 0);
+        }
+        self.components[i] = v;
+    }
+
+    /// Increment component `i`, returning the new value.
+    pub fn tick(&mut self, i: usize) -> u32 {
+        let v = self.get(i) + 1;
+        self.set(i, v);
+        v
+    }
+
+    /// Pointwise maximum with `other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.components.len() < other.components.len() {
+            self.components.resize(other.components.len(), 0);
+        }
+        for (i, &v) in other.components.iter().enumerate() {
+            if self.components[i] < v {
+                self.components[i] = v;
+            }
+        }
+    }
+
+    /// Does this clock know about strand `i`'s epoch `epoch`
+    /// (i.e. `epoch <= self[i]`) — the happens-before test.
+    pub fn knows(&self, i: usize, epoch: u32) -> bool {
+        self.get(i) >= epoch
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VectorClock::new();
+        assert_eq!(c.get(3), 0);
+        assert_eq!(c.tick(3), 1);
+        assert_eq!(c.tick(3), 2);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(0), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.set(0, 5);
+        a.set(2, 1);
+        let mut b = VectorClock::new();
+        b.set(0, 3);
+        b.set(1, 7);
+        a.join(&b);
+        assert_eq!(a.get(0), 5);
+        assert_eq!(a.get(1), 7);
+        assert_eq!(a.get(2), 1);
+    }
+
+    #[test]
+    fn knows_is_happens_before() {
+        let mut c = VectorClock::new();
+        c.set(1, 4);
+        assert!(c.knows(1, 3));
+        assert!(c.knows(1, 4));
+        assert!(!c.knows(1, 5));
+        assert!(!c.knows(9, 1));
+        assert!(c.knows(9, 0), "epoch 0 is always known");
+    }
+}

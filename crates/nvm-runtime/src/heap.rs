@@ -1,0 +1,229 @@
+//! A persistent heap over the pool, in the style of a PMDK `pmemobj` pool:
+//! a durable header with a magic number and a *root pointer*, a persisted
+//! bump cursor, and volatile size-class free lists.
+//!
+//! Allocation metadata (cursor, root) is persisted with flush+fence, so an
+//! allocation that completed before a crash is observable after reboot.
+//! Freed blocks are recycled through volatile free lists; blocks freed but
+//! not reallocated before a crash simply leak, which is the usual trade-off
+//! of log-free allocators and does not affect crash consistency.
+
+use crate::pool::{PAddr, PmemPool};
+use parking_lot::Mutex;
+
+const MAGIC: u64 = 0x4445_4550_4d43_3232; // "DEEPMC22"
+const OFF_MAGIC: u64 = 0;
+const OFF_ROOT: u64 = 8;
+const OFF_CURSOR: u64 = 16;
+/// First allocatable byte.
+const DATA_START: u64 = 64;
+/// All blocks are multiples of this (one cache line keeps objects from
+/// sharing lines, which would couple their flush behaviour).
+const ALIGN: u64 = 64;
+/// Size classes: 64, 128, 256, ... bytes.
+const NUM_CLASSES: usize = 16;
+
+/// A persistent heap bound to a pool.
+pub struct PmemHeap<'p> {
+    pool: &'p PmemPool,
+    free_lists: Mutex<Vec<Vec<PAddr>>>,
+    alloc_lock: Mutex<()>,
+}
+
+fn class_of(size: u64) -> usize {
+    let blocks = size.max(1).div_ceil(ALIGN);
+    (64 - (blocks - 1).leading_zeros()) as usize
+}
+
+fn class_bytes(class: usize) -> u64 {
+    ALIGN << class
+}
+
+impl<'p> PmemHeap<'p> {
+    /// Open the heap: initialize a fresh pool, or attach to an existing
+    /// formatted one (e.g. after [`crate::CrashImage::reboot`]).
+    pub fn open(pool: &'p PmemPool) -> PmemHeap<'p> {
+        if pool.read_u64(PAddr(OFF_MAGIC)) != MAGIC {
+            pool.write_u64(PAddr(OFF_ROOT), PAddr::NULL.0);
+            pool.write_u64(PAddr(OFF_CURSOR), DATA_START);
+            pool.write_u64(PAddr(OFF_MAGIC), MAGIC);
+            pool.flush(PAddr(0), 24);
+            pool.fence();
+        }
+        PmemHeap {
+            pool,
+            free_lists: Mutex::new(vec![Vec::new(); NUM_CLASSES]),
+            alloc_lock: Mutex::new(()),
+        }
+    }
+
+    /// The underlying pool.
+    pub fn pool(&self) -> &PmemPool {
+        self.pool
+    }
+
+    /// Allocate `size` bytes of persistent memory (rounded up to the size
+    /// class). Returns `PAddr::NULL` when the pool is exhausted.
+    pub fn alloc(&self, size: u64) -> PAddr {
+        let class = class_of(size).min(NUM_CLASSES - 1);
+        if let Some(addr) = self.free_lists.lock()[class].pop() {
+            return addr;
+        }
+        let bytes = class_bytes(class);
+        let _g = self.alloc_lock.lock();
+        let cursor = self.pool.read_u64(PAddr(OFF_CURSOR));
+        if cursor + bytes > self.pool.size() {
+            return PAddr::NULL;
+        }
+        self.pool.write_u64(PAddr(OFF_CURSOR), cursor + bytes);
+        self.pool.persist(PAddr(OFF_CURSOR), 8);
+        PAddr(cursor)
+    }
+
+    /// Allocate and zero-fill (persisted).
+    pub fn alloc_zeroed(&self, size: u64) -> PAddr {
+        let addr = self.alloc(size);
+        if !addr.is_null() {
+            let bytes = class_bytes(class_of(size).min(NUM_CLASSES - 1));
+            self.pool.write(addr, &vec![0u8; bytes as usize]);
+            self.pool.persist(addr, bytes);
+        }
+        addr
+    }
+
+    /// Return a block of `size` bytes to the heap.
+    pub fn free(&self, addr: PAddr, size: u64) {
+        if addr.is_null() {
+            return;
+        }
+        let class = class_of(size).min(NUM_CLASSES - 1);
+        self.free_lists.lock()[class].push(addr);
+    }
+
+    /// Durably set the root pointer (like `pmemobj_root`).
+    pub fn set_root(&self, root: PAddr) {
+        self.pool.write_u64(PAddr(OFF_ROOT), root.0);
+        self.pool.persist(PAddr(OFF_ROOT), 8);
+    }
+
+    /// Read the root pointer.
+    pub fn root(&self) -> PAddr {
+        PAddr(self.pool.read_u64(PAddr(OFF_ROOT)))
+    }
+
+    /// Bytes handed out so far (excluding the header).
+    pub fn used(&self) -> u64 {
+        self.pool.read_u64(PAddr(OFF_CURSOR)) - DATA_START
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crash::CrashPolicy;
+    use crate::pool::PoolConfig;
+
+    fn pool() -> PmemPool {
+        PmemPool::new(PoolConfig { size: 1 << 16, shards: 4, ..Default::default() })
+    }
+
+    #[test]
+    fn size_classes() {
+        assert_eq!(class_of(1), 0);
+        assert_eq!(class_of(64), 0);
+        assert_eq!(class_of(65), 1);
+        assert_eq!(class_of(128), 1);
+        assert_eq!(class_of(129), 2);
+        assert_eq!(class_bytes(0), 64);
+        assert_eq!(class_bytes(3), 512);
+    }
+
+    #[test]
+    fn alloc_returns_aligned_disjoint_blocks() {
+        let p = pool();
+        let h = PmemHeap::open(&p);
+        let a = h.alloc(100);
+        let b = h.alloc(100);
+        assert_ne!(a, b);
+        assert_eq!(a.0 % ALIGN, 0);
+        assert_eq!(b.0 % ALIGN, 0);
+        assert!(b.0 >= a.0 + 128, "100 bytes rounds to the 128 class");
+    }
+
+    #[test]
+    fn free_recycles_blocks() {
+        let p = pool();
+        let h = PmemHeap::open(&p);
+        let a = h.alloc(64);
+        h.free(a, 64);
+        assert_eq!(h.alloc(64), a);
+    }
+
+    #[test]
+    fn root_survives_crash_and_reboot() {
+        let p = pool();
+        let h = PmemHeap::open(&p);
+        let obj = h.alloc(64);
+        p.write_u64(obj, 1234);
+        p.persist(obj, 8);
+        h.set_root(obj);
+        let img = CrashPolicy::Pessimistic.apply(&p);
+        let p2 = img.reboot(4);
+        let h2 = PmemHeap::open(&p2);
+        let root = h2.root();
+        assert_eq!(root, obj, "root pointer durable");
+        assert_eq!(p2.read_u64(root), 1234);
+    }
+
+    #[test]
+    fn reopen_does_not_reformat() {
+        let p = pool();
+        {
+            let h = PmemHeap::open(&p);
+            h.alloc(64);
+            h.set_root(PAddr(DATA_START));
+        }
+        let h2 = PmemHeap::open(&p);
+        assert_eq!(h2.root(), PAddr(DATA_START));
+        assert!(h2.used() >= 64);
+    }
+
+    #[test]
+    fn exhaustion_returns_null() {
+        let p = PmemPool::new(PoolConfig { size: 4096, shards: 1, ..Default::default() });
+        let h = PmemHeap::open(&p);
+        let mut last = PAddr(0);
+        for _ in 0..100 {
+            last = h.alloc(1024);
+            if last.is_null() {
+                break;
+            }
+        }
+        assert!(last.is_null());
+    }
+
+    #[test]
+    fn concurrent_allocations_are_disjoint() {
+        let p = std::sync::Arc::new(pool());
+        let h = PmemHeap::open(&p);
+        let addrs = parking_lot::Mutex::new(Vec::new());
+        crossbeam::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    let mut local = Vec::new();
+                    for _ in 0..16 {
+                        let a = h.alloc(64);
+                        assert!(!a.is_null());
+                        local.push(a);
+                    }
+                    addrs.lock().extend(local);
+                });
+            }
+        })
+        .unwrap();
+        let mut all = addrs.into_inner();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 8 * 16, "no block handed out twice");
+    }
+}

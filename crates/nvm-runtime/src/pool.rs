@@ -1,0 +1,546 @@
+//! The simulated persistent memory pool.
+//!
+//! Two byte images model the x86-64 + NVM stack:
+//!
+//! * **visible** — what loads observe: every store lands here immediately
+//!   (the cache hierarchy is coherent).
+//! * **durable** — what survives a crash: bytes reach it only through a
+//!   cache-line write-back.
+//!
+//! Per 64-byte cache line the pool tracks a line state:
+//!
+//! * `Clean` — visible == durable for this line.
+//! * `Dirty` — stored to, no write-back issued. The cache may evict it *at
+//!   any time* ("the order in which stored values are made persistent
+//!   depends on the order in which they are evicted", paper §2.1), so at a
+//!   crash a dirty line may or may not be durable.
+//! * `FlushPending` — `clwb` issued but not yet guaranteed complete; a
+//!   `fence` (sfence) makes all pending lines durable.
+//!
+//! The pool is sharded: each shard owns a contiguous range guarded by a
+//! `parking_lot` mutex, so concurrent clients (the Figure-12 workloads run
+//! multiple client threads) scale. A `fence` takes the shards in index
+//! order.
+//!
+//! An optional latency model charges a busy-wait per write-back and fence,
+//! so performance bugs (redundant flushes, §3.3: "an additional writeback
+//! can introduce extra latency by 2–4×") have measurable cost.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Cache-line size in bytes.
+pub const CACHE_LINE: u64 = 64;
+
+/// A persistent-memory address (byte offset within the pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PAddr(pub u64);
+
+impl PAddr {
+    pub const NULL: PAddr = PAddr(u64::MAX);
+
+    pub fn is_null(self) -> bool {
+        self == PAddr::NULL
+    }
+
+    pub fn offset(self, delta: u64) -> PAddr {
+        PAddr(self.0 + delta)
+    }
+
+    fn line(self) -> u64 {
+        self.0 / CACHE_LINE
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LineState {
+    Clean,
+    Dirty,
+    FlushPending,
+}
+
+struct Shard {
+    /// First byte offset covered by this shard.
+    base: u64,
+    visible: Vec<u8>,
+    durable: Vec<u8>,
+    /// State per cache line of this shard.
+    lines: Vec<LineState>,
+    /// Local indices of lines in `FlushPending` state, so a fence drains
+    /// in O(pending) instead of scanning the whole shard.
+    pending: Vec<u32>,
+}
+
+impl Shard {
+    fn mark(&mut self, first_line: u64, last_line: u64, state: LineState) {
+        let base_line = self.base / CACHE_LINE;
+        for l in first_line..=last_line {
+            let idx = (l - base_line) as usize;
+            match (self.lines[idx], state) {
+                // clwb on a clean line is legal but pointless; it must not
+                // resurrect the line to pending.
+                (LineState::Clean, LineState::FlushPending) => {}
+                _ => self.lines[idx] = state,
+            }
+        }
+    }
+}
+
+/// Pool configuration.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Pool size in bytes (rounded up to shards × lines).
+    pub size: u64,
+    /// Number of lock shards.
+    pub shards: usize,
+    /// Busy-wait charged per line actually written back at a fence
+    /// (models NVM write latency). Zero disables the latency model.
+    pub writeback_cost: Duration,
+    /// Busy-wait charged per fence (drain latency).
+    pub fence_cost: Duration,
+    /// Busy-wait charged per cache line a `clwb` touches (instruction and
+    /// write-queue occupancy — this is what makes redundant flushes cost
+    /// real time even when the line is already clean).
+    pub flush_cost: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            size: 16 << 20,
+            shards: 16,
+            writeback_cost: Duration::ZERO,
+            fence_cost: Duration::ZERO,
+            flush_cost: Duration::ZERO,
+        }
+    }
+}
+
+/// Operation counters (all monotonic).
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    pub stores: AtomicU64,
+    pub bytes_stored: AtomicU64,
+    pub loads: AtomicU64,
+    pub flushes: AtomicU64,
+    /// `clwb` issued on lines that were already clean — wasted work that
+    /// the performance rules hunt for.
+    pub clean_flushes: AtomicU64,
+    pub fences: AtomicU64,
+    /// Lines actually copied to the durable image.
+    pub lines_written_back: AtomicU64,
+}
+
+/// A point-in-time copy of [`PoolStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub stores: u64,
+    pub bytes_stored: u64,
+    pub loads: u64,
+    pub flushes: u64,
+    pub clean_flushes: u64,
+    pub fences: u64,
+    pub lines_written_back: u64,
+}
+
+/// The simulated persistent memory pool.
+pub struct PmemPool {
+    shards: Vec<Mutex<Shard>>,
+    shard_bytes: u64,
+    size: u64,
+    stats: PoolStats,
+    writeback_cost: Duration,
+    fence_cost: Duration,
+    flush_cost: Duration,
+}
+
+impl PmemPool {
+    /// Create a pool; the durable image starts zeroed (fresh DIMM).
+    pub fn new(config: PoolConfig) -> PmemPool {
+        let shards = config.shards.max(1);
+        // Round the shard size up to a line multiple.
+        let raw = config.size.div_ceil(shards as u64);
+        let shard_bytes = raw.div_ceil(CACHE_LINE) * CACHE_LINE;
+        let size = shard_bytes * shards as u64;
+        let shard_vec = (0..shards)
+            .map(|i| {
+                Mutex::new(Shard {
+                    base: i as u64 * shard_bytes,
+                    visible: vec![0; shard_bytes as usize],
+                    durable: vec![0; shard_bytes as usize],
+                    lines: vec![LineState::Clean; (shard_bytes / CACHE_LINE) as usize],
+                    pending: Vec::new(),
+                })
+            })
+            .collect();
+        PmemPool {
+            shards: shard_vec,
+            shard_bytes,
+            size,
+            stats: PoolStats::default(),
+            writeback_cost: config.writeback_cost,
+            fence_cost: config.fence_cost,
+            flush_cost: config.flush_cost,
+        }
+    }
+
+    /// Total pool size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    fn shard_of(&self, addr: u64) -> usize {
+        (addr / self.shard_bytes) as usize
+    }
+
+    fn check_range(&self, addr: PAddr, len: u64) {
+        assert!(
+            !addr.is_null() && addr.0.checked_add(len).is_some_and(|end| end <= self.size),
+            "pmem access out of range: addr={:#x} len={len} size={:#x}",
+            addr.0,
+            self.size
+        );
+    }
+
+    /// Store bytes. Visible immediately; durable only after flush + fence
+    /// (or an unlucky/lucky eviction).
+    pub fn write(&self, addr: PAddr, data: &[u8]) {
+        self.check_range(addr, data.len() as u64);
+        self.stats.stores.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_stored.fetch_add(data.len() as u64, Ordering::Relaxed);
+        let mut off = addr.0;
+        let mut rest = data;
+        while !rest.is_empty() {
+            let si = self.shard_of(off);
+            let mut shard = self.shards[si].lock();
+            let local = (off - shard.base) as usize;
+            let n = rest.len().min(self.shard_bytes as usize - local);
+            shard.visible[local..local + n].copy_from_slice(&rest[..n]);
+            let first = off / CACHE_LINE;
+            let last = (off + n as u64 - 1) / CACHE_LINE;
+            shard.mark(first, last, LineState::Dirty);
+            off += n as u64;
+            rest = &rest[n..];
+        }
+    }
+
+    /// Load bytes from the visible image.
+    pub fn read(&self, addr: PAddr, buf: &mut [u8]) {
+        self.check_range(addr, buf.len() as u64);
+        self.stats.loads.fetch_add(1, Ordering::Relaxed);
+        let mut off = addr.0;
+        let mut rest = &mut buf[..];
+        while !rest.is_empty() {
+            let si = self.shard_of(off);
+            let shard = self.shards[si].lock();
+            let local = (off - shard.base) as usize;
+            let n = rest.len().min(self.shard_bytes as usize - local);
+            rest[..n].copy_from_slice(&shard.visible[local..local + n]);
+            off += n as u64;
+            rest = &mut rest[n..];
+        }
+    }
+
+    /// Convenience: store a u64 (little endian).
+    pub fn write_u64(&self, addr: PAddr, v: u64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Convenience: load a u64.
+    pub fn read_u64(&self, addr: PAddr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// `clwb`: issue a write-back for every line overlapping the range.
+    /// Durability is guaranteed only after the next [`PmemPool::fence`].
+    pub fn flush(&self, addr: PAddr, len: u64) {
+        if len == 0 {
+            return;
+        }
+        self.check_range(addr, len);
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        let first = addr.line();
+        let last = PAddr(addr.0 + len - 1).line();
+        if self.flush_cost > Duration::ZERO {
+            busy_wait(self.flush_cost * (last - first + 1) as u32);
+        }
+        let mut l = first;
+        while l <= last {
+            let si = self.shard_of(l * CACHE_LINE);
+            let mut shard = self.shards[si].lock();
+            let base_line = shard.base / CACHE_LINE;
+            let shard_last = base_line + self.shard_bytes / CACHE_LINE - 1;
+            let upto = last.min(shard_last);
+            for line in l..=upto {
+                let idx = (line - base_line) as usize;
+                match shard.lines[idx] {
+                    LineState::Clean => {
+                        self.stats.clean_flushes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    LineState::Dirty => {
+                        shard.lines[idx] = LineState::FlushPending;
+                        shard.pending.push(idx as u32);
+                    }
+                    LineState::FlushPending => {
+                        // Re-flushing a pending line: counted as wasted too.
+                        self.stats.clean_flushes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            l = upto + 1;
+        }
+    }
+
+    /// `sfence`: all pending write-backs complete; their lines become
+    /// durable. Dirty (unflushed) lines are *not* persisted — that is the
+    /// whole point of persistency bugs.
+    pub fn fence(&self) {
+        self.stats.fences.fetch_add(1, Ordering::Relaxed);
+        let mut written_back = 0u64;
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            if s.pending.is_empty() {
+                continue;
+            }
+            let pending = std::mem::take(&mut s.pending);
+            for &idx32 in &pending {
+                let idx = idx32 as usize;
+                if s.lines[idx] == LineState::FlushPending {
+                    let a = idx * CACHE_LINE as usize;
+                    let b = a + CACHE_LINE as usize;
+                    let line_bytes: [u8; CACHE_LINE as usize] =
+                        s.visible[a..b].try_into().expect("line slice");
+                    s.durable[a..b].copy_from_slice(&line_bytes);
+                    s.lines[idx] = LineState::Clean;
+                    written_back += 1;
+                }
+            }
+        }
+        self.stats.lines_written_back.fetch_add(written_back, Ordering::Relaxed);
+        if self.writeback_cost > Duration::ZERO && written_back > 0 {
+            busy_wait(self.writeback_cost * written_back as u32);
+        }
+        if self.fence_cost > Duration::ZERO {
+            busy_wait(self.fence_cost);
+        }
+    }
+
+    /// `flush` + `fence` (pmem_persist).
+    pub fn persist(&self, addr: PAddr, len: u64) {
+        self.flush(addr, len);
+        self.fence();
+    }
+
+    /// Number of lines currently not durable (dirty or pending).
+    pub fn non_durable_lines(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .lines
+                    .iter()
+                    .filter(|l| **l != LineState::Clean)
+                    .count() as u64
+            })
+            .sum()
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            stores: self.stats.stores.load(Ordering::Relaxed),
+            bytes_stored: self.stats.bytes_stored.load(Ordering::Relaxed),
+            loads: self.stats.loads.load(Ordering::Relaxed),
+            flushes: self.stats.flushes.load(Ordering::Relaxed),
+            clean_flushes: self.stats.clean_flushes.load(Ordering::Relaxed),
+            fences: self.stats.fences.load(Ordering::Relaxed),
+            lines_written_back: self.stats.lines_written_back.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Produce the post-crash durable image under `policy` (see
+    /// [`crate::crash`]). Dirty and pending lines persist or vanish per the
+    /// policy — modeling arbitrary eviction order.
+    pub fn crash_image(&self, policy: &mut dyn FnMut(u64, bool) -> bool) -> crate::CrashImage {
+        let mut image = vec![0u8; self.size as usize];
+        for shard in &self.shards {
+            let s = shard.lock();
+            let base = s.base as usize;
+            image[base..base + s.durable.len()].copy_from_slice(&s.durable);
+            for (idx, state) in s.lines.iter().enumerate() {
+                let survives = match state {
+                    LineState::Clean => continue,
+                    LineState::Dirty => policy(s.base / CACHE_LINE + idx as u64, false),
+                    LineState::FlushPending => policy(s.base / CACHE_LINE + idx as u64, true),
+                };
+                if survives {
+                    let a = idx * CACHE_LINE as usize;
+                    let b = a + CACHE_LINE as usize;
+                    image[base + a..base + b].copy_from_slice(&s.visible[a..b]);
+                }
+            }
+        }
+        crate::CrashImage::new(image)
+    }
+}
+
+/// Busy-wait for `d` (models device latency without yielding to the OS).
+fn busy_wait(d: Duration) {
+    let start = Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> PmemPool {
+        PmemPool::new(PoolConfig { size: 1 << 16, shards: 4, ..Default::default() })
+    }
+
+    #[test]
+    fn write_is_visible_immediately() {
+        let p = pool();
+        p.write_u64(PAddr(128), 42);
+        assert_eq!(p.read_u64(PAddr(128)), 42);
+    }
+
+    #[test]
+    fn unflushed_write_is_lost_on_pessimistic_crash() {
+        let p = pool();
+        p.write_u64(PAddr(0), 7);
+        let img = p.crash_image(&mut |_, _| false);
+        assert_eq!(img.read_u64(PAddr(0)), 0, "dirty line dropped");
+    }
+
+    #[test]
+    fn flushed_unfenced_write_may_be_lost() {
+        let p = pool();
+        p.write_u64(PAddr(0), 7);
+        p.flush(PAddr(0), 8);
+        // Pending lines survive only if the policy says the clwb completed.
+        let lost = p.crash_image(&mut |_, _| false);
+        assert_eq!(lost.read_u64(PAddr(0)), 0);
+        let kept = p.crash_image(&mut |_, pending| pending);
+        assert_eq!(kept.read_u64(PAddr(0)), 7);
+    }
+
+    #[test]
+    fn flush_fence_makes_durable() {
+        let p = pool();
+        p.write_u64(PAddr(64), 9);
+        p.persist(PAddr(64), 8);
+        let img = p.crash_image(&mut |_, _| false);
+        assert_eq!(img.read_u64(PAddr(64)), 9);
+        assert_eq!(p.non_durable_lines(), 0);
+    }
+
+    #[test]
+    fn fence_does_not_persist_dirty_lines() {
+        let p = pool();
+        p.write_u64(PAddr(0), 1); // dirty, never flushed
+        p.write_u64(PAddr(64), 2);
+        p.flush(PAddr(64), 8);
+        p.fence();
+        let img = p.crash_image(&mut |_, _| false);
+        assert_eq!(img.read_u64(PAddr(0)), 0, "dirty line survives fence unpersisted");
+        assert_eq!(img.read_u64(PAddr(64)), 2);
+    }
+
+    #[test]
+    fn eviction_may_persist_dirty_lines() {
+        let p = pool();
+        p.write_u64(PAddr(0), 5);
+        let img = p.crash_image(&mut |_, _| true); // cache evicted everything
+        assert_eq!(img.read_u64(PAddr(0)), 5);
+    }
+
+    #[test]
+    fn clean_flush_counted_as_wasted() {
+        let p = pool();
+        p.write_u64(PAddr(0), 1);
+        p.persist(PAddr(0), 8);
+        let before = p.stats().clean_flushes;
+        p.flush(PAddr(0), 8); // redundant: line already clean
+        assert_eq!(p.stats().clean_flushes, before + 1);
+    }
+
+    #[test]
+    fn refetching_pending_line_is_wasted_flush() {
+        let p = pool();
+        p.write_u64(PAddr(0), 1);
+        p.flush(PAddr(0), 8);
+        let before = p.stats().clean_flushes;
+        p.flush(PAddr(0), 8);
+        assert_eq!(p.stats().clean_flushes, before + 1);
+    }
+
+    #[test]
+    fn cross_shard_write_reads_back() {
+        let p = pool();
+        let shard_bytes = p.shard_bytes;
+        let addr = PAddr(shard_bytes - 4); // straddles two shards
+        p.write(addr, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut buf = [0u8; 8];
+        p.read(addr, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4, 5, 6, 7, 8]);
+        p.persist(addr, 8);
+        let img = p.crash_image(&mut |_, _| false);
+        let mut out = [0u8; 8];
+        img.read(addr, &mut out);
+        assert_eq!(out, [1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let p = pool();
+        p.write_u64(PAddr(0), 1);
+        p.read_u64(PAddr(0));
+        p.flush(PAddr(0), 8);
+        p.fence();
+        let s = p.stats();
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.fences, 1);
+        assert_eq!(s.lines_written_back, 1);
+        assert_eq!(s.bytes_stored, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_write_panics() {
+        let p = pool();
+        let size = p.size();
+        p.write_u64(PAddr(size), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_disjoint_ranges() {
+        let p = std::sync::Arc::new(pool());
+        crossbeam::scope(|s| {
+            for t in 0..8u64 {
+                let p = p.clone();
+                s.spawn(move |_| {
+                    for i in 0..64u64 {
+                        let addr = PAddr(t * 4096 + i * 64);
+                        p.write_u64(addr, t * 1000 + i);
+                        p.persist(addr, 8);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for t in 0..8u64 {
+            for i in 0..64u64 {
+                assert_eq!(p.read_u64(PAddr(t * 4096 + i * 64)), t * 1000 + i);
+            }
+        }
+        assert_eq!(p.non_durable_lines(), 0);
+    }
+}

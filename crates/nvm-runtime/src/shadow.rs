@@ -1,0 +1,182 @@
+//! Shadow memory segments over the persistent address space.
+//!
+//! "DeepMC maps the NVM program's persistent address space to a shadow
+//! segment. The shadow segment is responsible for tracking the history of
+//! reads and writes issued by a set of strands (or threads) to each
+//! persistent memory address" (paper §4.4).
+//!
+//! Each 8-byte persistent cell has a small bounded access history (like
+//! ThreadSanitizer's shadow words). Shadow state is sharded under
+//! `parking_lot` mutexes so instrumented multi-threaded workloads scale —
+//! and, crucially for the paper's low overhead claim, only *persistent*
+//! addresses inside annotated regions are ever shadowed.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Shadow granularity in bytes.
+pub const GRAIN: u64 = 8;
+
+/// Max remembered accesses per cell (older reads are evicted; a write
+/// supersedes the whole history).
+pub const HISTORY: usize = 4;
+
+/// One remembered access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShadowAccess {
+    pub strand: u32,
+    /// The strand's epoch at access time.
+    pub epoch: u32,
+    pub is_write: bool,
+}
+
+/// Access history of one 8-byte cell.
+#[derive(Debug, Clone, Default)]
+pub struct Cell {
+    pub accesses: Vec<ShadowAccess>,
+}
+
+impl Cell {
+    fn record(&mut self, access: ShadowAccess) {
+        if access.is_write {
+            // A write supersedes prior history for future conflict checks
+            // (anything racing with an older access also races with this
+            // write or was already reported).
+            self.accesses.clear();
+            self.accesses.push(access);
+        } else {
+            // Collapse repeated reads by the same strand.
+            if let Some(a) = self
+                .accesses
+                .iter_mut()
+                .find(|a| !a.is_write && a.strand == access.strand)
+            {
+                a.epoch = access.epoch;
+                return;
+            }
+            if self.accesses.len() == HISTORY {
+                // Evict the oldest read (never the write at slot 0 if any).
+                let evict = self.accesses.iter().position(|a| !a.is_write).unwrap_or(0);
+                self.accesses.remove(evict);
+            }
+            self.accesses.push(access);
+        }
+    }
+}
+
+/// The sharded shadow segment.
+pub struct ShadowSegment {
+    shards: Vec<Mutex<HashMap<u64, Cell>>>,
+    mask: u64,
+}
+
+impl ShadowSegment {
+    /// Create with `shards` rounded up to a power of two.
+    pub fn new(shards: usize) -> ShadowSegment {
+        let n = shards.max(1).next_power_of_two();
+        ShadowSegment {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: n as u64 - 1,
+        }
+    }
+
+    /// Record an access to `[addr, addr+len)` and hand each touched cell's
+    /// *prior* history to `check` before recording.
+    pub fn access<F>(&self, addr: u64, len: u64, access: ShadowAccess, mut check: F)
+    where
+        F: FnMut(u64, &Cell),
+    {
+        if len == 0 {
+            return;
+        }
+        let first = addr / GRAIN;
+        let last = (addr + len - 1) / GRAIN;
+        for cell_idx in first..=last {
+            let shard = &self.shards[(cell_idx & self.mask) as usize];
+            let mut map = shard.lock();
+            let cell = map.entry(cell_idx).or_default();
+            check(cell_idx * GRAIN, cell);
+            cell.record(access);
+        }
+    }
+
+    /// Number of cells currently shadowed (for the scalability claim:
+    /// proportional to persistent data touched, not total memory).
+    pub fn cells(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Drop all history (e.g. at a global barrier when the caller knows
+    /// every prior access is ordered before everything that follows).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(strand: u32, epoch: u32, is_write: bool) -> ShadowAccess {
+        ShadowAccess { strand, epoch, is_write }
+    }
+
+    #[test]
+    fn write_supersedes_history() {
+        let mut c = Cell::default();
+        c.record(acc(1, 1, false));
+        c.record(acc(2, 1, false));
+        c.record(acc(3, 1, true));
+        assert_eq!(c.accesses.len(), 1);
+        assert!(c.accesses[0].is_write);
+    }
+
+    #[test]
+    fn repeated_reads_by_same_strand_collapse() {
+        let mut c = Cell::default();
+        c.record(acc(1, 1, false));
+        c.record(acc(1, 2, false));
+        assert_eq!(c.accesses.len(), 1);
+        assert_eq!(c.accesses[0].epoch, 2);
+    }
+
+    #[test]
+    fn history_bounded() {
+        let mut c = Cell::default();
+        for s in 0..10 {
+            c.record(acc(s, 1, false));
+        }
+        assert!(c.accesses.len() <= HISTORY);
+    }
+
+    #[test]
+    fn segment_tracks_touched_cells_only() {
+        let seg = ShadowSegment::new(4);
+        seg.access(0, 8, acc(0, 1, true), |_, _| {});
+        seg.access(64, 16, acc(0, 1, true), |_, _| {});
+        assert_eq!(seg.cells(), 3, "one cell at 0, two for the 16-byte span");
+    }
+
+    #[test]
+    fn check_sees_prior_history() {
+        let seg = ShadowSegment::new(4);
+        seg.access(8, 8, acc(1, 1, true), |_, _| {});
+        let mut seen = Vec::new();
+        seg.access(8, 8, acc(2, 1, false), |addr, cell| {
+            seen.push((addr, cell.accesses.clone()));
+        });
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].0, 8);
+        assert_eq!(seen[0].1, vec![acc(1, 1, true)]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let seg = ShadowSegment::new(2);
+        seg.access(0, 8, acc(0, 1, true), |_, _| {});
+        seg.clear();
+        assert_eq!(seg.cells(), 0);
+    }
+}

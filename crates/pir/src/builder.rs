@@ -1,0 +1,406 @@
+//! Programmatic construction of PIR modules.
+//!
+//! The corpus and the synthetic-workload generator build large modules
+//! through this API instead of going through text. The builder mirrors the
+//! parser's invariants: locals are created on first definition, blocks are
+//! forward-declared so branches can target them, and every block must be
+//! finished with a terminator.
+
+use crate::inst::{BinOp, Inst, Operand, Place, Terminator};
+use crate::loc::SourceLoc;
+use crate::module::{Block, BlockId, FuncAttr, Function, LocalDecl, LocalId, Module, Spanned};
+use crate::types::{FieldDef, StructDef, StructId, Ty};
+
+/// Builds a [`Module`] incrementally.
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    /// Start a module named `name` modeling C file `file`.
+    pub fn new(name: impl Into<String>, file: impl Into<String>) -> Self {
+        ModuleBuilder { module: Module::new(name, file) }
+    }
+
+    /// Define a struct; returns its id.
+    pub fn add_struct(
+        &mut self,
+        name: impl Into<String>,
+        fields: Vec<(&str, Ty)>,
+    ) -> StructId {
+        let id = StructId(self.module.structs.len() as u32);
+        self.module.structs.push(StructDef {
+            name: name.into(),
+            fields: fields
+                .into_iter()
+                .map(|(n, ty)| FieldDef { name: n.to_string(), ty })
+                .collect(),
+        });
+        id
+    }
+
+    /// Begin building a function. Finish it with [`FunctionBuilder::finish`].
+    pub fn function(
+        &mut self,
+        name: impl Into<String>,
+        params: Vec<(&str, Ty)>,
+        ret_ty: Option<Ty>,
+    ) -> FunctionBuilder<'_> {
+        FunctionBuilder::new(self, name.into(), params, ret_ty)
+    }
+
+    /// Add an extern (body-less) function declaration.
+    pub fn extern_fn(
+        &mut self,
+        name: impl Into<String>,
+        params: Vec<(&str, Ty)>,
+        ret_ty: Option<Ty>,
+        attrs: Vec<FuncAttr>,
+    ) {
+        let locals: Vec<LocalDecl> = params
+            .into_iter()
+            .map(|(n, ty)| LocalDecl { name: n.to_string(), ty })
+            .collect();
+        let num_params = locals.len() as u32;
+        self.module.functions.push(Function {
+            name: name.into(),
+            num_params,
+            locals,
+            ret_ty,
+            blocks: Vec::new(),
+            attrs,
+        });
+    }
+
+    /// Finalize: rebuild indexes and hand back the module.
+    pub fn finish(mut self) -> Module {
+        self.module.rebuild_index();
+        self.module
+    }
+
+    /// Access the module under construction (e.g. for struct lookups).
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+}
+
+/// Builds one function. Instructions are appended to the *current block*,
+/// which starts as `entry`. Use [`FunctionBuilder::new_block`] +
+/// [`FunctionBuilder::switch_to`] for control flow.
+pub struct FunctionBuilder<'m> {
+    mb: &'m mut ModuleBuilder,
+    name: String,
+    num_params: u32,
+    locals: Vec<LocalDecl>,
+    ret_ty: Option<Ty>,
+    attrs: Vec<FuncAttr>,
+    blocks: Vec<PendingBlock>,
+    current: usize,
+    /// Line assigned to the next instruction; auto-increments.
+    line: u32,
+}
+
+struct PendingBlock {
+    label: String,
+    insts: Vec<Spanned<Inst>>,
+    term: Option<Spanned<Terminator>>,
+}
+
+impl<'m> FunctionBuilder<'m> {
+    fn new(
+        mb: &'m mut ModuleBuilder,
+        name: String,
+        params: Vec<(&str, Ty)>,
+        ret_ty: Option<Ty>,
+    ) -> Self {
+        let locals: Vec<LocalDecl> = params
+            .into_iter()
+            .map(|(n, ty)| LocalDecl { name: n.to_string(), ty })
+            .collect();
+        let num_params = locals.len() as u32;
+        FunctionBuilder {
+            mb,
+            name,
+            num_params,
+            locals,
+            ret_ty,
+            attrs: Vec::new(),
+            blocks: vec![PendingBlock { label: "entry".into(), insts: Vec::new(), term: None }],
+            current: 0,
+            line: 1,
+        }
+    }
+
+    /// Parameter ids in declaration order.
+    pub fn params(&self) -> Vec<LocalId> {
+        (0..self.num_params).map(LocalId).collect()
+    }
+
+    /// Add a function attribute.
+    pub fn attr(&mut self, attr: FuncAttr) -> &mut Self {
+        self.attrs.push(attr);
+        self
+    }
+
+    /// Set the source line for the next instruction (auto-increments after).
+    pub fn at_line(&mut self, line: u32) -> &mut Self {
+        self.line = line;
+        self
+    }
+
+    /// Create (but do not switch to) a new block.
+    pub fn new_block(&mut self, label: impl Into<String>) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(PendingBlock { label: label.into(), insts: Vec::new(), term: None });
+        id
+    }
+
+    /// Make `block` the current insertion point.
+    pub fn switch_to(&mut self, block: BlockId) -> &mut Self {
+        assert!(
+            block.index() < self.blocks.len(),
+            "switch_to: unknown block {block:?}"
+        );
+        self.current = block.index();
+        self
+    }
+
+    fn fresh_local(&mut self, hint: &str, ty: Ty) -> LocalId {
+        let id = LocalId(self.locals.len() as u32);
+        // Guarantee unique names for the printer/parser round trip.
+        let name = format!("{hint}{}", self.locals.len());
+        self.locals.push(LocalDecl { name, ty });
+        id
+    }
+
+    fn push(&mut self, inst: Inst) {
+        let loc = SourceLoc::new(self.line);
+        self.line += 1;
+        let b = &mut self.blocks[self.current];
+        assert!(b.term.is_none(), "appending to terminated block `{}`", b.label);
+        b.insts.push(Spanned::new(inst, loc));
+    }
+
+    fn set_term(&mut self, term: Terminator) {
+        let loc = SourceLoc::new(self.line);
+        self.line += 1;
+        let b = &mut self.blocks[self.current];
+        assert!(b.term.is_none(), "block `{}` already terminated", b.label);
+        b.term = Some(Spanned::new(term, loc));
+    }
+
+    // === instructions =====================================================
+
+    /// `%dst = palloc ty` — allocate in persistent memory.
+    pub fn palloc(&mut self, ty: StructId) -> LocalId {
+        let dst = self.fresh_local("p", Ty::Ptr(ty));
+        self.push(Inst::PAlloc { dst, ty });
+        dst
+    }
+
+    /// `%dst = valloc ty` — allocate in volatile memory.
+    pub fn valloc(&mut self, ty: StructId) -> LocalId {
+        let dst = self.fresh_local("v", Ty::Ptr(ty));
+        self.push(Inst::VAlloc { dst, ty });
+        dst
+    }
+
+    /// `store place, value`.
+    pub fn store(&mut self, place: Place, value: Operand) {
+        self.push(Inst::Store { place, value });
+    }
+
+    /// `%dst = load place`. The destination type must be supplied by the
+    /// caller (the builder does not consult struct defs).
+    pub fn load(&mut self, place: Place, ty: Ty) -> LocalId {
+        let dst = self.fresh_local("l", ty);
+        self.push(Inst::Load { dst, place });
+        dst
+    }
+
+    /// `%dst = op lhs, rhs`.
+    pub fn bin(&mut self, op: BinOp, lhs: Operand, rhs: Operand) -> LocalId {
+        let dst = self.fresh_local("t", Ty::I64);
+        self.push(Inst::Bin { dst, op, lhs, rhs });
+        dst
+    }
+
+    /// `%dst = mov src`.
+    pub fn mov(&mut self, src: Operand, ty: Ty) -> LocalId {
+        let dst = self.fresh_local("m", ty);
+        self.push(Inst::Mov { dst, src });
+        dst
+    }
+
+    /// `flush place`.
+    pub fn flush(&mut self, place: Place) {
+        self.push(Inst::Flush { place });
+    }
+
+    /// `fence`.
+    pub fn fence(&mut self) {
+        self.push(Inst::Fence);
+    }
+
+    /// `persist place` (flush + fence).
+    pub fn persist(&mut self, place: Place) {
+        self.push(Inst::Persist { place });
+    }
+
+    /// `memset_persist place, value`.
+    pub fn memset_persist(&mut self, place: Place, value: Operand) {
+        self.push(Inst::MemSetPersist { place, value });
+    }
+
+    pub fn tx_begin(&mut self) {
+        self.push(Inst::TxBegin);
+    }
+
+    pub fn tx_add(&mut self, place: Place) {
+        self.push(Inst::TxAdd { place });
+    }
+
+    pub fn tx_commit(&mut self) {
+        self.push(Inst::TxCommit);
+    }
+
+    pub fn tx_abort(&mut self) {
+        self.push(Inst::TxAbort);
+    }
+
+    pub fn epoch_begin(&mut self) {
+        self.push(Inst::EpochBegin);
+    }
+
+    pub fn epoch_end(&mut self) {
+        self.push(Inst::EpochEnd);
+    }
+
+    pub fn strand_begin(&mut self) {
+        self.push(Inst::StrandBegin);
+    }
+
+    pub fn strand_end(&mut self) {
+        self.push(Inst::StrandEnd);
+    }
+
+    /// `call callee(args)` discarding any result.
+    pub fn call_void(&mut self, callee: impl Into<String>, args: Vec<Operand>) {
+        self.push(Inst::Call { dst: None, callee: callee.into(), args });
+    }
+
+    /// `%dst = call callee(args) : ty`.
+    pub fn call(&mut self, callee: impl Into<String>, args: Vec<Operand>, ty: Ty) -> LocalId {
+        let dst = self.fresh_local("c", ty);
+        self.push(Inst::Call { dst: Some(dst), callee: callee.into(), args });
+        dst
+    }
+
+    // === terminators ======================================================
+
+    /// `ret` / `ret value`.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.set_term(Terminator::Ret { value });
+    }
+
+    /// `br cond, then_bb, else_bb`.
+    pub fn br(&mut self, cond: Operand, then_bb: BlockId, else_bb: BlockId) {
+        self.set_term(Terminator::Br { cond, then_bb, else_bb });
+    }
+
+    /// `jmp bb`.
+    pub fn jmp(&mut self, bb: BlockId) {
+        self.set_term(Terminator::Jmp { bb });
+    }
+
+    /// Finish the function and append it to the module. Panics if any block
+    /// lacks a terminator (catching builder misuse early, matching the
+    /// parser's error behaviour).
+    pub fn finish(self) {
+        let blocks: Vec<Block> = self
+            .blocks
+            .into_iter()
+            .map(|b| {
+                let term = b
+                    .term
+                    .unwrap_or_else(|| panic!("block `{}` has no terminator", b.label));
+                Block { label: b.label, insts: b.insts, term }
+            })
+            .collect();
+        self.mb.module.functions.push(Function {
+            name: self.name,
+            num_params: self.num_params,
+            locals: self.locals,
+            ret_ty: self.ret_ty,
+            blocks,
+            attrs: self.attrs,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print;
+    use crate::parser::parse;
+    use crate::verify::verify_module;
+
+    #[test]
+    fn builder_produces_verifiable_module() {
+        let mut mb = ModuleBuilder::new("built", "built.c");
+        let s = mb.add_struct("rec", vec![("a", Ty::I64), ("b", Ty::I64)]);
+        let mut fb = mb.function("go", vec![], None);
+        let p = fb.palloc(s);
+        fb.store(Place::field(p, 0), Operand::Const(1));
+        fb.flush(Place::field(p, 0));
+        fb.fence();
+        let done = fb.new_block("done");
+        let alt = fb.new_block("alt");
+        let x = fb.load(Place::field(p, 1), Ty::I64);
+        fb.br(Operand::Local(x), done, alt);
+        fb.switch_to(alt);
+        fb.persist(Place::local(p));
+        fb.jmp(done);
+        fb.switch_to(done);
+        fb.ret(None);
+        fb.finish();
+        let m = mb.finish();
+        verify_module(&m).expect("built module must verify");
+        // And it must round-trip through the textual form.
+        let m2 = parse(&print(&m)).expect("printed module must parse");
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no terminator")]
+    fn unterminated_block_panics() {
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        let fb = mb.function("f", vec![], None);
+        fb.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn double_terminator_panics() {
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        let mut fb = mb.function("f", vec![], None);
+        fb.ret(None);
+        fb.ret(None);
+        fb.finish();
+    }
+
+    #[test]
+    fn at_line_controls_locations() {
+        let mut mb = ModuleBuilder::new("m", "m.c");
+        let mut fb = mb.function("f", vec![], None);
+        fb.at_line(614);
+        fb.fence();
+        fb.fence();
+        fb.ret(None);
+        fb.finish();
+        let m = mb.finish();
+        let b = &m.functions[0].blocks[0];
+        assert_eq!(b.insts[0].loc.line, 614);
+        assert_eq!(b.insts[1].loc.line, 615);
+    }
+}

@@ -1,0 +1,54 @@
+//! # PIR — Persistency Intermediate Representation
+//!
+//! PIR is a small, typed IR that models exactly the events DeepMC reasons
+//! about in NVM programs: persistent and volatile allocation, field-sensitive
+//! stores and loads, cache-line flushes (`clwb`), persist barriers (`sfence`),
+//! combined persists (`pmemobj_persist`-style), transactional regions with
+//! undo logging (`tx_begin`/`tx_add`/`tx_commit`), epoch and strand regions,
+//! calls, and branches.
+//!
+//! In the original DeepMC paper these events are recovered from LLVM IR of C
+//! programs; here PIR plays the role of that IR (see DESIGN.md §2). PIR has a
+//! textual syntax with a hand-written parser ([`parse`]), a pretty printer
+//! that round-trips ([`print()`]), a programmatic [`builder`], and a
+//! [`verify`](verify::verify_module) pass enforcing well-formedness.
+//!
+//! ## Quick example
+//!
+//! ```
+//! let src = r#"
+//! module demo
+//! file "demo.c"
+//!
+//! struct pair { a: i64, b: i64 }
+//!
+//! fn main() {
+//! entry:
+//!   %p = palloc pair
+//!   store %p.a, 1
+//!   flush %p.a
+//!   fence
+//!   ret
+//! }
+//! "#;
+//! let module = deepmc_pir::parse(src).unwrap();
+//! deepmc_pir::verify::verify_module(&module).unwrap();
+//! assert_eq!(module.functions.len(), 1);
+//! ```
+
+pub mod builder;
+pub mod inst;
+pub mod loc;
+pub mod module;
+pub mod parser;
+pub mod printer;
+pub mod types;
+pub mod verify;
+
+pub use builder::{FunctionBuilder, ModuleBuilder};
+pub use inst::{Accessor, BinOp, Inst, Operand, Place, Terminator};
+pub use loc::SourceLoc;
+pub use module::{Block, BlockId, FuncAttr, Function, FuncId, LocalDecl, LocalId, Module, Spanned};
+pub use parser::{parse, ParseError};
+pub use printer::print;
+pub use types::{FieldDef, StructDef, StructId, Ty};

@@ -1,0 +1,73 @@
+//! Source locations attached to every instruction.
+//!
+//! DeepMC reports warnings with the file and line of the offending operation
+//! (paper §4.3: "DeepMC maintains metadata associated with each trace entry.
+//! It includes the line numbers of the operations in a trace"). PIR carries a
+//! per-module file name and a per-instruction line. The parser assigns real
+//! line numbers from the source text, and the `loc N` directive overrides the
+//! current line so corpus programs can cite the line numbers reported in the
+//! paper's Tables 3 and 8.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A `file:line` source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SourceLoc {
+    /// 1-based line number. 0 means "unknown".
+    pub line: u32,
+}
+
+impl SourceLoc {
+    /// An unknown location (line 0).
+    pub const UNKNOWN: SourceLoc = SourceLoc { line: 0 };
+
+    /// Create a location at `line`.
+    pub fn new(line: u32) -> Self {
+        SourceLoc { line }
+    }
+
+    /// True if this location carries no line information.
+    pub fn is_unknown(&self) -> bool {
+        self.line == 0
+    }
+}
+
+impl fmt::Display for SourceLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unknown() {
+            write!(f, "?")
+        } else {
+            write!(f, "{}", self.line)
+        }
+    }
+}
+
+impl From<u32> for SourceLoc {
+    fn from(line: u32) -> Self {
+        SourceLoc { line }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_displays_question_mark() {
+        assert_eq!(SourceLoc::UNKNOWN.to_string(), "?");
+        assert!(SourceLoc::UNKNOWN.is_unknown());
+    }
+
+    #[test]
+    fn known_displays_line() {
+        let loc = SourceLoc::new(201);
+        assert_eq!(loc.to_string(), "201");
+        assert!(!loc.is_unknown());
+    }
+
+    #[test]
+    fn ordering_follows_line_numbers() {
+        assert!(SourceLoc::new(3) < SourceLoc::new(10));
+    }
+}

@@ -1,0 +1,259 @@
+//! Modules, functions, blocks, and locals.
+
+use crate::inst::{Inst, Terminator};
+use crate::loc::SourceLoc;
+use crate::types::{StructDef, StructId, Ty};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Index of a function within its module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a basic block within its function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a local (register) within its function. Parameters come first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LocalId(pub u32);
+
+impl LocalId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Declaration of a local: its name (without the `%` sigil) and type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalDecl {
+    pub name: String,
+    pub ty: Ty,
+}
+
+/// Function attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FuncAttr {
+    /// The function body executes within a caller's durable transaction
+    /// (like PMDK callbacks invoked from `TX_BEGIN` blocks, Fig. 2 of the
+    /// paper). The static checker treats the body as transactional.
+    TxContext,
+    /// The function is an annotated persistent-operation wrapper the
+    /// analysis must track even without a body (paper §4.1: "DeepMC uses an
+    /// interface to track every function that performs persistent
+    /// operations").
+    PersistWrapper,
+    /// Per-function persistency-model override: this entry point follows
+    /// strict persistency regardless of the compile-time flag. (The paper
+    /// notes mixed-model programs as unsupported, §4.5; this attribute is
+    /// the extension lifting that limitation.)
+    ModelStrict,
+    /// Per-function override: epoch persistency.
+    ModelEpoch,
+    /// Per-function override: strand persistency.
+    ModelStrand,
+}
+
+/// An instruction paired with its source location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Spanned<T> {
+    pub inst: T,
+    pub loc: SourceLoc,
+}
+
+impl<T> Spanned<T> {
+    pub fn new(inst: T, loc: impl Into<SourceLoc>) -> Self {
+        Spanned { inst, loc: loc.into() }
+    }
+}
+
+/// A basic block: a label, straight-line instructions, and one terminator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    pub label: String,
+    pub insts: Vec<Spanned<Inst>>,
+    pub term: Spanned<Terminator>,
+}
+
+/// A PIR function.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    pub name: String,
+    /// Number of leading locals that are parameters.
+    pub num_params: u32,
+    pub locals: Vec<LocalDecl>,
+    /// Return type; `None` for void.
+    pub ret_ty: Option<Ty>,
+    pub blocks: Vec<Block>,
+    pub attrs: Vec<FuncAttr>,
+}
+
+impl Function {
+    /// The entry block (always block 0).
+    pub const ENTRY: BlockId = BlockId(0);
+
+    /// Parameter declarations.
+    pub fn params(&self) -> &[LocalDecl] {
+        &self.locals[..self.num_params as usize]
+    }
+
+    /// Look up a local by name.
+    pub fn local_by_name(&self, name: &str) -> Option<LocalId> {
+        self.locals.iter().position(|l| l.name == name).map(|i| LocalId(i as u32))
+    }
+
+    /// Type of a local.
+    pub fn local_ty(&self, id: LocalId) -> Ty {
+        self.locals[id.index()].ty
+    }
+
+    /// Look up a block by label.
+    pub fn block_by_label(&self, label: &str) -> Option<BlockId> {
+        self.blocks.iter().position(|b| b.label == label).map(|i| BlockId(i as u32))
+    }
+
+    /// True if the function carries `attr`.
+    pub fn has_attr(&self, attr: FuncAttr) -> bool {
+        self.attrs.contains(&attr)
+    }
+
+    /// Total instruction count (excluding terminators).
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+/// A PIR module: a compilation unit corresponding to one source file of the
+/// original C program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Module {
+    pub name: String,
+    /// The C source file this module models (used in warning reports).
+    pub file: String,
+    pub structs: Vec<StructDef>,
+    pub functions: Vec<Function>,
+    /// Name → id caches rebuilt by [`Module::rebuild_index`].
+    #[serde(skip)]
+    struct_index: HashMap<String, StructId>,
+    #[serde(skip)]
+    func_index: HashMap<String, FuncId>,
+}
+
+impl Module {
+    /// Create an empty module.
+    pub fn new(name: impl Into<String>, file: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            file: file.into(),
+            structs: Vec::new(),
+            functions: Vec::new(),
+            struct_index: HashMap::new(),
+            func_index: HashMap::new(),
+        }
+    }
+
+    /// Rebuild the name → id lookup tables. Call after mutating `structs`
+    /// or `functions` directly (the builder and parser do this for you).
+    pub fn rebuild_index(&mut self) {
+        self.struct_index = self
+            .structs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.clone(), StructId(i as u32)))
+            .collect();
+        self.func_index = self
+            .functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), FuncId(i as u32)))
+            .collect();
+    }
+
+    /// Look up a struct by name.
+    pub fn struct_by_name(&self, name: &str) -> Option<StructId> {
+        self.struct_index.get(name).copied()
+    }
+
+    /// Look up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.func_index.get(name).copied()
+    }
+
+    /// The struct definition for `id`.
+    pub fn struct_def(&self, id: StructId) -> &StructDef {
+        &self.structs[id.index()]
+    }
+
+    /// The function for `id`.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Iterate `(FuncId, &Function)`.
+    pub fn funcs(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.functions.iter().enumerate().map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Total instruction count across all functions.
+    pub fn inst_count(&self) -> usize {
+        self.functions.iter().map(|f| f.inst_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FieldDef;
+
+    #[test]
+    fn module_index_roundtrip() {
+        let mut m = Module::new("m", "m.c");
+        m.structs.push(StructDef {
+            name: "s".into(),
+            fields: vec![FieldDef { name: "a".into(), ty: Ty::I64 }],
+        });
+        m.functions.push(Function {
+            name: "f".into(),
+            num_params: 0,
+            locals: vec![],
+            ret_ty: None,
+            blocks: vec![],
+            attrs: vec![],
+        });
+        m.rebuild_index();
+        assert_eq!(m.struct_by_name("s"), Some(StructId(0)));
+        assert_eq!(m.func_by_name("f"), Some(FuncId(0)));
+        assert_eq!(m.struct_by_name("zzz"), None);
+    }
+
+    #[test]
+    fn function_local_lookup() {
+        let f = Function {
+            name: "f".into(),
+            num_params: 1,
+            locals: vec![
+                LocalDecl { name: "p".into(), ty: Ty::I64 },
+                LocalDecl { name: "x".into(), ty: Ty::I64 },
+            ],
+            ret_ty: Some(Ty::I64),
+            blocks: vec![],
+            attrs: vec![FuncAttr::TxContext],
+        };
+        assert_eq!(f.local_by_name("x"), Some(LocalId(1)));
+        assert_eq!(f.params().len(), 1);
+        assert!(f.has_attr(FuncAttr::TxContext));
+        assert!(!f.has_attr(FuncAttr::PersistWrapper));
+    }
+}

@@ -1,0 +1,486 @@
+//! Module well-formedness verification.
+//!
+//! The verifier enforces the structural invariants every downstream analysis
+//! assumes, so CFG construction, DSA, trace collection, and the interpreter
+//! can index without re-checking:
+//!
+//! * every block reference is in range and every local reference is declared;
+//! * place projections type-check (field access on pointers, indexing only
+//!   into array fields);
+//! * `store`/`load` target a projected place, never a bare local;
+//! * stored values type-check against the field (pointers accept locals of
+//!   the pointee type and `null`; scalars accept i64 operands);
+//! * in-module calls match the callee's arity and return type;
+//! * region markers are balanced on a per-function basis along every
+//!   acyclic path (tx/epoch/strand nesting), which the checker relies on
+//!   when segmenting traces.
+
+use crate::inst::{Accessor, Inst, Operand, Place, Terminator};
+use crate::module::{Function, Module};
+use crate::types::Ty;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    pub function: String,
+    pub line: u32,
+    pub msg: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verify error in `{}` (line {}): {}", self.function, self.line, self.msg)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+type VResult = Result<(), VerifyError>;
+
+/// Verify a whole module.
+pub fn verify_module(module: &Module) -> VResult {
+    let sigs: HashMap<&str, (&Function, usize)> = module
+        .functions
+        .iter()
+        .map(|f| (f.name.as_str(), (f, f.num_params as usize)))
+        .collect();
+    for f in &module.functions {
+        verify_function(f, module, &sigs)?;
+    }
+    Ok(())
+}
+
+fn err(function: &Function, line: u32, msg: impl Into<String>) -> VerifyError {
+    VerifyError { function: function.name.clone(), line, msg: msg.into() }
+}
+
+fn operand_ty(op: Operand, f: &Function) -> Option<Ty> {
+    match op {
+        Operand::Const(_) => Some(Ty::I64),
+        Operand::Local(id) => f.locals.get(id.index()).map(|l| l.ty),
+        Operand::Null => None, // polymorphic null pointer
+    }
+}
+
+fn check_operand(op: Operand, f: &Function, line: u32) -> VResult {
+    if let Operand::Local(id) = op {
+        if id.index() >= f.locals.len() {
+            return Err(err(f, line, format!("operand references unknown local {}", id.0)));
+        }
+    }
+    Ok(())
+}
+
+/// Check a place and return the type of the location it names.
+fn check_place(place: &Place, f: &Function, module: &Module, line: u32) -> Result<Ty, VerifyError> {
+    if place.base.index() >= f.locals.len() {
+        return Err(err(f, line, format!("place references unknown local {}", place.base.0)));
+    }
+    let mut cur = f.local_ty(place.base);
+    let mut iter = place.path.iter().peekable();
+    while let Some(acc) = iter.next() {
+        match acc {
+            Accessor::Field(idx) => {
+                let sid = cur
+                    .pointee()
+                    .ok_or_else(|| err(f, line, "field access on non-pointer"))?;
+                let sdef = module.struct_def(sid);
+                if *idx as usize >= sdef.fields.len() {
+                    return Err(err(
+                        f,
+                        line,
+                        format!("field index {idx} out of range for `{}`", sdef.name),
+                    ));
+                }
+                cur = sdef.field(*idx).ty;
+            }
+            Accessor::Index(op) => {
+                check_operand(*op, f, line)?;
+                if !matches!(cur, Ty::Array(_)) {
+                    return Err(err(f, line, "indexing into non-array field"));
+                }
+                if iter.peek().is_some() {
+                    return Err(err(f, line, "index must be the last accessor"));
+                }
+                cur = Ty::I64;
+            }
+        }
+    }
+    Ok(cur)
+}
+
+/// Value/location compatibility for stores.
+fn storable(value_ty: Option<Ty>, slot_ty: Ty) -> bool {
+    match (value_ty, slot_ty) {
+        (None, Ty::Ptr(_)) => true, // null into pointer slot
+        (None, _) => false,
+        (Some(Ty::I64), Ty::I64) | (Some(Ty::I64), Ty::Array(_)) => true,
+        (Some(Ty::Ptr(a)), Ty::Ptr(b)) => a == b,
+        _ => false,
+    }
+}
+
+fn verify_function(
+    f: &Function,
+    module: &Module,
+    sigs: &HashMap<&str, (&Function, usize)>,
+) -> VResult {
+    if f.blocks.is_empty() {
+        return Ok(()); // extern declaration
+    }
+    for b in &f.blocks {
+        for si in &b.insts {
+            let line = si.loc.line;
+            match &si.inst {
+                Inst::PAlloc { dst, ty } | Inst::VAlloc { dst, ty } => {
+                    if ty.index() >= module.structs.len() {
+                        return Err(err(f, line, "alloc of unknown struct"));
+                    }
+                    if f.local_ty(*dst) != Ty::Ptr(*ty) {
+                        return Err(err(f, line, "alloc destination type mismatch"));
+                    }
+                }
+                Inst::Store { place, value } => {
+                    check_operand(*value, f, line)?;
+                    let slot = check_place(place, f, module, line)?;
+                    if place.is_whole_object() {
+                        return Err(err(f, line, "store to a bare local (use mov)"));
+                    }
+                    if matches!(slot, Ty::Array(_))
+                        && !matches!(place.path.last(), Some(Accessor::Index(_)))
+                    {
+                        return Err(err(f, line, "store to whole array field needs an index"));
+                    }
+                    let vt = operand_ty(*value, f);
+                    if !storable(vt, slot) {
+                        return Err(err(f, line, "store value type mismatch"));
+                    }
+                }
+                Inst::Load { dst, place } => {
+                    let slot = check_place(place, f, module, line)?;
+                    if place.is_whole_object() {
+                        return Err(err(f, line, "load from a bare local (use mov)"));
+                    }
+                    let slot = if matches!(slot, Ty::Array(_)) {
+                        return Err(err(f, line, "load of whole array field needs an index"));
+                    } else {
+                        slot
+                    };
+                    if f.local_ty(*dst) != slot {
+                        return Err(err(f, line, "load destination type mismatch"));
+                    }
+                }
+                Inst::Bin { dst, lhs, rhs, .. } => {
+                    check_operand(*lhs, f, line)?;
+                    check_operand(*rhs, f, line)?;
+                    if f.local_ty(*dst) != Ty::I64 {
+                        return Err(err(f, line, "bin destination must be i64"));
+                    }
+                }
+                Inst::Mov { dst, src } => {
+                    check_operand(*src, f, line)?;
+                    match operand_ty(*src, f) {
+                        Some(t) if t == f.local_ty(*dst) => {}
+                        _ => return Err(err(f, line, "mov type mismatch")),
+                    }
+                }
+                Inst::Flush { place }
+                | Inst::Persist { place }
+                | Inst::TxAdd { place }
+                | Inst::MemSetPersist { place, .. } => {
+                    check_place(place, f, module, line)?;
+                    // Whole-object forms need a pointer base.
+                    if place.is_whole_object() && !f.local_ty(place.base).is_ptr() {
+                        return Err(err(f, line, "persistent op on non-pointer local"));
+                    }
+                    if let Inst::MemSetPersist { value, .. } = &si.inst {
+                        check_operand(*value, f, line)?;
+                    }
+                }
+                Inst::Fence
+                | Inst::TxBegin
+                | Inst::TxCommit
+                | Inst::TxAbort
+                | Inst::EpochBegin
+                | Inst::EpochEnd
+                | Inst::StrandBegin
+                | Inst::StrandEnd => {}
+                Inst::Call { dst, callee, args } => {
+                    for a in args {
+                        check_operand(*a, f, line)?;
+                    }
+                    if let Some((callee_fn, arity)) = sigs.get(callee.as_str()) {
+                        if args.len() != *arity {
+                            return Err(err(
+                                f,
+                                line,
+                                format!(
+                                    "call to `{callee}` passes {} args, expects {arity}",
+                                    args.len()
+                                ),
+                            ));
+                        }
+                        // Argument type compatibility (null allowed for ptr
+                        // params).
+                        for (a, p) in args.iter().zip(callee_fn.params()) {
+                            let at = operand_ty(*a, f);
+                            if !storable(at, p.ty) && at != Some(p.ty) {
+                                return Err(err(
+                                    f,
+                                    line,
+                                    format!("call to `{callee}`: argument type mismatch"),
+                                ));
+                            }
+                        }
+                        match (dst, callee_fn.ret_ty) {
+                            (Some(_), None) => {
+                                return Err(err(
+                                    f,
+                                    line,
+                                    format!("call to void `{callee}` cannot have a result"),
+                                ))
+                            }
+                            (Some(d), Some(rt)) => {
+                                if f.local_ty(*d) != rt {
+                                    return Err(err(
+                                        f,
+                                        line,
+                                        format!("call result type mismatch for `{callee}`"),
+                                    ));
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    // Unknown callees are allowed (cross-module calls are
+                    // resolved at analysis time over the whole program).
+                }
+            }
+        }
+        let line = b.term.loc.line;
+        match &b.term.inst {
+            Terminator::Ret { value } => {
+                match (value, f.ret_ty) {
+                    (Some(v), Some(rt)) => {
+                        check_operand(*v, f, line)?;
+                        let vt = operand_ty(*v, f);
+                        if !storable(vt, rt) && vt != Some(rt) {
+                            return Err(err(f, line, "return value type mismatch"));
+                        }
+                    }
+                    (None, Some(_)) => {
+                        return Err(err(f, line, "missing return value"));
+                    }
+                    (Some(_), None) => {
+                        return Err(err(f, line, "void function returns a value"));
+                    }
+                    (None, None) => {}
+                }
+            }
+            Terminator::Br { cond, then_bb, else_bb } => {
+                check_operand(*cond, f, line)?;
+                for bb in [then_bb, else_bb] {
+                    if bb.index() >= f.blocks.len() {
+                        return Err(err(f, line, "branch to unknown block"));
+                    }
+                }
+            }
+            Terminator::Jmp { bb } => {
+                if bb.index() >= f.blocks.len() {
+                    return Err(err(f, line, "jump to unknown block"));
+                }
+            }
+        }
+    }
+    verify_regions(f)
+}
+
+/// Region nesting state carried along CFG paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+struct RegionState {
+    tx_depth: u8,
+    epoch_depth: u8,
+    strand_depth: u8,
+}
+
+/// Check that tx/epoch/strand regions balance along every path: no `*_end`
+/// without a matching `*_begin`, no negative depth, and depth 0 at returns.
+/// This is a fixpoint over (block, entry-state) pairs, so diamonds with
+/// differing region depths on each arm are rejected (the checker could not
+/// segment such traces meaningfully).
+fn verify_regions(f: &Function) -> VResult {
+    let mut work = vec![(Function::ENTRY, RegionState::default())];
+    let mut seen: std::collections::HashSet<(u32, RegionState)> = Default::default();
+    while let Some((bb, mut st)) = work.pop() {
+        if !seen.insert((bb.0, st)) {
+            continue;
+        }
+        let b = &f.blocks[bb.index()];
+        for si in &b.insts {
+            let line = si.loc.line;
+            match &si.inst {
+                Inst::TxBegin => st.tx_depth = st.tx_depth.saturating_add(1),
+                Inst::TxCommit | Inst::TxAbort => {
+                    st.tx_depth = st
+                        .tx_depth
+                        .checked_sub(1)
+                        .ok_or_else(|| err(f, line, "tx_commit/abort without tx_begin"))?;
+                }
+                Inst::EpochBegin => st.epoch_depth = st.epoch_depth.saturating_add(1),
+                Inst::EpochEnd => {
+                    st.epoch_depth = st
+                        .epoch_depth
+                        .checked_sub(1)
+                        .ok_or_else(|| err(f, line, "epoch_end without epoch_begin"))?;
+                }
+                Inst::StrandBegin => st.strand_depth = st.strand_depth.saturating_add(1),
+                Inst::StrandEnd => {
+                    st.strand_depth = st
+                        .strand_depth
+                        .checked_sub(1)
+                        .ok_or_else(|| err(f, line, "strand_end without strand_begin"))?;
+                }
+                _ => {}
+            }
+        }
+        match &b.term.inst {
+            Terminator::Ret { .. } => {
+                if st != RegionState::default() {
+                    return Err(err(
+                        f,
+                        b.term.loc.line,
+                        "function returns inside an open tx/epoch/strand region",
+                    ));
+                }
+            }
+            t => {
+                for s in t.successors() {
+                    work.push((s, st));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn verify_src(src: &str) -> VResult {
+        verify_module(&parse(src).expect("test source must parse"))
+    }
+
+    #[test]
+    fn accepts_wellformed() {
+        verify_src(
+            r#"
+module m
+struct s { a: i64, next: ptr s }
+fn f(%p: ptr s) -> i64 {
+entry:
+  tx_begin
+  tx_add %p
+  store %p.a, 1
+  store %p.next, %p
+  tx_commit
+  %x = load %p.a
+  ret %x
+}
+"#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_unbalanced_tx() {
+        let r = verify_src(
+            "module m\nfn f() {\nentry:\n  tx_begin\n  ret\n}\n",
+        );
+        assert!(r.unwrap_err().msg.contains("open tx"));
+    }
+
+    #[test]
+    fn rejects_end_without_begin() {
+        let r = verify_src("module m\nfn f() {\nentry:\n  epoch_end\n  ret\n}\n");
+        assert!(r.unwrap_err().msg.contains("without epoch_begin"));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let r = verify_src(
+            r#"
+module m
+fn g(%x: i64) {
+entry:
+  ret
+}
+fn f() {
+entry:
+  call g(1, 2)
+  ret
+}
+"#,
+        );
+        assert!(r.unwrap_err().msg.contains("args"));
+    }
+
+    #[test]
+    fn allows_unknown_external_callee() {
+        verify_src("module m\nfn f() {\nentry:\n  call somewhere_else(1)\n  ret\n}\n").unwrap();
+    }
+
+    #[test]
+    fn rejects_null_into_scalar() {
+        let r = verify_src(
+            r#"
+module m
+struct s { a: i64 }
+fn f(%p: ptr s) {
+entry:
+  store %p.a, null
+  ret
+}
+"#,
+        );
+        assert!(r.unwrap_err().msg.contains("type mismatch"));
+    }
+
+    #[test]
+    fn rejects_missing_return_value() {
+        let r = verify_src("module m\nfn f() -> i64 {\nentry:\n  ret\n}\n");
+        assert!(r.unwrap_err().msg.contains("missing return value"));
+    }
+
+    #[test]
+    fn loop_with_balanced_regions_ok() {
+        verify_src(
+            r#"
+module m
+struct s { a: i64 }
+fn f(%p: ptr s, %n: i64) {
+entry:
+  jmp head
+head:
+  %c = gt %n, 0
+  br %c, body, done
+body:
+  epoch_begin
+  store %p.a, %n
+  flush %p.a
+  epoch_end
+  fence
+  %n2 = sub %n, 1
+  %n3 = mov %n2
+  jmp head
+done:
+  ret
+}
+"#,
+        )
+        .unwrap();
+    }
+}

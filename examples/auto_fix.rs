@@ -1,0 +1,39 @@
+//! The automated-fixing extension end to end: check a buggy module, apply
+//! DeepMC's machine-suggested repairs, and print the repaired PIR with a
+//! clean re-check.
+//!
+//! Run with: `cargo run --example auto_fix`
+
+use deepmc_repro::prelude::*;
+use deepmc_repro::toolkit::fixer::fix_until_stable;
+
+const BUGGY: &str = r#"
+module journal
+file "journal.c"
+
+struct jhead { head: i64, tail: i64, gen: i64 }
+
+fn commit(%v: i64) {
+entry:
+  %j = palloc jhead
+  store %j.tail, %v        // BUG 1: never flushed …
+  store %j.gen, 1
+  persist %j               // BUG 2: whole-object persist, two dirty fields of three
+  flush %j.gen             // BUG 3: redundant — gen is already clean
+  fence
+  ret
+}
+"#;
+
+fn main() {
+    let config = DeepMcConfig::new(PersistencyModel::Strict);
+    let before = deepmc_repro::toolkit::check_source(BUGGY, &config).expect("valid PIR");
+    println!("=== Before ===\n{before}");
+
+    let modules = vec![parse(BUGGY).expect("parses")];
+    let (fixed, after, applied) = fix_until_stable(modules, &config, 8);
+    println!("=== Applied {applied} fix(es) ===\n");
+    println!("{}", print(&fixed[0]));
+    println!("=== After ===\n{after}");
+    assert!(after.warnings.len() < before.warnings.len());
+}

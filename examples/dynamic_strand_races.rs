@@ -1,0 +1,86 @@
+//! The dynamic checker in action: strand persistency allows concurrent
+//! persists only between independent strands. This example runs a program
+//! whose strands conflict through *dynamically computed* array indices —
+//! invisible to static analysis — and shows the happens-before detector
+//! catching the WAW dependence at runtime (paper §4.4).
+//!
+//! Run with: `cargo run --example dynamic_strand_races`
+
+use deepmc_repro::models::PersistencyModel;
+use deepmc_repro::prelude::parse;
+use deepmc_repro::toolkit::dynamic::check_dynamic;
+
+const PROGRAM: &str = r#"
+module strand_demo
+file "strand_demo.c"
+
+struct ring { slots: [i64; 8] }
+
+// Hashes collide: both strands end up writing slot 0.
+fn slot_of(%producer: i64) -> i64 {
+entry:
+  %h = mul %producer, 8
+  %i = rem %h, 8
+  ret %i
+}
+
+fn publish_colliding() {
+entry:
+  %r = palloc ring
+  %i1 = call slot_of(1)
+  %i2 = call slot_of(2)
+  strand_begin
+  loc 20
+  store %r.slots[%i1], 100
+  flush %r.slots[%i1]
+  fence
+  strand_end
+  strand_begin
+  loc 27
+  store %r.slots[%i2], 200
+  flush %r.slots[%i2]
+  fence
+  strand_end
+  ret
+}
+
+// Distinct slots: genuinely independent strands, no dependence.
+fn publish_disjoint() {
+entry:
+  %r = palloc ring
+  strand_begin
+  store %r.slots[1], 100
+  flush %r.slots[1]
+  fence
+  strand_end
+  strand_begin
+  store %r.slots[2], 200
+  flush %r.slots[2]
+  fence
+  strand_end
+  ret
+}
+"#;
+
+fn main() {
+    let module = parse(PROGRAM).expect("demo parses");
+    let modules = std::slice::from_ref(&module);
+
+    println!("=== publish_colliding: both strands hash to slot 0 ===\n");
+    let report = check_dynamic(modules, "publish_colliding", PersistencyModel::Strand)
+        .expect("program executes");
+    print!("{report}");
+    assert_eq!(report.warnings.len(), 1);
+    assert!(report.warnings[0].dynamic, "found by the online analysis");
+
+    println!("\n=== publish_disjoint: independent strands ===\n");
+    let report = check_dynamic(modules, "publish_disjoint", PersistencyModel::Strand)
+        .expect("program executes");
+    print!("{report}");
+    assert!(report.warnings.is_empty());
+
+    println!(
+        "\nStatic analysis sees two unknown indices; only the runtime check can tell \
+         the colliding case from the disjoint one."
+    );
+}

@@ -1,0 +1,67 @@
+//! Quickstart: write a small NVM program in PIR, declare its persistency
+//! model, and let DeepMC report what is wrong with it — then fix it and
+//! watch the report go clean.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use deepmc_repro::prelude::*;
+
+const BUGGY: &str = r#"
+module quickstart
+file "quickstart.c"
+
+struct account {
+  balance: i64,
+  owner: i64,
+}
+
+// Strict persistency demands every store be flushed and fenced in program
+// order. This deposit gets several things wrong.
+fn deposit(%amount: i64) {
+entry:
+  %acct = palloc account
+  store %acct.owner, 42
+  // BUG 1: balance is modified but never written back.
+  store %acct.balance, %amount
+  // BUG 2: the whole account is persisted though we now re-persist the
+  // owner that this flush already covers.
+  persist %acct.owner
+  persist %acct.owner
+  ret
+}
+"#;
+
+const FIXED: &str = r#"
+module quickstart
+file "quickstart.c"
+
+struct account {
+  balance: i64,
+  owner: i64,
+}
+
+fn deposit(%amount: i64) {
+entry:
+  %acct = palloc account
+  store %acct.owner, 42
+  persist %acct.owner
+  store %acct.balance, %amount
+  persist %acct.balance
+  ret
+}
+"#;
+
+fn main() {
+    let config = DeepMcConfig::new(PersistencyModel::Strict);
+
+    println!("=== Checking the buggy deposit (strict persistency) ===\n");
+    let report = deepmc_repro::toolkit::check_source(BUGGY, &config).expect("valid PIR");
+    print!("{report}");
+
+    println!("\n=== Checking the fixed deposit ===\n");
+    let report = deepmc_repro::toolkit::check_source(FIXED, &config).expect("valid PIR");
+    print!("{report}");
+
+    assert!(report.warnings.is_empty());
+    println!("\nThe fixed version is clean: one store, one persist, in order.");
+}

@@ -1,0 +1,54 @@
+//! # deepmc-repro — reproduction of *Understanding and Detecting Deep
+//! Memory Persistency Bugs in NVM Programs with DeepMC* (PPoPP'22)
+//!
+//! This facade crate re-exports the workspace so downstream users (and the
+//! `examples/`) get one coherent API:
+//!
+//! * [`pir`] — the persistency IR standing in for LLVM IR
+//! * [`analysis`] — CFG / call graph / DSA / trace collection
+//! * [`models`] — persistency model specs and the rule catalog
+//! * [`runtime`] — the simulated NVM substrate (pool, heap, tx, crash,
+//!   shadow memory, happens-before detection)
+//! * [`toolkit`] — DeepMC itself: static + dynamic checkers
+//! * [`interp`] — a PIR interpreter over the runtime
+//! * [`corpus`] — the evaluation corpus with ground truth
+//! * [`apps`] — mini-Memcached / Redis / NStore and workload generators
+//!
+//! ## Thirty-second tour
+//!
+//! ```
+//! use deepmc_repro::prelude::*;
+//!
+//! let report = deepmc_repro::toolkit::check_source(
+//!     r#"
+//! module demo
+//! struct rec { a: i64 }
+//! fn main() {
+//! entry:
+//!   %r = palloc rec
+//!   store %r.a, 1
+//!   ret
+//! }
+//! "#,
+//!     &DeepMcConfig::new(PersistencyModel::Strict),
+//! )
+//! .unwrap();
+//! assert_eq!(report.warnings.len(), 1); // the store is never flushed
+//! ```
+
+pub use deepmc as toolkit;
+pub use deepmc_analysis as analysis;
+pub use deepmc_corpus as corpus;
+pub use deepmc_interp as interp;
+pub use deepmc_models as models;
+pub use deepmc_pir as pir;
+pub use nvm_apps as apps;
+pub use nvm_runtime as runtime;
+
+/// The names almost every user needs.
+pub mod prelude {
+    pub use deepmc::{DeepMcConfig, Report, StaticChecker, Warning};
+    pub use deepmc_models::{BugClass, PersistencyModel, Severity};
+    pub use deepmc_pir::{parse, print, Module};
+    pub use nvm_runtime::{CrashPolicy, PmemHeap, PmemPool, PoolConfig, TxManager};
+}

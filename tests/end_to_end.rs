@@ -1,0 +1,202 @@
+//! Cross-crate integration tests: the full pipeline from PIR text through
+//! static checking, execution on the simulated runtime, crash simulation,
+//! and dynamic checking.
+
+use deepmc_repro::interp::{InterpConfig, NoHooks, Outcome, Session};
+use deepmc_repro::models::BugClass;
+use deepmc_repro::prelude::*;
+use deepmc_repro::runtime::PAddr;
+
+const LOG_CAP: u64 = 1 << 16;
+
+fn run_program(src: &str, entry: &str) -> (Outcome, PmemPool) {
+    let m = parse(src).unwrap();
+    deepmc_repro::pir::verify::verify_module(&m).unwrap();
+    let pool = PmemPool::new(PoolConfig { size: 1 << 20, shards: 4, ..Default::default() });
+    let out = {
+        let heap = PmemHeap::open(&pool);
+        let log = heap.alloc(LOG_CAP);
+        let txm = TxManager::new(&pool, log, LOG_CAP);
+        let session = Session {
+            modules: std::slice::from_ref(&m),
+            pool: &pool,
+            heap: &heap,
+            txm: &txm,
+            hooks: &NoHooks,
+            config: InterpConfig::default(),
+        };
+        session.run(entry, &[]).unwrap()
+    };
+    (out, pool)
+}
+
+/// A program the static checker passes must leave nothing pending at exit
+/// when run for real (clean strict code is actually durable).
+#[test]
+fn statically_clean_strict_program_is_actually_durable() {
+    let src = r#"
+module clean
+struct s { a: i64, b: i64 }
+fn main() {
+entry:
+  %x = palloc s
+  store %x.a, 1
+  persist %x.a
+  store %x.b, 2
+  persist %x.b
+  ret
+}
+"#;
+    let report =
+        deepmc_repro::toolkit::check_source(src, &DeepMcConfig::new(PersistencyModel::Strict))
+            .unwrap();
+    assert!(report.warnings.is_empty(), "{report}");
+    let (out, pool) = run_program(src, "main");
+    assert!(matches!(out, Outcome::Finished(_)));
+    assert_eq!(pool.non_durable_lines(), 0, "clean code leaves nothing unpersisted");
+}
+
+/// A program the checker flags for an unflushed write really does leave a
+/// non-durable line behind.
+#[test]
+fn flagged_unflushed_write_really_is_not_durable() {
+    let src = r#"
+module buggy
+struct s { a: i64 }
+fn main() {
+entry:
+  %x = palloc s
+  store %x.a, 7
+  ret
+}
+"#;
+    let report =
+        deepmc_repro::toolkit::check_source(src, &DeepMcConfig::new(PersistencyModel::Strict))
+            .unwrap();
+    assert!(report.contains(BugClass::UnflushedWrite, "buggy.c", 7), "{report}");
+    let (_, pool) = run_program(src, "main");
+    assert!(pool.non_durable_lines() > 0);
+    let img = CrashPolicy::Pessimistic.apply(&pool);
+    assert_eq!(img.read_u64(PAddr(64 + LOG_CAP)), 0, "the write is gone after a crash");
+}
+
+/// The corpus modules all execute on the runtime (not just analyze): run
+/// every function that takes no pointer arguments from the PMDK corpus.
+#[test]
+fn corpus_programs_execute_on_the_runtime() {
+    for fw in deepmc_repro::corpus::Framework::ALL {
+        let modules = fw.modules();
+        let pool =
+            PmemPool::new(PoolConfig { size: 16 << 20, shards: 8, ..Default::default() });
+        let heap = PmemHeap::open(&pool);
+        let log = heap.alloc(LOG_CAP);
+        let txm = TxManager::new(&pool, log, LOG_CAP);
+        let session = Session {
+            modules: &modules,
+            pool: &pool,
+            heap: &heap,
+            txm: &txm,
+            hooks: &NoHooks,
+            config: InterpConfig::default(),
+        };
+        let mut executed = 0;
+        for m in &modules {
+            for f in &m.functions {
+                if f.blocks.is_empty() {
+                    continue;
+                }
+                // Only scalar-parameter functions can be invoked from the
+                // top level; pass zeros.
+                let all_scalar =
+                    f.params().iter().all(|p| matches!(p.ty, deepmc_repro::pir::Ty::I64));
+                if !all_scalar {
+                    continue;
+                }
+                let args: Vec<deepmc_repro::interp::Value> = f
+                    .params()
+                    .iter()
+                    .map(|_| deepmc_repro::interp::Value::Int(1))
+                    .collect();
+                let out = session
+                    .run(&f.name, &args)
+                    .unwrap_or_else(|e| panic!("{}::{} failed: {e}", fw.name(), f.name));
+                assert!(matches!(out, Outcome::Finished(_)));
+                executed += 1;
+            }
+        }
+        assert!(executed >= 5, "{} should have runnable functions", fw.name());
+    }
+}
+
+/// Printing and re-parsing a corpus module must not change the report
+/// (the textual form is canonical).
+#[test]
+fn reports_survive_print_parse_roundtrip() {
+    for fw in deepmc_repro::corpus::Framework::ALL {
+        let before = fw.check();
+        let reparsed: Vec<Module> = fw
+            .modules()
+            .iter()
+            .map(|m| parse(&print(m)).expect("roundtrip parses"))
+            .collect();
+        let program = deepmc_repro::analysis::Program::new(reparsed).unwrap();
+        let after = StaticChecker::new(DeepMcConfig::new(fw.model())).check_program(&program);
+        assert_eq!(before, after, "{} report changed across roundtrip", fw.name());
+    }
+}
+
+/// The checker is deterministic: two runs over the same framework agree.
+#[test]
+fn checker_is_deterministic() {
+    for fw in deepmc_repro::corpus::Framework::ALL {
+        assert_eq!(fw.check(), fw.check());
+    }
+}
+
+/// Checking a framework under the *wrong* model changes what is reported
+/// (the flag matters), but performance rules persist across models.
+#[test]
+fn model_flag_selects_violation_rules() {
+    use deepmc_repro::analysis::Program;
+    let modules = deepmc_repro::corpus::Framework::Pmfs.modules();
+    let program = Program::new(modules).unwrap();
+    let epoch = StaticChecker::new(DeepMcConfig::new(PersistencyModel::Epoch))
+        .check_program(&program);
+    let strict = StaticChecker::new(DeepMcConfig::new(PersistencyModel::Strict))
+        .check_program(&program);
+    // The nested-transaction rule only exists under epoch models.
+    assert!(epoch.of_class(BugClass::MissingBarrierNestedTx).count() > 0);
+    assert_eq!(strict.of_class(BugClass::MissingBarrierNestedTx).count(), 0);
+    // Performance rules fire under both.
+    assert!(epoch.performance_count() > 0);
+    assert!(strict.performance_count() > 0);
+}
+
+/// End-to-end dynamic checking through the facade.
+#[test]
+fn dynamic_checker_through_facade() {
+    let src = r#"
+module races
+struct s { a: i64 }
+fn main() {
+entry:
+  %x = palloc s
+  strand_begin
+  store %x.a, 1
+  strand_end
+  strand_begin
+  store %x.a, 2
+  strand_end
+  ret
+}
+"#;
+    let m = parse(src).unwrap();
+    let report = deepmc_repro::toolkit::dynamic::check_dynamic(
+        std::slice::from_ref(&m),
+        "main",
+        PersistencyModel::Strand,
+    )
+    .unwrap();
+    assert_eq!(report.warnings.len(), 1);
+    assert_eq!(report.warnings[0].class, BugClass::InterStrandDependency);
+}
