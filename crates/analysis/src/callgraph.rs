@@ -79,7 +79,7 @@ impl CallGraph {
         let roots = defined
             .iter()
             .copied()
-            .filter(|fr| callers.get(fr).map_or(true, |c| c.is_empty()))
+            .filter(|fr| callers.get(fr).is_none_or(|c| c.is_empty()))
             .collect();
 
         CallGraph { callees, callers, post_order, roots }

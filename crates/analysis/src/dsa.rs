@@ -264,9 +264,7 @@ impl FunctionDsg {
             };
             let ty = node
                 .struct_ty
-                .map(|(mi, sid)| {
-                    program.modules[mi as usize].struct_def(sid).name.clone()
-                })
+                .map(|(mi, sid)| program.modules[mi as usize].struct_def(sid).name.clone())
                 .unwrap_or_else(|| "?".into());
             let mut fields = String::new();
             if let Some((mi, sid)) = node.struct_ty {
@@ -289,10 +287,7 @@ impl FunctionDsg {
                     let _ = write!(fields, "|<f{i}> {} {}", fd.name, marks);
                 }
             }
-            let _ = writeln!(
-                out,
-                "  n{n} [label=\"{{{ty} ({persist}){fields}}}\"];"
-            );
+            let _ = writeln!(out, "  n{n} [label=\"{{{ty} ({persist}){fields}}}\"];");
         }
         // Field-labeled points-to edges.
         for &n in &reps {
@@ -300,11 +295,7 @@ impl FunctionDsg {
             for (field, targets) in &node.points_to {
                 for &t in targets {
                     let t = self.rep(t);
-                    let label = if *field == WHOLE {
-                        "*".to_string()
-                    } else {
-                        field.to_string()
-                    };
+                    let label = if *field == WHOLE { "*".to_string() } else { field.to_string() };
                     let _ = writeln!(out, "  n{n} -> n{t} [label=\"{label}\"];");
                 }
             }
@@ -374,10 +365,7 @@ impl DsaResult {
                 // Compute argument persistence in the caller first.
                 let arg_kinds: Vec<Option<PersistKind>> = {
                     let g = &graphs[&fr];
-                    cs.ptr_args
-                        .iter()
-                        .map(|a| a.map(|l| g.local_persist(l)))
-                        .collect()
+                    cs.ptr_args.iter().map(|a| a.map(|l| g.local_persist(l))).collect()
                 };
                 if let Some(callee_g) = graphs.get_mut(&callee_fr) {
                     for (i, kind) in arg_kinds.iter().enumerate() {
@@ -410,10 +398,7 @@ impl DsaResult {
 fn local_phase(program: &Program, fr: FuncRef) -> FunctionDsg {
     let f = program.func(fr);
     let module = program.module_of(fr);
-    let mut g = FunctionDsg {
-        locals: vec![BTreeSet::new(); f.locals.len()],
-        ..Default::default()
-    };
+    let mut g = FunctionDsg { locals: vec![BTreeSet::new(); f.locals.len()], ..Default::default() };
 
     // Parameter placeholders.
     for (i, p) in f.params().iter().enumerate() {
@@ -499,11 +484,7 @@ fn local_phase(program: &Program, fr: FuncRef) -> FunctionDsg {
                                             is_placeholder: true,
                                             ..Default::default()
                                         });
-                                        g.nodes[bn]
-                                            .points_to
-                                            .entry(field)
-                                            .or_default()
-                                            .insert(ph);
+                                        g.nodes[bn].points_to.entry(field).or_default().insert(ph);
                                         changed |= g.locals[dst.index()].insert(ph);
                                     }
                                 } else {
@@ -645,16 +626,10 @@ fn clone_summary(callee: &FunctionDsg) -> Summary {
         node.points_to = remapped;
         nodes.push(node);
     }
-    let params = callee
-        .param_nodes
-        .iter()
-        .map(|p| p.map(|n| index[&callee.uf.find_const(n)]))
-        .collect();
-    let ret = callee
-        .ret
-        .iter()
-        .filter_map(|&n| index.get(&callee.uf.find_const(n)).copied())
-        .collect();
+    let params =
+        callee.param_nodes.iter().map(|p| p.map(|n| index[&callee.uf.find_const(n)])).collect();
+    let ret =
+        callee.ret.iter().filter_map(|&n| index.get(&callee.uf.find_const(n)).copied()).collect();
     Summary { nodes, params, ret }
 }
 

@@ -99,9 +99,7 @@ impl Program {
     /// Iterate all function refs that have bodies.
     pub fn defined_funcs(&self) -> impl Iterator<Item = FuncRef> + '_ {
         self.modules.iter().enumerate().flat_map(|(mi, m)| {
-            m.funcs()
-                .filter(|(_, f)| !f.blocks.is_empty())
-                .map(move |(fi, _)| FuncRef::new(mi, fi))
+            m.funcs().filter(|(_, f)| !f.blocks.is_empty()).map(move |(fi, _)| FuncRef::new(mi, fi))
         })
     }
 
@@ -128,7 +126,8 @@ mod tests {
 
     #[test]
     fn extern_overridden_by_definition() {
-        let m1 = parse("module a\nextern fn g()\nfn f() {\nentry:\n  call g()\n  ret\n}\n").unwrap();
+        let m1 =
+            parse("module a\nextern fn g()\nfn f() {\nentry:\n  call g()\n  ret\n}\n").unwrap();
         let m2 = parse("module b\nfn g() {\nentry:\n  fence\n  ret\n}\n").unwrap();
         let p = Program::new(vec![m1, m2]).unwrap();
         let g = p.resolve("g").unwrap();

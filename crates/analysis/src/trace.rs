@@ -109,22 +109,51 @@ pub struct EvLoc {
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
     /// A write to (possibly) persistent memory.
-    Write { addr: Addr, persist: PersistKind, loc: EvLoc },
+    Write {
+        addr: Addr,
+        persist: PersistKind,
+        loc: EvLoc,
+    },
     /// A read from persistent memory (tracked for dependence rules).
-    Read { addr: Addr, loc: EvLoc },
+    Read {
+        addr: Addr,
+        loc: EvLoc,
+    },
     /// A cache-line write-back (`clwb`, or the flush half of a combined
     /// `persist`).
-    Flush { addr: Addr, loc: EvLoc },
+    Flush {
+        addr: Addr,
+        loc: EvLoc,
+    },
     /// A persist barrier (`sfence`, or the fence half of `persist`).
-    Fence { loc: EvLoc },
-    TxBegin { loc: EvLoc },
-    TxCommit { loc: EvLoc },
-    TxAbort { loc: EvLoc },
-    TxAdd { addr: Addr, loc: EvLoc },
-    EpochBegin { loc: EvLoc },
-    EpochEnd { loc: EvLoc },
-    StrandBegin { loc: EvLoc },
-    StrandEnd { loc: EvLoc },
+    Fence {
+        loc: EvLoc,
+    },
+    TxBegin {
+        loc: EvLoc,
+    },
+    TxCommit {
+        loc: EvLoc,
+    },
+    TxAbort {
+        loc: EvLoc,
+    },
+    TxAdd {
+        addr: Addr,
+        loc: EvLoc,
+    },
+    EpochBegin {
+        loc: EvLoc,
+    },
+    EpochEnd {
+        loc: EvLoc,
+    },
+    StrandBegin {
+        loc: EvLoc,
+    },
+    StrandEnd {
+        loc: EvLoc,
+    },
 }
 
 impl TraceEvent {
@@ -164,10 +193,7 @@ pub struct Trace {
 impl Trace {
     /// Name of an abstract object for reports.
     pub fn object_name(&self, obj: ObjId) -> &str {
-        self.object_names
-            .get(obj.0 as usize)
-            .map(|s| s.as_ref())
-            .unwrap_or("<obj>")
+        self.object_names.get(obj.0 as usize).map(|s| s.as_ref()).unwrap_or("<obj>")
     }
 
     /// Number of declared fields of the object's struct type, if known.
@@ -241,6 +267,11 @@ pub struct TraceCollector<'p> {
     program: &'p Program,
     dsa: &'p DsaResult,
     pub config: TraceConfig,
+    /// Branch forks skipped because `max_paths` ran out (one successor
+    /// was chosen heuristically instead of exploring both).
+    paths_pruned: std::cell::Cell<u64>,
+    /// Events dropped because a path hit `max_trace_len`.
+    events_truncated: std::cell::Cell<u64>,
 }
 
 /// Result of walking a function body to a `ret`: final state plus the
@@ -252,7 +283,20 @@ struct WalkEnd {
 
 impl<'p> TraceCollector<'p> {
     pub fn new(program: &'p Program, dsa: &'p DsaResult, config: TraceConfig) -> Self {
-        TraceCollector { program, dsa, config }
+        TraceCollector {
+            program,
+            dsa,
+            config,
+            paths_pruned: std::cell::Cell::new(0),
+            events_truncated: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Coverage lost to exploration bounds in all collections so far:
+    /// `(paths pruned, events truncated)`. Non-zero values mean the
+    /// report is incomplete and the caller should say so.
+    pub fn truncation(&self) -> (u64, u64) {
+        (self.paths_pruned.get(), self.events_truncated.get())
     }
 
     /// Collect traces from every analysis root: call-graph roots plus
@@ -334,10 +378,8 @@ impl<'p> TraceCollector<'p> {
                         .iter()
                         .map(|o| {
                             o.struct_ty.map(|(mi, sid)| {
-                                self.program.modules[mi as usize]
-                                    .struct_def(sid)
-                                    .fields
-                                    .len() as u32
+                                self.program.modules[mi as usize].struct_def(sid).fields.len()
+                                    as u32
                             })
                         })
                         .collect(),
@@ -399,15 +441,17 @@ impl<'p> TraceCollector<'p> {
             if let Inst::Call { dst, callee, args } = &si.inst {
                 let mut next: Vec<(Env, PathState)> = Vec::new();
                 for (env, st) in states {
-                    next.extend(self.exec_call(
-                        fr, si.loc, dst, callee, args, env, st, depth, budget,
-                    ));
+                    next.extend(
+                        self.exec_call(fr, si.loc, dst, callee, args, env, st, depth, budget),
+                    );
                 }
                 states = next;
             } else {
                 for (env, st) in &mut states {
                     if st.events.len() < self.config.max_trace_len {
                         self.exec_simple(fr, si.loc, &si.inst, env, st);
+                    } else {
+                        self.events_truncated.set(self.events_truncated.get() + 1);
                     }
                 }
             }
@@ -427,15 +471,7 @@ impl<'p> TraceCollector<'p> {
             }
             Terminator::Jmp { bb: next } => {
                 for (env, st) in states {
-                    out.extend(self.walk_block(
-                        fr,
-                        *next,
-                        env,
-                        st,
-                        visits.clone(),
-                        depth,
-                        budget,
-                    ));
+                    out.extend(self.walk_block(fr, *next, env, st, visits.clone(), depth, budget));
                 }
             }
             Terminator::Br { cond, then_bb, else_bb } => {
@@ -490,8 +526,8 @@ impl<'p> TraceCollector<'p> {
                                 // with more persistent operations (paper:
                                 // "priority to explore the paths involving
                                 // persistent operations").
-                                let next =
-                                    self.prefer_persistent(f, *then_bb, *else_bb, &visits);
+                                self.paths_pruned.set(self.paths_pruned.get() + 1);
+                                let next = self.prefer_persistent(f, *then_bb, *else_bb, &visits);
                                 out.extend(self.walk_block(
                                     fr,
                                     next,
@@ -523,11 +559,8 @@ impl<'p> TraceCollector<'p> {
             if visits.get(&bb).copied().unwrap_or(0) >= self.config.loop_bound {
                 return isize::MIN;
             }
-            f.blocks[bb.index()]
-                .insts
-                .iter()
-                .filter(|si| si.inst.is_persist_relevant())
-                .count() as isize
+            f.blocks[bb.index()].insts.iter().filter(|si| si.inst.is_persist_relevant()).count()
+                as isize
         };
         if score(a) >= score(b) {
             a
@@ -548,7 +581,8 @@ impl<'p> TraceCollector<'p> {
         let f = self.program.func(fr);
         match inst {
             Inst::PAlloc { dst, ty } => {
-                let name = format!("{}:{}#{}", f.name, f.locals[dst.index()].name, st.objects.len());
+                let name =
+                    format!("{}:{}#{}", f.name, f.locals[dst.index()].name, st.objects.len());
                 let obj = st.new_object(ObjInfo {
                     persist: PersistKind::Persistent,
                     struct_ty: Some((fr.module, *ty)),
@@ -557,7 +591,8 @@ impl<'p> TraceCollector<'p> {
                 env.insert(*dst, Val::Obj(obj));
             }
             Inst::VAlloc { dst, ty } => {
-                let name = format!("{}:{}#v{}", f.name, f.locals[dst.index()].name, st.objects.len());
+                let name =
+                    format!("{}:{}#v{}", f.name, f.locals[dst.index()].name, st.objects.len());
                 let obj = st.new_object(ObjInfo {
                     persist: PersistKind::Volatile,
                     struct_ty: Some((fr.module, *ty)),
@@ -609,11 +644,7 @@ impl<'p> TraceCollector<'p> {
                                     st.objects.push(ObjInfo {
                                         persist: obj_persist, // inherit owner's region
                                         struct_ty: None,
-                                        name: Arc::from(format!(
-                                            "{}:ghost#{}",
-                                            f.name,
-                                            id.0
-                                        )),
+                                        name: Arc::from(format!("{}:ghost#{}", f.name, id.0)),
                                     });
                                     id
                                 });
@@ -688,16 +719,12 @@ impl<'p> TraceCollector<'p> {
                     }
                 }
             }
-            Inst::EpochBegin => {
-                st.events.push(TraceEvent::EpochBegin { loc: self.evloc(fr, loc) })
-            }
+            Inst::EpochBegin => st.events.push(TraceEvent::EpochBegin { loc: self.evloc(fr, loc) }),
             Inst::EpochEnd => st.events.push(TraceEvent::EpochEnd { loc: self.evloc(fr, loc) }),
             Inst::StrandBegin => {
                 st.events.push(TraceEvent::StrandBegin { loc: self.evloc(fr, loc) })
             }
-            Inst::StrandEnd => {
-                st.events.push(TraceEvent::StrandEnd { loc: self.evloc(fr, loc) })
-            }
+            Inst::StrandEnd => st.events.push(TraceEvent::StrandEnd { loc: self.evloc(fr, loc) }),
             Inst::Call { .. } => unreachable!("calls handled by exec_call"),
         }
     }

@@ -1,0 +1,522 @@
+//! Systematic crash-point sweep under fault injection.
+//!
+//! The paper validates reported bugs by manually constructing the crash
+//! state each bug implies and running the application's recovery on it
+//! (§6.2). This module automates that at scale: a deterministic scripted
+//! workload runs against a fault-injecting pool, crashes at **every** op
+//! boundary under every [`CrashPolicy`] (plus extra `Random` seeds),
+//! reboots the surviving image, runs the application's `recover()`, and
+//! checks application-level invariants:
+//!
+//! 1. **No corruption** — every recovered value was actually written by
+//!    the workload (checksums filtered torn records).
+//! 2. **Acked durability** — every durably-acknowledged update is present
+//!    after recovery, *unless* the loss is attributable to an injected
+//!    fault (the recovery report dropped records, or the fault plan
+//!    dropped a `clwb`) or to the deliberately injected application bug.
+//!
+//! With all fault rates zero and no injected bug the sweep must be
+//! violation-free — that is the regression contract. With
+//! [`SweepConfig::inject_bug`] set (NStore's commit mark never flushed),
+//! the sweep must *catch* the bug and attribute every violation to it.
+//! A full instrumented pass ([`crate::tracker::DeepMcTracker`]) runs once
+//! per app as a dynamic cross-check; correct apps report no races.
+
+use crate::memcached::Memcached;
+use crate::nstore::NStore;
+use crate::recovery::checksum;
+use crate::redis::Redis;
+use crate::tracker::{DeepMcTracker, NoopTracker, Tracker};
+use crate::workloads::ClientCtx;
+use nvm_runtime::{CrashPolicy, FaultConfig, PmemHeap, PmemPool, PoolConfig};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which applications to sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepApp {
+    Memcached,
+    Redis,
+    NStore,
+}
+
+impl SweepApp {
+    pub const ALL: [SweepApp; 3] = [SweepApp::Memcached, SweepApp::Redis, SweepApp::NStore];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            SweepApp::Memcached => "memcached",
+            SweepApp::Redis => "redis",
+            SweepApp::NStore => "nstore",
+        }
+    }
+}
+
+/// Sweep parameters. Everything is deterministic in `seed`.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Workload/script seed (also feeds the crash-policy Random seeds).
+    pub seed: u64,
+    /// Ops per workload run; the sweep crashes after each one.
+    pub steps: u64,
+    /// Extra `CrashPolicy::Random` seeds beyond the three deterministic
+    /// policies.
+    pub random_seeds: u64,
+    /// Fault-injection rates for the pool under test.
+    pub fault: FaultConfig,
+    /// Inject the NStore missing-commit-persist bug (ground truth).
+    pub inject_bug: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            seed: 1,
+            steps: 24,
+            random_seeds: 2,
+            fault: FaultConfig::default(),
+            inject_bug: false,
+        }
+    }
+}
+
+/// One unattributed invariant violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub app: &'static str,
+    pub crash_step: u64,
+    pub policy: String,
+    pub key: u64,
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: crash@{} [{}] key {}: {}",
+            self.app, self.crash_step, self.policy, self.key, self.detail
+        )
+    }
+}
+
+/// Results of sweeping one application.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    pub app: &'static str,
+    /// Crash images taken and recovered from.
+    pub images_checked: u64,
+    /// Records dropped by recovery across all images (torn + poisoned).
+    pub records_dropped: u64,
+    /// Acked keys found missing but attributed to injected faults.
+    pub fault_attributed: u64,
+    /// Acked keys found missing and attributed to the injected app bug.
+    pub bug_attributed: u64,
+    /// Races the instrumented (no-crash) pass reported.
+    pub dynamic_reports: usize,
+    /// Violations nothing explains — real failures.
+    pub violations: Vec<Violation>,
+}
+
+impl fmt::Display for SweepOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<10} {:>4} images  {:>4} dropped  {:>4} fault-attr  {:>4} bug-attr  \
+             {:>2} dyn-reports  {} violations",
+            self.app,
+            self.images_checked,
+            self.records_dropped,
+            self.fault_attributed,
+            self.bug_attributed,
+            self.dynamic_reports,
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  VIOLATION {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One scripted op. `acked_at_barrier` marks epoch-style ops whose
+/// durability is only acknowledged at the next barrier.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Set { key: u64, val: u64 },
+    Del { key: u64 },
+    Barrier,
+}
+
+/// Deterministic script: mostly sets over a small keyspace, occasional
+/// deletes, barriers every 6 ops (only Memcached acts on them).
+fn script(cfg: &SweepConfig) -> Vec<Op> {
+    let keyspace = 16;
+    let mut ops = Vec::new();
+    for i in 0..cfg.steps {
+        if i > 0 && i % 6 == 0 {
+            ops.push(Op::Barrier);
+        }
+        let r = checksum(cfg.seed, &[0xC0FFEE, i]);
+        let key = 1 + r % keyspace;
+        if r % 11 == 10 {
+            ops.push(Op::Del { key });
+        } else {
+            ops.push(Op::Set { key, val: checksum(cfg.seed, &[0xBEEF, i]) | 1 });
+        }
+    }
+    ops
+}
+
+/// The crash policies swept: the three deterministic ones plus
+/// `random_seeds` random evictions derived from the sweep seed.
+fn policies(cfg: &SweepConfig) -> Vec<CrashPolicy> {
+    let mut out = vec![CrashPolicy::Pessimistic, CrashPolicy::Optimistic, CrashPolicy::PendingOnly];
+    for i in 0..cfg.random_seeds {
+        out.push(CrashPolicy::Random(checksum(cfg.seed, &[0x5EED, i])));
+    }
+    out
+}
+
+fn policy_name(p: &CrashPolicy) -> String {
+    match p {
+        CrashPolicy::Pessimistic => "pessimistic".into(),
+        CrashPolicy::Optimistic => "optimistic".into(),
+        CrashPolicy::PendingOnly => "pending-only".into(),
+        CrashPolicy::Random(s) => format!("random({s:#x})"),
+    }
+}
+
+/// The model state the oracle compares against: for each key, the acked
+/// value (if its durability was acknowledged) and every value ever
+/// written (any of which may legally surface under optimistic eviction).
+#[derive(Default)]
+struct Model {
+    acked: HashMap<u64, u64>,
+    history: HashMap<u64, Vec<u64>>,
+    /// Keys whose *latest* update went through the buggy path.
+    buggy: std::collections::HashSet<u64>,
+}
+
+struct AppRun {
+    pool: PmemPool,
+    model: Model,
+}
+
+/// Run the script prefix `0..crash_step` against a fresh fault-injecting
+/// pool. `epoch` selects Memcached-style acking (at barriers) vs strict
+/// (every op). Returns the pool ready to crash plus the oracle model.
+fn run_prefix(cfg: &SweepConfig, app: SweepApp, crash_step: usize) -> AppRun {
+    let pool = PmemPool::with_faults(
+        PoolConfig { size: 4 << 20, shards: 8, ..Default::default() },
+        FaultConfig { seed: cfg.seed ^ crash_step as u64, ..cfg.fault },
+    );
+    let mut model = Model::default();
+    let ops = script(cfg);
+    let noop = NoopTracker;
+    let ctx = ClientCtx { id: 0, tracker: &noop, strand: None };
+    {
+        let heap = PmemHeap::open(&pool);
+        // Pending acks for epoch style: promoted to `acked` at barriers.
+        let mut pending: HashMap<u64, u64> = HashMap::new();
+        match app {
+            SweepApp::Memcached => {
+                let mc = Memcached::new(&pool, &heap, 8);
+                for op in ops.iter().take(crash_step) {
+                    match *op {
+                        Op::Set { key, val } => {
+                            mc.set(key, val, &noop, &ctx);
+                            model.history.entry(key).or_default().push(val);
+                            pending.insert(key, val);
+                        }
+                        // The mini-Memcached has no delete command in its
+                        // protocol surface; script deletes become sets.
+                        Op::Del { key } => {
+                            mc.set(key, 0xDEAD, &noop, &ctx);
+                            model.history.entry(key).or_default().push(0xDEAD);
+                            pending.insert(key, 0xDEAD);
+                        }
+                        Op::Barrier => {
+                            mc.epoch_barrier(&noop);
+                            model.acked.extend(pending.drain());
+                        }
+                    }
+                }
+            }
+            SweepApp::Redis => {
+                let r = Redis::new(&pool, &heap, 8, 1 << 16);
+                for op in ops.iter().take(crash_step) {
+                    match *op {
+                        Op::Set { key, val } => {
+                            r.set(key, val, &noop, None);
+                            model.history.entry(key).or_default().push(val);
+                            model.acked.insert(key, val);
+                        }
+                        Op::Del { key } => {
+                            r.del(key, &noop, None);
+                            model.acked.remove(&key);
+                        }
+                        Op::Barrier => {}
+                    }
+                }
+            }
+            SweepApp::NStore => {
+                let db = NStore::new(&pool, &heap, 8, 1 << 16);
+                for (i, op) in ops.iter().take(crash_step).enumerate() {
+                    match *op {
+                        Op::Set { key, val } => {
+                            let cols = [val, val ^ 1, val ^ 2, val ^ 3];
+                            if cfg.inject_bug && i % 4 == 3 {
+                                db.put_skip_commit_persist(key, cols, &noop, None);
+                                model.buggy.insert(key);
+                            } else {
+                                db.put(key, cols, &noop, None);
+                                model.buggy.remove(&key);
+                            }
+                            model.history.entry(key).or_default().push(val);
+                            model.acked.insert(key, val);
+                        }
+                        // NStore has no delete; treat as an overwrite.
+                        Op::Del { key } => {
+                            if !cfg.inject_bug || i % 4 != 3 {
+                                db.put(key, [7, 7, 7, 7], &noop, None);
+                                model.buggy.remove(&key);
+                            } else {
+                                db.put_skip_commit_persist(key, [7, 7, 7, 7], &noop, None);
+                                model.buggy.insert(key);
+                            }
+                            model.history.entry(key).or_default().push(7);
+                            model.acked.insert(key, 7);
+                        }
+                        Op::Barrier => {}
+                    }
+                }
+            }
+        }
+    }
+    AppRun { pool, model }
+}
+
+/// Sweep one application: crash after every op under every policy.
+pub fn sweep_app(cfg: &SweepConfig, app: SweepApp) -> SweepOutcome {
+    let mut outcome = SweepOutcome {
+        app: app.name(),
+        images_checked: 0,
+        records_dropped: 0,
+        fault_attributed: 0,
+        bug_attributed: 0,
+        dynamic_reports: dynamic_cross_check(cfg, app),
+        violations: Vec::new(),
+    };
+    let total_steps = script(cfg).len();
+    for crash_step in 1..=total_steps {
+        let run = run_prefix(cfg, app, crash_step);
+        for policy in policies(cfg) {
+            let img = policy.apply(&run.pool);
+            let pool2 = img.reboot(8);
+            let heap2 = PmemHeap::open(&pool2);
+            outcome.images_checked += 1;
+            // Faults already injected into this image: recovery drops plus
+            // silently dropped clwbs both license missing acked data.
+            let flush_faults = run.pool.fault_stats().map(|s| s.dropped_flushes).unwrap_or(0);
+            let (recovered, report): (HashMap<u64, u64>, _) = match app {
+                SweepApp::Memcached => {
+                    let (mc, rep) = Memcached::recover(&pool2, &heap2, 8);
+                    let noop = NoopTracker;
+                    let ctx = ClientCtx { id: 0, tracker: &noop, strand: None };
+                    let m = run
+                        .model
+                        .history
+                        .keys()
+                        .filter_map(|&k| mc.get(k, &noop, &ctx).map(|v| (k, v)))
+                        .collect();
+                    (m, rep)
+                }
+                SweepApp::Redis => {
+                    let (r, rep) = Redis::recover(&pool2, &heap2, 8, 1 << 16);
+                    let m = run
+                        .model
+                        .history
+                        .keys()
+                        .filter_map(|&k| r.get(k, &NoopTracker, None).map(|v| (k, v)))
+                        .collect();
+                    (m, rep)
+                }
+                SweepApp::NStore => {
+                    let (db, rep) = NStore::recover(&pool2, &heap2, 8, 1 << 16);
+                    let m = run
+                        .model
+                        .history
+                        .keys()
+                        .filter_map(|&k| db.read(k, 0, &NoopTracker, None).map(|v| (k, v)))
+                        .collect();
+                    (m, rep)
+                }
+            };
+            outcome.records_dropped += report.dropped();
+            let attributable = report.dropped() > 0 || flush_faults > 0;
+            // Invariant 1: no corruption — recovered values were written.
+            for (&k, &v) in &recovered {
+                let in_history = run.model.history.get(&k).is_some_and(|h| h.contains(&v));
+                // NStore stores a fixed transform; Memcached/Redis store
+                // raw history values.
+                if !in_history {
+                    outcome.violations.push(Violation {
+                        app: app.name(),
+                        crash_step: crash_step as u64,
+                        policy: policy_name(&policy),
+                        key: k,
+                        detail: format!("recovered value {v:#x} was never written"),
+                    });
+                }
+            }
+            // Invariant 2: acked durability.
+            for (&k, &want) in &run.model.acked {
+                if recovered.contains_key(&k) {
+                    continue;
+                }
+                let _ = want;
+                if run.model.buggy.contains(&k) {
+                    outcome.bug_attributed += 1;
+                } else if attributable {
+                    outcome.fault_attributed += 1;
+                } else {
+                    outcome.violations.push(Violation {
+                        app: app.name(),
+                        crash_step: crash_step as u64,
+                        policy: policy_name(&policy),
+                        key: k,
+                        detail: "acked key missing after recovery with no fault to blame".into(),
+                    });
+                }
+            }
+        }
+    }
+    outcome
+}
+
+/// One instrumented, crash-free run of the same script: the dynamic
+/// checker must stay quiet on the correct applications.
+fn dynamic_cross_check(cfg: &SweepConfig, app: SweepApp) -> usize {
+    let pool = PmemPool::new(PoolConfig { size: 4 << 20, shards: 8, ..Default::default() });
+    let heap = PmemHeap::open(&pool);
+    let tracker = DeepMcTracker::new();
+    let strand = tracker.region_begin();
+    let ctx = ClientCtx { id: 0, tracker: &tracker, strand };
+    let ops = script(cfg);
+    match app {
+        SweepApp::Memcached => {
+            let mc = Memcached::new(&pool, &heap, 8);
+            for op in &ops {
+                match *op {
+                    Op::Set { key, val } => {
+                        mc.set(key, val, &tracker, &ctx);
+                    }
+                    Op::Del { key } => {
+                        mc.set(key, 0xDEAD, &tracker, &ctx);
+                    }
+                    Op::Barrier => mc.epoch_barrier(&tracker),
+                }
+            }
+        }
+        SweepApp::Redis => {
+            let r = Redis::new(&pool, &heap, 8, 1 << 16);
+            for op in &ops {
+                match *op {
+                    Op::Set { key, val } => r.set(key, val, &tracker, strand),
+                    Op::Del { key } => {
+                        r.del(key, &tracker, strand);
+                    }
+                    Op::Barrier => {}
+                }
+            }
+        }
+        SweepApp::NStore => {
+            let db = NStore::new(&pool, &heap, 8, 1 << 16);
+            for op in &ops {
+                match *op {
+                    Op::Set { key, val } => {
+                        db.put(key, [val, val ^ 1, val ^ 2, val ^ 3], &tracker, strand)
+                    }
+                    Op::Del { key } => db.put(key, [7, 7, 7, 7], &tracker, strand),
+                    Op::Barrier => {}
+                }
+            }
+        }
+    }
+    tracker.reports().len()
+}
+
+/// Sweep a set of applications.
+pub fn sweep(cfg: &SweepConfig, apps: &[SweepApp]) -> Vec<SweepOutcome> {
+    apps.iter().map(|&a| sweep_app(cfg, a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(seed: u64) -> SweepConfig {
+        SweepConfig { seed, steps: 12, random_seeds: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn clean_sweep_has_no_violations() {
+        for outcome in sweep(&small(3), &SweepApp::ALL) {
+            assert!(
+                outcome.violations.is_empty(),
+                "{}: {:?}",
+                outcome.app,
+                outcome.violations.first()
+            );
+            assert_eq!(outcome.records_dropped, 0, "no faults, nothing to drop");
+            assert_eq!(outcome.dynamic_reports, 0, "correct apps race-free");
+            assert!(outcome.images_checked > 0);
+        }
+    }
+
+    #[test]
+    fn faulty_sweep_attributes_losses_without_violations() {
+        let cfg = SweepConfig {
+            fault: FaultConfig {
+                torn_store_rate: 0.3,
+                dropped_flush_rate: 0.1,
+                poison_rate: 0.005,
+                ..Default::default()
+            },
+            ..small(7)
+        };
+        let mut any_attributed = 0;
+        for outcome in sweep(&cfg, &SweepApp::ALL) {
+            assert!(
+                outcome.violations.is_empty(),
+                "{}: {:?}",
+                outcome.app,
+                outcome.violations.first()
+            );
+            any_attributed += outcome.fault_attributed + outcome.records_dropped;
+        }
+        assert!(any_attributed > 0, "these rates must cost something");
+    }
+
+    #[test]
+    fn injected_bug_is_caught_and_attributed() {
+        let cfg = SweepConfig { inject_bug: true, ..small(5) };
+        let outcome = sweep_app(&cfg, SweepApp::NStore);
+        assert!(outcome.violations.is_empty(), "{:?}", outcome.violations.first());
+        assert!(
+            outcome.bug_attributed > 0,
+            "the sweep must observe acked transactions lost to the bug"
+        );
+    }
+
+    #[test]
+    fn sweep_is_deterministic_per_seed() {
+        let a = sweep_app(&small(9), SweepApp::Redis);
+        let b = sweep_app(&small(9), SweepApp::Redis);
+        assert_eq!(a.images_checked, b.images_checked);
+        assert_eq!(a.records_dropped, b.records_dropped);
+        assert_eq!(a.fault_attributed, b.fault_attributed);
+        assert_eq!(a.violations.len(), b.violations.len());
+    }
+}

@@ -24,14 +24,18 @@
 //! * [`pirgen`] — synthetic PIR module generation sized after each
 //!   application, for the Table 9 compilation-overhead experiment.
 
+pub mod crashsweep;
 pub mod memcached;
 pub mod nstore;
 pub mod pirgen;
+pub mod recovery;
 pub mod redis;
 pub mod store;
 pub mod tracker;
 pub mod workloads;
 
+pub use crashsweep::{sweep, SweepApp, SweepConfig, SweepOutcome};
+pub use recovery::RecoveryReport;
 pub use store::{PersistStyle, PmKv};
 pub use tracker::{DeepMcTracker, NoopTracker, Tracker};
 pub use workloads::{memslap_workloads, redis_benchmark_suite, ycsb_workloads, WorkloadSpec};

@@ -4,6 +4,7 @@
 //! is persisted, the tuple is updated in place and persisted, then the WAL
 //! entry is durably marked committed — three fences per write transaction.
 
+use crate::recovery::{checksum, RecoveryReport, NSTORE_WAL_SALT};
 use crate::tracker::{NoopTracker, Tracker};
 use crate::workloads::{BenchApp, ClientCtx, OpKind};
 use nvm_runtime::{PAddr, PmemHeap, PmemPool, StrandId};
@@ -12,9 +13,15 @@ use std::collections::HashMap;
 
 /// Tuple: key(8) | 4 columns (32) | version(8) = 48 bytes, one line.
 pub const TUPLE_BYTES: u64 = 64;
-/// WAL entry: state(8) | key(8) | col0..col3 (32) = 48 bytes, one line.
+/// WAL entry: state(8) | key(8) | col0..col3 (32) | sum(8) = 56 bytes,
+/// one line. `sum` covers the payload (key, cols) only, so the later
+/// commit-mark store leaves it valid.
 const WAL_ENTRY: u64 = 64;
 const WAL_LOCK: u64 = u64::MAX - 1;
+
+fn wal_sum(key: u64, cols: [u64; 4]) -> u64 {
+    checksum(NSTORE_WAL_SALT, &[key, cols[0], cols[1], cols[2], cols[3]])
+}
 
 struct Wal {
     base: PAddr,
@@ -56,13 +63,16 @@ impl<'p> NStore<'p> {
     /// Post-crash recovery: redo the committed WAL entries into a fresh
     /// table. ACTIVE entries (state 1) were never acknowledged — their
     /// tuples may be torn — and are discarded, which is exactly the
-    /// guarantee the commit mark exists to give.
+    /// guarantee the commit mark exists to give. Committed entries whose
+    /// payload checksum fails (torn append that still got its commit mark
+    /// — only possible with fault injection or an injected bug) and
+    /// entries on poisoned lines are likewise discarded, with counts.
     pub fn recover(
         pool: &'p PmemPool,
         heap: &'p PmemHeap<'p>,
         shards: usize,
         wal_capacity: u64,
-    ) -> NStore<'p> {
+    ) -> (NStore<'p>, RecoveryReport) {
         let base = heap.root();
         assert!(!base.is_null(), "no WAL root: pool was never an NStore pool");
         let n = shards.max(1).next_power_of_two();
@@ -73,27 +83,50 @@ impl<'p> NStore<'p> {
             mask: n as u64 - 1,
             wal: Mutex::new(Wal { base, capacity: wal_capacity, cursor: 0 }),
         };
+        let mut report = RecoveryReport::default();
         let mut slot = 0;
         let mut last_used = 0;
         while slot + WAL_ENTRY <= wal_capacity {
             let at = base.offset(slot);
-            let state = pool.read_u64(at);
-            if state == 2 {
-                // COMMITTED: redo the tuple.
-                let key = pool.read_u64(at.offset(8));
-                let mut cols = [0u64; 4];
-                for (i, c) in cols.iter_mut().enumerate() {
-                    *c = pool.read_u64(at.offset(16 + i as u64 * 8));
+            let mut bytes = [0u8; 56];
+            match pool.read_reliable(at, &mut bytes, 2) {
+                Err(_) => {
+                    report.scanned += 1;
+                    report.poisoned_dropped += 1;
+                    // Scrub so later passes (and the ring cursor) see a
+                    // clean slot.
+                    pool.write(at, &[0u8; WAL_ENTRY as usize]);
+                    pool.persist(at, WAL_ENTRY);
                 }
-                db.put(key, cols, &NoopTracker, None);
-            }
-            if state != 0 {
-                last_used = slot + WAL_ENTRY;
+                Ok(()) => {
+                    let word =
+                        |i: usize| u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap());
+                    let state = word(0);
+                    if state == 2 {
+                        report.scanned += 1;
+                        let key = word(1);
+                        let cols = [word(2), word(3), word(4), word(5)];
+                        if word(6) == wal_sum(key, cols) {
+                            // COMMITTED and intact: redo the tuple.
+                            report.adopted += 1;
+                            db.put(key, cols, &NoopTracker, None);
+                        } else {
+                            report.torn_dropped += 1;
+                            pool.write(at, &[0u8; WAL_ENTRY as usize]);
+                            pool.persist(at, WAL_ENTRY);
+                        }
+                    } else if state != 0 {
+                        report.scanned += 1;
+                    }
+                    if state != 0 {
+                        last_used = slot + WAL_ENTRY;
+                    }
+                }
             }
             slot += WAL_ENTRY;
         }
         db.wal.lock().cursor = last_used % wal_capacity;
-        db
+        (db, report)
     }
 
     fn lock_id(&self, key: u64) -> u64 {
@@ -117,17 +150,18 @@ impl<'p> NStore<'p> {
         }
         let at = wal.base.offset(wal.cursor);
         wal.cursor += WAL_ENTRY;
-        let mut bytes = [0u8; 48];
+        let mut bytes = [0u8; 56];
         bytes[..8].copy_from_slice(&1u64.to_le_bytes()); // state: ACTIVE
         bytes[8..16].copy_from_slice(&key.to_le_bytes());
         for (i, c) in cols.iter().enumerate() {
             bytes[16 + i * 8..24 + i * 8].copy_from_slice(&c.to_le_bytes());
         }
+        bytes[48..56].copy_from_slice(&wal_sum(key, cols).to_le_bytes());
         self.pool.write(at, &bytes);
         if t.enabled() {
-            t.access(strand, at.0, 48, true);
+            t.access(strand, at.0, 56, true);
         }
-        self.pool.persist(at, 48);
+        self.pool.persist(at, 56);
         if t.enabled() {
             t.lock_release(strand, WAL_LOCK);
         }
@@ -135,7 +169,7 @@ impl<'p> NStore<'p> {
     }
 
     /// Durably mark a WAL entry committed.
-    fn wal_commit(&self, entry: PAddr, t: &dyn Tracker, strand: Option<StrandId>) {
+    fn wal_commit(&self, entry: PAddr, t: &dyn Tracker, strand: Option<StrandId>, persist: bool) {
         if t.enabled() {
             t.lock_acquire(strand, WAL_LOCK);
         }
@@ -143,7 +177,9 @@ impl<'p> NStore<'p> {
         if t.enabled() {
             t.access(strand, entry.0, 8, true);
         }
-        self.pool.persist(entry, 8);
+        if persist {
+            self.pool.persist(entry, 8);
+        }
         if t.enabled() {
             t.lock_release(strand, WAL_LOCK);
         }
@@ -151,6 +187,33 @@ impl<'p> NStore<'p> {
 
     /// Transactionally insert or update a tuple.
     pub fn put(&self, key: u64, cols: [u64; 4], t: &dyn Tracker, strand: Option<StrandId>) {
+        self.put_inner(key, cols, t, strand, true);
+    }
+
+    /// BUG INJECTION: the commit mark is written but never flushed — the
+    /// missing-persist pattern of the paper's Table 2 bugs. An
+    /// acknowledged transaction can vanish at the crash (the mark stays
+    /// cached), or — worse under unpredictable eviction — the mark can
+    /// persist while an earlier torn payload does not. The crash sweep
+    /// uses this as ground truth for violation attribution.
+    pub fn put_skip_commit_persist(
+        &self,
+        key: u64,
+        cols: [u64; 4],
+        t: &dyn Tracker,
+        strand: Option<StrandId>,
+    ) {
+        self.put_inner(key, cols, t, strand, false);
+    }
+
+    fn put_inner(
+        &self,
+        key: u64,
+        cols: [u64; 4],
+        t: &dyn Tracker,
+        strand: Option<StrandId>,
+        persist_commit: bool,
+    ) {
         let entry = self.wal_append(key, cols, t, strand);
         let lock = self.lock_id(key);
         let mut shard = self.index[lock as usize].lock();
@@ -182,7 +245,7 @@ impl<'p> NStore<'p> {
             t.lock_release(strand, lock);
         }
         drop(shard);
-        self.wal_commit(entry, t, strand);
+        self.wal_commit(entry, t, strand, persist_commit);
     }
 
     /// Read one column of a tuple. Reads are not instrumented (§4.4).
@@ -199,13 +262,7 @@ impl<'p> NStore<'p> {
     }
 
     /// YCSB-E short scan: read `len` consecutive keys' first columns.
-    pub fn scan(
-        &self,
-        start: u64,
-        len: u64,
-        t: &dyn Tracker,
-        strand: Option<StrandId>,
-    ) -> u64 {
+    pub fn scan(&self, start: u64, len: u64, t: &dyn Tracker, strand: Option<StrandId>) -> u64 {
         let mut acc: u64 = 0;
         for k in start..start + len {
             if let Some(v) = self.read(k, 0, t, strand) {
@@ -303,17 +360,39 @@ mod tests {
         let img = CrashPolicy::Pessimistic.apply(&p);
         let p2 = img.reboot(8);
         let heap2 = PmemHeap::open(&p2);
-        let db2 = NStore::recover(&p2, &heap2, 8, 1 << 20);
+        let (db2, report) = NStore::recover(&p2, &heap2, 8, 1 << 20);
+        assert_eq!(report.adopted, 2);
+        assert_eq!(report.scanned, 3, "the ACTIVE entry was seen but discarded");
+        assert_eq!(report.dropped(), 0);
         assert_eq!(db2.read(1, 0, &NoopTracker, None), Some(10));
         assert_eq!(db2.read(2, 3, &NoopTracker, None), Some(23));
-        assert_eq!(
-            db2.read(3, 0, &NoopTracker, None),
-            None,
-            "uncommitted transaction discarded"
-        );
+        assert_eq!(db2.read(3, 0, &NoopTracker, None), None, "uncommitted transaction discarded");
         // The recovered store accepts new transactions.
         db2.put(4, [40, 41, 42, 43], &NoopTracker, None);
         assert_eq!(db2.read(4, 1, &NoopTracker, None), Some(41));
+    }
+
+    #[test]
+    fn injected_commit_bug_loses_acknowledged_transactions() {
+        let p = pool();
+        {
+            let heap = PmemHeap::open(&p);
+            let db = NStore::new(&p, &heap, 8, 1 << 20);
+            db.put(1, [10, 11, 12, 13], &NoopTracker, None);
+            // Buggy: acknowledged, but the commit mark is never flushed.
+            db.put_skip_commit_persist(2, [20, 21, 22, 23], &NoopTracker, None);
+        }
+        // Pessimistic crash: the un-flushed mark reverts to ACTIVE.
+        let img = CrashPolicy::Pessimistic.apply(&p);
+        let p2 = img.reboot(8);
+        let heap2 = PmemHeap::open(&p2);
+        let (db2, _) = NStore::recover(&p2, &heap2, 8, 1 << 20);
+        assert_eq!(db2.read(1, 0, &NoopTracker, None), Some(10));
+        assert_eq!(
+            db2.read(2, 0, &NoopTracker, None),
+            None,
+            "acknowledged transaction lost — the injected bug's signature"
+        );
     }
 
     #[test]

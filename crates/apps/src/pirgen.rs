@@ -38,10 +38,7 @@ pub fn table9_apps() -> [AppSize; 3] {
 /// Generate one synthetic module.
 pub fn generate_module(app: &str, index: usize, funcs: usize, seed: u64) -> Module {
     let mut rng = StdRng::seed_from_u64(seed ^ (index as u64) << 32);
-    let mut mb = ModuleBuilder::new(
-        format!("{app}_m{index}"),
-        format!("{app}_m{index}.c"),
-    );
+    let mut mb = ModuleBuilder::new(format!("{app}_m{index}"), format!("{app}_m{index}.c"));
     let rec = mb.add_struct(
         "rec",
         vec![("a", Ty::I64), ("b", Ty::I64), ("c", Ty::I64), ("arr", Ty::Array(8))],
@@ -162,9 +159,6 @@ mod tests {
         let program = Program::single(m);
         let report =
             StaticChecker::new(DeepMcConfig::new(PersistencyModel::Strict)).check_program(&program);
-        assert!(
-            report.warnings.len() <= 2,
-            "generated code should be essentially clean: {report}"
-        );
+        assert!(report.warnings.len() <= 2, "generated code should be essentially clean: {report}");
     }
 }

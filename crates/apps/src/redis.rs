@@ -4,14 +4,22 @@
 //! fence), then applies the update to the keyspace record (write + flush +
 //! fence). This is the highest-fence-rate application of the three.
 
+use crate::recovery::{checksum, RecoveryReport, REDIS_AOF_SALT};
 use crate::store::{PersistStyle, PmKv};
 use crate::tracker::{NoopTracker, Tracker};
 use crate::workloads::{BenchApp, ClientCtx, OpKind};
 use nvm_runtime::{PAddr, PmemHeap, PmemPool, StrandId};
 use parking_lot::Mutex;
 
-/// One AOF entry: op(8) | key(8) | value(8) | seq(8) = 32 bytes.
-const AOF_ENTRY: u64 = 32;
+/// One AOF entry: op(8) | key(8) | value(8) | seq(8) | sum(8) = 40 bytes
+/// used, padded to one cache line so a torn store never straddles entries.
+const AOF_ENTRY: u64 = 64;
+/// Bytes actually written per entry.
+const AOF_USED: u64 = 40;
+
+fn aof_sum(op: u64, key: u64, value: u64, seq: u64) -> u64 {
+    checksum(REDIS_AOF_SALT, &[op, key, value, seq])
+}
 /// Lock id used for the AOF (distinct from PmKv shard ids, which are small).
 const AOF_LOCK: u64 = u64::MAX;
 
@@ -57,26 +65,52 @@ impl<'p> Redis<'p> {
     /// The AOF is the source of truth (as in real Redis): every mutating
     /// command was durably appended *before* it was applied, so replaying
     /// the committed prefix reconstructs exactly the acknowledged state.
+    /// Entries whose checksum fails (torn append) or whose line errors at
+    /// the media level are scrubbed and dropped — they were never
+    /// acknowledged durably intact.
     pub fn recover(
         pool: &'p PmemPool,
         heap: &'p PmemHeap<'p>,
         shards: usize,
         aof_capacity: u64,
-    ) -> Redis<'p> {
+    ) -> (Redis<'p>, RecoveryReport) {
         let base = heap.root();
         assert!(!base.is_null(), "no AOF root: pool was never a Redis pool");
         // Collect entries in seq order (op 0 = empty slot). Ring wrap is
         // handled by sorting on seq.
+        let mut report = RecoveryReport::default();
         let mut entries: Vec<(u64, u64, u64, u64)> = Vec::new(); // (seq, op, key, val)
         let mut slot = 0;
         while slot + AOF_ENTRY <= aof_capacity {
             let at = base.offset(slot);
-            let op = pool.read_u64(at);
-            if op != 0 {
-                let key = pool.read_u64(at.offset(8));
-                let val = pool.read_u64(at.offset(16));
-                let seq = pool.read_u64(at.offset(24));
-                entries.push((seq, op, key, val));
+            let mut bytes = [0u8; AOF_USED as usize];
+            let scrub = match pool.read_reliable(at, &mut bytes, 2) {
+                Err(_) => {
+                    report.scanned += 1;
+                    report.poisoned_dropped += 1;
+                    true
+                }
+                Ok(()) => {
+                    let word =
+                        |i: usize| u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap());
+                    let (op, key, val, seq, sum) = (word(0), word(1), word(2), word(3), word(4));
+                    if op == 0 {
+                        false
+                    } else if sum == aof_sum(op, key, val, seq) {
+                        report.scanned += 1;
+                        report.adopted += 1;
+                        entries.push((seq, op, key, val));
+                        false
+                    } else {
+                        report.scanned += 1;
+                        report.torn_dropped += 1;
+                        true
+                    }
+                }
+            };
+            if scrub {
+                pool.write(at, &[0u8; AOF_ENTRY as usize]);
+                pool.persist(at, AOF_ENTRY);
             }
             slot += AOF_ENTRY;
         }
@@ -90,7 +124,9 @@ impl<'p> Redis<'p> {
                     kv.set(*key, *val, &NoopTracker, None);
                 }
                 2 => {
-                    if kv.rmw(*key, |v| v.wrapping_add(*val), &NoopTracker, None).is_none() {
+                    // INCRBY on a missing key seeds it with the delta.
+                    let incremented = kv.rmw(*key, |v| v.wrapping_add(*val), &NoopTracker, None);
+                    if incremented.is_none() {
                         kv.set(*key, *val, &NoopTracker, None);
                     }
                 }
@@ -100,11 +136,12 @@ impl<'p> Redis<'p> {
                 _ => {}
             }
         }
-        Redis {
+        let redis = Redis {
             pool,
             kv,
             aof: Mutex::new(Aof { base, capacity: aof_capacity, cursor, seq: next_seq }),
-        }
+        };
+        (redis, report)
     }
 
     /// Durably append one AOF record (op, key, value).
@@ -117,16 +154,17 @@ impl<'p> Redis<'p> {
             aof.cursor = 0; // ring: rewrite from the start (compaction elided)
         }
         let at = aof.base.offset(aof.cursor);
-        let mut bytes = [0u8; AOF_ENTRY as usize];
+        let mut bytes = [0u8; AOF_USED as usize];
         bytes[..8].copy_from_slice(&op.to_le_bytes());
         bytes[8..16].copy_from_slice(&key.to_le_bytes());
         bytes[16..24].copy_from_slice(&value.to_le_bytes());
         bytes[24..32].copy_from_slice(&aof.seq.to_le_bytes());
+        bytes[32..40].copy_from_slice(&aof_sum(op, key, value, aof.seq).to_le_bytes());
         self.pool.write(at, &bytes);
         if t.enabled() {
-            t.access(strand, at.0, AOF_ENTRY, true);
+            t.access(strand, at.0, AOF_USED, true);
         }
-        self.pool.persist(at, AOF_ENTRY);
+        self.pool.persist(at, AOF_USED);
         aof.cursor += AOF_ENTRY;
         aof.seq += 1;
         if t.enabled() {
@@ -275,7 +313,9 @@ mod tests {
         let img = CrashPolicy::Pessimistic.apply(&p);
         let p2 = img.reboot(8);
         let heap2 = PmemHeap::open(&p2);
-        let r2 = Redis::recover(&p2, &heap2, 8, 1 << 20);
+        let (r2, report) = Redis::recover(&p2, &heap2, 8, 1 << 20);
+        assert_eq!(report.adopted, 5);
+        assert_eq!(report.dropped(), 0, "clean crash tears nothing");
         assert_eq!(r2.get(1, &NoopTracker, None), Some(101));
         assert_eq!(r2.get(2, &NoopTracker, None), None);
         assert_eq!(r2.get(3, &NoopTracker, None), Some(300));
@@ -301,7 +341,7 @@ mod tests {
         let img = CrashPolicy::Pessimistic.apply(&p);
         let p2 = img.reboot(8);
         let heap2 = PmemHeap::open(&p2);
-        let r2 = Redis::recover(&p2, &heap2, 8, 1 << 20);
+        let (r2, _) = Redis::recover(&p2, &heap2, 8, 1 << 20);
         assert_eq!(r2.get(7, &NoopTracker, None), Some(70));
         assert_eq!(r2.get(8, &NoopTracker, None), Some(80), "logged SET replayed");
     }

@@ -6,8 +6,13 @@
 //! 64-byte records, each on its own cache line:
 //!
 //! ```text
-//! record: | key u64 | value u64 | version u64 | pad .. | (64 B)
+//! record: | key u64 | value u64 | version u64 | sum u64 | pad .. | (64 B)
 //! ```
+//!
+//! `sum` is a salted checksum over `(key, value, version)` — under fault
+//! injection a record can be torn or poisoned, and recovery uses the sum
+//! to tell a valid record from a partially-persisted one (see
+//! [`crate::recovery`]).
 //!
 //! Persistence styles:
 //! * [`PersistStyle::Strict`] — every update is flushed and fenced in
@@ -16,6 +21,7 @@
 //!   at epoch boundaries chosen by the caller (Mnemosyne/PMFS-style
 //!   batching); call [`PmKv::epoch_barrier`] to close an epoch.
 
+use crate::recovery::{checksum, PMKV_SALT};
 use crate::tracker::Tracker;
 use nvm_runtime::{PAddr, PmemHeap, PmemPool, StrandId};
 use parking_lot::Mutex;
@@ -27,6 +33,41 @@ pub const RECORD_BYTES: u64 = 64;
 const OFF_KEY: u64 = 0;
 const OFF_VAL: u64 = 8;
 const OFF_VER: u64 = 16;
+const OFF_SUM: u64 = 24;
+
+fn record_sum(key: u64, val: u64, ver: u64) -> u64 {
+    checksum(PMKV_SALT, &[key, val, ver])
+}
+
+/// Outcome of validating one record slot during a recovery scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordScan {
+    /// Key is zero: a free or deleted slot.
+    Empty,
+    /// Checksum validates; safe to adopt.
+    Valid { key: u64, value: u64 },
+    /// Non-zero key but a bad checksum: a torn write.
+    Torn,
+    /// The line's media errored even after retries.
+    Poisoned,
+}
+
+/// Validate the record at `rec` (used by application recovery).
+pub fn scan_record(pool: &PmemPool, rec: PAddr) -> RecordScan {
+    let mut bytes = [0u8; 32];
+    if pool.read_reliable(rec, &mut bytes, 2).is_err() {
+        return RecordScan::Poisoned;
+    }
+    let word = |i: usize| u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap());
+    let (key, val, ver, sum) = (word(0), word(1), word(2), word(3));
+    if key == 0 {
+        RecordScan::Empty
+    } else if sum == record_sum(key, val, ver) {
+        RecordScan::Valid { key, value: val }
+    } else {
+        RecordScan::Torn
+    }
+}
 
 /// When updates become durable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,15 +140,16 @@ impl<'p> PmKv<'p> {
             }
         };
         let ver = self.pool.read_u64(rec.offset(OFF_VER));
-        let mut bytes = [0u8; 24];
+        let mut bytes = [0u8; 32];
         bytes[..8].copy_from_slice(&key.to_le_bytes());
         bytes[8..16].copy_from_slice(&value.to_le_bytes());
         bytes[16..24].copy_from_slice(&(ver + 1).to_le_bytes());
+        bytes[24..32].copy_from_slice(&record_sum(key, value, ver + 1).to_le_bytes());
         self.pool.write(rec, &bytes);
         if tracker.enabled() {
-            tracker.access(strand, rec.0, 24, true);
+            tracker.access(strand, rec.0, 32, true);
         }
-        self.pool.flush(rec, 24);
+        self.pool.flush(rec, 32);
         if self.style == PersistStyle::Strict {
             self.pool.fence();
         }
@@ -154,10 +196,11 @@ impl<'p> PmKv<'p> {
         self.pool.write_u64(rec.offset(OFF_VAL), new);
         let ver = self.pool.read_u64(rec.offset(OFF_VER));
         self.pool.write_u64(rec.offset(OFF_VER), ver + 1);
+        self.pool.write_u64(rec.offset(OFF_SUM), record_sum(key, new, ver + 1));
         if tracker.enabled() {
-            tracker.access(strand, rec.offset(OFF_VAL).0, 16, true);
+            tracker.access(strand, rec.offset(OFF_VAL).0, 24, true);
         }
-        self.pool.flush(rec.offset(OFF_VAL), 16);
+        self.pool.flush(rec.offset(OFF_VAL), 24);
         if self.style == PersistStyle::Strict {
             self.pool.fence();
         }

@@ -48,7 +48,7 @@ impl WorkloadSpec {
 
     /// Percentage of operations that write persistent data.
     pub fn write_fraction(&self) -> f64 {
-        (self.update + self.insert + self.rmw + 0) as f64 / 100.0
+        (self.update + self.insert + self.rmw) as f64 / 100.0
     }
 }
 
@@ -107,7 +107,7 @@ impl OpStream {
     }
 
     /// Next (kind, key).
-    pub fn next(&mut self) -> (OpKind, u64) {
+    pub fn next_op(&mut self) -> (OpKind, u64) {
         let r = self.rng.gen_range(0..100u32);
         let s = &self.spec;
         let kind = if r < s.read {
@@ -178,7 +178,7 @@ mod tests {
         let mut reads = 0;
         let n = 20_000;
         for _ in 0..n {
-            if s.next().0 == OpKind::Read {
+            if s.next_op().0 == OpKind::Read {
                 reads += 1;
             }
         }
@@ -192,7 +192,7 @@ mod tests {
         let mut a = OpStream::new(spec, 100, 3);
         let mut b = OpStream::new(spec, 100, 3);
         for _ in 0..100 {
-            assert_eq!(a.next(), b.next());
+            assert_eq!(a.next_op(), b.next_op());
         }
     }
 
@@ -202,7 +202,7 @@ mod tests {
         let mut s = OpStream::new(spec, 50, 1);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..100 {
-            let (kind, key) = s.next();
+            let (kind, key) = s.next_op();
             assert_eq!(kind, OpKind::Insert);
             assert!(key >= 50, "insert keys outside the preloaded range");
             assert!(seen.insert(key), "insert keys never repeat");
@@ -245,8 +245,16 @@ pub fn run_bench(
     tracker: &dyn crate::tracker::Tracker,
     batch: u64,
 ) -> Throughput {
-    run_bench_with(app, spec, clients, ops_per_client, keyspace, tracker, batch,
-        std::time::Duration::ZERO)
+    run_bench_with(
+        app,
+        spec,
+        clients,
+        ops_per_client,
+        keyspace,
+        tracker,
+        batch,
+        std::time::Duration::ZERO,
+    )
 }
 
 /// [`run_bench`] with a per-request processing cost: real servers spend
@@ -275,7 +283,7 @@ pub fn run_bench_with(
                 let mut stream = OpStream::new(spec, keyspace, id as u64);
                 let mut in_batch = 0u64;
                 for _ in 0..ops_per_client {
-                    let (kind, key) = stream.next();
+                    let (kind, key) = stream.next_op();
                     if request_cost > std::time::Duration::ZERO {
                         let t0 = std::time::Instant::now();
                         while t0.elapsed() < request_cost {

@@ -31,9 +31,7 @@ fn analysis_components(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{scope:?}")),
             &scope,
             |b, &scope| {
-                b.iter(|| {
-                    std::hint::black_box(InstrumentationPlan::build(&program, &dsa, scope))
-                })
+                b.iter(|| std::hint::black_box(InstrumentationPlan::build(&program, &dsa, scope)))
             },
         );
     }
@@ -42,7 +40,9 @@ fn analysis_components(c: &mut Criterion) {
     // Cost of shadow tracking per simulated access volume: what the three
     // scopes would pay at runtime.
     let mut group = c.benchmark_group("shadow_tracking_cost");
-    for (name, accesses) in [("annotated_only", 100u64), ("all_persistent", 400), ("everything", 1000)] {
+    for (name, accesses) in
+        [("annotated_only", 100u64), ("all_persistent", 400), ("everything", 1000)]
+    {
         group.bench_with_input(BenchmarkId::from_parameter(name), &accesses, |b, &n| {
             b.iter(|| {
                 let d = RaceDetector::new(16);

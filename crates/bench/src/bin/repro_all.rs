@@ -12,11 +12,8 @@ fn main() {
     println!("{}", deepmc_bench::rules_table());
     println!("{}", deepmc_bench::table8());
     println!("{}", deepmc_bench::table9());
-    let params = if full {
-        deepmc_bench::Fig12Params::full()
-    } else {
-        deepmc_bench::Fig12Params::default()
-    };
+    let params =
+        if full { deepmc_bench::Fig12Params::full() } else { deepmc_bench::Fig12Params::default() };
     println!("{}", deepmc_bench::fig12(params));
     println!("{}", deepmc_bench::perffix::report(200_000));
     println!("{}", deepmc_bench::completeness());

@@ -3,11 +3,8 @@
 //! Usage: repro-fig12 [--full]
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let params = if full {
-        deepmc_bench::Fig12Params::full()
-    } else {
-        deepmc_bench::Fig12Params::default()
-    };
+    let params =
+        if full { deepmc_bench::Fig12Params::full() } else { deepmc_bench::Fig12Params::default() };
     println!("{}", deepmc_bench::sysinfo());
     println!();
     println!("{}", deepmc_bench::fig12(params));

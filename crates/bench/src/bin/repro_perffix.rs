@@ -1,8 +1,5 @@
 //! Regenerate the §5.1 performance-bug-fix experiment (up to 43%).
 fn main() {
-    let iters = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200_000);
+    let iters = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200_000);
     println!("{}", deepmc_bench::perffix::report(iters));
 }

@@ -166,15 +166,9 @@ pub fn table2() -> String {
 /// Table 3: list of studied persistency bugs.
 pub fn table3() -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "Table 3. Persistency bugs studied ([V] violation, [P] performance).\n"
-    );
-    let _ = writeln!(
-        out,
-        "{:<12} {:<22} {:>6} {:<4} Description",
-        "Library", "File", "Line", "Loc"
-    );
+    let _ = writeln!(out, "Table 3. Persistency bugs studied ([V] violation, [P] performance).\n");
+    let _ =
+        writeln!(out, "{:<12} {:<22} {:>6} {:<4} Description", "Library", "File", "Line", "Loc");
     for s in GROUND_TRUTH.iter().filter(|s| s.origin == BugOrigin::Study) {
         let tag = match s.class.severity() {
             Severity::Violation => "[V]",
@@ -200,11 +194,7 @@ pub fn rules_table() -> String {
     for rule in deepmc_models::RULES {
         let models = match rule.models {
             None => "all models".to_string(),
-            Some(ms) => ms
-                .iter()
-                .map(|m| m.to_string())
-                .collect::<Vec<_>>()
-                .join("/"),
+            Some(ms) => ms.iter().map(|m| m.to_string()).collect::<Vec<_>>().join("/"),
         };
         let _ = writeln!(
             out,
@@ -526,10 +516,7 @@ pub fn fig12_measure(params: Fig12Params) -> Vec<Fig12Point> {
 pub fn fig12(params: Fig12Params) -> String {
     let points = fig12_measure(params);
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "Figure 12. Throughput with and without DeepMC's dynamic analysis.\n"
-    );
+    let _ = writeln!(out, "Figure 12. Throughput with and without DeepMC's dynamic analysis.\n");
     let _ = writeln!(
         out,
         "{:<10} {:<20} {:>14} {:>14} {:>10}",
@@ -592,10 +579,8 @@ pub fn false_positives() -> String {
     let reports = check_all_frameworks();
     let total: usize = reports.iter().map(|(_, r)| r.warnings.len()).sum();
     let mut out = String::new();
-    let fps: Vec<_> = GROUND_TRUTH
-        .iter()
-        .filter(|s| s.validity == Validity::FalsePositive)
-        .collect();
+    let fps: Vec<_> =
+        GROUND_TRUTH.iter().filter(|s| s.validity == Validity::FalsePositive).collect();
     let confirmed_fp: usize = fps
         .iter()
         .filter(|s| {

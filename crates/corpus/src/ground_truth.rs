@@ -164,7 +164,6 @@ pub const GROUND_TRUTH: &[BugSite] = &[
     // obj_pmemlog_simple.c (library)
     site!(Pmdk, "obj_pmemlog_simple.c":207, SemanticMismatch, New, LIB, FP,
           "Delayed persist over a conditionally-executed barrier", 0.0),
-
     // =================== NVM-Direct (strict) — 9/7 =======================
     site!(NvmDirect, "nvm_region.c":614, MissingPersistBarrier, Study, LIB, RB,
           "Missing persist barrier between epoch transactions", 0.0),
@@ -184,7 +183,6 @@ pub const GROUND_TRUTH: &[BugSite] = &[
           "Object modified through an alias the analysis cannot resolve", 0.0),
     site!(NvmDirect, "nvm_locks.c":950, EmptyDurableTx, New, LIB, FP,
           "Transaction writes inside a loop; the zero-iteration path never occurs", 0.0),
-
     // ====================== PMFS (epoch) — 11/9 ==========================
     site!(Pmfs, "journal.c":632, RedundantWriteback, Study, LIB, RB,
           "Flush redundant data when committing", 0.0),
@@ -208,7 +206,6 @@ pub const GROUND_TRUTH: &[BugSite] = &[
           "Flushing unmodified fields of an object", 3.2),
     site!(Pmfs, "super.c":584, UnmodifiedWriteback, New, LIB, FP,
           "Superblock re-flushed through an alias the analysis cannot resolve", 0.0),
-
     // ==================== Mnemosyne (epoch) — 4/4 ========================
     site!(Mnemosyne, "phlog_base.c":132, UnflushedWrite, New, LIB, RB,
           "Unflushed write", 10.0),
@@ -272,14 +269,12 @@ mod tests {
         let split = |fw| {
             let v = sites_for(fw)
                 .filter(|s| {
-                    s.origin == BugOrigin::Study
-                        && s.class.severity() == Severity::Violation
+                    s.origin == BugOrigin::Study && s.class.severity() == Severity::Violation
                 })
                 .count();
             let p = sites_for(fw)
                 .filter(|s| {
-                    s.origin == BugOrigin::Study
-                        && s.class.severity() == Severity::Performance
+                    s.origin == BugOrigin::Study && s.class.severity() == Severity::Performance
                 })
                 .count();
             (v, p)

@@ -11,7 +11,8 @@
 //!   barrier, in program order.
 
 /// PIR sources for every PMDK module.
-pub const SOURCES: &[&str] = &[BTREE_MAP, RBTREE_MAP, PMINVADERS, OBJ_PMEMLOG, HASHMAP_ATOMIC, OBJ_PMEMLOG_SIMPLE];
+pub const SOURCES: &[&str] =
+    &[BTREE_MAP, RBTREE_MAP, PMINVADERS, OBJ_PMEMLOG, HASHMAP_ATOMIC, OBJ_PMEMLOG_SIMPLE];
 
 /// `btree_map.c` — the B-tree example program.
 ///

@@ -327,8 +327,7 @@ entry:
 "#;
     let m = parse(src).unwrap();
     let stats_of = |entry: &str| {
-        let pool =
-            PmemPool::new(PoolConfig { size: 1 << 20, shards: 4, ..Default::default() });
+        let pool = PmemPool::new(PoolConfig { size: 1 << 20, shards: 4, ..Default::default() });
         let heap = PmemHeap::open(&pool);
         let log = heap.alloc(LOG_CAP);
         let txm = TxManager::new(&pool, log, LOG_CAP);

@@ -18,11 +18,7 @@ fn expected(fw: Framework) -> BTreeSet<Key> {
 }
 
 fn actual(fw: Framework) -> BTreeSet<Key> {
-    fw.check()
-        .warnings
-        .iter()
-        .map(|w| (w.file.clone(), w.line, format!("{:?}", w.class)))
-        .collect()
+    fw.check().warnings.iter().map(|w| (w.file.clone(), w.line, format!("{:?}", w.class))).collect()
 }
 
 fn assert_exact(fw: Framework) {

@@ -5,6 +5,8 @@
 //! deepmc dynamic -strand ENTRY FILE...
 //! deepmc run     ENTRY FILE...            # execute on the simulated NVM runtime
 //! deepmc crash   ENTRY FILE... [--steps N] [--seeds N]
+//! deepmc crashsweep [--app NAME] [--steps N] [--seeds N] [--seed S]
+//!                   [--torn R] [--drop-flush R] [--poison R] [--inject-bug]
 //! deepmc rules                            # print the checking-rule catalog
 //! ```
 //!
@@ -28,6 +30,7 @@ fn usage() -> ExitCode {
          deepmc dynamic ENTRY FILE...\n  \
          deepmc run ENTRY FILE...\n  \
          deepmc crash ENTRY FILE... [--steps N] [--seeds N]\n  \
+         deepmc crashsweep [--app all|memcached|redis|nstore] [--steps N] [--seeds N] [--seed S] [--torn R] [--drop-flush R] [--poison R] [--inject-bug]\n  \
          deepmc dsg FUNCTION FILE...          # Graphviz of the function's data structure graph\n  \
          deepmc rules"
     );
@@ -41,8 +44,7 @@ fn load_modules(paths: &[String]) -> Result<Vec<deepmc_pir::Module>, String> {
     paths
         .iter()
         .map(|p| {
-            let src =
-                std::fs::read_to_string(p).map_err(|e| format!("cannot read `{p}`: {e}"))?;
+            let src = std::fs::read_to_string(p).map_err(|e| format!("cannot read `{p}`: {e}"))?;
             let m = deepmc_pir::parse(&src).map_err(|e| format!("{p}: {e}"))?;
             deepmc_pir::verify::verify_module(&m).map_err(|e| format!("{p}: {e}"))?;
             Ok(m)
@@ -123,9 +125,8 @@ fn cmd_check(args: &[String]) -> ExitCode {
     if let Some(path) = suppress_db {
         let db = match std::fs::read_to_string(&path)
             .map_err(|e| e.to_string())
-            .and_then(|s| {
-                deepmc::suppress::SuppressionDb::from_json(&s).map_err(|e| e.to_string())
-            }) {
+            .and_then(|s| deepmc::suppress::SuppressionDb::from_json(&s).map_err(|e| e.to_string()))
+        {
             Ok(db) => db,
             Err(e) => {
                 eprintln!("cannot load suppression db `{path}`: {e}");
@@ -246,8 +247,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let (result, pool) =
-        with_session(&modules, InterpConfig::default(), |s| s.run(entry, &[]));
+    let (result, pool) = with_session(&modules, InterpConfig::default(), |s| s.run(entry, &[]));
     match result {
         Ok(Outcome::Finished(v)) => {
             let stats = pool.stats();
@@ -337,6 +337,91 @@ fn cmd_crash(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_crashsweep(args: &[String]) -> ExitCode {
+    use nvm_apps::crashsweep::{sweep, SweepApp, SweepConfig};
+    let mut cfg = SweepConfig::default();
+    let mut apps: Vec<SweepApp> = SweepApp::ALL.to_vec();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut numeric = |target: &mut u64| match it.next().and_then(|v| v.parse().ok()) {
+            Some(n) => {
+                *target = n;
+                true
+            }
+            None => false,
+        };
+        match a.as_str() {
+            "--app" => match it.next().map(String::as_str) {
+                Some("all") => apps = SweepApp::ALL.to_vec(),
+                Some("memcached") => apps = vec![SweepApp::Memcached],
+                Some("redis") => apps = vec![SweepApp::Redis],
+                Some("nstore") => apps = vec![SweepApp::NStore],
+                _ => return usage(),
+            },
+            "--steps" => {
+                if !numeric(&mut cfg.steps) {
+                    return usage();
+                }
+            }
+            "--seeds" => {
+                if !numeric(&mut cfg.random_seeds) {
+                    return usage();
+                }
+            }
+            "--seed" => {
+                if !numeric(&mut cfg.seed) {
+                    return usage();
+                }
+            }
+            "--torn" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(r) => cfg.fault.torn_store_rate = r,
+                None => return usage(),
+            },
+            "--drop-flush" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(r) => cfg.fault.dropped_flush_rate = r,
+                None => return usage(),
+            },
+            "--poison" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(r) => cfg.fault.poison_rate = r,
+                None => return usage(),
+            },
+            "--inject-bug" => cfg.inject_bug = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    cfg.fault.seed = cfg.seed;
+    println!(
+        "crash sweep: {} step(s), {}+{} eviction policies, faults: torn={} drop-flush={} poison={}{}",
+        cfg.steps,
+        3,
+        cfg.random_seeds,
+        cfg.fault.torn_store_rate,
+        cfg.fault.dropped_flush_rate,
+        cfg.fault.poison_rate,
+        if cfg.inject_bug { ", nstore commit bug injected" } else { "" }
+    );
+    let outcomes = sweep(&cfg, &apps);
+    let mut failed = false;
+    for outcome in &outcomes {
+        print!("{outcome}");
+        // With the bug injected the sweep is *supposed* to catch it: the
+        // run succeeds only if every loss is attributed.
+        failed |= !outcome.violations.is_empty();
+        if cfg.inject_bug && outcome.app == "nstore" && outcome.bug_attributed == 0 {
+            println!("  FAIL: injected bug was not observed");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn cmd_dsg(args: &[String]) -> ExitCode {
     let Some((func, files)) = args.split_first() else { return usage() };
     let modules = match load_modules(files) {
@@ -372,6 +457,7 @@ fn main() -> ExitCode {
             "dynamic" => cmd_dynamic(rest),
             "run" => cmd_run(rest),
             "crash" => cmd_crash(rest),
+            "crashsweep" => cmd_crashsweep(rest),
             "dsg" => cmd_dsg(rest),
             "rules" => {
                 for rule in deepmc_models::RULES {

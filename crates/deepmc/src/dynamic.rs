@@ -13,7 +13,7 @@
 //! yielding [`Warning`]s in the same report format as the static checker.
 
 use crate::report::{Report, Warning};
-use deepmc_interp::{Hooks, InterpConfig, InterpError, InstrumentScope, Outcome, Session};
+use deepmc_interp::{Hooks, InstrumentScope, InterpConfig, InterpError, Outcome, Session};
 use deepmc_models::{BugClass, PersistencyModel};
 use deepmc_pir::{Module, SourceLoc};
 use nvm_runtime::{PmemHeap, PmemPool, PoolConfig, RaceDetector, RaceKind, StrandId, TxManager};
@@ -28,11 +28,7 @@ pub struct DynamicChecker {
 
 impl DynamicChecker {
     pub fn new(model: PersistencyModel) -> DynamicChecker {
-        DynamicChecker {
-            detector: RaceDetector::new(16),
-            model,
-            warnings: Mutex::new(Vec::new()),
-        }
+        DynamicChecker { detector: RaceDetector::new(16), model, warnings: Mutex::new(Vec::new()) }
     }
 
     /// Warnings accumulated so far.
@@ -120,10 +116,7 @@ pub fn check_dynamic(
         heap: &heap,
         txm: &txm,
         hooks: &checker,
-        config: InterpConfig {
-            scope: InstrumentScope::AnnotatedRegions,
-            ..Default::default()
-        },
+        config: InterpConfig { scope: InstrumentScope::AnnotatedRegions, ..Default::default() },
     };
     let outcome = session.run(entry, &[])?;
     debug_assert!(matches!(outcome, Outcome::Finished(_)));

@@ -51,11 +51,7 @@ struct InstPos {
 }
 
 /// Find the first instruction at `line` satisfying `pred`.
-fn find_inst(
-    module: &Module,
-    line: u32,
-    pred: impl Fn(&Inst) -> bool,
-) -> Option<InstPos> {
+fn find_inst(module: &Module, line: u32, pred: impl Fn(&Inst) -> bool) -> Option<InstPos> {
     for (fi, f) in module.functions.iter().enumerate() {
         for (bi, b) in f.blocks.iter().enumerate() {
             for (ii, si) in b.insts.iter().enumerate() {
@@ -129,18 +125,14 @@ fn apply_one(module: &mut Module, hint: FixHint) -> FixOutcome {
                 return FixOutcome::TargetMissing;
             };
             insert_at(module, pos, 1, Inst::Fence, line);
-            FixOutcome::Applied {
-                description: format!("inserted `fence` after line {line}"),
-            }
+            FixOutcome::Applied { description: format!("inserted `fence` after line {line}") }
         }
         FixHint::InsertFenceBefore { line } => {
             let Some(pos) = find_inst(module, line, |i| !matches!(i, Inst::Fence)) else {
                 return FixOutcome::TargetMissing;
             };
             insert_at(module, pos, 0, Inst::Fence, line);
-            FixOutcome::Applied {
-                description: format!("inserted `fence` before line {line}"),
-            }
+            FixOutcome::Applied { description: format!("inserted `fence` before line {line}") }
         }
         FixHint::RemoveWriteback { line } => {
             let Some(pos) = find_inst(module, line, is_writeback) else {
@@ -160,6 +152,30 @@ fn apply_one(module: &mut Module, hint: FixHint) -> FixOutcome {
                 return FixOutcome::TargetMissing;
             };
             let place = writeback_place(inst_at(module, fpos)).expect("writeback has place");
+            let Some(spos) = find_inst(module, store_line, is_store) else {
+                return FixOutcome::TargetMissing;
+            };
+            // If a later store to the same place sits between this store and
+            // the late write-back, the write-back is what persists *that*
+            // store — removing it would just trade this warning for an
+            // unflushed write. Keep it and only add the early persist.
+            let reused_later = spos.func == fpos.func
+                && module.functions[spos.func].blocks.iter().enumerate().any(|(bi, b)| {
+                    b.insts.iter().enumerate().any(|(ii, si)| {
+                        (bi, ii) > (spos.block, spos.inst)
+                            && (bi, ii) < (fpos.block, fpos.inst)
+                            && matches!(&si.inst, Inst::Store { place: sp, .. } if *sp == place)
+                    })
+                });
+            if reused_later {
+                insert_at(module, spos, 1, Inst::Persist { place }, store_line);
+                return FixOutcome::Applied {
+                    description: format!(
+                        "inserted `persist` after the store at line {store_line} (the \
+                         write-back at line {flush_line} persists a later store and stays)"
+                    ),
+                };
+            }
             remove_at(module, fpos);
             let Some(spos) = find_inst(module, store_line, is_store) else {
                 return FixOutcome::TargetMissing;
@@ -249,8 +265,7 @@ pub fn fix_until_stable(
     max_rounds: usize,
 ) -> (Vec<Module>, crate::Report, usize) {
     let check = |modules: &[Module]| -> crate::Report {
-        let program =
-            deepmc_analysis::Program::new(modules.to_vec()).expect("modules link");
+        let program = deepmc_analysis::Program::new(modules.to_vec()).expect("modules link");
         crate::StaticChecker::new(config.clone()).check_program(&program)
     };
     let mut applied = 0;
@@ -266,10 +281,8 @@ pub fn fix_until_stable(
         // otherwise oscillate).
         let mut candidate = modules.clone();
         let outcomes = apply_fixes(&mut candidate, &fixable);
-        let round_applied = outcomes
-            .iter()
-            .filter(|o| matches!(o.outcome, FixOutcome::Applied { .. }))
-            .count();
+        let round_applied =
+            outcomes.iter().filter(|o| matches!(o.outcome, FixOutcome::Applied { .. })).count();
         if round_applied == 0 {
             return (modules, report, applied);
         }
@@ -444,8 +457,7 @@ entry:
         );
         // The persist now sits right after the store.
         let insts = &fixed[0].functions[0].blocks[0].insts;
-        let store_idx =
-            insts.iter().position(|si| matches!(si.inst, Inst::Store { .. })).unwrap();
+        let store_idx = insts.iter().position(|si| matches!(si.inst, Inst::Store { .. })).unwrap();
         assert!(matches!(insts[store_idx + 1].inst, Inst::Persist { .. }));
     }
 
@@ -490,11 +502,8 @@ entry:
         );
         // The whole-object persist became a field persist.
         let insts = &fixed[0].functions[0].blocks[0].insts;
-        let persists: Vec<&Inst> = insts
-            .iter()
-            .map(|si| &si.inst)
-            .filter(|i| matches!(i, Inst::Persist { .. }))
-            .collect();
+        let persists: Vec<&Inst> =
+            insts.iter().map(|si| &si.inst).filter(|i| matches!(i, Inst::Persist { .. })).collect();
         assert_eq!(persists.len(), 1);
         let Inst::Persist { place } = persists[0] else { unreachable!() };
         assert!(!place.is_whole_object());

@@ -79,6 +79,11 @@ impl fmt::Display for Warning {
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Report {
     pub warnings: Vec<Warning>,
+    /// Analysis caveats that are not warnings — e.g. the trace collector
+    /// hit its path or trace-length budget, so coverage is incomplete and
+    /// an empty warning list is not a clean bill of health.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub notes: Vec<String>,
 }
 
 impl Report {
@@ -86,21 +91,28 @@ impl Report {
     /// by file, then line, then class.
     pub fn from_raw(raw: Vec<Warning>) -> Report {
         let mut seen = BTreeSet::new();
-        let mut warnings: Vec<Warning> = raw
-            .into_iter()
-            .filter(|w| seen.insert((w.class, w.file.clone(), w.line)))
-            .collect();
-        warnings.sort_by(|a, b| {
-            (&a.file, a.line, a.class).cmp(&(&b.file, b.line, b.class))
-        });
-        Report { warnings }
+        let mut warnings: Vec<Warning> =
+            raw.into_iter().filter(|w| seen.insert((w.class, w.file.clone(), w.line))).collect();
+        warnings.sort_by(|a, b| (&a.file, a.line, a.class).cmp(&(&b.file, b.line, b.class)));
+        Report { warnings, notes: Vec::new() }
     }
 
-    /// Append another report, re-deduplicating.
+    /// Attach an analysis caveat (deduplicated).
+    pub fn push_note(&mut self, note: String) {
+        if !self.notes.contains(&note) {
+            self.notes.push(note);
+        }
+    }
+
+    /// Append another report, re-deduplicating warnings and notes.
     pub fn merge(self, other: Report) -> Report {
         let mut raw = self.warnings;
         raw.extend(other.warnings);
-        Report::from_raw(raw)
+        let mut merged = Report::from_raw(raw);
+        for note in self.notes.into_iter().chain(other.notes) {
+            merged.push_note(note);
+        }
+        merged
     }
 
     /// Warnings of one severity.
@@ -132,17 +144,21 @@ impl Report {
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.warnings.is_empty() {
-            return writeln!(f, "DeepMC: no warnings.");
+            writeln!(f, "DeepMC: no warnings.")?;
+        } else {
+            writeln!(
+                f,
+                "DeepMC: {} warning(s) ({} model violations, {} performance):",
+                self.warnings.len(),
+                self.violation_count(),
+                self.performance_count()
+            )?;
+            for w in &self.warnings {
+                writeln!(f, "  {w}")?;
+            }
         }
-        writeln!(
-            f,
-            "DeepMC: {} warning(s) ({} model violations, {} performance):",
-            self.warnings.len(),
-            self.violation_count(),
-            self.performance_count()
-        )?;
-        for w in &self.warnings {
-            writeln!(f, "  {w}")?;
+        for note in &self.notes {
+            writeln!(f, "  NOTE: {note}")?;
         }
         Ok(())
     }
@@ -207,6 +223,20 @@ mod tests {
             w(BugClass::UnflushedWrite, "a.c", 2),
         ]);
         assert_eq!(a.merge(b).warnings.len(), 2);
+    }
+
+    #[test]
+    fn notes_survive_merge_without_duplicates() {
+        let mut a = Report::from_raw(vec![w(BugClass::UnflushedWrite, "a.c", 1)]);
+        a.push_note("trace budget hit".into());
+        a.push_note("trace budget hit".into());
+        let mut b = Report::default();
+        b.push_note("trace budget hit".into());
+        b.push_note("events truncated".into());
+        let m = a.merge(b);
+        assert_eq!(m.notes, vec!["trace budget hit".to_string(), "events truncated".into()]);
+        let shown = format!("{m}");
+        assert!(shown.contains("NOTE: trace budget hit"));
     }
 
     #[test]

@@ -39,10 +39,10 @@
 
 use crate::config::DeepMcConfig;
 use crate::report::{FixHint, Report, Warning};
+use deepmc_analysis::trace::EvLoc;
 use deepmc_analysis::{
     Addr, CallGraph, DsaResult, FieldSel, ObjId, Program, Trace, TraceCollector, TraceEvent,
 };
-use deepmc_analysis::trace::EvLoc;
 use deepmc_models::{BugClass, PersistencyModel};
 use std::collections::BTreeSet;
 
@@ -84,7 +84,23 @@ impl StaticChecker {
             }
             raw.extend(scan.finish());
         }
-        Report::from_raw(raw)
+        let mut report = Report::from_raw(raw);
+        let (paths_pruned, events_truncated) = collector.truncation();
+        if paths_pruned > 0 {
+            report.push_note(format!(
+                "path budget exhausted: {paths_pruned} branch fork(s) explored one \
+                 successor only (max_paths = {}); coverage is incomplete",
+                self.config.trace.max_paths
+            ));
+        }
+        if events_truncated > 0 {
+            report.push_note(format!(
+                "trace length cap hit: {events_truncated} event(s) dropped \
+                 (max_trace_len = {}); coverage is incomplete",
+                self.config.trace.max_trace_len
+            ));
+        }
+        report
     }
 
     /// Apply the rules to pre-collected traces.
@@ -217,9 +233,7 @@ impl<'a> Scan<'a> {
         fix: Option<crate::report::FixHint>,
     ) {
         let is_violation = class.severity() == deepmc_models::Severity::Violation;
-        if (is_violation && !self.check_violations)
-            || (!is_violation && !self.check_performance)
-        {
+        if (is_violation && !self.check_violations) || (!is_violation && !self.check_performance) {
             return;
         }
         self.warnings.push(Warning {
@@ -318,11 +332,9 @@ impl<'a> Scan<'a> {
                 // The unfenced flushes' writes are accounted for by this
                 // report; do not re-report them as batched durability at
                 // the eventual fence.
-                let cleared: Vec<Addr> =
-                    self.unfenced_flushes.iter().map(|(a, _)| *a).collect();
+                let cleared: Vec<Addr> = self.unfenced_flushes.iter().map(|(a, _)| *a).collect();
                 self.unfenced_flushes.clear();
-                self.writes_since_fence
-                    .retain(|(a, _)| !cleared.iter().any(|f| f.covers(a)));
+                self.writes_since_fence.retain(|(a, _)| !cleared.iter().any(|f| f.covers(a)));
             }
         }
 
@@ -333,11 +345,8 @@ impl<'a> Scan<'a> {
             frame.fence_at_tail = false;
         }
         // Transaction bookkeeping (a write counts for every enclosing tx).
-        let logged = self
-            .tx_stack
-            .last()
-            .map(|f| f.logged.iter().any(|l| l.covers(&addr)))
-            .unwrap_or(false);
+        let logged =
+            self.tx_stack.last().map(|f| f.logged.iter().any(|l| l.covers(&addr))).unwrap_or(false);
         for frame in &mut self.tx_stack {
             frame.commit_pending_writes += 1;
         }
@@ -384,10 +393,7 @@ impl<'a> Scan<'a> {
                 self.warn_fix(
                     BugClass::UnmodifiedWriteback,
                     loc,
-                    format!(
-                        "flushing `{}` which was never modified",
-                        self.obj_name(addr.obj)
-                    ),
+                    format!("flushing `{}` which was never modified", self.obj_name(addr.obj)),
                     Some(FixHint::RemoveWriteback { line: loc.line }),
                 );
             }
@@ -426,9 +432,7 @@ impl<'a> Scan<'a> {
         // persisting the same object repeatedly inside one transaction.
         let mut fired_redundant = false;
         if let Some(frame) = self.tx_stack.last_mut() {
-            if let Some((_, first_loc)) =
-                frame.flushed_objs.iter().find(|(o, _)| *o == addr.obj)
-            {
+            if let Some((_, first_loc)) = frame.flushed_objs.iter().find(|(o, _)| *o == addr.obj) {
                 let first_line = first_loc.line;
                 self.warn_fix(
                     BugClass::RedundantPersistInTx,
@@ -486,10 +490,7 @@ impl<'a> Scan<'a> {
                      program treats as atomic",
                     w_loc.line
                 ),
-                Some(FixHint::MovePersistToStore {
-                    store_line: w_loc.line,
-                    flush_line: loc.line,
-                }),
+                Some(FixHint::MovePersistToStore { store_line: w_loc.line, flush_line: loc.line }),
             );
         }
 
@@ -513,24 +514,21 @@ impl<'a> Scan<'a> {
         // only when every preceding write was actually flushed (otherwise
         // the unflushed/mismatch rules own the report) and outside
         // transactions/epochs, whose frameworks batch legitimately.
-        if self.model == PersistencyModel::Strict
-            || (self.model.has_epochs() && !self.in_epoch())
+        if (self.model == PersistencyModel::Strict || (self.model.has_epochs() && !self.in_epoch()))
+            && !self.in_tx()
+            && !self.in_epoch()
+            && self.writes_since_fence.len() >= 2
+            && self.writes_since_fence.iter().all(|(_, flushed)| *flushed)
         {
-            if !self.in_tx()
-                && !self.in_epoch()
-                && self.writes_since_fence.len() >= 2
-                && self.writes_since_fence.iter().all(|(_, flushed)| *flushed)
-            {
-                let n = self.writes_since_fence.len();
-                self.warn(
-                    BugClass::MultipleWritesAtOnce,
-                    loc,
-                    format!(
-                        "{n} distinct writes are made durable by a single persist \
-                         barrier; the declared model requires per-unit durability"
-                    ),
-                );
-            }
+            let n = self.writes_since_fence.len();
+            self.warn(
+                BugClass::MultipleWritesAtOnce,
+                loc,
+                format!(
+                    "{n} distinct writes are made durable by a single persist \
+                     barrier; the declared model requires per-unit durability"
+                ),
+            );
         }
         self.writes_since_fence.clear();
         self.unfenced_flushes.clear();
@@ -613,8 +611,7 @@ impl<'a> Scan<'a> {
             self.warn(
                 BugClass::EmptyDurableTx,
                 loc,
-                "durable transaction commits without any persistent write on this path"
-                    .to_string(),
+                "durable transaction commits without any persistent write on this path".to_string(),
             );
         }
 
@@ -770,10 +767,7 @@ impl<'a> Scan<'a> {
                 self.warn_fix(
                     BugClass::MissingPersistBarrier,
                     &f_loc,
-                    format!(
-                        "flush at line {} is never followed by a persist barrier",
-                        f_loc.line
-                    ),
+                    format!("flush at line {} is never followed by a persist barrier", f_loc.line),
                     Some(FixHint::InsertFenceAfter { line: f_loc.line }),
                 );
             }
@@ -798,10 +792,7 @@ fn model_override(f: &deepmc_pir::Function) -> Option<PersistencyModel> {
 
 /// WAW or RAW dependence between two strands' access sets.
 fn strands_conflict(a: &StrandSet, b: &StrandSet) -> bool {
-    let waw = a
-        .writes
-        .iter()
-        .any(|wa| b.writes.iter().any(|wb| wa.overlaps(wb)));
+    let waw = a.writes.iter().any(|wa| b.writes.iter().any(|wb| wa.overlaps(wb)));
     let raw = a.writes.iter().any(|w| b.reads.iter().any(|r| w.overlaps(r)))
         || b.writes.iter().any(|w| a.reads.iter().any(|r| w.overlaps(r)));
     waw || raw
@@ -1297,10 +1288,7 @@ entry:
 }
 "#,
         );
-        assert!(
-            r.contains(BugClass::UnmodifiedWriteback, "m.c", 6),
-            "{r}"
-        );
+        assert!(r.contains(BugClass::UnmodifiedWriteback, "m.c", 6), "{r}");
     }
 
     #[test]
@@ -1399,6 +1387,50 @@ entry:
 "#,
         );
         assert!(r.contains(BugClass::RedundantPersistInTx, "m.c", 150), "{r}");
+    }
+
+    #[test]
+    fn exhausted_path_budget_is_noted_in_the_report() {
+        let src = r#"
+module m
+struct s { a: i64 }
+fn main(%c1: i64, %c2: i64, %c3: i64) {
+entry:
+  %x = palloc s
+  br %c1, a1, a2
+a1:
+  jmp m1
+a2:
+  jmp m1
+m1:
+  br %c2, b1, b2
+b1:
+  jmp m2
+b2:
+  jmp m2
+m2:
+  br %c3, c1b, c2b
+c1b:
+  jmp done
+c2b:
+  jmp done
+done:
+  store %x.a, 1
+  persist %x.a
+  ret
+}
+"#;
+        let mut config = DeepMcConfig::new(Strict);
+        config.trace.max_paths = 2;
+        let r = crate::check_source(src, &config).unwrap();
+        assert!(
+            r.notes.iter().any(|n| n.contains("path budget exhausted")),
+            "pruned forks must be disclosed: {r}"
+        );
+        // With the default budget the same program explores everything and
+        // carries no caveat.
+        let clean = check(Strict, src);
+        assert!(clean.notes.is_empty(), "{clean}");
     }
 
     #[test]
@@ -1625,11 +1657,7 @@ entry:
 }
 "#,
         );
-        assert_eq!(
-            r.of_class(BugClass::MissingPersistBarrier).count(),
-            0,
-            "{r}"
-        );
+        assert_eq!(r.of_class(BugClass::MissingPersistBarrier).count(), 0, "{r}");
     }
 
     #[test]
@@ -1703,11 +1731,7 @@ entry:
   ret
 }
 "#;
-        let r = crate::check_source(
-            src,
-            &DeepMcConfig::new(Strict).performance_only(),
-        )
-        .unwrap();
+        let r = crate::check_source(src, &DeepMcConfig::new(Strict).performance_only()).unwrap();
         assert!(r.warnings.is_empty());
         let r = crate::check_source(src, &DeepMcConfig::new(Strict).violations_only()).unwrap();
         assert_eq!(r.warnings.len(), 1);

@@ -33,8 +33,8 @@ impl Suppression {
     /// Does this record match `w`?
     pub fn matches(&self, w: &Warning) -> bool {
         self.file == w.file
-            && self.line.map_or(true, |l| l == w.line)
-            && self.class.map_or(true, |c| c == w.class)
+            && self.line.is_none_or(|l| l == w.line)
+            && self.class.is_none_or(|c| c == w.class)
     }
 }
 
@@ -74,7 +74,7 @@ impl SuppressionDb {
                 surviving.push(w.clone());
             }
         }
-        (Report { warnings: surviving }, suppressed)
+        (Report { warnings: surviving, notes: report.notes.clone() }, suppressed)
     }
 
     /// Serialize to the committed JSON form.
@@ -111,10 +111,8 @@ mod tests {
         let mut db = SuppressionDb::new();
         let fp = warning(BugClass::UnflushedWrite, "a.c", 10);
         db.learn(&fp, "coverage unprovable; replicas always flush");
-        let report = Report::from_raw(vec![
-            fp.clone(),
-            warning(BugClass::UnflushedWrite, "a.c", 11),
-        ]);
+        let report =
+            Report::from_raw(vec![fp.clone(), warning(BugClass::UnflushedWrite, "a.c", 11)]);
         let (surviving, suppressed) = db.apply(&report);
         assert_eq!(surviving.warnings.len(), 1);
         assert_eq!(surviving.warnings[0].line, 11);
@@ -157,5 +155,4 @@ mod tests {
         let back = SuppressionDb::from_json(&db.to_json()).unwrap();
         assert_eq!(db, back);
     }
-
 }

@@ -17,8 +17,7 @@
 //!   (DeepMC), giving the Figure-12-style comparison for PIR workloads.
 
 use deepmc_pir::{
-    Accessor, BinOp, Function, Inst, Module, Operand, Place, SourceLoc, StructDef, Terminator,
-    Ty,
+    Accessor, BinOp, Function, Inst, Module, Operand, Place, SourceLoc, StructDef, Terminator, Ty,
 };
 use nvm_runtime::{PAddr, PmemHeap, PmemPool, StrandId, TxManager};
 use std::collections::HashMap;
@@ -36,6 +35,7 @@ pub trait Hooks {
     fn global_barrier(&self) {}
     /// A persistent-memory access at `loc`. Called only for instructions
     /// the instrumentation plan selected.
+    #[allow(clippy::too_many_arguments)]
     fn access(
         &self,
         _strand: Option<StrandId>,
@@ -73,9 +73,15 @@ pub enum Value {
     Int(i64),
     /// Pointer to a persistent object of the given struct (module-local id
     /// resolved at call time; structs are per-module).
-    PRef { addr: PAddr, strukt: u32 },
+    PRef {
+        addr: PAddr,
+        strukt: u32,
+    },
     /// Pointer to a volatile object (index into the volatile store).
-    VRef { idx: u32, strukt: u32 },
+    VRef {
+        idx: u32,
+        strukt: u32,
+    },
     Null,
 }
 
@@ -87,8 +93,18 @@ pub enum InterpError {
     CallDepth,
     OutOfMemory,
     TxLogFull,
-    UninitializedLocal { func: String, local: String },
-    TypeError { func: String, line: u32, msg: String },
+    UninitializedLocal {
+        func: String,
+        local: String,
+    },
+    TypeError {
+        func: String,
+        line: u32,
+        msg: String,
+    },
+    /// A persistent-memory access failed (media error surviving retries,
+    /// or an out-of-range access under fault injection).
+    Pmem(nvm_runtime::PmemError),
 }
 
 impl std::fmt::Display for InterpError {
@@ -105,6 +121,7 @@ impl std::fmt::Display for InterpError {
             InterpError::TypeError { func, line, msg } => {
                 write!(f, "type error in `{func}` line {line}: {msg}")
             }
+            InterpError::Pmem(e) => write!(f, "{e}"),
         }
     }
 }
@@ -118,7 +135,9 @@ pub enum Outcome {
     /// Execution stopped at the injected crash step; the pool now holds
     /// the pre-crash state, ready for
     /// [`nvm_runtime::CrashPolicy::apply`].
-    Crashed { step: u64 },
+    Crashed {
+        step: u64,
+    },
 }
 
 /// Execution limits and crash injection.
@@ -381,7 +400,7 @@ impl<'a> Interp<'a> {
         &mut self,
         mi: usize,
         f: &'a Function,
-        env: &mut Vec<Option<Value>>,
+        env: &mut [Option<Value>],
         inst: &Inst,
         loc: SourceLoc,
         depth: usize,
@@ -413,7 +432,10 @@ impl<'a> Interp<'a> {
                         let target = addr.offset(off);
                         // Fill multi-word ranges (whole-field array stores
                         // do not occur; len is 8 here).
-                        self.s.pool.write(target, &raw.to_le_bytes()[..len.min(8) as usize]);
+                        self.s
+                            .pool
+                            .try_write(target, &raw.to_le_bytes()[..len.min(8) as usize])
+                            .map_err(InterpError::Pmem)?;
                         self.hook_access(mi, f, target, len.min(8), true, loc);
                     }
                     Value::VRef { idx, .. } => {
@@ -437,7 +459,12 @@ impl<'a> Interp<'a> {
                 match base {
                     Value::PRef { addr, .. } => {
                         let target = addr.offset(off);
-                        self.s.pool.read(target, &mut buf[..len.min(8) as usize]);
+                        // One transparent retry models the ECC path; a
+                        // persistent media error surfaces to the program.
+                        self.s
+                            .pool
+                            .read_reliable(target, &mut buf[..len.min(8) as usize], 1)
+                            .map_err(InterpError::Pmem)?;
                         self.hook_access(mi, f, target, len.min(8), false, loc);
                     }
                     Value::VRef { idx, .. } => {
@@ -515,7 +542,7 @@ impl<'a> Interp<'a> {
                     }
                     bytes.truncate(len as usize);
                     let target = addr.offset(off);
-                    self.s.pool.write(target, &bytes);
+                    self.s.pool.try_write(target, &bytes).map_err(InterpError::Pmem)?;
                     self.hook_access(mi, f, target, len, true, loc);
                     self.s.pool.persist(target, len);
                     if self.strand_stack.is_empty() {
@@ -556,10 +583,8 @@ impl<'a> Interp<'a> {
                     }
                     return Ok(true);
                 };
-                let argv: Vec<Value> = args
-                    .iter()
-                    .map(|a| self.eval(env, *a).unwrap_or(Value::Int(0)))
-                    .collect();
+                let argv: Vec<Value> =
+                    args.iter().map(|a| self.eval(env, *a).unwrap_or(Value::Int(0))).collect();
                 let ret = self.call(cmi, cf, argv, depth + 1)?;
                 if self.crashed {
                     return Ok(false);
@@ -580,10 +605,7 @@ mod tests {
     use nvm_runtime::{CrashPolicy, PoolConfig};
 
     /// Run `src`'s `main` and return (outcome, pool) for inspection.
-    fn run_with(
-        src: &str,
-        config: InterpConfig,
-    ) -> (Result<Outcome, InterpError>, PmemPool) {
+    fn run_with(src: &str, config: InterpConfig) -> (Result<Outcome, InterpError>, PmemPool) {
         let m = parse(src).expect("test source parses");
         deepmc_pir::verify::verify_module(&m).expect("verifies");
         let pool = PmemPool::new(PoolConfig { size: 1 << 20, shards: 4, ..Default::default() });
@@ -610,8 +632,7 @@ mod tests {
 
     #[test]
     fn arithmetic_and_branching() {
-        let (out, _) = run(
-            r#"
+        let (out, _) = run(r#"
 module m
 fn main() -> i64 {
 entry:
@@ -624,15 +645,13 @@ yes:
 no:
   ret 0
 }
-"#,
-        );
+"#);
         assert_eq!(out.unwrap(), Outcome::Finished(Some(Value::Int(42))));
     }
 
     #[test]
     fn persistent_store_load_roundtrip() {
-        let (out, _) = run(
-            r#"
+        let (out, _) = run(r#"
 module m
 struct s { a: i64, arr: [i64; 4], next: ptr s }
 fn main() -> i64 {
@@ -651,8 +670,7 @@ entry:
   %t2 = add %t1, %v3
   ret %t2
 }
-"#,
-        );
+"#);
         assert_eq!(out.unwrap(), Outcome::Finished(Some(Value::Int(42))));
     }
 
@@ -682,8 +700,7 @@ entry:
 
     #[test]
     fn unflushed_write_lost_after_crash() {
-        let (out, pool) = run(
-            r#"
+        let (out, pool) = run(r#"
 module m
 struct s { a: i64, b: i64 }
 fn main() {
@@ -694,8 +711,7 @@ entry:
   store %x.b, 2
   ret
 }
-"#,
-        );
+"#);
         assert!(matches!(out.unwrap(), Outcome::Finished(_)));
         let img = CrashPolicy::Pessimistic.apply(&pool);
         // Find the object: it is the first heap block after the metadata.
@@ -729,10 +745,8 @@ entry:
 "#;
         let obj = PAddr(64 + 65536);
         for step in 0..40 {
-            let (out, pool) = run_with(
-                src,
-                InterpConfig { crash_at: Some(step), ..Default::default() },
-            );
+            let (out, pool) =
+                run_with(src, InterpConfig { crash_at: Some(step), ..Default::default() });
             let out = out.unwrap();
             // Adversarial eviction, then reboot + recovery.
             let img = CrashPolicy::Optimistic.apply(&pool);
@@ -791,8 +805,7 @@ entry:
 
     #[test]
     fn calls_pass_pointers_and_return_values() {
-        let (out, _) = run(
-            r#"
+        let (out, _) = run(r#"
 module m
 struct s { a: i64 }
 fn get(%p: ptr s) -> i64 {
@@ -808,15 +821,13 @@ entry:
   %r2 = add %r, 1
   ret %r2
 }
-"#,
-        );
+"#);
         assert_eq!(out.unwrap(), Outcome::Finished(Some(Value::Int(42))));
     }
 
     #[test]
     fn null_comparisons() {
-        let (out, _) = run(
-            r#"
+        let (out, _) = run(r#"
 module m
 struct s { next: ptr s }
 fn main() -> i64 {
@@ -831,15 +842,13 @@ nonnull:
 isnil:
   ret %isnull
 }
-"#,
-        );
+"#);
         assert_eq!(out.unwrap(), Outcome::Finished(Some(Value::Int(1))));
     }
 
     #[test]
     fn memset_persist_zeroes_and_persists() {
-        let (out, pool) = run(
-            r#"
+        let (out, pool) = run(r#"
 module m
 struct s { a: i64, b: i64 }
 fn main() {
@@ -851,8 +860,7 @@ entry:
   memset_persist %x, 0
   ret
 }
-"#,
-        );
+"#);
         assert!(matches!(out.unwrap(), Outcome::Finished(_)));
         let img = CrashPolicy::Pessimistic.apply(&pool);
         let obj = PAddr(64 + 65536);
@@ -923,15 +931,71 @@ entry:
             heap: &heap,
             txm: &txm,
             hooks: &rec,
-            config: InterpConfig {
-                scope: InstrumentScope::AnnotatedRegions,
-                ..Default::default()
-            },
+            config: InterpConfig { scope: InstrumentScope::AnnotatedRegions, ..Default::default() },
         };
         session.run("main", &[]).unwrap();
         let events = rec.events.into_inner();
         // The store outside the strand is NOT instrumented under
         // AnnotatedRegions.
         assert_eq!(events, vec!["begin0", "w0", "end0"]);
+    }
+
+    #[test]
+    fn media_error_surfaces_as_typed_error() {
+        // A hook that permanently poisons every line the program stores
+        // to — the next load of that line must fail with a typed media
+        // error instead of silently reading or panicking.
+        struct Poisoner<'p>(&'p PmemPool);
+        impl Hooks for Poisoner<'_> {
+            fn access(
+                &self,
+                _strand: Option<StrandId>,
+                addr: u64,
+                _len: u64,
+                is_write: bool,
+                _file: &str,
+                _func: &str,
+                _loc: SourceLoc,
+            ) {
+                if is_write {
+                    self.0.poison_line(addr / 64, false);
+                }
+            }
+        }
+        let m = parse(
+            r#"
+module m
+struct s { a: i64 }
+fn main() -> i64 {
+entry:
+  %x = palloc s
+  store %x.a, 5
+  %v = load %x.a
+  ret %v
+}
+"#,
+        )
+        .unwrap();
+        let pool = PmemPool::new(PoolConfig { size: 1 << 20, shards: 4, ..Default::default() });
+        let heap = PmemHeap::open(&pool);
+        let log = heap.alloc(4096);
+        let txm = TxManager::new(&pool, log, 4096);
+        let poisoner = Poisoner(&pool);
+        let session = Session {
+            modules: std::slice::from_ref(&m),
+            pool: &pool,
+            heap: &heap,
+            txm: &txm,
+            hooks: &poisoner,
+            config: InterpConfig { scope: InstrumentScope::AllPersistent, ..Default::default() },
+        };
+        let err = session.run("main", &[]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                InterpError::Pmem(nvm_runtime::PmemError::MediaError { transient: false, .. })
+            ),
+            "got {err:?}"
+        );
     }
 }

@@ -122,8 +122,7 @@ mod tests {
     fn severity_split_matches_study() {
         let violations =
             BugClass::ALL.iter().filter(|c| c.severity() == Severity::Violation).count();
-        let perf =
-            BugClass::ALL.iter().filter(|c| c.severity() == Severity::Performance).count();
+        let perf = BugClass::ALL.iter().filter(|c| c.severity() == Severity::Performance).count();
         assert_eq!(violations, 6);
         assert_eq!(perf, 4);
     }
@@ -137,9 +136,6 @@ mod tests {
 
     #[test]
     fn display_uses_label() {
-        assert_eq!(
-            BugClass::UnflushedWrite.to_string(),
-            "Unflushed write"
-        );
+        assert_eq!(BugClass::UnflushedWrite.to_string(), "Unflushed write");
     }
 }

@@ -34,7 +34,7 @@ impl Rule {
 
     /// Does the rule apply when checking under `model`?
     pub fn applies_to(&self, model: PersistencyModel) -> bool {
-        self.models.map_or(true, |ms| ms.contains(&model))
+        self.models.is_none_or(|ms| ms.contains(&model))
     }
 }
 
@@ -137,19 +137,13 @@ mod tests {
     #[test]
     fn every_static_class_has_a_rule() {
         for class in BugClass::ALL {
-            assert!(
-                RULES.iter().any(|r| r.class == class),
-                "no rule for {class:?}"
-            );
+            assert!(RULES.iter().any(|r| r.class == class), "no rule for {class:?}");
         }
     }
 
     #[test]
     fn strand_rule_is_dynamic() {
-        let r = RULES
-            .iter()
-            .find(|r| r.class == BugClass::InterStrandDependency)
-            .unwrap();
+        let r = RULES.iter().find(|r| r.class == BugClass::InterStrandDependency).unwrap();
         assert_eq!(r.analysis, Analysis::Dynamic);
         assert!(r.applies_to(PersistencyModel::Strand));
         assert!(!r.applies_to(PersistencyModel::Strict));
@@ -166,10 +160,7 @@ mod tests {
 
     #[test]
     fn multiple_writes_rule_is_strict_only() {
-        let r = RULES
-            .iter()
-            .find(|r| r.class == BugClass::MultipleWritesAtOnce)
-            .unwrap();
+        let r = RULES.iter().find(|r| r.class == BugClass::MultipleWritesAtOnce).unwrap();
         assert!(r.applies_to(PersistencyModel::Strict));
         assert!(!r.applies_to(PersistencyModel::Epoch));
     }

@@ -47,15 +47,28 @@ impl CrashPolicy {
     }
 }
 
-/// A frozen post-crash durable image, readable like a pool.
+/// A frozen post-crash durable image, readable like a pool. Carries the
+/// set of cache lines the crash left poisoned (media errors): rebooting
+/// transfers them to the new pool, where reads fail until scrubbed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CrashImage {
     bytes: Vec<u8>,
+    /// (global line index, transient?) pairs.
+    poisoned: Vec<(u64, bool)>,
 }
 
 impl CrashImage {
     pub fn new(bytes: Vec<u8>) -> CrashImage {
-        CrashImage { bytes }
+        CrashImage { bytes, poisoned: Vec::new() }
+    }
+
+    pub fn with_poison(bytes: Vec<u8>, poisoned: Vec<(u64, bool)>) -> CrashImage {
+        CrashImage { bytes, poisoned }
+    }
+
+    /// Lines the crash poisoned.
+    pub fn poisoned(&self) -> &[(u64, bool)] {
+        &self.poisoned
     }
 
     pub fn len(&self) -> usize {
@@ -85,10 +98,14 @@ impl CrashImage {
             shards,
             ..Default::default()
         });
-        // Write + persist the image so visible == durable == image.
+        // Write + persist the image so visible == durable == image. The
+        // poison set is applied after (the image write would scrub it).
         pool.write(PAddr(0), &self.bytes);
         pool.flush(PAddr(0), self.bytes.len() as u64);
         pool.fence();
+        for &(line, transient) in &self.poisoned {
+            pool.poison_line(line, transient);
+        }
         pool
     }
 }
@@ -216,8 +233,7 @@ mod matrix_tests {
     #[test]
     fn matrix_validates_transactional_atomicity() {
         let run = |step: u64| -> Option<PmemPool> {
-            let pool =
-                PmemPool::new(PoolConfig { size: 1 << 16, shards: 2, ..Default::default() });
+            let pool = PmemPool::new(PoolConfig { size: 1 << 16, shards: 2, ..Default::default() });
             let heap = PmemHeap::open(&pool);
             let log = heap.alloc(4096);
             let obj = heap.alloc(64);
@@ -233,24 +249,44 @@ mod matrix_tests {
                 !*crashed
             };
             'work: {
-                if !guard(&mut crashed) { break 'work }
+                if !guard(&mut crashed) {
+                    break 'work;
+                }
                 pool.write_u64(obj, 5);
-                if !guard(&mut crashed) { break 'work }
+                if !guard(&mut crashed) {
+                    break 'work;
+                }
                 pool.write_u64(obj.offset(8), 5);
-                if !guard(&mut crashed) { break 'work }
+                if !guard(&mut crashed) {
+                    break 'work;
+                }
                 pool.persist(obj, 16);
-                if !guard(&mut crashed) { break 'work }
+                if !guard(&mut crashed) {
+                    break 'work;
+                }
                 txm.begin();
-                if !guard(&mut crashed) { break 'work }
+                if !guard(&mut crashed) {
+                    break 'work;
+                }
                 txm.add(obj, 16).unwrap();
-                if !guard(&mut crashed) { break 'work }
+                if !guard(&mut crashed) {
+                    break 'work;
+                }
                 pool.write_u64(obj, 3);
-                if !guard(&mut crashed) { break 'work }
+                if !guard(&mut crashed) {
+                    break 'work;
+                }
                 pool.write_u64(obj.offset(8), 7);
-                if !guard(&mut crashed) { break 'work }
+                if !guard(&mut crashed) {
+                    break 'work;
+                }
                 txm.commit();
             }
-            if crashed { Some(pool) } else { None }
+            if crashed {
+                Some(pool)
+            } else {
+                None
+            }
         };
         let obj_base = 64 + 4096;
         let invariant = |img: &CrashImage| -> Result<(), String> {
@@ -281,8 +317,7 @@ mod matrix_tests {
     #[test]
     fn matrix_catches_non_atomic_updates() {
         let run = |step: u64| -> Option<PmemPool> {
-            let pool =
-                PmemPool::new(PoolConfig { size: 1 << 16, shards: 2, ..Default::default() });
+            let pool = PmemPool::new(PoolConfig { size: 1 << 16, shards: 2, ..Default::default() });
             let heap = PmemHeap::open(&pool);
             let obj = heap.alloc(128); // two cache lines
             let mut op = 0u64;
@@ -295,16 +330,28 @@ mod matrix_tests {
                 !*crashed
             };
             'work: {
-                if !guard(&mut crashed) { break 'work }
+                if !guard(&mut crashed) {
+                    break 'work;
+                }
                 pool.write_u64(obj, 1);
-                if !guard(&mut crashed) { break 'work }
+                if !guard(&mut crashed) {
+                    break 'work;
+                }
                 pool.persist(obj, 8);
-                if !guard(&mut crashed) { break 'work }
+                if !guard(&mut crashed) {
+                    break 'work;
+                }
                 pool.write_u64(obj.offset(64), 1);
-                if !guard(&mut crashed) { break 'work }
+                if !guard(&mut crashed) {
+                    break 'work;
+                }
                 pool.persist(obj.offset(64), 8);
             }
-            if crashed { Some(pool) } else { None }
+            if crashed {
+                Some(pool)
+            } else {
+                None
+            }
         };
         let obj_base = 64;
         let invariant = |img: &CrashImage| -> Result<(), String> {
@@ -318,9 +365,6 @@ mod matrix_tests {
             }
         };
         let report = CrashMatrix::default().sweep(run, invariant);
-        assert!(
-            !report.violations.is_empty(),
-            "the torn intermediate state must be observable"
-        );
+        assert!(!report.violations.is_empty(), "the torn intermediate state must be observable");
     }
 }

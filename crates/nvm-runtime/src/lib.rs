@@ -19,9 +19,14 @@
 //!   (the stand-in for the paper's 458-line ThreadSanitizer customization).
 //! * [`crash`] — crash-state sampling and recovery validation helpers used
 //!   to reproduce the paper's manual bug validation.
+//! * [`fault`] — deterministic fault injection: torn stores, silently
+//!   dropped `clwb`s, and poisoned lines surfacing as media errors, so
+//!   recovery code can be validated against hardware-level failure modes
+//!   rather than only clean crashes.
 
 pub mod clock;
 pub mod crash;
+pub mod fault;
 pub mod heap;
 pub mod pool;
 pub mod race;
@@ -30,6 +35,7 @@ pub mod tx;
 
 pub use clock::VectorClock;
 pub use crash::{CrashImage, CrashMatrix, CrashMatrixReport, CrashPolicy};
+pub use fault::{FaultConfig, FaultPlan, FaultStats, PmemError};
 pub use heap::PmemHeap;
 pub use pool::{PAddr, PmemPool, PoolConfig, PoolStats, CACHE_LINE};
 pub use race::{RaceDetector, RaceKind, RaceReport, StrandId};

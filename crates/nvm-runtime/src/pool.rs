@@ -26,7 +26,9 @@
 //! so performance bugs (redundant flushes, §3.3: "an additional writeback
 //! can introduce extra latency by 2–4×") have measurable cost.
 
+use crate::fault::{FaultConfig, FaultPlan, FaultStats, PmemError};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -153,11 +155,26 @@ pub struct PmemPool {
     writeback_cost: Duration,
     fence_cost: Duration,
     flush_cost: Duration,
+    /// Optional fault-injection engine (see [`crate::fault`]).
+    fault: Option<FaultPlan>,
+    /// Poisoned cache lines: global line index → transient? Populated by
+    /// [`crate::CrashImage::reboot`] and by tests; reads through the typed
+    /// API fail on these lines until they are scrubbed by a store.
+    poisoned: Mutex<HashMap<u64, bool>>,
 }
 
 impl PmemPool {
     /// Create a pool; the durable image starts zeroed (fresh DIMM).
     pub fn new(config: PoolConfig) -> PmemPool {
+        Self::build(config, None)
+    }
+
+    /// Create a pool with a deterministic fault-injection plan attached.
+    pub fn with_faults(config: PoolConfig, fault: FaultConfig) -> PmemPool {
+        Self::build(config, Some(FaultPlan::new(fault)))
+    }
+
+    fn build(config: PoolConfig, fault: Option<FaultPlan>) -> PmemPool {
         let shards = config.shards.max(1);
         // Round the shard size up to a line multiple.
         let raw = config.size.div_ceil(shards as u64);
@@ -182,7 +199,24 @@ impl PmemPool {
             writeback_cost: config.writeback_cost,
             fence_cost: config.fence_cost,
             flush_cost: config.flush_cost,
+            fault,
+            poisoned: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Fault counters, when a plan is attached.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault.as_ref().map(|f| f.stats())
+    }
+
+    /// Mark a cache line poisoned (media error on read until scrubbed).
+    pub fn poison_line(&self, line: u64, transient: bool) {
+        self.poisoned.lock().insert(line, transient);
+    }
+
+    /// Number of currently poisoned lines.
+    pub fn poisoned_line_count(&self) -> usize {
+        self.poisoned.lock().len()
     }
 
     /// Total pool size in bytes.
@@ -194,19 +228,32 @@ impl PmemPool {
         (addr / self.shard_bytes) as usize
     }
 
+    /// Range validation as a typed result.
+    fn range_ok(&self, addr: PAddr, len: u64) -> Result<(), PmemError> {
+        if !addr.is_null() && addr.0.checked_add(len).is_some_and(|end| end <= self.size) {
+            Ok(())
+        } else {
+            Err(PmemError::OutOfRange { addr: addr.0, len, size: self.size })
+        }
+    }
+
     fn check_range(&self, addr: PAddr, len: u64) {
-        assert!(
-            !addr.is_null() && addr.0.checked_add(len).is_some_and(|end| end <= self.size),
-            "pmem access out of range: addr={:#x} len={len} size={:#x}",
-            addr.0,
-            self.size
-        );
+        if let Err(e) = self.range_ok(addr, len) {
+            panic!("{e}");
+        }
     }
 
     /// Store bytes. Visible immediately; durable only after flush + fence
     /// (or an unlucky/lucky eviction).
     pub fn write(&self, addr: PAddr, data: &[u8]) {
-        self.check_range(addr, data.len() as u64);
+        self.try_write(addr, data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Store bytes, reporting out-of-range accesses instead of panicking.
+    /// A store also scrubs poison from every line it touches (the line is
+    /// allocated in cache; later reads never reach the bad media).
+    pub fn try_write(&self, addr: PAddr, data: &[u8]) -> Result<(), PmemError> {
+        self.range_ok(addr, data.len() as u64)?;
         self.stats.stores.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_stored.fetch_add(data.len() as u64, Ordering::Relaxed);
         let mut off = addr.0;
@@ -216,19 +263,65 @@ impl PmemPool {
             let mut shard = self.shards[si].lock();
             let local = (off - shard.base) as usize;
             let n = rest.len().min(self.shard_bytes as usize - local);
+            if let Some(plan) = &self.fault {
+                // Offer each stored line-span as a torn-store candidate
+                // before the new bytes land (the mark captures the old
+                // content).
+                let mut seg = off;
+                let end = off + n as u64;
+                while seg < end {
+                    let line = seg / CACHE_LINE;
+                    let seg_end = end.min((line + 1) * CACHE_LINE);
+                    let sl = (seg - shard.base) as usize;
+                    plan.on_store(line, seg, &shard.visible[sl..sl + (seg_end - seg) as usize]);
+                    seg = seg_end;
+                }
+            }
             shard.visible[local..local + n].copy_from_slice(&rest[..n]);
             let first = off / CACHE_LINE;
             let last = (off + n as u64 - 1) / CACHE_LINE;
             shard.mark(first, last, LineState::Dirty);
+            drop(shard);
+            {
+                let mut poisoned = self.poisoned.lock();
+                if !poisoned.is_empty() {
+                    for line in first..=last {
+                        poisoned.remove(&line);
+                    }
+                }
+            }
             off += n as u64;
             rest = &rest[n..];
         }
+        Ok(())
     }
 
     /// Load bytes from the visible image.
     pub fn read(&self, addr: PAddr, buf: &mut [u8]) {
-        self.check_range(addr, buf.len() as u64);
+        self.try_read(addr, buf).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Load bytes, reporting out-of-range and media errors instead of
+    /// panicking. A transient media error clears itself after the failed
+    /// read (the ECC retry succeeds), so one retry observes good data.
+    pub fn try_read(&self, addr: PAddr, buf: &mut [u8]) -> Result<(), PmemError> {
+        self.range_ok(addr, buf.len() as u64)?;
         self.stats.loads.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut poisoned = self.poisoned.lock();
+            if !poisoned.is_empty() {
+                let first = addr.line();
+                let last = PAddr(addr.0 + buf.len().max(1) as u64 - 1).line();
+                for line in first..=last {
+                    if let Some(&transient) = poisoned.get(&line) {
+                        if transient {
+                            poisoned.remove(&line);
+                        }
+                        return Err(PmemError::MediaError { line, transient });
+                    }
+                }
+            }
+        }
         let mut off = addr.0;
         let mut rest = &mut buf[..];
         while !rest.is_empty() {
@@ -240,6 +333,28 @@ impl PmemPool {
             off += n as u64;
             rest = &mut rest[n..];
         }
+        Ok(())
+    }
+
+    /// Bounded retry-then-degrade read: transient media errors are retried
+    /// up to `retries` times; permanent errors (and out-of-range) are
+    /// returned for the caller to degrade gracefully (e.g. drop the
+    /// record).
+    pub fn read_reliable(
+        &self,
+        addr: PAddr,
+        buf: &mut [u8],
+        retries: u32,
+    ) -> Result<(), PmemError> {
+        let mut last = Ok(());
+        for _ in 0..=retries {
+            match self.try_read(addr, buf) {
+                Ok(()) => return Ok(()),
+                Err(e @ PmemError::MediaError { transient: true, .. }) => last = Err(e),
+                Err(e) => return Err(e),
+            }
+        }
+        last
     }
 
     /// Convenience: store a u64 (little endian).
@@ -252,6 +367,13 @@ impl PmemPool {
         let mut b = [0u8; 8];
         self.read(addr, &mut b);
         u64::from_le_bytes(b)
+    }
+
+    /// Convenience: load a u64 with typed errors.
+    pub fn try_read_u64(&self, addr: PAddr) -> Result<u64, PmemError> {
+        let mut b = [0u8; 8];
+        self.try_read(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
     }
 
     /// `clwb`: issue a write-back for every line overlapping the range.
@@ -281,6 +403,12 @@ impl PmemPool {
                         self.stats.clean_flushes.fetch_add(1, Ordering::Relaxed);
                     }
                     LineState::Dirty => {
+                        // An injected dropped flush: the clwb retires from
+                        // the program's point of view but the line stays
+                        // dirty — the next fence persists nothing for it.
+                        if self.fault.as_ref().is_some_and(|f| f.drop_flush(line)) {
+                            continue;
+                        }
                         shard.lines[idx] = LineState::FlushPending;
                         shard.pending.push(idx as u32);
                     }
@@ -311,10 +439,12 @@ impl PmemPool {
                 if s.lines[idx] == LineState::FlushPending {
                     let a = idx * CACHE_LINE as usize;
                     let b = a + CACHE_LINE as usize;
-                    let line_bytes: [u8; CACHE_LINE as usize] =
-                        s.visible[a..b].try_into().expect("line slice");
-                    s.durable[a..b].copy_from_slice(&line_bytes);
+                    let Shard { visible, durable, .. } = &mut *s;
+                    durable[a..b].copy_from_slice(&visible[a..b]);
                     s.lines[idx] = LineState::Clean;
+                    if let Some(plan) = &self.fault {
+                        plan.on_writeback(s.base / CACHE_LINE + idx as u64);
+                    }
                     written_back += 1;
                 }
             }
@@ -338,13 +468,7 @@ impl PmemPool {
     pub fn non_durable_lines(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| {
-                s.lock()
-                    .lines
-                    .iter()
-                    .filter(|l| **l != LineState::Clean)
-                    .count() as u64
-            })
+            .map(|s| s.lock().lines.iter().filter(|l| **l != LineState::Clean).count() as u64)
             .sum()
     }
 
@@ -363,7 +487,10 @@ impl PmemPool {
 
     /// Produce the post-crash durable image under `policy` (see
     /// [`crate::crash`]). Dirty and pending lines persist or vanish per the
-    /// policy — modeling arbitrary eviction order.
+    /// policy — modeling arbitrary eviction order. With a fault plan
+    /// attached, surviving un-retired lines may additionally be torn
+    /// (prefix of the last store, suffix of the old bytes) and pool lines
+    /// may come back poisoned.
     pub fn crash_image(&self, policy: &mut dyn FnMut(u64, bool) -> bool) -> crate::CrashImage {
         let mut image = vec![0u8; self.size as usize];
         for shard in &self.shards {
@@ -371,19 +498,31 @@ impl PmemPool {
             let base = s.base as usize;
             image[base..base + s.durable.len()].copy_from_slice(&s.durable);
             for (idx, state) in s.lines.iter().enumerate() {
+                let line = s.base / CACHE_LINE + idx as u64;
                 let survives = match state {
                     LineState::Clean => continue,
-                    LineState::Dirty => policy(s.base / CACHE_LINE + idx as u64, false),
-                    LineState::FlushPending => policy(s.base / CACHE_LINE + idx as u64, true),
+                    LineState::Dirty => policy(line, false),
+                    LineState::FlushPending => policy(line, true),
                 };
                 if survives {
                     let a = idx * CACHE_LINE as usize;
                     let b = a + CACHE_LINE as usize;
                     image[base + a..base + b].copy_from_slice(&s.visible[a..b]);
+                    // The line died before its write-back retired: a torn
+                    // mark resurfaces the old suffix of the stored span.
+                    if let Some(mark) = self.fault.as_ref().and_then(|f| f.torn_mark(line)) {
+                        let at = mark.start as usize;
+                        image[at + mark.split..at + mark.old.len()]
+                            .copy_from_slice(&mark.old[mark.split..]);
+                    }
                 }
             }
         }
-        crate::CrashImage::new(image)
+        let poisoned = match &self.fault {
+            Some(plan) => plan.poison_lines(self.size / CACHE_LINE),
+            None => Vec::new(),
+        };
+        crate::CrashImage::with_poison(image, poisoned)
     }
 }
 
@@ -518,6 +657,105 @@ mod tests {
         let p = pool();
         let size = p.size();
         p.write_u64(PAddr(size), 1);
+    }
+
+    #[test]
+    fn try_read_reports_out_of_range() {
+        let p = pool();
+        let mut b = [0u8; 8];
+        let err = p.try_read(PAddr(p.size()), &mut b).unwrap_err();
+        assert!(matches!(err, crate::PmemError::OutOfRange { .. }));
+        assert!(p.try_write(PAddr(p.size() - 4), &b).is_err());
+    }
+
+    #[test]
+    fn poisoned_line_fails_reads_until_scrubbed() {
+        let p = pool();
+        p.write_u64(PAddr(256), 5);
+        p.poison_line(4, false); // permanent
+        let mut b = [0u8; 8];
+        assert_eq!(
+            p.try_read(PAddr(256), &mut b),
+            Err(crate::PmemError::MediaError { line: 4, transient: false })
+        );
+        // Still failing: permanent poison survives retries.
+        assert!(p.read_reliable(PAddr(256), &mut b, 3).is_err());
+        // A store scrubs the line.
+        p.write_u64(PAddr(256), 6);
+        assert_eq!(p.try_read_u64(PAddr(256)), Ok(6));
+    }
+
+    #[test]
+    fn transient_poison_clears_after_one_failed_read() {
+        let p = pool();
+        p.write_u64(PAddr(128), 9);
+        p.poison_line(2, true);
+        let mut b = [0u8; 8];
+        assert!(p.try_read(PAddr(128), &mut b).is_err());
+        assert_eq!(p.try_read_u64(PAddr(128)), Ok(9), "retry succeeds");
+        // And read_reliable hides the transient entirely.
+        p.poison_line(2, true);
+        assert_eq!(p.read_reliable(PAddr(128), &mut b, 2), Ok(()));
+    }
+
+    #[test]
+    fn torn_store_splits_surviving_dirty_line() {
+        let p = PmemPool::with_faults(
+            PoolConfig { size: 1 << 16, shards: 4, ..Default::default() },
+            crate::FaultConfig { seed: 3, torn_store_rate: 1.0, ..Default::default() },
+        );
+        p.write_u64(PAddr(64), u64::MAX); // all-ones over all-zeros, dirty
+        let img = p.crash_image(&mut |_, _| true); // line survives un-retired
+        let v = img.read_u64(PAddr(64));
+        assert_ne!(v, u64::MAX, "suffix of old zero bytes resurfaced");
+        assert_ne!(v, 0, "prefix of the new store landed");
+        let stats = p.fault_stats().unwrap();
+        assert_eq!(stats.torn_marks, 1);
+        assert!(stats.torn_applied >= 1);
+    }
+
+    #[test]
+    fn fence_retires_torn_marks() {
+        let p = PmemPool::with_faults(
+            PoolConfig { size: 1 << 16, shards: 4, ..Default::default() },
+            crate::FaultConfig { seed: 3, torn_store_rate: 1.0, ..Default::default() },
+        );
+        p.write_u64(PAddr(64), u64::MAX);
+        p.persist(PAddr(64), 8);
+        let img = p.crash_image(&mut |_, _| true);
+        assert_eq!(img.read_u64(PAddr(64)), u64::MAX, "durable stores never tear");
+    }
+
+    #[test]
+    fn dropped_flush_leaves_line_dirty_through_fence() {
+        let p = PmemPool::with_faults(
+            PoolConfig { size: 1 << 16, shards: 4, ..Default::default() },
+            crate::FaultConfig { seed: 1, dropped_flush_rate: 1.0, ..Default::default() },
+        );
+        p.write_u64(PAddr(0), 7);
+        p.flush(PAddr(0), 8); // clwb retires but is dropped
+        p.fence();
+        assert_eq!(p.non_durable_lines(), 1, "the line silently stayed dirty");
+        assert_eq!(p.fault_stats().unwrap().dropped_flushes, 1);
+        let img = p.crash_image(&mut |_, _| false);
+        assert_eq!(img.read_u64(PAddr(0)), 0, "the value never became durable");
+    }
+
+    #[test]
+    fn crash_poison_travels_through_reboot() {
+        let p = PmemPool::with_faults(
+            PoolConfig { size: 1 << 16, shards: 4, ..Default::default() },
+            crate::FaultConfig { seed: 5, poison_rate: 0.1, ..Default::default() },
+        );
+        p.write_u64(PAddr(512), 42);
+        p.persist(PAddr(512), 8);
+        let img = p.crash_image(&mut |_, _| false);
+        assert!(!img.poisoned().is_empty(), "poison rate 0.1 over 1024 lines");
+        let p2 = img.reboot(4);
+        assert_eq!(p2.poisoned_line_count(), img.poisoned().len());
+        let (line, _) = img.poisoned()[0];
+        let mut b = [0u8; 8];
+        assert!(p2.try_read(PAddr(line * CACHE_LINE), &mut b).is_err());
     }
 
     #[test]

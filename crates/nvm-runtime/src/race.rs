@@ -163,10 +163,7 @@ impl RaceDetector {
         {
             let clock = info.clock.read();
             let mut shard = self.lock_shard(lock).lock();
-            shard
-                .entry(lock)
-                .and_modify(|lc| lc.join(&clock))
-                .or_insert_with(|| clock.clone());
+            shard.entry(lock).and_modify(|lc| lc.join(&clock)).or_insert_with(|| clock.clone());
         }
         let mut clock = info.clock.write();
         let e = clock.tick(idx);
@@ -404,13 +401,7 @@ mod tests {
             }
         })
         .unwrap();
-        assert!(
-            !d.reports().is_empty(),
-            "shared-cell WAW must be caught under real concurrency"
-        );
-        assert!(
-            d.reports().iter().all(|r| r.addr == 0),
-            "private regions must not be reported"
-        );
+        assert!(!d.reports().is_empty(), "shared-cell WAW must be caught under real concurrency");
+        assert!(d.reports().iter().all(|r| r.addr == 0), "private regions must not be reported");
     }
 }

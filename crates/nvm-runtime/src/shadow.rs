@@ -46,10 +46,8 @@ impl Cell {
             self.accesses.push(access);
         } else {
             // Collapse repeated reads by the same strand.
-            if let Some(a) = self
-                .accesses
-                .iter_mut()
-                .find(|a| !a.is_write && a.strand == access.strand)
+            if let Some(a) =
+                self.accesses.iter_mut().find(|a| !a.is_write && a.strand == access.strand)
             {
                 a.epoch = access.epoch;
                 return;

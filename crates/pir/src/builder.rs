@@ -23,11 +23,7 @@ impl ModuleBuilder {
     }
 
     /// Define a struct; returns its id.
-    pub fn add_struct(
-        &mut self,
-        name: impl Into<String>,
-        fields: Vec<(&str, Ty)>,
-    ) -> StructId {
+    pub fn add_struct(&mut self, name: impl Into<String>, fields: Vec<(&str, Ty)>) -> StructId {
         let id = StructId(self.module.structs.len() as u32);
         self.module.structs.push(StructDef {
             name: name.into(),
@@ -57,10 +53,8 @@ impl ModuleBuilder {
         ret_ty: Option<Ty>,
         attrs: Vec<FuncAttr>,
     ) {
-        let locals: Vec<LocalDecl> = params
-            .into_iter()
-            .map(|(n, ty)| LocalDecl { name: n.to_string(), ty })
-            .collect();
+        let locals: Vec<LocalDecl> =
+            params.into_iter().map(|(n, ty)| LocalDecl { name: n.to_string(), ty }).collect();
         let num_params = locals.len() as u32;
         self.module.functions.push(Function {
             name: name.into(),
@@ -113,10 +107,8 @@ impl<'m> FunctionBuilder<'m> {
         params: Vec<(&str, Ty)>,
         ret_ty: Option<Ty>,
     ) -> Self {
-        let locals: Vec<LocalDecl> = params
-            .into_iter()
-            .map(|(n, ty)| LocalDecl { name: n.to_string(), ty })
-            .collect();
+        let locals: Vec<LocalDecl> =
+            params.into_iter().map(|(n, ty)| LocalDecl { name: n.to_string(), ty }).collect();
         let num_params = locals.len() as u32;
         FunctionBuilder {
             mb,
@@ -157,10 +149,7 @@ impl<'m> FunctionBuilder<'m> {
 
     /// Make `block` the current insertion point.
     pub fn switch_to(&mut self, block: BlockId) -> &mut Self {
-        assert!(
-            block.index() < self.blocks.len(),
-            "switch_to: unknown block {block:?}"
-        );
+        assert!(block.index() < self.blocks.len(), "switch_to: unknown block {block:?}");
         self.current = block.index();
         self
     }
@@ -321,9 +310,8 @@ impl<'m> FunctionBuilder<'m> {
             .blocks
             .into_iter()
             .map(|b| {
-                let term = b
-                    .term
-                    .unwrap_or_else(|| panic!("block `{}` has no terminator", b.label));
+                let term =
+                    b.term.unwrap_or_else(|| panic!("block `{}` has no terminator", b.label));
                 Block { label: b.label, insts: b.insts, term }
             })
             .collect();
@@ -341,8 +329,8 @@ impl<'m> FunctionBuilder<'m> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::printer::print;
     use crate::parser::parse;
+    use crate::printer::print;
     use crate::verify::verify_module;
 
     #[test]

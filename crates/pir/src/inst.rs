@@ -287,11 +287,8 @@ mod tests {
 
     #[test]
     fn terminator_successors() {
-        let t = Terminator::Br {
-            cond: Operand::Const(1),
-            then_bb: BlockId(1),
-            else_bb: BlockId(2),
-        };
+        let t =
+            Terminator::Br { cond: Operand::Const(1), then_bb: BlockId(1), else_bb: BlockId(2) };
         assert_eq!(t.successors(), vec![BlockId(1), BlockId(2)]);
         assert!(Terminator::Ret { value: None }.successors().is_empty());
     }

@@ -48,7 +48,7 @@ pub mod verify;
 pub use builder::{FunctionBuilder, ModuleBuilder};
 pub use inst::{Accessor, BinOp, Inst, Operand, Place, Terminator};
 pub use loc::SourceLoc;
-pub use module::{Block, BlockId, FuncAttr, Function, FuncId, LocalDecl, LocalId, Module, Spanned};
+pub use module::{Block, BlockId, FuncAttr, FuncId, Function, LocalDecl, LocalId, Module, Spanned};
 pub use parser::{parse, ParseError};
 pub use printer::print;
 pub use types::{FieldDef, StructDef, StructId, Ty};

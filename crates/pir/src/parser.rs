@@ -12,7 +12,7 @@
 
 use crate::inst::{BinOp, Inst, Operand, Place, Terminator};
 use crate::loc::SourceLoc;
-use crate::module::{Block, Function, FuncAttr, LocalDecl, LocalId, Module, Spanned};
+use crate::module::{Block, FuncAttr, Function, LocalDecl, LocalId, Module, Spanned};
 use crate::types::{FieldDef, StructDef, StructId, Ty};
 use std::collections::HashMap;
 use std::fmt;
@@ -455,7 +455,9 @@ impl Parser {
         let line = self.lx.line();
         let base = match self.lx.next() {
             Tok::Local(s) => s,
-            other => return Err(ParseError { line, msg: format!("expected place, found {other}") }),
+            other => {
+                return Err(ParseError { line, msg: format!("expected place, found {other}") })
+            }
         };
         let mut field = None;
         let mut index = None;
@@ -568,10 +570,8 @@ impl Parser {
         let term = match kw.as_str() {
             "ret" => {
                 // `ret` with no value if the next token starts a label/`}`.
-                let has_value = matches!(
-                    self.lx.peek(),
-                    Tok::Int(_) | Tok::Minus | Tok::Local(_)
-                ) || matches!(self.lx.peek(), Tok::Ident(s) if s == "null");
+                let has_value = matches!(self.lx.peek(), Tok::Int(_) | Tok::Minus | Tok::Local(_))
+                    || matches!(self.lx.peek(), Tok::Ident(s) if s == "null");
                 let value = if has_value { Some(self.parse_operand()?) } else { None };
                 RawTerm::Ret { value }
             }
@@ -605,12 +605,9 @@ impl Parser {
             }
             // A label (`ident :`) or `}` before a terminator is an error.
             match (self.lx.peek(), self.lx.peek2()) {
-                (Tok::RBrace, _) | (Tok::Ident(_), Tok::Colon)
-                    if !matches!(self.lx.peek(), Tok::Ident(s) if s == "loc") =>
+                (Tok::RBrace, _) | (Tok::Ident(_), Tok::Colon) if !matches!(self.lx.peek(), Tok::Ident(s) if s == "loc") =>
                 {
-                    return self.lx.err(format!(
-                        "block `{label}` has no terminator (ret/br/jmp)"
-                    ));
+                    return self.lx.err(format!("block `{label}` has no terminator (ret/br/jmp)"));
                 }
                 _ => {}
             }
@@ -753,11 +750,8 @@ fn resolve(
     raw_structs: Vec<StructDefRaw>,
     raw_funcs: Vec<RawFunction>,
 ) -> Result<Module, ParseError> {
-    let struct_ids: HashMap<String, StructId> = raw_structs
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (s.name.clone(), StructId(i as u32)))
-        .collect();
+    let struct_ids: HashMap<String, StructId> =
+        raw_structs.iter().enumerate().map(|(i, s)| (s.name.clone(), StructId(i as u32))).collect();
 
     let lower_ty = |ty: &RawTy, line: u32| -> PResult<Ty> {
         match ty {
@@ -851,19 +845,17 @@ fn resolve_function(
     // Define a local on first assignment; later assignments must agree in
     // type (all locals are mutable registers).
     let define = |name: &str,
-                      ty: Ty,
-                      line: u32,
-                      locals: &mut Vec<LocalDecl>,
-                      local_ids: &mut HashMap<String, LocalId>|
+                  ty: Ty,
+                  line: u32,
+                  locals: &mut Vec<LocalDecl>,
+                  local_ids: &mut HashMap<String, LocalId>|
      -> PResult<LocalId> {
         if let Some(&id) = local_ids.get(name) {
             let existing = locals[id.index()].ty;
             if existing != ty {
                 return Err(ParseError {
                     line,
-                    msg: format!(
-                        "local `%{name}` redefined with type {ty} (was {existing})"
-                    ),
+                    msg: format!("local `%{name}` redefined with type {ty} (was {existing})"),
                 });
             }
             Ok(id)
@@ -875,12 +867,13 @@ fn resolve_function(
         }
     };
 
-    let use_local = |name: &str, line: u32, local_ids: &HashMap<String, LocalId>| -> PResult<LocalId> {
-        local_ids
-            .get(name)
-            .copied()
-            .ok_or_else(|| ParseError { line, msg: format!("use of undefined local `%{name}`") })
-    };
+    let use_local =
+        |name: &str, line: u32, local_ids: &HashMap<String, LocalId>| -> PResult<LocalId> {
+            local_ids.get(name).copied().ok_or_else(|| ParseError {
+                line,
+                msg: format!("use of undefined local `%{name}`"),
+            })
+        };
 
     let lower_operand =
         |op: &RawOperand, line: u32, local_ids: &HashMap<String, LocalId>| -> PResult<Operand> {
@@ -995,8 +988,7 @@ fn resolve_function(
                         Operand::Null => {
                             return Err(ParseError {
                                 line,
-                                msg: "cannot infer type of `mov null`; store null directly"
-                                    .into(),
+                                msg: "cannot infer type of `mov null`; store null directly".into(),
                             })
                         }
                     };
@@ -1044,8 +1036,8 @@ fn resolve_function(
                                         return Err(ParseError {
                                             line,
                                             msg: format!(
-                                                "call to void function `{callee}` cannot have a result"
-                                            ),
+                                            "call to void function `{callee}` cannot have a result"
+                                        ),
                                         })
                                     }
                                     // Out-of-module callee: default to i64
@@ -1064,7 +1056,9 @@ fn resolve_function(
 
         let (rt, term_loc) = rb.term;
         let term = match rt {
-            RawTerm::Ret { value } => Inst2Term::ret(value, rb.term_line, &local_ids, &lower_operand)?,
+            RawTerm::Ret { value } => {
+                Inst2Term::ret(value, rb.term_line, &local_ids, &lower_operand)?
+            }
             RawTerm::Br { cond, then_bb, else_bb } => {
                 let cond = lower_operand(&cond, rb.term_line, &local_ids)?;
                 let then_bb = *block_ids.get(&then_bb).ok_or_else(|| ParseError {
@@ -1095,15 +1089,12 @@ fn resolve_function(
         });
     }
 
-    Ok(Function {
-        name: rf.name,
-        num_params,
-        locals,
-        ret_ty,
-        blocks,
-        attrs: rf.attrs,
-    })
+    Ok(Function { name: rf.name, num_params, locals, ret_ty, blocks, attrs: rf.attrs })
 }
+
+/// Operand-lowering callback shared by terminator helpers.
+type LowerOperandFn<'a> =
+    &'a dyn Fn(&RawOperand, u32, &HashMap<String, LocalId>) -> PResult<Operand>;
 
 /// Helper namespace for lowering `ret` (kept out of the closure soup above).
 struct Inst2Term;
@@ -1113,11 +1104,7 @@ impl Inst2Term {
         value: Option<RawOperand>,
         line: u32,
         local_ids: &HashMap<String, LocalId>,
-        lower_operand: &dyn Fn(
-            &RawOperand,
-            u32,
-            &HashMap<String, LocalId>,
-        ) -> PResult<Operand>,
+        lower_operand: LowerOperandFn<'_>,
     ) -> PResult<Terminator> {
         let value = match value {
             None => None,
@@ -1297,10 +1284,7 @@ entry:
         let src = "module m\nfn f() {\nentry:\n  %x = mov -5\n  ret %x\n}\n";
         let m = parse(src).unwrap();
         let f = &m.functions[0];
-        assert!(matches!(
-            f.blocks[0].insts[0].inst,
-            Inst::Mov { src: Operand::Const(-5), .. }
-        ));
+        assert!(matches!(f.blocks[0].insts[0].inst, Inst::Mov { src: Operand::Const(-5), .. }));
     }
 
     #[test]
@@ -1392,11 +1376,14 @@ entry:
 
     #[test]
     fn rejects_missing_module_header() {
-        assert!(parse("fn f() {
+        assert!(parse(
+            "fn f() {
 entry:
   ret
 }
-").is_err());
+"
+        )
+        .is_err());
     }
 
     #[test]

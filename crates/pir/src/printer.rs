@@ -128,16 +128,12 @@ fn print_function(out: &mut String, f: &Function, module: &Module) {
 
 fn inst_str(inst: &Inst, f: &Function, module: &Module) -> String {
     match inst {
-        Inst::PAlloc { dst, ty } => format!(
-            "%{} = palloc {}",
-            f.locals[dst.index()].name,
-            module.struct_def(*ty).name
-        ),
-        Inst::VAlloc { dst, ty } => format!(
-            "%{} = valloc {}",
-            f.locals[dst.index()].name,
-            module.struct_def(*ty).name
-        ),
+        Inst::PAlloc { dst, ty } => {
+            format!("%{} = palloc {}", f.locals[dst.index()].name, module.struct_def(*ty).name)
+        }
+        Inst::VAlloc { dst, ty } => {
+            format!("%{} = valloc {}", f.locals[dst.index()].name, module.struct_def(*ty).name)
+        }
         Inst::Store { place, value } => {
             format!("store {}, {}", place_str(place, f, module), operand_str(*value, f))
         }
@@ -157,11 +153,9 @@ fn inst_str(inst: &Inst, f: &Function, module: &Module) -> String {
         Inst::Flush { place } => format!("flush {}", place_str(place, f, module)),
         Inst::Fence => "fence".to_string(),
         Inst::Persist { place } => format!("persist {}", place_str(place, f, module)),
-        Inst::MemSetPersist { place, value } => format!(
-            "memset_persist {}, {}",
-            place_str(place, f, module),
-            operand_str(*value, f)
-        ),
+        Inst::MemSetPersist { place, value } => {
+            format!("memset_persist {}, {}", place_str(place, f, module), operand_str(*value, f))
+        }
         Inst::TxBegin => "tx_begin".to_string(),
         Inst::TxAdd { place } => format!("tx_add {}", place_str(place, f, module)),
         Inst::TxCommit => "tx_commit".to_string(),

@@ -41,11 +41,8 @@ type VResult = Result<(), VerifyError>;
 
 /// Verify a whole module.
 pub fn verify_module(module: &Module) -> VResult {
-    let sigs: HashMap<&str, (&Function, usize)> = module
-        .functions
-        .iter()
-        .map(|f| (f.name.as_str(), (f, f.num_params as usize)))
-        .collect();
+    let sigs: HashMap<&str, (&Function, usize)> =
+        module.functions.iter().map(|f| (f.name.as_str(), (f, f.num_params as usize))).collect();
     for f in &module.functions {
         verify_function(f, module, &sigs)?;
     }
@@ -83,9 +80,8 @@ fn check_place(place: &Place, f: &Function, module: &Module, line: u32) -> Resul
     while let Some(acc) = iter.next() {
         match acc {
             Accessor::Field(idx) => {
-                let sid = cur
-                    .pointee()
-                    .ok_or_else(|| err(f, line, "field access on non-pointer"))?;
+                let sid =
+                    cur.pointee().ok_or_else(|| err(f, line, "field access on non-pointer"))?;
                 let sdef = module.struct_def(sid);
                 if *idx as usize >= sdef.fields.len() {
                     return Err(err(
@@ -242,14 +238,12 @@ fn verify_function(
                                     format!("call to void `{callee}` cannot have a result"),
                                 ))
                             }
-                            (Some(d), Some(rt)) => {
-                                if f.local_ty(*d) != rt {
-                                    return Err(err(
-                                        f,
-                                        line,
-                                        format!("call result type mismatch for `{callee}`"),
-                                    ));
-                                }
+                            (Some(d), Some(rt)) if f.local_ty(*d) != rt => {
+                                return Err(err(
+                                    f,
+                                    line,
+                                    format!("call result type mismatch for `{callee}`"),
+                                ));
                             }
                             _ => {}
                         }
@@ -261,24 +255,22 @@ fn verify_function(
         }
         let line = b.term.loc.line;
         match &b.term.inst {
-            Terminator::Ret { value } => {
-                match (value, f.ret_ty) {
-                    (Some(v), Some(rt)) => {
-                        check_operand(*v, f, line)?;
-                        let vt = operand_ty(*v, f);
-                        if !storable(vt, rt) && vt != Some(rt) {
-                            return Err(err(f, line, "return value type mismatch"));
-                        }
+            Terminator::Ret { value } => match (value, f.ret_ty) {
+                (Some(v), Some(rt)) => {
+                    check_operand(*v, f, line)?;
+                    let vt = operand_ty(*v, f);
+                    if !storable(vt, rt) && vt != Some(rt) {
+                        return Err(err(f, line, "return value type mismatch"));
                     }
-                    (None, Some(_)) => {
-                        return Err(err(f, line, "missing return value"));
-                    }
-                    (Some(_), None) => {
-                        return Err(err(f, line, "void function returns a value"));
-                    }
-                    (None, None) => {}
                 }
-            }
+                (None, Some(_)) => {
+                    return Err(err(f, line, "missing return value"));
+                }
+                (Some(_), None) => {
+                    return Err(err(f, line, "void function returns a value"));
+                }
+                (None, None) => {}
+            },
             Terminator::Br { cond, then_bb, else_bb } => {
                 check_operand(*cond, f, line)?;
                 for bb in [then_bb, else_bb] {
@@ -397,9 +389,7 @@ entry:
 
     #[test]
     fn rejects_unbalanced_tx() {
-        let r = verify_src(
-            "module m\nfn f() {\nentry:\n  tx_begin\n  ret\n}\n",
-        );
+        let r = verify_src("module m\nfn f() {\nentry:\n  tx_begin\n  ret\n}\n");
         assert!(r.unwrap_err().msg.contains("open tx"));
     }
 

@@ -39,8 +39,11 @@ fn inner_strategy() -> impl Strategy<Value = OpInner> {
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u8..3, any::<i64>()).prop_map(|(field, val)| Op::Store { field, val }),
-        (3u8..4, 0u8..4, any::<i64>())
-            .prop_map(|(field, idx, val)| Op::StoreIndexed { field, idx, val }),
+        (3u8..4, 0u8..4, any::<i64>()).prop_map(|(field, idx, val)| Op::StoreIndexed {
+            field,
+            idx,
+            val
+        }),
         (0u8..3).prop_map(|field| Op::Load { field }),
         proptest::option::of(0u8..3).prop_map(|field| Op::Flush { field }),
         Just(Op::Fence),
@@ -81,7 +84,11 @@ fn build_module(ops: &[Op], with_branch: bool) -> Module {
             Op::Fence => fb.fence(),
             Op::Persist { field } => fb.persist(place(*field)),
             Op::Bin(op, a, b) => {
-                fb.bin(BinOp::ALL[*op as usize % BinOp::ALL.len()], Operand::Const(*a), Operand::Const(*b));
+                fb.bin(
+                    BinOp::ALL[*op as usize % BinOp::ALL.len()],
+                    Operand::Const(*a),
+                    Operand::Const(*b),
+                );
             }
             Op::TxRegion(inner) => {
                 fb.tx_begin();
@@ -117,11 +124,7 @@ fn build_module(ops: &[Op], with_branch: bool) -> Module {
     mb.finish()
 }
 
-fn emit_inner(
-    fb: &mut deepmc_pir::FunctionBuilder<'_>,
-    p: deepmc_pir::LocalId,
-    i: &OpInner,
-) {
+fn emit_inner(fb: &mut deepmc_pir::FunctionBuilder<'_>, p: deepmc_pir::LocalId, i: &OpInner) {
     match i {
         OpInner::Store { field, val } => {
             fb.store(Place::field(p, *field as u32), Operand::Const(*val))

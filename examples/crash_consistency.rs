@@ -76,11 +76,9 @@ fn main() {
     let module = parse(PROGRAM).expect("demo parses");
 
     // First, what does DeepMC say statically?
-    let report = deepmc_repro::toolkit::check_source(
-        PROGRAM,
-        &DeepMcConfig::new(PersistencyModel::Strict),
-    )
-    .unwrap();
+    let report =
+        deepmc_repro::toolkit::check_source(PROGRAM, &DeepMcConfig::new(PersistencyModel::Strict))
+            .unwrap();
     println!("DeepMC static report on the demo:\n{report}");
 
     // Then show the predicted inconsistency actually happening.

@@ -26,10 +26,7 @@ fn main() {
             let verdict = GROUND_TRUTH
                 .iter()
                 .find(|s| {
-                    s.framework == fw
-                        && s.class == w.class
-                        && s.file == w.file
-                        && s.line == w.line
+                    s.framework == fw && s.class == w.class && s.file == w.file && s.line == w.line
                 })
                 .map(|s| match s.validity {
                     Validity::RealBug => "validated",

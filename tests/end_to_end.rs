@@ -86,8 +86,7 @@ entry:
 fn corpus_programs_execute_on_the_runtime() {
     for fw in deepmc_repro::corpus::Framework::ALL {
         let modules = fw.modules();
-        let pool =
-            PmemPool::new(PoolConfig { size: 16 << 20, shards: 8, ..Default::default() });
+        let pool = PmemPool::new(PoolConfig { size: 16 << 20, shards: 8, ..Default::default() });
         let heap = PmemHeap::open(&pool);
         let log = heap.alloc(LOG_CAP);
         let txm = TxManager::new(&pool, log, LOG_CAP);
@@ -112,11 +111,8 @@ fn corpus_programs_execute_on_the_runtime() {
                 if !all_scalar {
                     continue;
                 }
-                let args: Vec<deepmc_repro::interp::Value> = f
-                    .params()
-                    .iter()
-                    .map(|_| deepmc_repro::interp::Value::Int(1))
-                    .collect();
+                let args: Vec<deepmc_repro::interp::Value> =
+                    f.params().iter().map(|_| deepmc_repro::interp::Value::Int(1)).collect();
                 let out = session
                     .run(&f.name, &args)
                     .unwrap_or_else(|e| panic!("{}::{} failed: {e}", fw.name(), f.name));
@@ -134,11 +130,8 @@ fn corpus_programs_execute_on_the_runtime() {
 fn reports_survive_print_parse_roundtrip() {
     for fw in deepmc_repro::corpus::Framework::ALL {
         let before = fw.check();
-        let reparsed: Vec<Module> = fw
-            .modules()
-            .iter()
-            .map(|m| parse(&print(m)).expect("roundtrip parses"))
-            .collect();
+        let reparsed: Vec<Module> =
+            fw.modules().iter().map(|m| parse(&print(m)).expect("roundtrip parses")).collect();
         let program = deepmc_repro::analysis::Program::new(reparsed).unwrap();
         let after = StaticChecker::new(DeepMcConfig::new(fw.model())).check_program(&program);
         assert_eq!(before, after, "{} report changed across roundtrip", fw.name());
@@ -160,10 +153,10 @@ fn model_flag_selects_violation_rules() {
     use deepmc_repro::analysis::Program;
     let modules = deepmc_repro::corpus::Framework::Pmfs.modules();
     let program = Program::new(modules).unwrap();
-    let epoch = StaticChecker::new(DeepMcConfig::new(PersistencyModel::Epoch))
-        .check_program(&program);
-    let strict = StaticChecker::new(DeepMcConfig::new(PersistencyModel::Strict))
-        .check_program(&program);
+    let epoch =
+        StaticChecker::new(DeepMcConfig::new(PersistencyModel::Epoch)).check_program(&program);
+    let strict =
+        StaticChecker::new(DeepMcConfig::new(PersistencyModel::Strict)).check_program(&program);
     // The nested-transaction rule only exists under epoch models.
     assert!(epoch.of_class(BugClass::MissingBarrierNestedTx).count() > 0);
     assert_eq!(strict.of_class(BugClass::MissingBarrierNestedTx).count(), 0);

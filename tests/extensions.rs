@@ -113,8 +113,7 @@ entry:
     assert!(report.contains(BugClass::UnflushedWrite, "fixme.c", 201));
 
     let run = |modules: &[Module]| -> u64 {
-        let pool =
-            PmemPool::new(PoolConfig { size: 1 << 20, shards: 4, ..Default::default() });
+        let pool = PmemPool::new(PoolConfig { size: 1 << 20, shards: 4, ..Default::default() });
         {
             let heap = PmemHeap::open(&pool);
             let log = heap.alloc(1 << 16);
@@ -147,8 +146,7 @@ entry:
 fn unhinted_corpus_warnings_are_classified() {
     let fw = Framework::Pmdk;
     let report = fw.check();
-    let unhinted: Vec<_> =
-        report.warnings.iter().filter(|w| w.fix.is_none()).cloned().collect();
+    let unhinted: Vec<_> = report.warnings.iter().filter(|w| w.fix.is_none()).cloned().collect();
     assert!(!unhinted.is_empty(), "EmptyDurableTx etc. have no hints");
     let mut modules = fw.modules();
     let outcomes = deepmc_repro::toolkit::fixer::apply_fixes(&mut modules, &unhinted);

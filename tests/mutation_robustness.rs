@@ -8,7 +8,9 @@ use deepmc_repro::models::{BugClass, Severity};
 use deepmc_repro::pir::{Inst, Module};
 use deepmc_repro::prelude::*;
 
-/// One mechanical bug injection.
+/// One mechanical bug injection. Every mutation targets a `persist`, hence
+/// the shared suffix.
+#[allow(clippy::enum_variant_names)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mutation {
     /// Remove a `persist` whose preceding instruction is the store it
@@ -56,9 +58,7 @@ fn mutate(module: &mut Module, mutation: Mutation, k: usize) -> Option<(String, 
                         b.insts.insert(i + 1, dup);
                     }
                     Mutation::WidenPersist => {
-                        let Inst::Persist { place } = &mut b.insts[i].inst else {
-                            unreachable!()
-                        };
+                        let Inst::Persist { place } = &mut b.insts[i].inst else { unreachable!() };
                         place.path.clear();
                     }
                 }
@@ -105,16 +105,13 @@ fn every_injected_bug_is_detected() {
             // the write.
             let hit = report.warnings.iter().any(|w| {
                 (w.class == class
-                    || (mutation == Mutation::DropPersist
-                        && w.class == BugClass::SemanticMismatch))
+                    || (mutation == Mutation::DropPersist && w.class == BugClass::SemanticMismatch))
                     && (w.line == line || w.function == func)
             });
             if hit {
                 detected += 1;
             } else {
-                panic!(
-                    "{mutation:?} at {func}:{line} not detected as {class:?}\n{report}"
-                );
+                panic!("{mutation:?} at {func}:{line} not detected as {class:?}\n{report}");
             }
         }
     }
@@ -157,9 +154,6 @@ fn fixer_round_trips_injected_bugs() {
 #[test]
 fn mutation_severity_matches_taxonomy() {
     assert_eq!(expected_class(Mutation::DropPersist).severity(), Severity::Violation);
-    assert_eq!(
-        expected_class(Mutation::DuplicatePersist).severity(),
-        Severity::Performance
-    );
+    assert_eq!(expected_class(Mutation::DuplicatePersist).severity(), Severity::Performance);
     assert_eq!(expected_class(Mutation::WidenPersist).severity(), Severity::Performance);
 }

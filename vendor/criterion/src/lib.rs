@@ -1,0 +1,201 @@
+//! Minimal `criterion`-compatible benchmark harness.
+//!
+//! Vendored so the workspace builds without network access. Provides the
+//! API surface the benches in this repository use: `Criterion`,
+//! `benchmark_group`/`bench_function`/`bench_with_input`, `Bencher::iter`
+//! and `iter_batched`, `BenchmarkId`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! calibrated wall-clock loop printing mean time per iteration — no
+//! statistics, plots, or baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Benchmark named only by its parameter.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+
+    /// Benchmark with a function name and a parameter.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Batching granularity for `iter_batched` (ignored: every batch is one
+/// iteration here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by the `iter*` calls.
+    mean_ns: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `f` over a calibrated number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and calibrate so one sample is neither trivial nor slow.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(20);
+        let iters = ((target.as_nanos() / once.as_nanos()).clamp(1, 10_000)) as usize;
+        let samples = self.sample_size.clamp(1, 30);
+        let mut best = f64::INFINITY;
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let per = t.elapsed().as_nanos() as f64 / iters as f64;
+            if per < best {
+                best = per;
+            }
+        }
+        self.mean_ns = best;
+    }
+
+    /// Measure `routine` with per-iteration setup excluded from timing.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let samples = self.sample_size.clamp(1, 30);
+        let mut total = Duration::ZERO;
+        let mut count = 0u32;
+        for _ in 0..samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+            count += 1;
+        }
+        self.mean_ns = total.as_nanos() as f64 / count.max(1) as f64;
+    }
+}
+
+fn humanize(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one(group: &str, name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { mean_ns: 0.0, sample_size };
+    f(&mut b);
+    let label = if group.is_empty() { name.to_string() } else { format!("{group}/{name}") };
+    println!("{label:<60} time: {}", humanize(b.mean_ns));
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<N: fmt::Display, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &name.to_string(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.to_string(), self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, _criterion: self }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", name, 10, &mut f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Produce a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,94 @@
+//! Minimal `crossbeam`-compatible scoped threads backed by
+//! `std::thread::scope`.
+//!
+//! Vendored so the workspace builds without network access. Only the
+//! `crossbeam::scope(|s| { s.spawn(move |_| ...); })` entry point this
+//! repository uses is provided. Unlike real crossbeam, a panicking child
+//! propagates its panic out of `scope` directly instead of being collected
+//! into the returned `Result`; all call sites here `unwrap`/`expect` the
+//! result, so the observable behavior (test failure on child panic) is the
+//! same.
+
+pub mod thread {
+    /// A scope for spawning threads that may borrow from the caller's
+    /// stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a scoped thread, joinable before the scope ends.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish, returning its result.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope itself so
+        /// it can spawn nested children (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let me = *self;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&me)) }
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads. All spawned threads
+    /// are joined before this returns.
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    let sum: u64 = data.iter().sum();
+                    total.fetch_add(sum, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner(), 24);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hit = std::sync::atomic::AtomicBool::new(false);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| hit.store(true, std::sync::atomic::Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert!(hit.into_inner());
+    }
+}

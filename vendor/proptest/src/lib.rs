@@ -1,0 +1,95 @@
+//! Minimal `proptest`-compatible property testing.
+//!
+//! Vendored so the workspace builds without network access. Implements the
+//! subset of the proptest 1.x API this repository uses: the [`Strategy`]
+//! trait (ranges, tuples, `Just`, `prop_map`, `prop_oneof!`,
+//! `collection::vec`, `option::of`, `any::<T>()`, simple regex string
+//! strategies), the `proptest!` macro with `#![proptest_config(...)]`, and
+//! `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from real proptest: generation is purely random (derived
+//! deterministically from the test name and case index, so failures
+//! reproduce), and there is **no shrinking** — a failing case reports the
+//! generated inputs via the panic message of the underlying assertion.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Build a [`strategy::Union`] over equally-weighted alternatives.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert within a proptest body. Maps to `assert!` (no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        stringify!($name),
+                        __case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &$strat,
+                            &mut __rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,62 @@
+//! Test configuration and the deterministic per-case RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Subset of proptest's run configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Real proptest defaults to 256; 64 keeps the (unshrunk) suite
+        // quick while still exploring broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic RNG: seeded from the property name and case index, so a
+/// failing case number identifies its inputs exactly.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for case `case` of property `name`.
+    pub fn for_case(name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(h ^ ((case as u64) << 1) ^ 0x9E37) }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw from `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform usize draw from a half-open range.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        self.inner.gen_range(lo..hi)
+    }
+}

@@ -1,0 +1,171 @@
+//! Deserialization half: the `Deserialize` / `Deserializer` traits.
+
+use crate::Value;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Errors producible while deserializing. Mirrors `serde::de::Error`.
+pub trait Error: Sized {
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// A data source that can yield a [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    /// Consume the deserializer, producing the value tree it holds.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A structure deserializable from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error>;
+}
+
+/// The canonical error type for in-memory deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Error for DeError {
+    fn custom<T: fmt::Display>(msg: T) -> DeError {
+        DeError(msg.to_string())
+    }
+}
+
+/// The canonical deserializer: hands out a pre-built [`Value`] tree.
+pub struct ValueDeserializer<'de> {
+    value: Value,
+    marker: PhantomData<&'de ()>,
+}
+
+impl<'de> ValueDeserializer<'de> {
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value, marker: PhantomData }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer<'de> {
+    type Error = DeError;
+
+    fn take_value(self) -> Result<Value, DeError> {
+        Ok(self.value)
+    }
+}
+
+fn unexpected(expected: &str, got: &Value) -> DeError {
+    DeError(format!("expected {expected}, got {}", got.kind()))
+}
+
+fn int_from_value(v: &Value) -> Result<i128, DeError> {
+    match v {
+        Value::Int(i) => Ok(*i as i128),
+        Value::UInt(u) => Ok(*u as i128),
+        Value::Float(f) if f.fract() == 0.0 => Ok(*f as i128),
+        other => Err(unexpected("integer", other)),
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let i = int_from_value(&v).map_err(D::Error::custom)?;
+                <$t>::try_from(i).map_err(|_| {
+                    D::Error::custom(format!(
+                        "integer {i} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_de_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_value()? {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::Int(i) => Ok(i as $t),
+                    Value::UInt(u) => Ok(u as $t),
+                    other => Err(D::Error::custom(unexpected("float", &other))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_de_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::custom(unexpected("bool", &other))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(D::Error::custom(unexpected("string", &other))),
+        }
+    }
+}
+
+/// `&'static str` deserializes by leaking the parsed string. Only derive
+/// code for static tables (e.g. the corpus ground truth) exercises this,
+/// and only in tests — the leak is bounded and deliberate.
+impl<'de> Deserialize<'de> for &'static str {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        Ok(Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => crate::from_value::<T>(v).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| crate::from_value::<T>(v).map_err(D::Error::custom))
+                .collect(),
+            other => Err(D::Error::custom(unexpected("sequence", &other))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}

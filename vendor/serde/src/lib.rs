@@ -1,0 +1,69 @@
+//! Minimal `serde`-compatible serialization framework.
+//!
+//! Vendored so the workspace builds without network access. Unlike real
+//! serde's visitor-driven zero-copy design, this implementation routes
+//! everything through an owned [`Value`] tree: serializers receive a
+//! fully-built `Value`, deserializers hand one out. That is dramatically
+//! simpler, supports the same derive surface this repository uses (named/
+//! tuple structs, unit/tuple/struct enum variants, generics, `#[serde(
+//! skip)]`, `#[serde(default, skip_serializing_if = "...")]`), and keeps
+//! the `Serialize`/`Deserialize`/`Serializer`/`Deserializer` trait names
+//! and signatures close enough that hand-written impls (e.g. for
+//! `Framework` in the corpus crate) compile unchanged.
+
+mod value;
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use value::Value;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialize any value into a [`Value`] tree. Infallible by construction.
+pub fn to_value<T: Serialize + ?Sized>(t: &T) -> Value {
+    match t.serialize(ser::ValueSerializer) {
+        Ok(v) => v,
+        Err(never) => match never {},
+    }
+}
+
+/// Deserialize a `T` out of a [`Value`] tree.
+pub fn from_value<'de, T: Deserialize<'de>>(v: Value) -> Result<T, de::DeError> {
+    T::deserialize(de::ValueDeserializer::new(v))
+}
+
+/// Remove and return the entry for `name` from a field map. Used by
+/// derive-generated code; not part of the public API.
+#[doc(hidden)]
+pub fn __take_field(m: &mut Vec<(String, Value)>, name: &str) -> Option<Value> {
+    m.iter().position(|(k, _)| k == name).map(|i| m.remove(i).1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_through_value() {
+        assert_eq!(to_value(&42u32), Value::UInt(42));
+        assert_eq!(to_value(&-7i64), Value::Int(-7));
+        assert_eq!(to_value(&true), Value::Bool(true));
+        assert_eq!(to_value("hi"), Value::Str("hi".to_string()));
+        assert_eq!(from_value::<u32>(Value::UInt(42)).unwrap(), 42);
+        assert_eq!(from_value::<Option<u32>>(Value::Null).unwrap(), None);
+        assert_eq!(from_value::<Option<u32>>(Value::UInt(1)).unwrap(), Some(1));
+        let v: Vec<u64> = from_value(to_value(&vec![1u64, 2, 3])).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn numeric_conversions_are_checked() {
+        assert!(from_value::<u8>(Value::UInt(300)).is_err());
+        assert!(from_value::<u32>(Value::Int(-1)).is_err());
+        assert_eq!(from_value::<i64>(Value::UInt(5)).unwrap(), 5);
+        assert_eq!(from_value::<f32>(Value::UInt(2)).unwrap(), 2.0);
+    }
+}

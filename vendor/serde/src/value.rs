@@ -1,0 +1,35 @@
+//! The owned data-model tree every (de)serialization routes through.
+
+/// A self-describing value: the common denominator between Rust data
+/// structures and concrete formats (JSON in this workspace).
+///
+/// Maps preserve insertion order, matching serde_json's
+/// `preserve_order` behavior closely enough for stable output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Negative (or explicitly signed) integers.
+    Int(i64),
+    /// Non-negative integers.
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-oriented name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}

@@ -1,0 +1,666 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` for the vendored serde.
+//!
+//! Hand-rolled over raw `proc_macro` (no syn/quote — the registry is
+//! unreachable in this environment). Supports exactly the shapes this
+//! workspace uses:
+//!
+//! * named structs, tuple structs (newtype and n-ary)
+//! * enums with unit, tuple, and struct variants (externally tagged)
+//! * one or more plain type parameters (e.g. `Spanned<T>`)
+//! * `#[serde(skip)]`, `#[serde(default)]`,
+//!   `#[serde(skip_serializing_if = "path")]`
+//!
+//! Generated code targets the value-tree API of the vendored `serde`
+//! crate: `serde::to_value`, `serde::from_value`, `serde::__take_field`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    type_params: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Parse one `#[...]` attribute starting at `i`; returns the index past it
+/// and, for `#[serde(...)]`, folds its items into `attrs`.
+fn parse_attr(tokens: &[TokenTree], i: usize, attrs: &mut FieldAttrs) -> usize {
+    debug_assert!(is_punct(&tokens[i], '#'));
+    let TokenTree::Group(g) = &tokens[i + 1] else {
+        panic!("expected [...] after # in derive input");
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    if !inner.is_empty() && is_ident(&inner[0], "serde") {
+        if let Some(TokenTree::Group(args)) = inner.get(1) {
+            let items: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut j = 0;
+            while j < items.len() {
+                match &items[j] {
+                    TokenTree::Ident(id) => {
+                        let name = id.to_string();
+                        // `name = "literal"`?
+                        if j + 2 < items.len() && is_punct(&items[j + 1], '=') {
+                            if let TokenTree::Literal(l) = &items[j + 2] {
+                                let lit = l.to_string();
+                                let path = lit.trim_matches('"').to_string();
+                                if name == "skip_serializing_if" {
+                                    attrs.skip_if = Some(path);
+                                }
+                                j += 3;
+                            } else {
+                                j += 3;
+                            }
+                        } else {
+                            match name.as_str() {
+                                "skip" => attrs.skip = true,
+                                "default" => attrs.default = true,
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                    }
+                    _ => j += 1,
+                }
+                // skip separating comma
+                if j < items.len() && is_punct(&items[j], ',') {
+                    j += 1;
+                }
+            }
+        }
+    }
+    i + 2
+}
+
+/// Skip any attributes (docs included), discarding serde info.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut sink = FieldAttrs::default();
+    while i < tokens.len() && is_punct(&tokens[i], '#') {
+        i = parse_attr(tokens, i, &mut sink);
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && is_ident(&tokens[i], "pub") {
+        i += 1;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parse `<...>` generics starting at `i` (which points at `<`).
+/// Returns (type_params, index past `>`). Lifetimes are skipped; bounds
+/// after `:` are skipped.
+fn parse_generics(tokens: &[TokenTree], mut i: usize) -> (Vec<String>, usize) {
+    debug_assert!(is_punct(&tokens[i], '<'));
+    i += 1;
+    let mut depth = 1usize;
+    let mut params = Vec::new();
+    let mut at_param_start = true;
+    let mut in_bounds = false;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth -= 1;
+            if depth == 0 {
+                return (params, i + 1);
+            }
+        } else if depth == 1 && is_punct(t, ',') {
+            at_param_start = true;
+            in_bounds = false;
+        } else if depth == 1 && is_punct(t, ':') {
+            in_bounds = true;
+        } else if depth == 1 && is_punct(t, '\'') {
+            // lifetime follows; its ident must not count as a type param
+            i += 2;
+            at_param_start = false;
+            continue;
+        } else if depth == 1 && at_param_start && !in_bounds {
+            if let TokenTree::Ident(id) = t {
+                let s = id.to_string();
+                if s != "const" {
+                    params.push(s);
+                }
+                at_param_start = false;
+            }
+        }
+        i += 1;
+    }
+    panic!("unterminated generics in derive input");
+}
+
+/// Parse named fields from the token list of a brace group.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = FieldAttrs::default();
+        while i < tokens.len() && is_punct(&tokens[i], '#') {
+            i = parse_attr(tokens, i, &mut attrs);
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_vis(tokens, i);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("expected field name, got {:?}", tokens[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        assert!(is_punct(&tokens[i], ':'), "expected `:` after field `{name}`");
+        i += 1;
+        // Skip the type: consume until a top-level comma.
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if is_punct(t, '<') {
+                depth += 1;
+            } else if is_punct(t, '>') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && is_punct(t, ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Count the arity of a paren-delimited tuple field list.
+fn parse_tuple_arity(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0usize;
+    let mut count = 1usize;
+    let mut saw_trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && is_punct(t, ',') {
+            if idx == tokens.len() - 1 {
+                saw_trailing_comma = true;
+            } else {
+                count += 1;
+            }
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+/// Parse enum variants from the token list of the enum's brace group.
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("expected variant name, got {:?}", tokens[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    i += 1;
+                    VariantKind::Tuple(parse_tuple_arity(&inner))
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    i += 1;
+                    VariantKind::Named(parse_named_fields(&inner))
+                }
+                _ => VariantKind::Unit,
+            }
+        } else {
+            VariantKind::Unit
+        };
+        // Skip an optional discriminant `= expr` up to the comma.
+        while i < tokens.len() && !is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        if i < tokens.len() {
+            i += 1; // the comma
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(ts: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let is_enum = if is_ident(&tokens[i], "struct") {
+        false
+    } else if is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        panic!("derive input must be a struct or enum, got {:?}", tokens[i]);
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    let (type_params, next) = if i < tokens.len() && is_punct(&tokens[i], '<') {
+        parse_generics(&tokens, i)
+    } else {
+        (Vec::new(), i)
+    };
+    i = next;
+    // Skip a `where` clause if present (none in this workspace).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                break
+            }
+            _ => i += 1,
+        }
+    }
+    let kind = if is_enum {
+        let TokenTree::Group(g) = &tokens[i] else {
+            panic!("expected enum body");
+        };
+        Kind::Enum(parse_variants(&g.stream().into_iter().collect::<Vec<_>>()))
+    } else {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>()))
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(parse_tuple_arity(&g.stream().into_iter().collect::<Vec<_>>()))
+            }
+            other => panic!("expected struct body, got {other:?}"),
+        }
+    };
+    Input { name, type_params, kind }
+}
+
+// ---------------------------------------------------------------------
+// Codegen helpers
+// ---------------------------------------------------------------------
+
+fn ser_impl_header(input: &Input) -> String {
+    if input.type_params.is_empty() {
+        format!(
+            "#[allow(unused_mut, unused_variables, clippy::all)] \
+             impl ::serde::Serialize for {}",
+            input.name
+        )
+    } else {
+        let bounds: Vec<String> =
+            input.type_params.iter().map(|p| format!("{p}: ::serde::Serialize")).collect();
+        let args = input.type_params.join(", ");
+        format!(
+            "#[allow(unused_mut, unused_variables, clippy::all)] \
+             impl<{}> ::serde::Serialize for {}<{}>",
+            bounds.join(", "),
+            input.name,
+            args
+        )
+    }
+}
+
+fn de_impl_header(input: &Input) -> String {
+    if input.type_params.is_empty() {
+        format!(
+            "#[allow(unused_mut, unused_variables, clippy::all)] \
+             impl<'de> ::serde::Deserialize<'de> for {}",
+            input.name
+        )
+    } else {
+        let bounds: Vec<String> =
+            input.type_params.iter().map(|p| format!("{p}: ::serde::Deserialize<'de>")).collect();
+        let args = input.type_params.join(", ");
+        format!(
+            "#[allow(unused_mut, unused_variables, clippy::all)] \
+             impl<'de, {}> ::serde::Deserialize<'de> for {}<{}>",
+            bounds.join(", "),
+            input.name,
+            args
+        )
+    }
+}
+
+/// `m.push(("name", to_value(&expr)))`, honoring skip / skip_serializing_if.
+fn ser_push_field(field: &Field, access: &str) -> String {
+    if field.attrs.skip {
+        return String::new();
+    }
+    let push =
+        format!("__m.push((\"{n}\".to_string(), ::serde::to_value({access})));", n = field.name);
+    match &field.attrs.skip_if {
+        Some(path) => format!("if !{path}({access}) {{ {push} }}"),
+        None => push,
+    }
+}
+
+/// Expression deserializing field `name` out of `__m` (a field map),
+/// honoring skip / default.
+fn de_field_expr(field: &Field) -> String {
+    if field.attrs.skip {
+        return format!("{}: ::std::default::Default::default()", field.name);
+    }
+    let missing = if field.attrs.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        // Absent fields read as Null: Option fields become None, anything
+        // else produces a type error mentioning the field.
+        format!(
+            "::serde::from_value(::serde::Value::Null).map_err(|e| \
+             <D::Error as ::serde::de::Error>::custom(format!(\"field `{n}`: {{e}}\")))?",
+            n = field.name
+        )
+    };
+    format!(
+        "{n}: match ::serde::__take_field(&mut __m, \"{n}\") {{ \
+           ::std::option::Option::Some(__fv) => ::serde::from_value(__fv).map_err(|e| \
+             <D::Error as ::serde::de::Error>::custom(format!(\"field `{n}`: {{e}}\")))?, \
+           ::std::option::Option::None => {missing}, \
+         }}",
+        n = field.name
+    )
+}
+
+// ---------------------------------------------------------------------
+// Serialize derive
+// ---------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let body = match &input.kind {
+        Kind::Named(fields) => {
+            let pushes: String =
+                fields.iter().map(|f| ser_push_field(f, &format!("&self.{}", f.name))).collect();
+            format!(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new(); {pushes} \
+                 ::serde::Serializer::serialize_value(__s, ::serde::Value::Map(__m))"
+            )
+        }
+        Kind::Tuple(1) => {
+            "::serde::Serializer::serialize_value(__s, ::serde::to_value(&self.0))".to_string()
+        }
+        Kind::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::to_value(&self.{i})")).collect();
+            format!(
+                "::serde::Serializer::serialize_value(__s, ::serde::Value::Seq(vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let ty = &input.name;
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{ty}::{vn} => ::serde::Serializer::serialize_value(__s, \
+                             ::serde::Value::Str(\"{vn}\".to_string())),"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{ty}::{vn}(__f0) => ::serde::Serializer::serialize_value(__s, \
+                             ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::to_value(__f0))])),"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> =
+                            binds.iter().map(|b| format!("::serde::to_value({b})")).collect();
+                        arms.push_str(&format!(
+                            "{ty}::{vn}({binds}) => ::serde::Serializer::serialize_value(__s, \
+                             ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Seq(vec![{items}]))])),",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| format!("{0}: __f_{0}", f.name)).collect();
+                        let pushes: String = fields
+                            .iter()
+                            .map(|f| ser_push_field(f, &format!("__f_{}", f.name)))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{ty}::{vn} {{ {binds} }} => {{ \
+                               let mut __m: ::std::vec::Vec<(::std::string::String, \
+                               ::serde::Value)> = ::std::vec::Vec::new(); {pushes} \
+                               ::serde::Serializer::serialize_value(__s, \
+                               ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                               ::serde::Value::Map(__m))])) }},",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "{header} {{ fn serialize<S: ::serde::Serializer>(&self, __s: S) -> \
+         ::std::result::Result<S::Ok, S::Error> {{ {body} }} }}",
+        header = ser_impl_header(input)
+    )
+}
+
+// ---------------------------------------------------------------------
+// Deserialize derive
+// ---------------------------------------------------------------------
+
+fn gen_deserialize(input: &Input) -> String {
+    let ty = &input.name;
+    let body = match &input.kind {
+        Kind::Named(fields) => {
+            let field_exprs: Vec<String> = fields.iter().map(de_field_expr).collect();
+            format!(
+                "let mut __m = match __v {{ \
+                   ::serde::Value::Map(m) => m, \
+                   other => return ::std::result::Result::Err(\
+                     <D::Error as ::serde::de::Error>::custom(format!(\
+                     \"expected map for `{ty}`, got {{}}\", other.kind()))), \
+                 }}; \
+                 ::std::result::Result::Ok({ty} {{ {fields} }})",
+                fields = field_exprs.join(", ")
+            )
+        }
+        Kind::Tuple(1) => format!(
+            "::std::result::Result::Ok({ty}(::serde::from_value(__v).map_err(\
+             <D::Error as ::serde::de::Error>::custom)?))"
+        ),
+        Kind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|_| {
+                    "::serde::from_value(__it.next().unwrap()).map_err(\
+                     <D::Error as ::serde::de::Error>::custom)?"
+                        .to_string()
+                })
+                .collect();
+            format!(
+                "let __s = match __v {{ \
+                   ::serde::Value::Seq(s) if s.len() == {n} => s, \
+                   other => return ::std::result::Result::Err(\
+                     <D::Error as ::serde::de::Error>::custom(format!(\
+                     \"expected {n}-element sequence for `{ty}`, got {{}}\", other.kind()))), \
+                 }}; \
+                 let mut __it = __s.into_iter(); \
+                 ::std::result::Result::Ok({ty}({elems}))",
+                elems = elems.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({ty}::{vn}),"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({ty}::{vn}(\
+                             ::serde::from_value(__pv).map_err(\
+                             <D::Error as ::serde::de::Error>::custom)?)),"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|_| {
+                                "::serde::from_value(__it.next().unwrap()).map_err(\
+                                 <D::Error as ::serde::de::Error>::custom)?"
+                                    .to_string()
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{ \
+                               let __s = match __pv {{ \
+                                 ::serde::Value::Seq(s) if s.len() == {n} => s, \
+                                 other => return ::std::result::Result::Err(\
+                                   <D::Error as ::serde::de::Error>::custom(format!(\
+                                   \"expected {n}-element sequence for `{ty}::{vn}`, \
+                                   got {{}}\", other.kind()))), \
+                               }}; \
+                               let mut __it = __s.into_iter(); \
+                               ::std::result::Result::Ok({ty}::{vn}({elems})) }},",
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let field_exprs: Vec<String> = fields.iter().map(de_field_expr).collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{ \
+                               let mut __m = match __pv {{ \
+                                 ::serde::Value::Map(m) => m, \
+                                 other => return ::std::result::Result::Err(\
+                                   <D::Error as ::serde::de::Error>::custom(format!(\
+                                   \"expected map for `{ty}::{vn}`, got {{}}\", \
+                                   other.kind()))), \
+                               }}; \
+                               ::std::result::Result::Ok({ty}::{vn} {{ {fields} }}) }},",
+                            fields = field_exprs.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{ \
+                   ::serde::Value::Str(__name) => match __name.as_str() {{ \
+                     {unit_arms} \
+                     other => ::std::result::Result::Err(\
+                       <D::Error as ::serde::de::Error>::custom(format!(\
+                       \"unknown unit variant `{{}}` of `{ty}`\", other))), \
+                   }}, \
+                   ::serde::Value::Map(mut __m) if __m.len() == 1 => {{ \
+                     let (__k, __pv) = __m.remove(0); \
+                     let _ = &__pv; \
+                     match __k.as_str() {{ \
+                       {payload_arms} \
+                       other => ::std::result::Result::Err(\
+                         <D::Error as ::serde::de::Error>::custom(format!(\
+                         \"unknown variant `{{}}` of `{ty}`\", other))), \
+                     }} \
+                   }}, \
+                   other => ::std::result::Result::Err(\
+                     <D::Error as ::serde::de::Error>::custom(format!(\
+                     \"expected string or single-key map for enum `{ty}`, got {{}}\", \
+                     other.kind()))), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "{header} {{ fn deserialize<D: ::serde::Deserializer<'de>>(__d: D) -> \
+         ::std::result::Result<Self, D::Error> {{ \
+           let __v = ::serde::Deserializer::take_value(__d)?; let _ = &__v; {body} }} }}",
+        header = de_impl_header(input)
+    )
+}
+
+// ---------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("serde_derive: generated Deserialize impl parses")
+}
