@@ -28,4 +28,4 @@ pub use callgraph::CallGraph;
 pub use cfg::Cfg;
 pub use dsa::{DsaResult, FunctionDsg, PersistKind};
 pub use program::{FuncRef, Program};
-pub use trace::{Addr, FieldSel, ObjId, Trace, TraceCollector, TraceConfig, TraceEvent};
+pub use trace::{Addr, FieldSel, MemoStats, ObjId, Trace, TraceCollector, TraceConfig, TraceEvent};

@@ -22,7 +22,9 @@ use crate::program::{FuncRef, Program};
 use deepmc_pir::{
     Accessor, BlockId, FuncAttr, Inst, LocalId, Operand, Place, SourceLoc, StructId, Terminator,
 };
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::rc::Rc;
 use std::sync::Arc;
 
 /// Abstract object id, unique within one trace-collection run per root.
@@ -214,11 +216,23 @@ pub struct TraceConfig {
     pub max_paths: usize,
     /// Hard cap on events per trace.
     pub max_trace_len: usize,
+    /// Reuse callee trace summaries across call sites (and roots) instead
+    /// of re-walking callee bodies. Only functions whose behaviour is
+    /// provably independent of caller heap state (no transitive `load`)
+    /// are memoized, and replay is guarded so collected traces are
+    /// bit-identical to the non-memoized walk.
+    pub memoize: bool,
 }
 
 impl Default for TraceConfig {
     fn default() -> Self {
-        TraceConfig { loop_bound: 10, recursion_bound: 5, max_paths: 128, max_trace_len: 100_000 }
+        TraceConfig {
+            loop_bound: 10,
+            recursion_bound: 5,
+            max_paths: 128,
+            max_trace_len: 100_000,
+            memoize: true,
+        }
     }
 }
 
@@ -239,16 +253,25 @@ struct ObjInfo {
     name: Arc<str>,
 }
 
+/// Heap slot key: (object, field, element).
+type Slot = (ObjId, u32, Option<i64>);
+
 /// Mutable state threaded along one path (cloned at forks).
 #[derive(Debug, Clone)]
 struct PathState {
     objects: Vec<ObjInfo>,
     /// Exact field slots: (object, field, element) → value.
-    heap: HashMap<(ObjId, u32, Option<i64>), Val>,
+    heap: HashMap<Slot, Val>,
     events: Vec<TraceEvent>,
     /// Ghost objects created for unresolved pointer loads, keyed by slot so
     /// repeated loads alias.
-    ghosts: HashMap<(ObjId, u32, Option<i64>), ObjId>,
+    ghosts: HashMap<Slot, ObjId>,
+    /// Heap writes logged while a callee summary is being recorded
+    /// (in program order; forks with the state like everything else).
+    heap_log: Vec<(Slot, Val)>,
+    /// Nesting depth of active summary recordings; the log is only
+    /// appended to while this is non-zero.
+    recording: u32,
 }
 
 impl PathState {
@@ -257,10 +280,72 @@ impl PathState {
         self.objects.push(info);
         id
     }
+
+    /// All heap writes go through here so summary recording sees them.
+    fn heap_set(&mut self, slot: Slot, v: Val) {
+        self.heap.insert(slot, v);
+        if self.recording > 0 {
+            self.heap_log.push((slot, v));
+        }
+    }
 }
 
 /// One call frame's environment.
 type Env = HashMap<LocalId, Val>;
+
+/// Abstract shape of one call argument, used to key callee summaries.
+/// Object arguments are canonicalized by first occurrence so the key
+/// captures aliasing among arguments and each object's persistence class —
+/// the only properties of a caller object a loadless callee can observe.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ArgSig {
+    Unknown,
+    Int(i64),
+    Null,
+    Obj { canon: u32, persist: PersistKind },
+}
+
+/// Key of one memoized callee collection: which function, at what inlining
+/// depth (recursion cut-offs depend on it), with which abstract arguments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MemoKey {
+    target: FuncRef,
+    depth: usize,
+    args: Vec<ArgSig>,
+}
+
+/// A new object allocated by a memoized callee. The creation index is
+/// call-site dependent (object names embed it), so the summary stores the
+/// name minus its trailing index and the splice regenerates it.
+#[derive(Debug, Clone)]
+struct MemoObj {
+    persist: PersistKind,
+    struct_ty: Option<(u32, StructId)>,
+    name_prefix: String,
+}
+
+/// One path end of a memoized callee. `ObjId`s in `events`, `heap_log` and
+/// `ret` are placeholders: ids below the summary's canonical-argument count
+/// name argument objects, the rest name `new_objs` entries in order.
+#[derive(Debug, Clone)]
+struct MemoEnd {
+    new_objs: Vec<MemoObj>,
+    events: Vec<TraceEvent>,
+    heap_log: Vec<(Slot, Val)>,
+    ret: Val,
+}
+
+/// A memoized callee collection: every bounded path end plus the resources
+/// the walk consumed, so replay can prove it would behave identically.
+#[derive(Debug)]
+struct MemoSummary {
+    /// Path-budget decrements the collection performed.
+    forks: usize,
+    /// High-water mark of events appended on any path prefix (including
+    /// paths later abandoned by the loop bound).
+    max_added: usize,
+    ends: Vec<MemoEnd>,
+}
 
 /// The collector.
 pub struct TraceCollector<'p> {
@@ -269,9 +354,46 @@ pub struct TraceCollector<'p> {
     pub config: TraceConfig,
     /// Branch forks skipped because `max_paths` ran out (one successor
     /// was chosen heuristically instead of exploring both).
-    paths_pruned: std::cell::Cell<u64>,
+    paths_pruned: Cell<u64>,
     /// Events dropped because a path hit `max_trace_len`.
-    events_truncated: std::cell::Cell<u64>,
+    events_truncated: Cell<u64>,
+    /// Callee summaries, shared across call sites and roots.
+    memo: RefCell<HashMap<MemoKey, Rc<MemoSummary>>>,
+    /// Per-function memoizability (no transitive `load`), computed lazily.
+    memoizable: RefCell<HashMap<FuncRef, bool>>,
+    /// High-water mark of `events.len()` since the innermost recording
+    /// began; gives each summary its `max_added`.
+    events_hw: Cell<usize>,
+    memo_hits: Cell<u64>,
+    memo_misses: Cell<u64>,
+    memo_skips: Cell<u64>,
+}
+
+/// Everything needed to turn an inline callee walk into a stored summary.
+struct RecordCtx {
+    key: MemoKey,
+    arg_objs: Vec<ObjId>,
+    incoming_objs: usize,
+    incoming_events: usize,
+    log_start: usize,
+    budget_before: usize,
+    pruned_before: u64,
+    truncated_before: u64,
+    hw_saved: usize,
+}
+
+/// Counters describing summary reuse in one collector's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Calls served by splicing a stored summary.
+    pub hits: u64,
+    /// Calls walked inline while recording a fresh summary.
+    pub misses: u64,
+    /// Calls with a stored summary whose replay guards failed (budget or
+    /// trace-length headroom), walked inline instead.
+    pub skips: u64,
+    /// Distinct summaries stored.
+    pub summaries: u64,
 }
 
 /// Result of walking a function body to a `ret`: final state plus the
@@ -287,8 +409,14 @@ impl<'p> TraceCollector<'p> {
             program,
             dsa,
             config,
-            paths_pruned: std::cell::Cell::new(0),
-            events_truncated: std::cell::Cell::new(0),
+            paths_pruned: Cell::new(0),
+            events_truncated: Cell::new(0),
+            memo: RefCell::new(HashMap::new()),
+            memoizable: RefCell::new(HashMap::new()),
+            events_hw: Cell::new(0),
+            memo_hits: Cell::new(0),
+            memo_misses: Cell::new(0),
+            memo_skips: Cell::new(0),
         }
     }
 
@@ -299,10 +427,20 @@ impl<'p> TraceCollector<'p> {
         (self.paths_pruned.get(), self.events_truncated.get())
     }
 
-    /// Collect traces from every analysis root: call-graph roots plus
+    /// Summary-reuse counters for all collections so far.
+    pub fn memo_stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.memo_hits.get(),
+            misses: self.memo_misses.get(),
+            skips: self.memo_skips.get(),
+            summaries: self.memo.borrow().len() as u64,
+        }
+    }
+
+    /// The analysis roots, in collection order: call-graph roots plus
     /// functions explicitly marked `tx_context` (they are invoked from a
     /// framework transaction the program text does not show).
-    pub fn collect_program(&self, cg: &CallGraph) -> Vec<Trace> {
+    pub fn analysis_roots(&self, cg: &CallGraph) -> Vec<FuncRef> {
         let mut roots: Vec<FuncRef> = cg.roots.clone();
         for fr in self.program.defined_funcs() {
             let f = self.program.func(fr);
@@ -311,8 +449,14 @@ impl<'p> TraceCollector<'p> {
             }
         }
         roots.sort();
+        roots
+    }
+
+    /// Collect traces from every analysis root (see
+    /// [`TraceCollector::analysis_roots`]).
+    pub fn collect_program(&self, cg: &CallGraph) -> Vec<Trace> {
         let mut traces = Vec::new();
-        for root in roots {
+        for root in self.analysis_roots(cg) {
             traces.extend(self.collect_root(root));
         }
         traces
@@ -327,6 +471,8 @@ impl<'p> TraceCollector<'p> {
             heap: HashMap::new(),
             events: Vec::new(),
             ghosts: HashMap::new(),
+            heap_log: Vec::new(),
+            recording: 0,
         };
 
         // Parameters become ghost objects with DSA-supplied persistence.
@@ -450,6 +596,7 @@ impl<'p> TraceCollector<'p> {
                 for (env, st) in &mut states {
                     if st.events.len() < self.config.max_trace_len {
                         self.exec_simple(fr, si.loc, &si.inst, env, st);
+                        self.events_hw.set(self.events_hw.get().max(st.events.len()));
                     } else {
                         self.events_truncated.set(self.events_truncated.get() + 1);
                     }
@@ -662,7 +809,7 @@ impl<'p> TraceCollector<'p> {
             Inst::Store { place, value } => {
                 let v = eval(value, env);
                 if let Some((addr, obj_persist)) = self.resolve(place, env, st) {
-                    st.heap.insert(slot_key(&addr), v);
+                    st.heap_set(slot_key(&addr), v);
                     if obj_persist != PersistKind::Volatile {
                         st.events.push(TraceEvent::Write {
                             addr,
@@ -696,7 +843,7 @@ impl<'p> TraceCollector<'p> {
             Inst::MemSetPersist { place, value } => {
                 let v = eval(value, env);
                 if let Some((addr, obj_persist)) = self.resolve(place, env, st) {
-                    st.heap.insert(slot_key(&addr), v);
+                    st.heap_set(slot_key(&addr), v);
                     if obj_persist != PersistKind::Volatile {
                         let l = self.evloc(fr, loc);
                         st.events.push(TraceEvent::Write {
@@ -730,6 +877,17 @@ impl<'p> TraceCollector<'p> {
     }
 
     /// Execute a call, splicing callee paths into the caller's.
+    ///
+    /// When memoization is on and the callee is provably caller-heap
+    /// independent, the first call per [`MemoKey`] walks inline while
+    /// recording a summary, and later calls splice the summary: new
+    /// objects are re-interned at the caller's next ids (names
+    /// regenerated), placeholder `ObjId`s in events/heap/ret are renumbered
+    /// to the call site's argument objects, and the recorded fork cost is
+    /// charged to the path budget. Replay is refused (falling back to the
+    /// inline walk) whenever the recorded walk's budget or trace-length
+    /// interactions could differ at this call site, so collected traces are
+    /// identical with memoization on or off.
     #[allow(clippy::too_many_arguments)]
     fn exec_call(
         &self,
@@ -760,11 +918,80 @@ impl<'p> TraceCollector<'p> {
         }
         let _ = loc;
 
-        // Bind arguments.
-        let mut callee_env: Env = HashMap::new();
-        for (i, a) in args.iter().enumerate() {
-            callee_env.insert(LocalId(i as u32), eval(a, &env));
+        let arg_vals: Vec<Val> = args.iter().map(|a| eval(a, &env)).collect();
+
+        if self.config.memoize && self.is_memoizable(target) {
+            let (key, arg_objs) = memo_key(target, depth, &arg_vals, &st);
+            let cached = self.memo.borrow().get(&key).cloned();
+            return match cached {
+                Some(sum) => {
+                    // Replay guards: every fork during collection saw
+                    // budget > 1, and every per-instruction length check
+                    // passed; require the same at this call site.
+                    if *budget > sum.forks
+                        && st.events.len() + sum.max_added < self.config.max_trace_len
+                    {
+                        self.memo_hits.set(self.memo_hits.get() + 1);
+                        *budget -= sum.forks;
+                        self.splice(&sum, dst, &env, &st, &arg_objs)
+                    } else {
+                        self.memo_skips.set(self.memo_skips.get() + 1);
+                        self.inline_call(target, dst, &arg_vals, env, st, depth, budget, None)
+                    }
+                }
+                None => {
+                    self.memo_misses.set(self.memo_misses.get() + 1);
+                    self.inline_call(
+                        target,
+                        dst,
+                        &arg_vals,
+                        env,
+                        st,
+                        depth,
+                        budget,
+                        Some((key, arg_objs)),
+                    )
+                }
+            };
         }
+        self.inline_call(target, dst, &arg_vals, env, st, depth, budget, None)
+    }
+
+    /// Walk a callee body inline (the pre-memoization behaviour), optionally
+    /// recording a summary for later splicing.
+    #[allow(clippy::too_many_arguments)]
+    fn inline_call(
+        &self,
+        target: FuncRef,
+        dst: &Option<LocalId>,
+        arg_vals: &[Val],
+        env: Env,
+        mut st: PathState,
+        depth: usize,
+        budget: &mut usize,
+        record: Option<(MemoKey, Vec<ObjId>)>,
+    ) -> Vec<(Env, PathState)> {
+        let mut callee_env: Env = HashMap::new();
+        for (i, v) in arg_vals.iter().enumerate() {
+            callee_env.insert(LocalId(i as u32), *v);
+        }
+        let ctx = record.map(|(key, arg_objs)| {
+            st.recording += 1;
+            let ctx = RecordCtx {
+                key,
+                arg_objs,
+                incoming_objs: st.objects.len(),
+                incoming_events: st.events.len(),
+                log_start: st.heap_log.len(),
+                budget_before: *budget,
+                pruned_before: self.paths_pruned.get(),
+                truncated_before: self.events_truncated.get(),
+                hw_saved: self.events_hw.get(),
+            };
+            self.events_hw.set(st.events.len());
+            ctx
+        });
+        let recording = ctx.is_some();
         let ends = self.walk_block(
             target,
             deepmc_pir::Function::ENTRY,
@@ -774,8 +1001,18 @@ impl<'p> TraceCollector<'p> {
             depth + 1,
             budget,
         );
+        if let Some(ctx) = &ctx {
+            self.finish_recording(ctx, &ends, *budget);
+            self.events_hw.set(self.events_hw.get().max(ctx.hw_saved));
+        }
         ends.into_iter()
-            .map(|end| {
+            .map(|mut end| {
+                if recording {
+                    end.st.recording -= 1;
+                    if end.st.recording == 0 {
+                        end.st.heap_log.clear();
+                    }
+                }
                 let mut env = env.clone();
                 if let Some(d) = dst {
                     env.insert(*d, end.ret);
@@ -783,6 +1020,170 @@ impl<'p> TraceCollector<'p> {
                 (env, end.st)
             })
             .collect()
+    }
+
+    /// Is `fr`'s walk independent of caller heap state? True when neither
+    /// it nor any transitively reachable defined callee contains a `load`
+    /// — the only instruction that reads heap slots or mints ghost
+    /// objects. Unknown externs only havoc their destination, so they are
+    /// fine. Cached per function.
+    fn is_memoizable(&self, fr: FuncRef) -> bool {
+        if let Some(&b) = self.memoizable.borrow().get(&fr) {
+            return b;
+        }
+        let mut visiting = Vec::new();
+        let ok = self.loadless(fr, &mut visiting);
+        self.memoizable.borrow_mut().insert(fr, ok);
+        ok
+    }
+
+    fn loadless(&self, fr: FuncRef, visiting: &mut Vec<FuncRef>) -> bool {
+        if let Some(&b) = self.memoizable.borrow().get(&fr) {
+            return b;
+        }
+        if visiting.contains(&fr) {
+            // Back edge: this cycle member contributes no *new* loads; any
+            // load elsewhere in the cycle is found when that body is
+            // scanned on this same DFS.
+            return true;
+        }
+        visiting.push(fr);
+        let f = self.program.func(fr);
+        let mut ok = true;
+        'body: for block in &f.blocks {
+            for si in &block.insts {
+                match &si.inst {
+                    Inst::Load { .. } => {
+                        ok = false;
+                        break 'body;
+                    }
+                    Inst::Call { callee, .. } => {
+                        if let Some(t) = self.program.resolve(callee) {
+                            if !self.program.func(t).blocks.is_empty()
+                                && !self.loadless(t, visiting)
+                            {
+                                ok = false;
+                                break 'body;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        visiting.pop();
+        ok
+    }
+
+    /// Turn a finished inline walk into a stored summary, unless the walk's
+    /// outcome depended on the remaining path budget or trace-length cap
+    /// (pruning/truncation observed), or an end references a caller object
+    /// that is not an argument (cannot happen for loadless callees; checked
+    /// defensively).
+    fn finish_recording(&self, ctx: &RecordCtx, ends: &[WalkEnd], budget_after: usize) {
+        if self.paths_pruned.get() != ctx.pruned_before
+            || self.events_truncated.get() != ctx.truncated_before
+        {
+            return;
+        }
+        let n_args = ctx.arg_objs.len() as u32;
+        let mut rev: HashMap<ObjId, u32> = HashMap::new();
+        for (i, o) in ctx.arg_objs.iter().enumerate() {
+            rev.insert(*o, i as u32);
+        }
+        let mut remap = |id: ObjId| -> Option<ObjId> {
+            if (id.0 as usize) < ctx.incoming_objs {
+                rev.get(&id).map(|c| ObjId(*c))
+            } else {
+                Some(ObjId(n_args + (id.0 - ctx.incoming_objs as u32)))
+            }
+        };
+        let mut sends = Vec::with_capacity(ends.len());
+        for end in ends {
+            let mut new_objs = Vec::with_capacity(end.st.objects.len() - ctx.incoming_objs);
+            for o in &end.st.objects[ctx.incoming_objs..] {
+                let prefix = o.name.trim_end_matches(|c: char| c.is_ascii_digit());
+                new_objs.push(MemoObj {
+                    persist: o.persist,
+                    struct_ty: o.struct_ty,
+                    name_prefix: prefix.to_string(),
+                });
+            }
+            let mut events = Vec::with_capacity(end.st.events.len() - ctx.incoming_events);
+            for ev in &end.st.events[ctx.incoming_events..] {
+                let Some(e) = map_event(ev, &mut remap) else { return };
+                events.push(e);
+            }
+            let mut heap_log = Vec::with_capacity(end.st.heap_log.len() - ctx.log_start);
+            for ((obj, field, idx), v) in &end.st.heap_log[ctx.log_start..] {
+                let Some(obj) = remap(*obj) else { return };
+                let Some(v) = map_val(*v, &mut remap) else { return };
+                heap_log.push(((obj, *field, *idx), v));
+            }
+            let Some(ret) = map_val(end.ret, &mut remap) else { return };
+            sends.push(MemoEnd { new_objs, events, heap_log, ret });
+        }
+        let sum = MemoSummary {
+            forks: ctx.budget_before - budget_after,
+            max_added: self.events_hw.get().saturating_sub(ctx.incoming_events),
+            ends: sends,
+        };
+        self.memo.borrow_mut().insert(ctx.key.clone(), Rc::new(sum));
+    }
+
+    /// Replay a summary at a call site: one output state per recorded end,
+    /// with placeholder ids renumbered to this site's argument objects and
+    /// freshly interned new objects.
+    fn splice(
+        &self,
+        sum: &MemoSummary,
+        dst: &Option<LocalId>,
+        env: &Env,
+        st: &PathState,
+        arg_objs: &[ObjId],
+    ) -> Vec<(Env, PathState)> {
+        let n_args = arg_objs.len() as u32;
+        let mut out = Vec::with_capacity(sum.ends.len());
+        for end in &sum.ends {
+            let mut st = st.clone();
+            let base = st.objects.len() as u32;
+            for (j, o) in end.new_objs.iter().enumerate() {
+                st.objects.push(ObjInfo {
+                    persist: o.persist,
+                    struct_ty: o.struct_ty,
+                    name: Arc::from(format!("{}{}", o.name_prefix, base as usize + j)),
+                });
+            }
+            let remap = |id: ObjId| -> ObjId {
+                if id.0 < n_args {
+                    arg_objs[id.0 as usize]
+                } else {
+                    ObjId(base + (id.0 - n_args))
+                }
+            };
+            for ev in &end.events {
+                let mut f = |id: ObjId| Some(remap(id));
+                st.events.push(map_event(ev, &mut f).expect("infallible remap"));
+            }
+            self.events_hw.set(self.events_hw.get().max(st.events.len()));
+            for ((obj, field, idx), v) in &end.heap_log {
+                let v = match v {
+                    Val::Obj(o) => Val::Obj(remap(*o)),
+                    other => *other,
+                };
+                st.heap_set((remap(*obj), *field, *idx), v);
+            }
+            let mut env = env.clone();
+            if let Some(d) = dst {
+                let ret = match end.ret {
+                    Val::Obj(o) => Val::Obj(remap(o)),
+                    other => other,
+                };
+                env.insert(*d, ret);
+            }
+            out.push((env, st));
+        }
+        out
     }
 
     /// Resolve a place to an address and the owning object's persistence.
@@ -807,6 +1208,68 @@ impl<'p> TraceCollector<'p> {
         };
         Some((Addr { obj, sel }, persist))
     }
+}
+
+/// Build the memo key for a call: canonicalize object arguments by first
+/// occurrence (capturing aliasing) and record each one's persistence class.
+/// Returns the key plus the canonical-index → caller [`ObjId`] table used
+/// to renumber placeholders at splice time.
+fn memo_key(
+    target: FuncRef,
+    depth: usize,
+    arg_vals: &[Val],
+    st: &PathState,
+) -> (MemoKey, Vec<ObjId>) {
+    let mut canon: Vec<ObjId> = Vec::new();
+    let args = arg_vals
+        .iter()
+        .map(|v| match v {
+            Val::Unknown => ArgSig::Unknown,
+            Val::Int(n) => ArgSig::Int(*n),
+            Val::Null => ArgSig::Null,
+            Val::Obj(o) => {
+                let idx = canon.iter().position(|c| c == o).unwrap_or_else(|| {
+                    canon.push(*o);
+                    canon.len() - 1
+                });
+                ArgSig::Obj { canon: idx as u32, persist: st.objects[o.0 as usize].persist }
+            }
+        })
+        .collect();
+    (MemoKey { target, depth, args }, canon)
+}
+
+/// Rewrite an address through an object-id map.
+fn map_addr(a: &Addr, f: &mut impl FnMut(ObjId) -> Option<ObjId>) -> Option<Addr> {
+    f(a.obj).map(|obj| Addr { obj, sel: a.sel })
+}
+
+/// Rewrite a value through an object-id map.
+fn map_val(v: Val, f: &mut impl FnMut(ObjId) -> Option<ObjId>) -> Option<Val> {
+    match v {
+        Val::Obj(o) => f(o).map(Val::Obj),
+        other => Some(other),
+    }
+}
+
+/// Rewrite an event's object ids through a map; non-address events pass
+/// through unchanged.
+fn map_event(ev: &TraceEvent, f: &mut impl FnMut(ObjId) -> Option<ObjId>) -> Option<TraceEvent> {
+    Some(match ev {
+        TraceEvent::Write { addr, persist, loc } => {
+            TraceEvent::Write { addr: map_addr(addr, f)?, persist: *persist, loc: loc.clone() }
+        }
+        TraceEvent::Read { addr, loc } => {
+            TraceEvent::Read { addr: map_addr(addr, f)?, loc: loc.clone() }
+        }
+        TraceEvent::Flush { addr, loc } => {
+            TraceEvent::Flush { addr: map_addr(addr, f)?, loc: loc.clone() }
+        }
+        TraceEvent::TxAdd { addr, loc } => {
+            TraceEvent::TxAdd { addr: map_addr(addr, f)?, loc: loc.clone() }
+        }
+        other => other.clone(),
+    })
 }
 
 /// Slot key for the path heap: unknown-index elements share one slot per

@@ -108,6 +108,10 @@ pub struct SweepOutcome {
     pub images_checked: u64,
     /// Records dropped by recovery across all images (torn + poisoned).
     pub records_dropped: u64,
+    /// `clwb`s dropped by fault injection across all pre-crash runs (from
+    /// [`nvm_runtime::StatsSnapshot::dropped_flushes`]) — the evidence the
+    /// fault-attribution path leans on.
+    pub flushes_dropped: u64,
     /// Acked keys found missing but attributed to injected faults.
     pub fault_attributed: u64,
     /// Acked keys found missing and attributed to the injected app bug.
@@ -122,11 +126,12 @@ impl fmt::Display for SweepOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<10} {:>4} images  {:>4} dropped  {:>4} fault-attr  {:>4} bug-attr  \
-             {:>2} dyn-reports  {} violations",
+            "{:<10} {:>4} images  {:>4} dropped  {:>4} clwb-dropped  {:>4} fault-attr  \
+             {:>4} bug-attr  {:>2} dyn-reports  {} violations",
             self.app,
             self.images_checked,
             self.records_dropped,
+            self.flushes_dropped,
             self.fault_attributed,
             self.bug_attributed,
             self.dynamic_reports,
@@ -303,6 +308,7 @@ pub fn sweep_app(cfg: &SweepConfig, app: SweepApp) -> SweepOutcome {
         app: app.name(),
         images_checked: 0,
         records_dropped: 0,
+        flushes_dropped: 0,
         fault_attributed: 0,
         bug_attributed: 0,
         dynamic_reports: dynamic_cross_check(cfg, app),
@@ -311,14 +317,17 @@ pub fn sweep_app(cfg: &SweepConfig, app: SweepApp) -> SweepOutcome {
     let total_steps = script(cfg).len();
     for crash_step in 1..=total_steps {
         let run = run_prefix(cfg, app, crash_step);
+        // Faults already injected into this run: recovery drops plus
+        // silently dropped clwbs both license missing acked data. The
+        // pool's own counter (not the fault plan's) is authoritative:
+        // it records exactly the drops this run experienced.
+        let flush_faults = run.pool.stats().dropped_flushes;
+        outcome.flushes_dropped += flush_faults;
         for policy in policies(cfg) {
             let img = policy.apply(&run.pool);
             let pool2 = img.reboot(8);
             let heap2 = PmemHeap::open(&pool2);
             outcome.images_checked += 1;
-            // Faults already injected into this image: recovery drops plus
-            // silently dropped clwbs both license missing acked data.
-            let flush_faults = run.pool.fault_stats().map(|s| s.dropped_flushes).unwrap_or(0);
             let (recovered, report): (HashMap<u64, u64>, _) = match app {
                 SweepApp::Memcached => {
                     let (mc, rep) = Memcached::recover(&pool2, &heap2, 8);
@@ -470,6 +479,7 @@ mod tests {
                 outcome.violations.first()
             );
             assert_eq!(outcome.records_dropped, 0, "no faults, nothing to drop");
+            assert_eq!(outcome.flushes_dropped, 0, "no faults, no clwbs dropped");
             assert_eq!(outcome.dynamic_reports, 0, "correct apps race-free");
             assert!(outcome.images_checked > 0);
         }
@@ -487,6 +497,7 @@ mod tests {
             ..small(7)
         };
         let mut any_attributed = 0;
+        let mut any_flushes_dropped = 0;
         for outcome in sweep(&cfg, &SweepApp::ALL) {
             assert!(
                 outcome.violations.is_empty(),
@@ -495,8 +506,10 @@ mod tests {
                 outcome.violations.first()
             );
             any_attributed += outcome.fault_attributed + outcome.records_dropped;
+            any_flushes_dropped += outcome.flushes_dropped;
         }
         assert!(any_attributed > 0, "these rates must cost something");
+        assert!(any_flushes_dropped > 0, "a 10% dropped-clwb rate must show in pool stats");
     }
 
     #[test]

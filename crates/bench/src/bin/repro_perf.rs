@@ -1,0 +1,328 @@
+//! `repro-perf` — per-phase timing of the static-analysis pipeline over
+//! the evaluation corpus, plus the incremental-cache cold/warm experiment.
+//!
+//! For every corpus framework this measures, separately:
+//!
+//! * DSA (call graph + three-phase Data Structure Analysis),
+//! * trace collection with callee-summary memoization on and off,
+//! * rule application (the checker scan over the collected traces),
+//! * a cold `check_program_cached` run against an empty on-disk cache and
+//!   a warm run against the populated one,
+//!
+//! and records trace/event counts, distinct interned addresses, and the
+//! collector's memoization counters. Results go to stdout as a table and
+//! to `BENCH_analysis.json` for CI artifacts and EXPERIMENTS.md Table 9a.
+//!
+//! The warm run must not just be faster: the binary asserts the cold and
+//! warm reports render identically, and exits nonzero if the warm wall
+//! time exceeds half the cold wall time (the issue's acceptance bar).
+
+use deepmc::{AnalysisCache, DeepMcConfig, StaticChecker};
+use deepmc_analysis::{CallGraph, DsaResult, TraceCollector, TraceConfig, TraceEvent};
+use deepmc_corpus::Framework;
+use serde::Serialize;
+use std::collections::HashSet;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct MemoCounters {
+    hits: u64,
+    misses: u64,
+    skips: u64,
+    summaries: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct FrameworkBench {
+    name: &'static str,
+    model: String,
+    modules: usize,
+    /// Call graph + DSA wall time.
+    dsa_ms: f64,
+    /// Trace collection with memoization (the default).
+    trace_collection_ms: f64,
+    /// Trace collection with memoization disabled.
+    trace_collection_no_memo_ms: f64,
+    /// Rule application over the collected traces.
+    rule_scan_ms: f64,
+    traces: usize,
+    events: usize,
+    /// Distinct interned (object, field-path) addresses across all events.
+    distinct_addrs: usize,
+    warnings: usize,
+    memo: MemoCounters,
+    /// Full pipeline against an empty cache directory.
+    cache_cold_ms: f64,
+    /// Full pipeline against the directory the cold run populated.
+    cache_warm_ms: f64,
+    cache_warm_hits: u64,
+    cache_warm_misses: u64,
+}
+
+/// Cold/warm cache timings for one Table-9 generated application — the
+/// realistically-sized workload (the corpus framework modules are tiny,
+/// so per-root I/O overheads dominate them).
+#[derive(Debug, Serialize)]
+struct AppBench {
+    name: &'static str,
+    /// Full uncached pipeline (memoized trace collection, the default).
+    analysis_ms: f64,
+    /// Full uncached pipeline with callee-summary memoization disabled.
+    analysis_no_memo_ms: f64,
+    cache_cold_ms: f64,
+    cache_warm_ms: f64,
+    cache_warm_hits: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    frameworks: Vec<FrameworkBench>,
+    apps: Vec<AppBench>,
+    total_cold_ms: f64,
+    total_warm_ms: f64,
+    /// warm / cold over frameworks + apps; the acceptance bar is ≤ 0.5.
+    warm_over_cold: f64,
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Median-of-N wall time (and last result) for a closure; the corpus
+/// modules are small enough that single-shot timings are noise-dominated.
+fn timed<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut times = Vec::with_capacity(reps);
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        out = Some(std::hint::black_box(f()));
+        times.push(ms(t.elapsed()));
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    (times[times.len() / 2], out.expect("reps >= 1"))
+}
+
+fn bench_framework(fw: Framework, reps: usize) -> FrameworkBench {
+    let program = fw.program();
+    let config = DeepMcConfig::new(fw.model());
+
+    let (dsa_ms, (cg, dsa)) = timed(reps, || {
+        let cg = CallGraph::build(&program);
+        let dsa = DsaResult::analyze(&program, &cg);
+        (cg, dsa)
+    });
+
+    // Memoized collection (fresh collector per rep: the memo table is
+    // per-collector, so every rep pays its own misses).
+    let (trace_collection_ms, (traces, memo)) = timed(reps, || {
+        let collector = TraceCollector::new(&program, &dsa, config.trace.clone());
+        let traces = collector.collect_program(&cg);
+        let stats = collector.memo_stats();
+        (traces, stats)
+    });
+
+    let (trace_collection_no_memo_ms, traces_no_memo) = timed(reps, || {
+        let tc = TraceConfig { memoize: false, ..config.trace.clone() };
+        TraceCollector::new(&program, &dsa, tc).collect_program(&cg)
+    });
+    assert_eq!(
+        traces,
+        traces_no_memo,
+        "{}: memoized collection must reproduce the inlined traces exactly",
+        fw.name()
+    );
+
+    let checker = StaticChecker::new(config.clone());
+    let (rule_scan_ms, scan_report) = timed(reps, || checker.check_traces(&traces));
+
+    let events: usize = traces.iter().map(|t| t.events.len()).sum();
+    let mut addrs = HashSet::new();
+    for t in &traces {
+        for ev in &t.events {
+            match ev {
+                TraceEvent::Write { addr, .. }
+                | TraceEvent::Read { addr, .. }
+                | TraceEvent::Flush { addr, .. }
+                | TraceEvent::TxAdd { addr, .. } => {
+                    addrs.insert(*addr);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Cold vs warm incremental cache, in a scratch directory. Every cold
+    // rep starts from an emptied directory; the last one leaves it
+    // populated for the warm reps.
+    let dir = std::env::temp_dir().join(format!("deepmc-bench-cache-{}", fw.name()));
+    let cache = AnalysisCache::open(&dir);
+    let (cache_cold_ms, cold_report) = timed(reps, || {
+        let _ = std::fs::remove_dir_all(&dir);
+        let (report, stats) = checker.check_program_cached(&program, Some(&cache));
+        assert_eq!(stats.hits, 0, "scratch cache must start cold");
+        report
+    });
+    let (cache_warm_ms, (warm_report, warm_stats)) =
+        timed(reps, || checker.check_program_cached(&program, Some(&cache)));
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        cold_report.to_string(),
+        warm_report.to_string(),
+        "{}: warm-cache report must render identically to the cold one",
+        fw.name()
+    );
+    assert_eq!(warm_stats.misses, 0, "{}: warm run must not re-analyze any root", fw.name());
+
+    FrameworkBench {
+        name: fw.name(),
+        model: format!("{:?}", fw.model()),
+        modules: fw.modules().len(),
+        dsa_ms,
+        trace_collection_ms,
+        trace_collection_no_memo_ms,
+        rule_scan_ms,
+        traces: traces.len(),
+        events,
+        distinct_addrs: addrs.len(),
+        warnings: scan_report.warnings.len(),
+        memo: MemoCounters {
+            hits: memo.hits,
+            misses: memo.misses,
+            skips: memo.skips,
+            summaries: memo.summaries,
+        },
+        cache_cold_ms,
+        cache_warm_ms,
+        cache_warm_hits: warm_stats.hits,
+        cache_warm_misses: warm_stats.misses,
+    }
+}
+
+fn bench_app(size: &nvm_apps::pirgen::AppSize, reps: usize) -> AppBench {
+    use deepmc_analysis::Program;
+    let modules = nvm_apps::pirgen::generate_app(size);
+    let program = Program::new(modules).expect("generated app links");
+    let mut config = DeepMcConfig::new(deepmc_models::PersistencyModel::Strict);
+    let checker = StaticChecker::new(config.clone());
+
+    let (analysis_ms, memo_report) = timed(reps, || checker.check_program(&program));
+    config.trace.memoize = false;
+    let no_memo_checker = StaticChecker::new(config);
+    let (analysis_no_memo_ms, no_memo_report) =
+        timed(reps, || no_memo_checker.check_program(&program));
+    assert_eq!(
+        memo_report.to_string(),
+        no_memo_report.to_string(),
+        "{}: memoized collection changed the report",
+        size.name
+    );
+
+    let dir = std::env::temp_dir().join(format!("deepmc-bench-cache-app-{}", size.name));
+    let cache = AnalysisCache::open(&dir);
+    let (cache_cold_ms, cold_report) = timed(reps, || {
+        let _ = std::fs::remove_dir_all(&dir);
+        checker.check_program_cached(&program, Some(&cache)).0
+    });
+    let (cache_warm_ms, (warm_report, warm_stats)) =
+        timed(reps, || checker.check_program_cached(&program, Some(&cache)));
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        cold_report.to_string(),
+        warm_report.to_string(),
+        "{}: warm-cache report must render identically to the cold one",
+        size.name
+    );
+    assert_eq!(warm_stats.misses, 0, "{}: warm run must not re-analyze any root", size.name);
+
+    AppBench {
+        name: size.name,
+        analysis_ms,
+        analysis_no_memo_ms,
+        cache_cold_ms,
+        cache_warm_ms,
+        cache_warm_hits: warm_stats.hits,
+    }
+}
+
+fn main() {
+    let reps = if std::env::args().any(|a| a == "--quick") { 3 } else { 9 };
+    let frameworks: Vec<FrameworkBench> =
+        Framework::ALL.iter().map(|&fw| bench_framework(fw, reps)).collect();
+    let apps: Vec<AppBench> =
+        nvm_apps::pirgen::table9_apps().iter().map(|s| bench_app(s, reps)).collect();
+
+    let total_cold_ms: f64 = frameworks.iter().map(|f| f.cache_cold_ms).sum::<f64>()
+        + apps.iter().map(|a| a.cache_cold_ms).sum::<f64>();
+    let total_warm_ms: f64 = frameworks.iter().map(|f| f.cache_warm_ms).sum::<f64>()
+        + apps.iter().map(|a| a.cache_warm_ms).sum::<f64>();
+    let report = BenchReport {
+        bench: "repro-perf",
+        frameworks,
+        apps,
+        total_cold_ms,
+        total_warm_ms,
+        warm_over_cold: total_warm_ms / total_cold_ms,
+    };
+
+    println!("Per-phase static-analysis wall time over the corpus (median of {reps}):\n");
+    println!(
+        "{:<12} {:>8} {:>10} {:>12} {:>9} {:>8} {:>8} {:>10} {:>10}",
+        "Framework",
+        "DSA ms",
+        "trace ms",
+        "no-memo ms",
+        "rules ms",
+        "traces",
+        "addrs",
+        "cold ms",
+        "warm ms"
+    );
+    for f in &report.frameworks {
+        println!(
+            "{:<12} {:>8.2} {:>10.2} {:>12.2} {:>9.2} {:>8} {:>8} {:>10.2} {:>10.2}",
+            f.name,
+            f.dsa_ms,
+            f.trace_collection_ms,
+            f.trace_collection_no_memo_ms,
+            f.rule_scan_ms,
+            f.traces,
+            f.distinct_addrs,
+            f.cache_cold_ms,
+            f.cache_warm_ms
+        );
+    }
+    println!("\nGenerated applications (Table-9 workload):\n");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10} {:>10} {:>6}",
+        "App", "analysis ms", "no-memo ms", "cold ms", "warm ms", "hits"
+    );
+    for a in &report.apps {
+        println!(
+            "{:<12} {:>12.2} {:>12.2} {:>10.2} {:>10.2} {:>6}",
+            a.name,
+            a.analysis_ms,
+            a.analysis_no_memo_ms,
+            a.cache_cold_ms,
+            a.cache_warm_ms,
+            a.cache_warm_hits
+        );
+    }
+    println!(
+        "\nIncremental cache: cold {total_cold_ms:.2} ms → warm {total_warm_ms:.2} ms \
+         ({:.0}% of cold)",
+        report.warm_over_cold * 100.0
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
+    std::fs::write("BENCH_analysis.json", json + "\n").expect("write BENCH_analysis.json");
+    println!("wrote BENCH_analysis.json");
+
+    if report.warm_over_cold > 0.5 {
+        eprintln!(
+            "FAIL: warm cache run took {:.0}% of cold (acceptance bar: <= 50%)",
+            report.warm_over_cold * 100.0
+        );
+        std::process::exit(1);
+    }
+}

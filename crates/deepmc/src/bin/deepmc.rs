@@ -1,7 +1,8 @@
 //! The `deepmc` command-line tool.
 //!
 //! ```text
-//! deepmc check  -strict|-epoch|-strand [--json] [--violations-only|--performance-only] FILE...
+//! deepmc check  -strict|-epoch|-strand [--json] [--violations-only|--performance-only]
+//!               [--no-cache] [--cache-dir DIR] FILE...
 //! deepmc dynamic -strand ENTRY FILE...
 //! deepmc run     ENTRY FILE...            # execute on the simulated NVM runtime
 //! deepmc crash   ENTRY FILE... [--steps N] [--seeds N]
@@ -25,7 +26,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "deepmc — detect deep memory persistency bugs in NVM programs\n\n\
          USAGE:\n  \
-         deepmc check  (-strict|-epoch|-strand) [--json] [--violations-only|--performance-only] [--suppress DB.json] FILE...\n  \
+         deepmc check  (-strict|-epoch|-strand) [--json] [--violations-only|--performance-only] [--suppress DB.json] [--no-cache] [--cache-dir DIR] FILE...\n  \
          deepmc fix    (-strict|-epoch|-strand) FILE... [-o DIR]\n  \
          deepmc dynamic ENTRY FILE...\n  \
          deepmc run ENTRY FILE...\n  \
@@ -71,12 +72,19 @@ fn cmd_check(args: &[String]) -> ExitCode {
     let mut violations_only = false;
     let mut performance_only = false;
     let mut suppress_db: Option<String> = None;
+    let mut no_cache = false;
+    let mut cache_dir = deepmc::cache::DEFAULT_CACHE_DIR.to_string();
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--suppress" => match it.next() {
                 Some(path) => suppress_db = Some(path.clone()),
+                None => return usage(),
+            },
+            "--no-cache" => no_cache = true,
+            "--cache-dir" => match it.next() {
+                Some(dir) => cache_dir = dir.clone(),
                 None => return usage(),
             },
             "-strict" | "-epoch" | "-strand" => match a.parse() {
@@ -121,7 +129,22 @@ fn cmd_check(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let mut report = StaticChecker::new(config).check_program(&program);
+    let cache = (!no_cache).then(|| deepmc::AnalysisCache::open(&cache_dir));
+    let (mut report, stats) =
+        StaticChecker::new(config).check_program_cached(&program, cache.as_ref());
+    if !no_cache {
+        // Stats go to stderr so the report on stdout stays byte-identical
+        // between cold and warm runs.
+        eprintln!(
+            "cache: {} hit(s), {} miss(es), {} store(s), {} trace(s) ({} hit rate, dir {})",
+            stats.hits,
+            stats.misses,
+            stats.stores,
+            stats.traces,
+            format_args!("{:.0}%", stats.hit_rate() * 100.0),
+            cache_dir,
+        );
+    }
     if let Some(path) = suppress_db {
         let db = match std::fs::read_to_string(&path)
             .map_err(|e| e.to_string())

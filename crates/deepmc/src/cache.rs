@@ -1,0 +1,392 @@
+//! On-disk incremental analysis cache.
+//!
+//! Trace collection and rule application dominate `deepmc check` wall time
+//! (DSA and CFG construction are near-linear; bounded-DFS path
+//! enumeration is not). Both are deterministic per analysis root, and a
+//! root's warnings depend only on:
+//!
+//! * the checker configuration,
+//! * the root function's body and the bodies of every transitively
+//!   reachable defined callee (plus each one's module file name, which
+//!   appears in warning locations, and struct table, which feeds
+//!   field-count-sensitive rules),
+//! * the DSG's persistence classification of the root's pointer
+//!   parameters — the only DSA facts the collector consumes.
+//!
+//! [`root_key`] folds exactly those inputs into a content hash, so a
+//! second `deepmc check` run re-verifies only roots whose relevant inputs
+//! changed. Entries are one JSON file per root under the cache directory
+//! (default `.deepmc-cache/`), named by the FNV-1a hash of the key; the
+//! full key text is stored inside each entry and compared on load, so a
+//! hash collision degrades to a miss instead of wrong output.
+//!
+//! The cache stores *raw* (pre-deduplication) warnings and the root's
+//! pruning/truncation deltas, so a warm run rebuilds the byte-identical
+//! report, notes included.
+
+use crate::config::DeepMcConfig;
+use crate::report::Warning;
+use deepmc_analysis::{CallGraph, DsaResult, FuncRef, PersistKind, Program};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// Default cache directory, relative to the working directory.
+pub const DEFAULT_CACHE_DIR: &str = ".deepmc-cache";
+
+/// One cached per-root analysis result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// The full (pre-hash) key text; verified on load so hash collisions
+    /// degrade to misses.
+    pub key: String,
+    /// Root function name (diagnostics only).
+    pub root: String,
+    /// Raw, pre-deduplication warnings this root produced.
+    pub warnings: Vec<Warning>,
+    /// Branch forks pruned while collecting this root's traces.
+    pub paths_pruned: u64,
+    /// Events truncated while collecting this root's traces.
+    pub events_truncated: u64,
+    /// Number of traces the root produced (for reporting).
+    pub traces: u64,
+}
+
+/// Counters for one checker run against a cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheRunStats {
+    /// Roots served from the cache.
+    pub hits: u64,
+    /// Roots analyzed because no valid entry existed.
+    pub misses: u64,
+    /// Fresh entries written this run.
+    pub stores: u64,
+    /// Traces collected or (for hits) skipped-and-accounted.
+    pub traces: u64,
+}
+
+impl CacheRunStats {
+    /// Hit rate in [0, 1]; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Handle to an on-disk cache directory.
+#[derive(Debug, Clone)]
+pub struct AnalysisCache {
+    dir: PathBuf,
+}
+
+impl AnalysisCache {
+    /// Open (without yet creating) a cache rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> AnalysisCache {
+        AnalysisCache { dir: dir.into() }
+    }
+
+    /// Open the default `.deepmc-cache/` directory.
+    pub fn default_dir() -> AnalysisCache {
+        AnalysisCache::open(DEFAULT_CACHE_DIR)
+    }
+
+    /// The cache directory path.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{:016x}.json", fnv1a(key.as_bytes())))
+    }
+
+    /// Look up a key; any I/O or decode problem is treated as a miss.
+    pub fn lookup(&self, key: &str) -> Option<CacheEntry> {
+        let text = fs::read_to_string(self.path_for(key)).ok()?;
+        let entry: CacheEntry = serde_json::from_str(&text).ok()?;
+        (entry.key == key).then_some(entry)
+    }
+
+    /// Store an entry; failures are silent (a cache must never break the
+    /// check itself — the next run simply misses).
+    pub fn store(&self, entry: &CacheEntry) {
+        if fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let path = self.path_for(&entry.key);
+        if let Ok(json) = serde_json::to_string(entry) {
+            let tmp = path.with_extension("tmp");
+            if fs::write(&tmp, json).is_ok() {
+                let _ = fs::rename(&tmp, &path);
+            }
+        }
+    }
+}
+
+/// FNV-1a 64-bit (no external hasher dependencies; stability across runs
+/// and platforms matters more than collision resistance, and collisions
+/// are verified away by storing the key text).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FnvWriter::new();
+    h.update(bytes);
+    h.0
+}
+
+/// Incremental FNV-1a sink; implements [`std::fmt::Write`] so `Debug`
+/// output can be digested without materializing the string.
+struct FnvWriter(u64);
+
+impl FnvWriter {
+    fn new() -> FnvWriter {
+        FnvWriter(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+impl std::fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.update(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Per-run key construction context.
+///
+/// The expensive part of a key is digesting function bodies; reachable
+/// sets of different roots overlap heavily, so the builder hashes each
+/// function (and each module's struct table) at most once per run and the
+/// key text carries the digests. A warm `deepmc check` therefore pays one
+/// body hash per function, not one per (root, reachable function) pair —
+/// without this, key construction can cost more than the analysis it
+/// saves on small programs.
+pub struct KeyBuilder<'a> {
+    program: &'a Program,
+    dsa: &'a DsaResult,
+    cg: &'a CallGraph,
+    config_line: String,
+    fn_hash: RefCell<HashMap<FuncRef, u64>>,
+    mod_hash: RefCell<HashMap<u32, u64>>,
+}
+
+impl<'a> KeyBuilder<'a> {
+    pub fn new(
+        config: &DeepMcConfig,
+        program: &'a Program,
+        dsa: &'a DsaResult,
+        cg: &'a CallGraph,
+    ) -> Self {
+        KeyBuilder {
+            program,
+            dsa,
+            cg,
+            config_line: format!("{config:?}"),
+            fn_hash: RefCell::new(HashMap::new()),
+            mod_hash: RefCell::new(HashMap::new()),
+        }
+    }
+
+    fn fn_digest(&self, fr: FuncRef) -> u64 {
+        *self.fn_hash.borrow_mut().entry(fr).or_insert_with(|| {
+            let mut h = FnvWriter::new();
+            let _ = write!(h, "{:?}", self.program.func(fr));
+            h.0
+        })
+    }
+
+    fn mod_digest(&self, module: u32) -> u64 {
+        *self.mod_hash.borrow_mut().entry(module).or_insert_with(|| {
+            let mut h = FnvWriter::new();
+            let _ = write!(h, "{:?}", self.program.modules[module as usize].structs);
+            h.0
+        })
+    }
+
+    /// Build the content key for one analysis root: checker config, the
+    /// DSG's persistence classification of the root's parameters, and a
+    /// digest of every transitively reachable defined function's body plus
+    /// its module's file name and struct table.
+    pub fn root_key(&self, root: FuncRef) -> String {
+        let program = self.program;
+        let mut s = String::new();
+        let f = program.func(root);
+        let _ = writeln!(s, "deepmc-cache-v1");
+        let _ = writeln!(s, "config {}", self.config_line);
+        let _ = writeln!(s, "root {}", f.name);
+
+        // The only DSA facts trace collection reads: the persistence class
+        // of each pointer parameter of the root.
+        let g = self.dsa.graph(root);
+        for (i, p) in f.params().iter().enumerate() {
+            let kind = if let deepmc_pir::Ty::Ptr(_) = p.ty {
+                g.param_node(i)
+                    .map(|n| g.node(n).persist.unwrap_or(PersistKind::Unknown))
+                    .unwrap_or(PersistKind::Unknown)
+            } else {
+                PersistKind::Unknown
+            };
+            let _ = writeln!(s, "param {i} {kind:?}");
+        }
+
+        // Transitively reachable defined functions, folded into one digest
+        // in deterministic order. Each function contributes its module's
+        // file name (appears in warning locations), its body digest, and
+        // its module's struct-table digest (field counts feed the
+        // field-sensitive unmodified-writeback rule).
+        let mut reach = self.reachable(root);
+        reach.sort();
+        let mut fold = FnvWriter::new();
+        for fr in reach.iter() {
+            let m = program.module_of(*fr);
+            let _ = writeln!(
+                fold,
+                "{}|{}|{:016x}|{:016x}",
+                m.file,
+                program.func(*fr).name,
+                self.fn_digest(*fr),
+                self.mod_digest(fr.module)
+            );
+        }
+        let _ = writeln!(s, "reach n={} digest={:016x}", reach.len(), fold.0);
+        s
+    }
+
+    /// Defined functions reachable from `root` through resolvable calls
+    /// (including `root` itself), off the prebuilt call-graph adjacency.
+    fn reachable(&self, root: FuncRef) -> Vec<FuncRef> {
+        let mut seen = vec![root];
+        let mut work = vec![root];
+        while let Some(fr) = work.pop() {
+            for &t in self.cg.callees_of(fr) {
+                if !seen.contains(&t) {
+                    seen.push(t);
+                    work.push(t);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// One-shot [`KeyBuilder::root_key`] (per-run digest sharing thrown away).
+pub fn root_key(
+    config: &DeepMcConfig,
+    program: &Program,
+    dsa: &DsaResult,
+    root: FuncRef,
+) -> String {
+    let cg = CallGraph::build(program);
+    KeyBuilder::new(config, program, dsa, &cg).root_key(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmc_models::PersistencyModel;
+    use deepmc_pir::parse;
+
+    fn program(src: &str) -> Program {
+        Program::single(parse(src).unwrap())
+    }
+
+    const BASE: &str = r#"
+module m
+struct s { a: i64 }
+fn leaf(%q: ptr s) {
+entry:
+  store %q.a, 1
+  ret
+}
+fn main() {
+entry:
+  %x = palloc s
+  call leaf(%x)
+  fence
+  ret
+}
+"#;
+
+    fn key_of(src: &str) -> String {
+        let p = program(src);
+        let cg = CallGraph::build(&p);
+        let dsa = DsaResult::analyze(&p, &cg);
+        let config = DeepMcConfig::new(PersistencyModel::Strict);
+        let root = p.resolve("main").unwrap();
+        root_key(&config, &p, &dsa, root)
+    }
+
+    #[test]
+    fn key_is_stable_across_runs() {
+        assert_eq!(key_of(BASE), key_of(BASE));
+    }
+
+    #[test]
+    fn key_changes_when_a_callee_changes() {
+        let changed = BASE.replace("store %q.a, 1", "store %q.a, 2");
+        assert_ne!(key_of(BASE), key_of(&changed));
+    }
+
+    #[test]
+    fn key_changes_with_config() {
+        let p = program(BASE);
+        let cg = CallGraph::build(&p);
+        let dsa = DsaResult::analyze(&p, &cg);
+        let root = p.resolve("main").unwrap();
+        let strict = DeepMcConfig::new(PersistencyModel::Strict);
+        let epoch = DeepMcConfig::new(PersistencyModel::Epoch);
+        assert_ne!(root_key(&strict, &p, &dsa, root), root_key(&epoch, &p, &dsa, root));
+    }
+
+    #[test]
+    fn store_then_lookup_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("deepmc-cache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = AnalysisCache::open(&dir);
+        let entry = CacheEntry {
+            key: "k1".into(),
+            root: "main".into(),
+            warnings: Vec::new(),
+            paths_pruned: 2,
+            events_truncated: 0,
+            traces: 5,
+        };
+        assert!(cache.lookup("k1").is_none(), "cold cache misses");
+        cache.store(&entry);
+        assert_eq!(cache.lookup("k1"), Some(entry));
+        assert!(cache.lookup("k2").is_none(), "different key misses");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn collision_with_wrong_key_is_a_miss() {
+        let dir = std::env::temp_dir().join(format!("deepmc-cache-coll-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = AnalysisCache::open(&dir);
+        let entry = CacheEntry {
+            key: "other".into(),
+            root: "main".into(),
+            warnings: Vec::new(),
+            paths_pruned: 0,
+            events_truncated: 0,
+            traces: 1,
+        };
+        // Simulate a colliding file: write `other`'s entry where `mine`
+        // would hash (by just writing to mine's path).
+        fs::create_dir_all(&dir).unwrap();
+        let mine_path = dir.join(format!("{:016x}.json", fnv1a(b"mine")));
+        fs::write(&mine_path, serde_json::to_string(&entry).unwrap()).unwrap();
+        assert!(cache.lookup("mine").is_none(), "key text mismatch rejects the entry");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

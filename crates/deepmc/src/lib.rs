@@ -40,6 +40,7 @@
 //! assert_eq!(report.warnings[0].class, deepmc_models::BugClass::UnflushedWrite);
 //! ```
 
+pub mod cache;
 pub mod config;
 pub mod dynamic;
 pub mod fixer;
@@ -48,6 +49,7 @@ pub mod report;
 pub mod static_checker;
 pub mod suppress;
 
+pub use cache::{AnalysisCache, CacheRunStats};
 pub use config::DeepMcConfig;
 pub use report::{FixHint, Report, Warning};
 pub use static_checker::StaticChecker;

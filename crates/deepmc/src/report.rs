@@ -89,11 +89,18 @@ pub struct Report {
 impl Report {
     /// Merge raw warnings, deduplicating by (class, file, line) and sorting
     /// by file, then line, then class.
-    pub fn from_raw(raw: Vec<Warning>) -> Report {
+    ///
+    /// The full sort happens *before* deduplication: two raw warnings can
+    /// share (class, file, line) but differ in message or function (e.g.
+    /// the same store reached through two roots), and the raw order depends
+    /// on trace enumeration. Sorting on every field first makes the
+    /// surviving duplicate — and therefore the rendered report — a pure
+    /// function of the warning set.
+    pub fn from_raw(mut raw: Vec<Warning>) -> Report {
+        raw.sort();
         let mut seen = BTreeSet::new();
-        let mut warnings: Vec<Warning> =
+        let warnings: Vec<Warning> =
             raw.into_iter().filter(|w| seen.insert((w.class, w.file.clone(), w.line))).collect();
-        warnings.sort_by(|a, b| (&a.file, a.line, a.class).cmp(&(&b.file, b.line, b.class)));
         Report { warnings, notes: Vec::new() }
     }
 
@@ -237,6 +244,22 @@ mod tests {
         assert_eq!(m.notes, vec!["trace budget hit".to_string(), "events truncated".into()]);
         let shown = format!("{m}");
         assert!(shown.contains("NOTE: trace budget hit"));
+    }
+
+    #[test]
+    fn dedup_survivor_is_independent_of_insertion_order() {
+        // Two warnings share the dedup key (class, file, line) but differ
+        // in message: whichever order they arrive in, the same one (the
+        // Ord-least) must survive.
+        let mut first = w(BugClass::UnflushedWrite, "a.c", 1);
+        first.message = "write to `a` never flushed".into();
+        let mut second = w(BugClass::UnflushedWrite, "a.c", 1);
+        second.message = "write to `b` never flushed".into();
+
+        let forward = Report::from_raw(vec![first.clone(), second.clone()]);
+        let backward = Report::from_raw(vec![second, first.clone()]);
+        assert_eq!(forward, backward);
+        assert_eq!(forward.warnings, vec![first]);
     }
 
     #[test]

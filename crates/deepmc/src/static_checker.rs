@@ -37,6 +37,7 @@
 //! * **EmptyDurableTx** fires at commit of a transaction that performed no
 //!   persistent write on this path (Fig. 7).
 
+use crate::cache::{self, AnalysisCache, CacheEntry, CacheRunStats};
 use crate::config::DeepMcConfig;
 use crate::report::{FixHint, Report, Warning};
 use deepmc_analysis::trace::EvLoc;
@@ -66,26 +67,78 @@ impl StaticChecker {
     /// `model_strand` attribute is checked under that model instead of the
     /// global flag.
     pub fn check_program(&self, program: &Program) -> Report {
+        self.check_program_cached(program, None).0
+    }
+
+    /// [`StaticChecker::check_program`], optionally backed by an on-disk
+    /// incremental cache.
+    ///
+    /// The pipeline runs root by root. With a cache, each root's content
+    /// key ([`cache::root_key`]) is looked up first; a hit replays the
+    /// stored raw warnings and pruning/truncation deltas instead of
+    /// collecting and scanning traces, so the report — notes included —
+    /// is byte-identical to a cold run. CFG, call-graph, and DSA
+    /// construction always run (they are cheap and the key depends on
+    /// DSA facts).
+    pub fn check_program_cached(
+        &self,
+        program: &Program,
+        cache: Option<&AnalysisCache>,
+    ) -> (Report, CacheRunStats) {
         let cg = CallGraph::build(program);
         let dsa = DsaResult::analyze(program, &cg);
         let collector = TraceCollector::new(program, &dsa, self.config.trace.clone());
-        let traces = collector.collect_program(&cg);
+        let keys = cache.map(|_| cache::KeyBuilder::new(&self.config, program, &dsa, &cg));
         let mut raw = Vec::new();
-        for t in &traces {
-            let model = program
-                .resolve(&t.root)
-                .and_then(|fr| model_override(program.func(fr)))
-                .unwrap_or(self.config.model);
+        let mut stats = CacheRunStats::default();
+        let mut paths_pruned = 0u64;
+        let mut events_truncated = 0u64;
+        for root in collector.analysis_roots(&cg) {
+            let key = keys.as_ref().map(|kb| kb.root_key(root));
+            if let (Some(c), Some(k)) = (cache, key.as_deref()) {
+                if let Some(entry) = c.lookup(k) {
+                    stats.hits += 1;
+                    stats.traces += entry.traces;
+                    paths_pruned += entry.paths_pruned;
+                    events_truncated += entry.events_truncated;
+                    raw.extend(entry.warnings);
+                    continue;
+                }
+                stats.misses += 1;
+            }
+            let (pruned_before, truncated_before) = collector.truncation();
+            let traces = collector.collect_root(root);
+            let (pruned_after, truncated_after) = collector.truncation();
+            let model = model_override(program.func(root)).unwrap_or(self.config.model);
             let mut config = self.config.clone();
             config.model = model;
-            let mut scan = Scan::new(&config, t);
-            for ev in &t.events {
-                scan.step(ev);
+            let mut root_raw = Vec::new();
+            for t in &traces {
+                let mut scan = Scan::new(&config, t);
+                for ev in &t.events {
+                    scan.step(ev);
+                }
+                root_raw.extend(scan.finish());
             }
-            raw.extend(scan.finish());
+            let root_pruned = pruned_after - pruned_before;
+            let root_truncated = truncated_after - truncated_before;
+            stats.traces += traces.len() as u64;
+            paths_pruned += root_pruned;
+            events_truncated += root_truncated;
+            if let (Some(c), Some(k)) = (cache, key) {
+                c.store(&CacheEntry {
+                    key: k,
+                    root: program.func(root).name.clone(),
+                    warnings: root_raw.clone(),
+                    paths_pruned: root_pruned,
+                    events_truncated: root_truncated,
+                    traces: traces.len() as u64,
+                });
+                stats.stores += 1;
+            }
+            raw.extend(root_raw);
         }
         let mut report = Report::from_raw(raw);
-        let (paths_pruned, events_truncated) = collector.truncation();
         if paths_pruned > 0 {
             report.push_note(format!(
                 "path budget exhausted: {paths_pruned} branch fork(s) explored one \
@@ -100,7 +153,7 @@ impl StaticChecker {
                 self.config.trace.max_trace_len
             ));
         }
-        report
+        (report, stats)
     }
 
     /// Apply the rules to pre-collected traces.

@@ -22,11 +22,12 @@
 //! * **Poisoned lines** — at crash time, surviving lines may be marked
 //!   poisoned (transient or permanent). Reads through
 //!   [`crate::PmemPool::try_read`] return [`PmemError::MediaError`];
-//!   transient poison clears after one failed read (ECC retry succeeds),
-//!   permanent poison clears only when the line is stored to again
-//!   (scrub-on-write: the store allocates the line in cache, so later
-//!   reads never touch the bad media). The pool-header line is never
-//!   poisoned — real pools replicate their superblock.
+//!   transient poison clears after one failed read (ECC retry succeeds)
+//!   or any store to the line (the store allocates it in cache);
+//!   permanent poison clears only when a store rewrites the *whole* line
+//!   (scrub-on-write — a partial store leaves unreadable bytes on media,
+//!   so reads keep failing). The pool-header line is never poisoned —
+//!   real pools replicate their superblock.
 //!
 //! Everything is deterministic for a fixed [`FaultConfig::seed`] and call
 //! sequence; the crash-sweep driver relies on this to replay violations.

@@ -132,6 +132,11 @@ pub struct PoolStats {
     pub fences: AtomicU64,
     /// Lines actually copied to the durable image.
     pub lines_written_back: AtomicU64,
+    /// `clwb`s that retired from the program's point of view but were
+    /// dropped by fault injection, leaving the line dirty. Without this
+    /// counter a dropped flush is indistinguishable from a flush that was
+    /// never issued.
+    pub dropped_flushes: AtomicU64,
 }
 
 /// A point-in-time copy of [`PoolStats`].
@@ -144,6 +149,7 @@ pub struct StatsSnapshot {
     pub clean_flushes: u64,
     pub fences: u64,
     pub lines_written_back: u64,
+    pub dropped_flushes: u64,
 }
 
 /// The simulated persistent memory pool.
@@ -250,10 +256,15 @@ impl PmemPool {
     }
 
     /// Store bytes, reporting out-of-range accesses instead of panicking.
-    /// A store also scrubs poison from every line it touches (the line is
-    /// allocated in cache; later reads never reach the bad media).
+    /// A store scrubs transient poison from every line it touches (the
+    /// line is allocated in cache; the pending ECC retry never runs), but
+    /// permanent media damage is scrubbed only by a store that rewrites
+    /// the *entire* line — a partial store still leaves unreadable bytes
+    /// on media, so reads keep failing.
     pub fn try_write(&self, addr: PAddr, data: &[u8]) -> Result<(), PmemError> {
         self.range_ok(addr, data.len() as u64)?;
+        let write_start = addr.0;
+        let write_end = addr.0 + data.len() as u64;
         self.stats.stores.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_stored.fetch_add(data.len() as u64, Ordering::Relaxed);
         let mut off = addr.0;
@@ -286,7 +297,14 @@ impl PmemPool {
                 let mut poisoned = self.poisoned.lock();
                 if !poisoned.is_empty() {
                     for line in first..=last {
-                        poisoned.remove(&line);
+                        let full_line = write_start <= line * CACHE_LINE
+                            && (line + 1) * CACHE_LINE <= write_end;
+                        match poisoned.get(&line) {
+                            Some(&transient) if transient || full_line => {
+                                poisoned.remove(&line);
+                            }
+                            _ => {}
+                        }
                     }
                 }
             }
@@ -407,6 +425,7 @@ impl PmemPool {
                         // the program's point of view but the line stays
                         // dirty — the next fence persists nothing for it.
                         if self.fault.as_ref().is_some_and(|f| f.drop_flush(line)) {
+                            self.stats.dropped_flushes.fetch_add(1, Ordering::Relaxed);
                             continue;
                         }
                         shard.lines[idx] = LineState::FlushPending;
@@ -482,6 +501,7 @@ impl PmemPool {
             clean_flushes: self.stats.clean_flushes.load(Ordering::Relaxed),
             fences: self.stats.fences.load(Ordering::Relaxed),
             lines_written_back: self.stats.lines_written_back.load(Ordering::Relaxed),
+            dropped_flushes: self.stats.dropped_flushes.load(Ordering::Relaxed),
         }
     }
 
@@ -680,9 +700,48 @@ mod tests {
         );
         // Still failing: permanent poison survives retries.
         assert!(p.read_reliable(PAddr(256), &mut b, 3).is_err());
-        // A store scrubs the line.
-        p.write_u64(PAddr(256), 6);
+        // A full-line rewrite scrubs the damage.
+        let mut fresh = [0u8; CACHE_LINE as usize];
+        fresh[..8].copy_from_slice(&6u64.to_le_bytes());
+        p.write(PAddr(256), &fresh);
         assert_eq!(p.try_read_u64(PAddr(256)), Ok(6));
+    }
+
+    #[test]
+    fn partial_store_does_not_scrub_permanent_poison() {
+        let p = pool();
+        p.write_u64(PAddr(256), 5);
+        p.poison_line(4, false); // permanent damage on line 4
+                                 // An 8-byte store inside the 64-byte line must not heal it: the
+                                 // other 56 bytes are still unreadable on media.
+        p.write_u64(PAddr(256), 6);
+        let mut b = [0u8; 8];
+        assert_eq!(
+            p.try_read(PAddr(256), &mut b),
+            Err(crate::PmemError::MediaError { line: 4, transient: false })
+        );
+        // A full-line store that merely *overlaps* the line (straddling
+        // into the neighbour) scrubs only the fully rewritten line.
+        p.poison_line(5, false);
+        let buf = [7u8; CACHE_LINE as usize + 8];
+        p.write(PAddr(4 * CACHE_LINE), &buf); // covers line 4, dips into 5
+        assert!(p.try_read(PAddr(4 * CACHE_LINE), &mut b).is_ok(), "line 4 scrubbed");
+        assert_eq!(
+            p.try_read(PAddr(5 * CACHE_LINE), &mut b),
+            Err(crate::PmemError::MediaError { line: 5, transient: false }),
+            "line 5 only partially rewritten"
+        );
+    }
+
+    #[test]
+    fn partial_store_still_scrubs_transient_poison() {
+        let p = pool();
+        p.write_u64(PAddr(128), 9);
+        p.poison_line(2, true);
+        // Any store allocates the line in cache; the pending ECC retry for
+        // a transient error never runs.
+        p.write_u64(PAddr(128), 10);
+        assert_eq!(p.try_read_u64(PAddr(128)), Ok(10));
     }
 
     #[test]
@@ -737,6 +796,8 @@ mod tests {
         p.fence();
         assert_eq!(p.non_durable_lines(), 1, "the line silently stayed dirty");
         assert_eq!(p.fault_stats().unwrap().dropped_flushes, 1);
+        assert_eq!(p.stats().dropped_flushes, 1, "pool stats record the drop too");
+        assert_eq!(p.stats().flushes, 1, "the clwb itself still counts as issued");
         let img = p.crash_image(&mut |_, _| false);
         assert_eq!(img.read_u64(PAddr(0)), 0, "the value never became durable");
     }
