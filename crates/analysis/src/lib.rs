@@ -16,10 +16,14 @@
 //! * [`trace`] — bounded-DFS trace collection with interprocedural call
 //!   inlining, loop bound 10 and recursion bound 5 by default (paper §4.3),
 //!   producing the persistent-operation traces the static checker consumes.
+//! * [`pool`] — a small work-stealing worker pool used to fan independent
+//!   analysis roots (and other embarrassingly-parallel loops) over cores
+//!   while keeping merged results deterministic.
 
 pub mod callgraph;
 pub mod cfg;
 pub mod dsa;
+pub mod pool;
 pub mod program;
 pub mod trace;
 pub mod unionfind;
@@ -28,4 +32,7 @@ pub use callgraph::CallGraph;
 pub use cfg::Cfg;
 pub use dsa::{DsaResult, FunctionDsg, PersistKind};
 pub use program::{FuncRef, Program};
-pub use trace::{Addr, FieldSel, MemoStats, ObjId, Trace, TraceCollector, TraceConfig, TraceEvent};
+pub use trace::{
+    Addr, FieldSel, MemoStats, ObjId, RootTruncation, Trace, TraceCollector, TraceConfig,
+    TraceEvent,
+};

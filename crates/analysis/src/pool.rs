@@ -1,0 +1,145 @@
+//! Work-stealing worker pool for embarrassingly-parallel analysis loops.
+//!
+//! The static checker's per-root pipeline, the crash-point sweep, and the
+//! repro benchmarks all share the same shape: a statically known list of
+//! independent work items whose results are merged in item order. This
+//! module runs such a list over a small pool of scoped worker threads.
+//!
+//! Scheduling is work-stealing over per-worker deques: items are dealt
+//! round-robin at startup, each worker pops from the *front* of its own
+//! deque and, when empty, steals from the *back* of a sibling's — the
+//! classic split that keeps cache-warm items local and migrates only the
+//! coldest work. Results are sent back over a channel tagged with the
+//! item index and reassembled in input order, so callers observe a
+//! deterministic, schedule-independent result vector.
+//!
+//! A worker that panics propagates the panic out of [`run_indexed`]
+//! (after the remaining workers are joined), matching the behaviour the
+//! same loop would have had sequentially.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+
+use parking_lot::Mutex;
+
+/// Resolve a worker count: an explicit request wins, then the
+/// `DEEPMC_JOBS` environment variable, then the machine's available
+/// parallelism. Always at least 1.
+pub fn resolve_jobs(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        if n > 0 {
+            return n;
+        }
+    }
+    if let Ok(v) = std::env::var("DEEPMC_JOBS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Run `f` over every item on up to `jobs` workers, returning the results
+/// in item order regardless of which worker computed what.
+///
+/// With `jobs <= 1` (or one item) the items run inline on the calling
+/// thread, in order — the zero-thread path parallel callers are compared
+/// against for byte-identity.
+pub fn run_indexed<T, R>(jobs: usize, items: Vec<T>, f: impl Fn(usize, T) -> R + Sync) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let workers = jobs.min(n);
+    let deques: Vec<Mutex<VecDeque<(usize, T)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        deques[i % workers].lock().push_back((i, item));
+    }
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let deques = &deques;
+    let f = &f;
+    crossbeam::scope(|s| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            s.spawn(move |_| loop {
+                // Own deque first (front: oldest local item), then steal
+                // from the back of the nearest non-empty sibling.
+                let job = deques[w].lock().pop_front().or_else(|| {
+                    (1..workers).find_map(|d| deques[(w + d) % workers].lock().pop_back())
+                });
+                let Some((i, item)) = job else { return };
+                // The work set is static: once every deque is empty the
+                // worker can retire — nothing re-enqueues.
+                if tx.send((i, f(i, item))).is_err() {
+                    return;
+                }
+            });
+        }
+        drop(tx);
+    })
+    .expect("analysis worker panicked");
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in rx {
+        out[i] = Some(r);
+    }
+    out.into_iter().map(|r| r.expect("every work item produces exactly one result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_item_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [0, 1, 2, 3, 8, 200] {
+            let got = run_indexed(jobs, items.clone(), |_, x| x * x);
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let got = run_indexed(4, (0..1000).collect::<Vec<usize>>(), |i, item| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(i, item);
+            i
+        });
+        assert_eq!(hits.into_inner(), 1000);
+        assert_eq!(got.len(), 1000);
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let got = run_indexed(3, vec!["a", "b", "c", "d"], |i, s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c", "3:d"]);
+    }
+
+    #[test]
+    fn workers_steal_imbalanced_items() {
+        // One item is vastly heavier; stealing keeps the rest flowing.
+        let got = run_indexed(4, (0..32u64).collect::<Vec<_>>(), |_, x| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x + 1
+        });
+        assert_eq!(got, (1..=32u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn resolve_jobs_prefers_explicit() {
+        assert_eq!(resolve_jobs(Some(3)), 3);
+        assert!(resolve_jobs(None) >= 1);
+    }
+}

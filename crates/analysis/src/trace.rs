@@ -22,9 +22,11 @@ use crate::program::{FuncRef, Program};
 use deepmc_pir::{
     Accessor, BlockId, FuncAttr, Inst, LocalId, Operand, Place, SourceLoc, StructId, Terminator,
 };
-use std::cell::{Cell, RefCell};
+use parking_lot::RwLock;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Abstract object id, unique within one trace-collection run per root.
@@ -347,26 +349,89 @@ struct MemoSummary {
     ends: Vec<MemoEnd>,
 }
 
-/// The collector.
+/// Number of lock shards in the concurrent memo table. A small power of
+/// two: contention is per-key-hash, and worker pools are at most core
+/// count wide.
+const MEMO_SHARDS: usize = 16;
+
+/// Concurrent callee-summary table: a fixed set of `RwLock`-guarded
+/// `HashMap` shards keyed by the summary key's hash. Workers on different
+/// roots share summaries through it; the only cross-thread race is two
+/// workers recording the same key, which is benign because recorded
+/// summaries for a key are identical (the record guards reject any walk
+/// whose outcome depended on budget or length headroom) — `insert` keeps
+/// the first.
+struct MemoTable {
+    shards: Vec<RwLock<HashMap<MemoKey, Arc<MemoSummary>>>>,
+}
+
+impl MemoTable {
+    fn new() -> Self {
+        MemoTable { shards: (0..MEMO_SHARDS).map(|_| RwLock::new(HashMap::new())).collect() }
+    }
+
+    fn shard(&self, key: &MemoKey) -> &RwLock<HashMap<MemoKey, Arc<MemoSummary>>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[h.finish() as usize % MEMO_SHARDS]
+    }
+
+    fn get(&self, key: &MemoKey) -> Option<Arc<MemoSummary>> {
+        self.shard(key).read().get(key).cloned()
+    }
+
+    fn insert(&self, key: MemoKey, sum: Arc<MemoSummary>) {
+        self.shard(&key).write().entry(key).or_insert(sum);
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+}
+
+/// The collector. `Sync`: concurrent `collect_root` calls from a worker
+/// pool share the memo table and aggregate counters; everything mutable
+/// per path lives in [`PathState`]/[`WalkCtx`] owned by one walk.
 pub struct TraceCollector<'p> {
     program: &'p Program,
     dsa: &'p DsaResult,
     pub config: TraceConfig,
     /// Branch forks skipped because `max_paths` ran out (one successor
     /// was chosen heuristically instead of exploring both).
-    paths_pruned: Cell<u64>,
+    paths_pruned: AtomicU64,
     /// Events dropped because a path hit `max_trace_len`.
-    events_truncated: Cell<u64>,
-    /// Callee summaries, shared across call sites and roots.
-    memo: RefCell<HashMap<MemoKey, Rc<MemoSummary>>>,
+    events_truncated: AtomicU64,
+    /// Callee summaries, shared across call sites, roots, and worker
+    /// threads.
+    memo: MemoTable,
     /// Per-function memoizability (no transitive `load`), computed lazily.
-    memoizable: RefCell<HashMap<FuncRef, bool>>,
+    memoizable: RwLock<HashMap<FuncRef, bool>>,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+    memo_skips: AtomicU64,
+}
+
+/// Per-walk mutable bookkeeping, threaded by `&mut` through one root's
+/// recursion. Keeping it out of the collector makes concurrent per-root
+/// walks contention-free and the per-root truncation deltas exact.
+struct WalkCtx {
+    /// Remaining path budget for this root.
+    budget: usize,
     /// High-water mark of `events.len()` since the innermost recording
     /// began; gives each summary its `max_added`.
-    events_hw: Cell<usize>,
-    memo_hits: Cell<u64>,
-    memo_misses: Cell<u64>,
-    memo_skips: Cell<u64>,
+    events_hw: usize,
+    /// Forks pruned during this walk.
+    pruned: u64,
+    /// Events truncated during this walk.
+    truncated: u64,
+}
+
+/// Exploration losses of one root's collection: `(paths pruned, events
+/// truncated)` attributable to that root alone, schedule-independent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RootTruncation {
+    pub paths_pruned: u64,
+    pub events_truncated: u64,
 }
 
 /// Everything needed to turn an inline callee walk into a stored summary.
@@ -409,14 +474,13 @@ impl<'p> TraceCollector<'p> {
             program,
             dsa,
             config,
-            paths_pruned: Cell::new(0),
-            events_truncated: Cell::new(0),
-            memo: RefCell::new(HashMap::new()),
-            memoizable: RefCell::new(HashMap::new()),
-            events_hw: Cell::new(0),
-            memo_hits: Cell::new(0),
-            memo_misses: Cell::new(0),
-            memo_skips: Cell::new(0),
+            paths_pruned: AtomicU64::new(0),
+            events_truncated: AtomicU64::new(0),
+            memo: MemoTable::new(),
+            memoizable: RwLock::new(HashMap::new()),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
+            memo_skips: AtomicU64::new(0),
         }
     }
 
@@ -424,16 +488,19 @@ impl<'p> TraceCollector<'p> {
     /// `(paths pruned, events truncated)`. Non-zero values mean the
     /// report is incomplete and the caller should say so.
     pub fn truncation(&self) -> (u64, u64) {
-        (self.paths_pruned.get(), self.events_truncated.get())
+        (self.paths_pruned.load(Ordering::Relaxed), self.events_truncated.load(Ordering::Relaxed))
     }
 
-    /// Summary-reuse counters for all collections so far.
+    /// Summary-reuse counters for all collections so far. Hit/miss/skip
+    /// counts are schedule-dependent under a parallel run (workers race to
+    /// record a summary first); they feed diagnostics and benchmarks only,
+    /// never reports.
     pub fn memo_stats(&self) -> MemoStats {
         MemoStats {
-            hits: self.memo_hits.get(),
-            misses: self.memo_misses.get(),
-            skips: self.memo_skips.get(),
-            summaries: self.memo.borrow().len() as u64,
+            hits: self.memo_hits.load(Ordering::Relaxed),
+            misses: self.memo_misses.load(Ordering::Relaxed),
+            skips: self.memo_skips.load(Ordering::Relaxed),
+            summaries: self.memo.len() as u64,
         }
     }
 
@@ -464,6 +531,14 @@ impl<'p> TraceCollector<'p> {
 
     /// Collect all bounded-path traces starting at `root`.
     pub fn collect_root(&self, root: FuncRef) -> Vec<Trace> {
+        self.collect_root_counted(root).0
+    }
+
+    /// Like [`TraceCollector::collect_root`], also returning the pruning
+    /// and truncation this root alone incurred — the deltas a parallel
+    /// caller cannot recover from the collector-wide [`TraceCollector::truncation`]
+    /// totals (which other workers advance concurrently).
+    pub fn collect_root_counted(&self, root: FuncRef) -> (Vec<Trace>, RootTruncation) {
         let f = self.program.func(root);
         let root_name: Arc<str> = Arc::from(f.name.as_str());
         let mut st = PathState {
@@ -506,9 +581,15 @@ impl<'p> TraceCollector<'p> {
             st.events.push(TraceEvent::TxBegin { loc });
         }
 
-        let mut budget = self.config.max_paths;
-        let ends = self.walk_function(root, env, st, 0, &mut budget);
-        ends.into_iter()
+        let mut ctx =
+            WalkCtx { budget: self.config.max_paths, events_hw: 0, pruned: 0, truncated: 0 };
+        let ends = self.walk_function(root, env, st, 0, &mut ctx);
+        self.paths_pruned.fetch_add(ctx.pruned, Ordering::Relaxed);
+        self.events_truncated.fetch_add(ctx.truncated, Ordering::Relaxed);
+        let truncation =
+            RootTruncation { paths_pruned: ctx.pruned, events_truncated: ctx.truncated };
+        let traces = ends
+            .into_iter()
             .map(|mut end| {
                 if implicit_tx {
                     let loc = self.evloc(root, SourceLoc::UNKNOWN);
@@ -531,7 +612,8 @@ impl<'p> TraceCollector<'p> {
                         .collect(),
                 }
             })
-            .collect()
+            .collect();
+        (traces, truncation)
     }
 
     fn evloc(&self, fr: FuncRef, loc: SourceLoc) -> EvLoc {
@@ -551,10 +633,10 @@ impl<'p> TraceCollector<'p> {
         env: Env,
         st: PathState,
         depth: usize,
-        budget: &mut usize,
+        ctx: &mut WalkCtx,
     ) -> Vec<WalkEnd> {
         let visits: HashMap<BlockId, usize> = HashMap::new();
-        self.walk_block(fr, deepmc_pir::Function::ENTRY, env, st, visits, depth, budget)
+        self.walk_block(fr, deepmc_pir::Function::ENTRY, env, st, visits, depth, ctx)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -566,7 +648,7 @@ impl<'p> TraceCollector<'p> {
         st: PathState,
         mut visits: HashMap<BlockId, usize>,
         depth: usize,
-        budget: &mut usize,
+        ctx: &mut WalkCtx,
     ) -> Vec<WalkEnd> {
         let f = self.program.func(fr);
         // Loop bound: abandon paths that revisit a block too often.
@@ -587,18 +669,16 @@ impl<'p> TraceCollector<'p> {
             if let Inst::Call { dst, callee, args } = &si.inst {
                 let mut next: Vec<(Env, PathState)> = Vec::new();
                 for (env, st) in states {
-                    next.extend(
-                        self.exec_call(fr, si.loc, dst, callee, args, env, st, depth, budget),
-                    );
+                    next.extend(self.exec_call(fr, si.loc, dst, callee, args, env, st, depth, ctx));
                 }
                 states = next;
             } else {
                 for (env, st) in &mut states {
                     if st.events.len() < self.config.max_trace_len {
                         self.exec_simple(fr, si.loc, &si.inst, env, st);
-                        self.events_hw.set(self.events_hw.get().max(st.events.len()));
+                        ctx.events_hw = ctx.events_hw.max(st.events.len());
                     } else {
-                        self.events_truncated.set(self.events_truncated.get() + 1);
+                        ctx.truncated += 1;
                     }
                 }
             }
@@ -618,7 +698,7 @@ impl<'p> TraceCollector<'p> {
             }
             Terminator::Jmp { bb: next } => {
                 for (env, st) in states {
-                    out.extend(self.walk_block(fr, *next, env, st, visits.clone(), depth, budget));
+                    out.extend(self.walk_block(fr, *next, env, st, visits.clone(), depth, ctx));
                 }
             }
             Terminator::Br { cond, then_bb, else_bb } => {
@@ -633,7 +713,7 @@ impl<'p> TraceCollector<'p> {
                                 st,
                                 visits.clone(),
                                 depth,
-                                budget,
+                                ctx,
                             ));
                         }
                         Val::Null => {
@@ -644,12 +724,12 @@ impl<'p> TraceCollector<'p> {
                                 st,
                                 visits.clone(),
                                 depth,
-                                budget,
+                                ctx,
                             ));
                         }
                         _ => {
-                            if *budget > 1 {
-                                *budget -= 1;
+                            if ctx.budget > 1 {
+                                ctx.budget -= 1;
                                 out.extend(self.walk_block(
                                     fr,
                                     *then_bb,
@@ -657,7 +737,7 @@ impl<'p> TraceCollector<'p> {
                                     st.clone(),
                                     visits.clone(),
                                     depth,
-                                    budget,
+                                    ctx,
                                 ));
                                 out.extend(self.walk_block(
                                     fr,
@@ -666,14 +746,14 @@ impl<'p> TraceCollector<'p> {
                                     st,
                                     visits.clone(),
                                     depth,
-                                    budget,
+                                    ctx,
                                 ));
                             } else {
                                 // Budget exhausted: prefer the successor
                                 // with more persistent operations (paper:
                                 // "priority to explore the paths involving
                                 // persistent operations").
-                                self.paths_pruned.set(self.paths_pruned.get() + 1);
+                                ctx.pruned += 1;
                                 let next = self.prefer_persistent(f, *then_bb, *else_bb, &visits);
                                 out.extend(self.walk_block(
                                     fr,
@@ -682,7 +762,7 @@ impl<'p> TraceCollector<'p> {
                                     st,
                                     visits.clone(),
                                     depth,
-                                    budget,
+                                    ctx,
                                 ));
                             }
                         }
@@ -899,7 +979,7 @@ impl<'p> TraceCollector<'p> {
         mut env: Env,
         st: PathState,
         depth: usize,
-        budget: &mut usize,
+        ctx: &mut WalkCtx,
     ) -> Vec<(Env, PathState)> {
         let target = self.program.resolve(callee);
         let Some(target) = target else {
@@ -922,25 +1002,25 @@ impl<'p> TraceCollector<'p> {
 
         if self.config.memoize && self.is_memoizable(target) {
             let (key, arg_objs) = memo_key(target, depth, &arg_vals, &st);
-            let cached = self.memo.borrow().get(&key).cloned();
+            let cached = self.memo.get(&key);
             return match cached {
                 Some(sum) => {
                     // Replay guards: every fork during collection saw
                     // budget > 1, and every per-instruction length check
                     // passed; require the same at this call site.
-                    if *budget > sum.forks
+                    if ctx.budget > sum.forks
                         && st.events.len() + sum.max_added < self.config.max_trace_len
                     {
-                        self.memo_hits.set(self.memo_hits.get() + 1);
-                        *budget -= sum.forks;
-                        self.splice(&sum, dst, &env, &st, &arg_objs)
+                        self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                        ctx.budget -= sum.forks;
+                        self.splice(&sum, dst, &env, &st, &arg_objs, ctx)
                     } else {
-                        self.memo_skips.set(self.memo_skips.get() + 1);
-                        self.inline_call(target, dst, &arg_vals, env, st, depth, budget, None)
+                        self.memo_skips.fetch_add(1, Ordering::Relaxed);
+                        self.inline_call(target, dst, &arg_vals, env, st, depth, ctx, None)
                     }
                 }
                 None => {
-                    self.memo_misses.set(self.memo_misses.get() + 1);
+                    self.memo_misses.fetch_add(1, Ordering::Relaxed);
                     self.inline_call(
                         target,
                         dst,
@@ -948,13 +1028,13 @@ impl<'p> TraceCollector<'p> {
                         env,
                         st,
                         depth,
-                        budget,
+                        ctx,
                         Some((key, arg_objs)),
                     )
                 }
             };
         }
-        self.inline_call(target, dst, &arg_vals, env, st, depth, budget, None)
+        self.inline_call(target, dst, &arg_vals, env, st, depth, ctx, None)
     }
 
     /// Walk a callee body inline (the pre-memoization behaviour), optionally
@@ -968,30 +1048,30 @@ impl<'p> TraceCollector<'p> {
         env: Env,
         mut st: PathState,
         depth: usize,
-        budget: &mut usize,
+        ctx: &mut WalkCtx,
         record: Option<(MemoKey, Vec<ObjId>)>,
     ) -> Vec<(Env, PathState)> {
         let mut callee_env: Env = HashMap::new();
         for (i, v) in arg_vals.iter().enumerate() {
             callee_env.insert(LocalId(i as u32), *v);
         }
-        let ctx = record.map(|(key, arg_objs)| {
+        let rc = record.map(|(key, arg_objs)| {
             st.recording += 1;
-            let ctx = RecordCtx {
+            let rc = RecordCtx {
                 key,
                 arg_objs,
                 incoming_objs: st.objects.len(),
                 incoming_events: st.events.len(),
                 log_start: st.heap_log.len(),
-                budget_before: *budget,
-                pruned_before: self.paths_pruned.get(),
-                truncated_before: self.events_truncated.get(),
-                hw_saved: self.events_hw.get(),
+                budget_before: ctx.budget,
+                pruned_before: ctx.pruned,
+                truncated_before: ctx.truncated,
+                hw_saved: ctx.events_hw,
             };
-            self.events_hw.set(st.events.len());
-            ctx
+            ctx.events_hw = st.events.len();
+            rc
         });
-        let recording = ctx.is_some();
+        let recording = rc.is_some();
         let ends = self.walk_block(
             target,
             deepmc_pir::Function::ENTRY,
@@ -999,11 +1079,11 @@ impl<'p> TraceCollector<'p> {
             st,
             HashMap::new(),
             depth + 1,
-            budget,
+            ctx,
         );
-        if let Some(ctx) = &ctx {
-            self.finish_recording(ctx, &ends, *budget);
-            self.events_hw.set(self.events_hw.get().max(ctx.hw_saved));
+        if let Some(rc) = &rc {
+            self.finish_recording(rc, &ends, ctx);
+            ctx.events_hw = ctx.events_hw.max(rc.hw_saved);
         }
         ends.into_iter()
             .map(|mut end| {
@@ -1028,17 +1108,19 @@ impl<'p> TraceCollector<'p> {
     /// objects. Unknown externs only havoc their destination, so they are
     /// fine. Cached per function.
     fn is_memoizable(&self, fr: FuncRef) -> bool {
-        if let Some(&b) = self.memoizable.borrow().get(&fr) {
+        if let Some(&b) = self.memoizable.read().get(&fr) {
             return b;
         }
         let mut visiting = Vec::new();
         let ok = self.loadless(fr, &mut visiting);
-        self.memoizable.borrow_mut().insert(fr, ok);
+        // Two workers may race to compute the same function; the answer is
+        // a pure property of the program, so either write is fine.
+        self.memoizable.write().insert(fr, ok);
         ok
     }
 
     fn loadless(&self, fr: FuncRef, visiting: &mut Vec<FuncRef>) -> bool {
-        if let Some(&b) = self.memoizable.borrow().get(&fr) {
+        if let Some(&b) = self.memoizable.read().get(&fr) {
             return b;
         }
         if visiting.contains(&fr) {
@@ -1080,10 +1162,8 @@ impl<'p> TraceCollector<'p> {
     /// (pruning/truncation observed), or an end references a caller object
     /// that is not an argument (cannot happen for loadless callees; checked
     /// defensively).
-    fn finish_recording(&self, ctx: &RecordCtx, ends: &[WalkEnd], budget_after: usize) {
-        if self.paths_pruned.get() != ctx.pruned_before
-            || self.events_truncated.get() != ctx.truncated_before
-        {
+    fn finish_recording(&self, ctx: &RecordCtx, ends: &[WalkEnd], wctx: &WalkCtx) {
+        if wctx.pruned != ctx.pruned_before || wctx.truncated != ctx.truncated_before {
             return;
         }
         let n_args = ctx.arg_objs.len() as u32;
@@ -1124,11 +1204,11 @@ impl<'p> TraceCollector<'p> {
             sends.push(MemoEnd { new_objs, events, heap_log, ret });
         }
         let sum = MemoSummary {
-            forks: ctx.budget_before - budget_after,
-            max_added: self.events_hw.get().saturating_sub(ctx.incoming_events),
+            forks: ctx.budget_before - wctx.budget,
+            max_added: wctx.events_hw.saturating_sub(ctx.incoming_events),
             ends: sends,
         };
-        self.memo.borrow_mut().insert(ctx.key.clone(), Rc::new(sum));
+        self.memo.insert(ctx.key.clone(), Arc::new(sum));
     }
 
     /// Replay a summary at a call site: one output state per recorded end,
@@ -1141,6 +1221,7 @@ impl<'p> TraceCollector<'p> {
         env: &Env,
         st: &PathState,
         arg_objs: &[ObjId],
+        ctx: &mut WalkCtx,
     ) -> Vec<(Env, PathState)> {
         let n_args = arg_objs.len() as u32;
         let mut out = Vec::with_capacity(sum.ends.len());
@@ -1165,7 +1246,7 @@ impl<'p> TraceCollector<'p> {
                 let mut f = |id: ObjId| Some(remap(id));
                 st.events.push(map_event(ev, &mut f).expect("infallible remap"));
             }
-            self.events_hw.set(self.events_hw.get().max(st.events.len()));
+            ctx.events_hw = ctx.events_hw.max(st.events.len());
             for ((obj, field, idx), v) in &end.heap_log {
                 let v = match v {
                     Val::Obj(o) => Val::Obj(remap(*o)),
@@ -1589,6 +1670,74 @@ entry:
         assert!(!f0.covers(&whole));
         let other = Addr::field(ObjId(1), 0);
         assert!(!f0.overlaps(&other));
+    }
+
+    #[test]
+    fn collector_is_shareable_across_threads() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<TraceCollector<'static>>();
+    }
+
+    #[test]
+    fn concurrent_root_collection_matches_sequential() {
+        let src = r#"
+module m
+struct s { a: i64, b: i64 }
+fn do_write(%q: ptr s) {
+entry:
+  store %q.a, 2
+  flush %q.a
+  ret
+}
+fn root_one(%c: i64) attrs(tx_context) {
+entry:
+  %x = palloc s
+  call do_write(%x)
+  br %c, yes, no
+yes:
+  store %x.b, 1
+  jmp done
+no:
+  jmp done
+done:
+  ret
+}
+fn root_two(%c: i64) attrs(tx_context) {
+entry:
+  %y = palloc s
+  call do_write(%y)
+  fence
+  ret
+}
+"#;
+        let p = Program::single(parse(src).unwrap());
+        let cg = CallGraph::build(&p);
+        let dsa = DsaResult::analyze(&p, &cg);
+        let roots = {
+            let tc = TraceCollector::new(&p, &dsa, TraceConfig::default());
+            tc.analysis_roots(&cg)
+        };
+        assert!(roots.len() >= 2, "need multiple roots to share the memo table");
+        let sequential: Vec<(Vec<Trace>, RootTruncation)> = {
+            let tc = TraceCollector::new(&p, &dsa, TraceConfig::default());
+            roots.iter().map(|&r| tc.collect_root_counted(r)).collect()
+        };
+        // All roots concurrently against ONE shared collector: the memo
+        // table and counters are shared, the traces must not change.
+        let shared = TraceCollector::new(&p, &dsa, TraceConfig::default());
+        let concurrent: Vec<(Vec<Trace>, RootTruncation)> = std::thread::scope(|s| {
+            let handles: Vec<_> = roots
+                .iter()
+                .map(|&r| {
+                    let tc = &shared;
+                    s.spawn(move || tc.collect_root_counted(r))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, (seq, conc)) in sequential.iter().zip(&concurrent).enumerate() {
+            assert_eq!(seq, conc, "root #{i} diverged under concurrent collection");
+        }
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //! the sweep must *catch* the bug and attribute every violation to it.
 //! A full instrumented pass ([`crate::tracker::DeepMcTracker`]) runs once
 //! per app as a dynamic cross-check; correct apps report no races.
+//!
+//! Crash steps are independent (each builds its own pool from scratch),
+//! so the sweep fans them out over the shared work-stealing pool
+//! ([`deepmc_analysis::pool`]) and merges per-step results in step order
+//! — the outcome is identical for any [`SweepConfig::jobs`] value.
 
 use crate::memcached::Memcached;
 use crate::nstore::NStore;
@@ -28,6 +33,7 @@ use crate::recovery::checksum;
 use crate::redis::Redis;
 use crate::tracker::{DeepMcTracker, NoopTracker, Tracker};
 use crate::workloads::ClientCtx;
+use deepmc_analysis::pool::{resolve_jobs, run_indexed};
 use nvm_runtime::{CrashPolicy, FaultConfig, PmemHeap, PmemPool, PoolConfig};
 use std::collections::HashMap;
 use std::fmt;
@@ -66,6 +72,12 @@ pub struct SweepConfig {
     pub fault: FaultConfig,
     /// Inject the NStore missing-commit-persist bug (ground truth).
     pub inject_bug: bool,
+    /// Worker threads for the crash-step fan-out; `0` resolves via
+    /// `DEEPMC_JOBS` then the machine's available parallelism. Each crash
+    /// step is an independent work item (its own pool, script prefix, and
+    /// crash images), and per-step results merge in step order, so the
+    /// outcome is identical for any worker count.
+    pub jobs: usize,
 }
 
 impl Default for SweepConfig {
@@ -76,6 +88,7 @@ impl Default for SweepConfig {
             random_seeds: 2,
             fault: FaultConfig::default(),
             inject_bug: false,
+            jobs: 0,
         }
     }
 }
@@ -302,20 +315,23 @@ fn run_prefix(cfg: &SweepConfig, app: SweepApp, crash_step: usize) -> AppRun {
     AppRun { pool, model }
 }
 
-/// Sweep one application: crash after every op under every policy.
-pub fn sweep_app(cfg: &SweepConfig, app: SweepApp) -> SweepOutcome {
-    let mut outcome = SweepOutcome {
-        app: app.name(),
-        images_checked: 0,
-        records_dropped: 0,
-        flushes_dropped: 0,
-        fault_attributed: 0,
-        bug_attributed: 0,
-        dynamic_reports: dynamic_cross_check(cfg, app),
-        violations: Vec::new(),
-    };
-    let total_steps = script(cfg).len();
-    for crash_step in 1..=total_steps {
+/// Per-crash-step partial results. Each crash step is self-contained —
+/// its own fault-injecting pool, script prefix, and crash images — so
+/// steps run independently on the worker pool and merge in step order.
+#[derive(Debug, Default)]
+struct StepOutcome {
+    images_checked: u64,
+    records_dropped: u64,
+    flushes_dropped: u64,
+    fault_attributed: u64,
+    bug_attributed: u64,
+    violations: Vec<Violation>,
+}
+
+/// Crash after op `crash_step` under every policy and check invariants.
+fn sweep_step(cfg: &SweepConfig, app: SweepApp, crash_step: usize) -> StepOutcome {
+    let mut outcome = StepOutcome::default();
+    {
         let run = run_prefix(cfg, app, crash_step);
         // Faults already injected into this run: recovery drops plus
         // silently dropped clwbs both license missing acked data. The
@@ -400,6 +416,37 @@ pub fn sweep_app(cfg: &SweepConfig, app: SweepApp) -> SweepOutcome {
                 }
             }
         }
+    }
+    outcome
+}
+
+/// Sweep one application: crash after every op under every policy.
+///
+/// Crash steps fan out over a work-stealing pool sized by
+/// [`SweepConfig::jobs`]; per-step results merge in step order, so the
+/// outcome (counter for counter, violation for violation) is identical
+/// for any worker count.
+pub fn sweep_app(cfg: &SweepConfig, app: SweepApp) -> SweepOutcome {
+    let mut outcome = SweepOutcome {
+        app: app.name(),
+        images_checked: 0,
+        records_dropped: 0,
+        flushes_dropped: 0,
+        fault_attributed: 0,
+        bug_attributed: 0,
+        dynamic_reports: dynamic_cross_check(cfg, app),
+        violations: Vec::new(),
+    };
+    let total_steps = script(cfg).len();
+    let jobs = resolve_jobs((cfg.jobs > 0).then_some(cfg.jobs));
+    let steps: Vec<usize> = (1..=total_steps).collect();
+    for step in run_indexed(jobs, steps, |_, crash_step| sweep_step(cfg, app, crash_step)) {
+        outcome.images_checked += step.images_checked;
+        outcome.records_dropped += step.records_dropped;
+        outcome.flushes_dropped += step.flushes_dropped;
+        outcome.fault_attributed += step.fault_attributed;
+        outcome.bug_attributed += step.bug_attributed;
+        outcome.violations.extend(step.violations);
     }
     outcome
 }
@@ -521,6 +568,24 @@ mod tests {
             outcome.bug_attributed > 0,
             "the sweep must observe acked transactions lost to the bug"
         );
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let cfg = SweepConfig {
+            fault: FaultConfig {
+                torn_store_rate: 0.2,
+                dropped_flush_rate: 0.05,
+                ..Default::default()
+            },
+            inject_bug: true,
+            ..small(11)
+        };
+        let seq = sweep_app(&SweepConfig { jobs: 1, ..cfg }, SweepApp::NStore);
+        let par = sweep_app(&SweepConfig { jobs: 4, ..cfg }, SweepApp::NStore);
+        // Display renders every counter and every violation — comparing
+        // the rendered form checks the merge is order-identical too.
+        assert_eq!(seq.to_string(), par.to_string());
     }
 
     #[test]

@@ -16,6 +16,14 @@
 //! The warm run must not just be faster: the binary asserts the cold and
 //! warm reports render identically, and exits nonzero if the warm wall
 //! time exceeds half the cold wall time (the issue's acceptance bar).
+//!
+//! A thread-scaling sweep (EXPERIMENTS.md Table 9b) then runs the full
+//! uncached pipeline over the Table-9 generated apps at 1, 2, 4, and N
+//! workers through [`StaticChecker::check_program_with_jobs`], asserting
+//! every parallel report renders identically to the sequential one. On
+//! machines with ≥ 4 cores the 4-worker point must reach ≥ 1.7× over one
+//! worker (exit nonzero otherwise); on smaller machines the sweep still
+//! records the points but marks the bar unenforced.
 
 use deepmc::{AnalysisCache, DeepMcConfig, StaticChecker};
 use deepmc_analysis::{CallGraph, DsaResult, TraceCollector, TraceConfig, TraceEvent};
@@ -74,11 +82,32 @@ struct AppBench {
     cache_warm_hits: u64,
 }
 
+/// One worker count in the thread-scaling sweep.
+#[derive(Debug, Serialize)]
+struct ScalingPoint {
+    jobs: usize,
+    /// Full uncached pipeline over every Table-9 app, median wall time.
+    total_ms: f64,
+    /// One-worker wall time / this wall time.
+    speedup: f64,
+}
+
+/// Thread-scaling results over the Table-9 corpus (Table 9b).
+#[derive(Debug, Serialize)]
+struct ScalingSweep {
+    /// `available_parallelism` on the benchmarking machine.
+    cores: usize,
+    /// Whether the ≥ 1.7× @ 4-workers bar was enforced (needs ≥ 4 cores).
+    enforced: bool,
+    points: Vec<ScalingPoint>,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     bench: &'static str,
     frameworks: Vec<FrameworkBench>,
     apps: Vec<AppBench>,
+    scaling: ScalingSweep,
     total_cold_ms: f64,
     total_warm_ms: f64,
     /// warm / cold over frameworks + apps; the acceptance bar is ≤ 0.5.
@@ -245,6 +274,49 @@ fn bench_app(size: &nvm_apps::pirgen::AppSize, reps: usize) -> AppBench {
     }
 }
 
+/// Thread-scaling sweep: the full uncached pipeline (parse-free — the
+/// programs are generated once up front) over every Table-9 app at each
+/// worker count. Parallel reports must render identically to sequential.
+fn bench_scaling(reps: usize) -> ScalingSweep {
+    use deepmc_analysis::Program;
+    let programs: Vec<Program> = nvm_apps::pirgen::table9_apps()
+        .iter()
+        .map(|s| Program::new(nvm_apps::pirgen::generate_app(s)).expect("generated app links"))
+        .collect();
+    let checker = StaticChecker::new(DeepMcConfig::new(deepmc_models::PersistencyModel::Strict));
+    let run = |jobs: usize| -> Vec<String> {
+        programs
+            .iter()
+            .map(|p| checker.check_program_with_jobs(p, None, jobs).0.to_string())
+            .collect()
+    };
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut jobs_list = vec![1, 2, 4, cores];
+    jobs_list.sort_unstable();
+    jobs_list.dedup();
+
+    let mut points = Vec::new();
+    let mut baseline: Option<(f64, Vec<String>)> = None;
+    for &jobs in &jobs_list {
+        let (total_ms, reports) = timed(reps, || run(jobs));
+        match &baseline {
+            None => {
+                points.push(ScalingPoint { jobs, total_ms, speedup: 1.0 });
+                baseline = Some((total_ms, reports));
+            }
+            Some((base_ms, base_reports)) => {
+                assert_eq!(
+                    *base_reports, reports,
+                    "--jobs {jobs} reports must render identically to --jobs 1"
+                );
+                points.push(ScalingPoint { jobs, total_ms, speedup: base_ms / total_ms });
+            }
+        }
+    }
+    ScalingSweep { cores, enforced: cores >= 4, points }
+}
+
 fn main() {
     let reps = if std::env::args().any(|a| a == "--quick") { 3 } else { 9 };
     let frameworks: Vec<FrameworkBench> =
@@ -260,6 +332,7 @@ fn main() {
         bench: "repro-perf",
         frameworks,
         apps,
+        scaling: bench_scaling(reps),
         total_cold_ms,
         total_warm_ms,
         warm_over_cold: total_warm_ms / total_cold_ms,
@@ -314,6 +387,18 @@ fn main() {
         report.warm_over_cold * 100.0
     );
 
+    println!(
+        "\nThread scaling over the Table-9 corpus ({} cores, median of {reps}):\n",
+        report.scaling.cores
+    );
+    println!("{:<8} {:>10} {:>9}", "jobs", "total ms", "speedup");
+    for p in &report.scaling.points {
+        println!("{:<8} {:>10.2} {:>8.2}x", p.jobs, p.total_ms, p.speedup);
+    }
+    if !report.scaling.enforced {
+        println!("(< 4 cores: the ≥1.7x @ 4-workers bar is recorded but not enforced)");
+    }
+
     let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
     std::fs::write("BENCH_analysis.json", json + "\n").expect("write BENCH_analysis.json");
     println!("wrote BENCH_analysis.json");
@@ -324,5 +409,20 @@ fn main() {
             report.warm_over_cold * 100.0
         );
         std::process::exit(1);
+    }
+    if report.scaling.enforced {
+        let four = report
+            .scaling
+            .points
+            .iter()
+            .find(|p| p.jobs == 4)
+            .expect("4-worker point exists when enforced");
+        if four.speedup < 1.7 {
+            eprintln!(
+                "FAIL: --jobs 4 reached {:.2}x over --jobs 1 (acceptance bar: >= 1.7x)",
+                four.speedup
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -1,0 +1,38 @@
+//! `corpus-dump OUTDIR` — write every corpus framework's PIR modules to
+//! `OUTDIR/<framework>/<NN>.pir`, so shell pipelines (CI's
+//! parallel-determinism job, ad-hoc `deepmc check` runs) can feed the
+//! evaluation corpus to the CLI. Prints one `<framework> <model-flag>
+//! <dir>` line per framework for scripting.
+
+use deepmc_corpus::Framework;
+use deepmc_models::PersistencyModel;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(outdir) = std::env::args().nth(1) else {
+        eprintln!("usage: corpus-dump OUTDIR");
+        return ExitCode::from(2);
+    };
+    for fw in Framework::ALL {
+        let dir = Path::new(&outdir).join(fw.name().to_lowercase());
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("corpus-dump: cannot create `{}`: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for (i, src) in fw.sources().iter().enumerate() {
+            let path = dir.join(format!("{i:02}.pir"));
+            if let Err(e) = std::fs::write(&path, src) {
+                eprintln!("corpus-dump: cannot write `{}`: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        let flag = match fw.model() {
+            PersistencyModel::Strict => "-strict",
+            PersistencyModel::Epoch => "-epoch",
+            PersistencyModel::Strand => "-strand",
+        };
+        println!("{} {} {}", fw.name().to_lowercase(), flag, dir.display());
+    }
+    ExitCode::SUCCESS
+}

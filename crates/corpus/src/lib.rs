@@ -58,15 +58,20 @@ impl Framework {
         }
     }
 
-    /// Parse the framework's modules.
-    pub fn modules(self) -> Vec<Module> {
-        let sources = match self {
+    /// The framework's PIR source texts (one per module), e.g. for
+    /// writing to disk and feeding the `deepmc` CLI.
+    pub fn sources(self) -> &'static [&'static str] {
+        match self {
             Framework::Pmdk => pmdk::SOURCES,
             Framework::NvmDirect => nvm_direct::SOURCES,
             Framework::Pmfs => pmfs::SOURCES,
             Framework::Mnemosyne => mnemosyne::SOURCES,
-        };
-        sources
+        }
+    }
+
+    /// Parse the framework's modules.
+    pub fn modules(self) -> Vec<Module> {
+        self.sources()
             .iter()
             .map(|src| {
                 let m = deepmc_pir::parse(src).unwrap_or_else(|e| {

@@ -2,14 +2,18 @@
 //!
 //! ```text
 //! deepmc check  -strict|-epoch|-strand [--json] [--violations-only|--performance-only]
-//!               [--no-cache] [--cache-dir DIR] FILE...
+//!               [--no-cache] [--cache-dir DIR] [--jobs N] FILE...
 //! deepmc dynamic -strand ENTRY FILE...
 //! deepmc run     ENTRY FILE...            # execute on the simulated NVM runtime
 //! deepmc crash   ENTRY FILE... [--steps N] [--seeds N]
 //! deepmc crashsweep [--app NAME] [--steps N] [--seeds N] [--seed S]
-//!                   [--torn R] [--drop-flush R] [--poison R] [--inject-bug]
+//!                   [--torn R] [--drop-flush R] [--poison R] [--inject-bug] [--jobs N]
 //! deepmc rules                            # print the checking-rule catalog
 //! ```
+//!
+//! `--jobs N` (or `DEEPMC_JOBS`) sizes the worker pool for `check` and
+//! `crashsweep`; the default is the machine's available cores. Reports
+//! are byte-identical for any worker count.
 //!
 //! Exit code is 0 when no warnings (or for `run`/`crash` on success), 1
 //! when warnings were reported, 2 on usage or input errors — so `deepmc
@@ -26,12 +30,12 @@ fn usage() -> ExitCode {
     eprintln!(
         "deepmc — detect deep memory persistency bugs in NVM programs\n\n\
          USAGE:\n  \
-         deepmc check  (-strict|-epoch|-strand) [--json] [--violations-only|--performance-only] [--suppress DB.json] [--no-cache] [--cache-dir DIR] FILE...\n  \
+         deepmc check  (-strict|-epoch|-strand) [--json] [--violations-only|--performance-only] [--suppress DB.json] [--no-cache] [--cache-dir DIR] [--jobs N] FILE...\n  \
          deepmc fix    (-strict|-epoch|-strand) FILE... [-o DIR]\n  \
          deepmc dynamic ENTRY FILE...\n  \
          deepmc run ENTRY FILE...\n  \
          deepmc crash ENTRY FILE... [--steps N] [--seeds N]\n  \
-         deepmc crashsweep [--app all|memcached|redis|nstore] [--steps N] [--seeds N] [--seed S] [--torn R] [--drop-flush R] [--poison R] [--inject-bug]\n  \
+         deepmc crashsweep [--app all|memcached|redis|nstore] [--steps N] [--seeds N] [--seed S] [--torn R] [--drop-flush R] [--poison R] [--inject-bug] [--jobs N]\n  \
          deepmc dsg FUNCTION FILE...          # Graphviz of the function's data structure graph\n  \
          deepmc rules"
     );
@@ -74,6 +78,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
     let mut suppress_db: Option<String> = None;
     let mut no_cache = false;
     let mut cache_dir = deepmc::cache::DEFAULT_CACHE_DIR.to_string();
+    let mut jobs = 0usize;
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -86,6 +91,10 @@ fn cmd_check(args: &[String]) -> ExitCode {
             "--cache-dir" => match it.next() {
                 Some(dir) => cache_dir = dir.clone(),
                 None => return usage(),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => jobs = n,
+                _ => return usage(),
             },
             "-strict" | "-epoch" | "-strand" => match a.parse() {
                 Ok(m) => model = Some(m),
@@ -131,7 +140,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
     };
     let cache = (!no_cache).then(|| deepmc::AnalysisCache::open(&cache_dir));
     let (mut report, stats) =
-        StaticChecker::new(config).check_program_cached(&program, cache.as_ref());
+        StaticChecker::new(config).check_program_with_jobs(&program, cache.as_ref(), jobs);
     if !no_cache {
         // Stats go to stderr so the report on stdout stays byte-identical
         // between cold and warm runs.
@@ -396,6 +405,10 @@ fn cmd_crashsweep(args: &[String]) -> ExitCode {
                     return usage();
                 }
             }
+            "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => cfg.jobs = n,
+                _ => return usage(),
+            },
             "--torn" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(r) => cfg.fault.torn_store_rate = r,
                 None => return usage(),

@@ -23,16 +23,21 @@
 //! The cache stores *raw* (pre-deduplication) warnings and the root's
 //! pruning/truncation deltas, so a warm run rebuilds the byte-identical
 //! report, notes included.
+//!
+//! Entries are safe to read and write concurrently: stores go through a
+//! tmp-file + atomic rename, and a cold root can be *claimed* (an
+//! `O_EXCL` side file) so concurrent workers — in this process or
+//! another — never double-compute it; see [`AnalysisCache::claim`].
 
 use crate::config::DeepMcConfig;
 use crate::report::Warning;
 use deepmc_analysis::{CallGraph, DsaResult, FuncRef, PersistKind, Program};
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Default cache directory, relative to the working directory.
 pub const DEFAULT_CACHE_DIR: &str = ".deepmc-cache";
@@ -106,6 +111,10 @@ impl AnalysisCache {
         self.dir.join(format!("{:016x}.json", fnv1a(key.as_bytes())))
     }
 
+    fn claim_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{:016x}.claim", fnv1a(key.as_bytes())))
+    }
+
     /// Look up a key; any I/O or decode problem is treated as a miss.
     pub fn lookup(&self, key: &str) -> Option<CacheEntry> {
         let text = fs::read_to_string(self.path_for(key)).ok()?;
@@ -125,6 +134,63 @@ impl AnalysisCache {
             if fs::write(&tmp, json).is_ok() {
                 let _ = fs::rename(&tmp, &path);
             }
+        }
+    }
+
+    /// Try to claim a cold key for computation. `Some` means this caller
+    /// won and must compute + [`AnalysisCache::store`] the entry (the
+    /// returned guard releases the claim on drop, success or panic);
+    /// `None` means another worker holds the claim — poll with
+    /// [`AnalysisCache::wait_for`] instead of recomputing.
+    ///
+    /// The claim is an `O_EXCL`-created side file, so it also excludes
+    /// workers in *other* processes sharing the cache directory.
+    pub fn claim(&self, key: &str) -> Option<ClaimGuard> {
+        if fs::create_dir_all(&self.dir).is_err() {
+            // Unusable cache directory: claims can't exclude anyone, so
+            // pretend we won and let `store` fail silently later.
+            return Some(ClaimGuard { path: None });
+        }
+        let path = self.claim_path(key);
+        match fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(_) => Some(ClaimGuard { path: Some(path) }),
+            Err(_) => None,
+        }
+    }
+
+    /// Wait for the holder of `key`'s claim to publish its entry. Returns
+    /// `None` if the claim disappears without an entry or looks stale
+    /// (holder died); the stale claim is broken so the caller can compute
+    /// the root itself.
+    pub fn wait_for(&self, key: &str) -> Option<CacheEntry> {
+        // The slowest single root in the corpus computes in well under a
+        // second; a claim older than this is a dead holder.
+        for _ in 0..500 {
+            if let Some(entry) = self.lookup(key) {
+                return Some(entry);
+            }
+            if !self.claim_path(key).exists() {
+                // Claim released: one final look, then treat as ours.
+                return self.lookup(key);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let _ = fs::remove_file(self.claim_path(key));
+        None
+    }
+}
+
+/// RAII release of a [`AnalysisCache::claim`]; removing the claim file
+/// wakes waiters whether or not an entry was stored.
+#[derive(Debug)]
+pub struct ClaimGuard {
+    path: Option<PathBuf>,
+}
+
+impl Drop for ClaimGuard {
+    fn drop(&mut self) {
+        if let Some(path) = &self.path {
+            let _ = fs::remove_file(path);
         }
     }
 }
@@ -165,19 +231,23 @@ impl std::fmt::Write for FnvWriter {
 /// Per-run key construction context.
 ///
 /// The expensive part of a key is digesting function bodies; reachable
-/// sets of different roots overlap heavily, so the builder hashes each
-/// function (and each module's struct table) at most once per run and the
-/// key text carries the digests. A warm `deepmc check` therefore pays one
-/// body hash per function, not one per (root, reachable function) pair —
+/// sets of different roots overlap heavily, so the builder digests every
+/// defined function (and every module's struct table) exactly once, up
+/// front, into a program-wide line map that [`KeyBuilder::root_key`]
+/// merely slices per root. A warm `deepmc check` therefore pays one body
+/// hash per function, not one per (root, reachable function) pair —
 /// without this, key construction can cost more than the analysis it
-/// saves on small programs.
+/// saves on small programs. Precomputing (instead of filling a lazy
+/// `RefCell` map) also makes the builder `Sync`, so a worker pool can
+/// build all root keys concurrently.
 pub struct KeyBuilder<'a> {
     program: &'a Program,
     dsa: &'a DsaResult,
     cg: &'a CallGraph,
     config_line: String,
-    fn_hash: RefCell<HashMap<FuncRef, u64>>,
-    mod_hash: RefCell<HashMap<u32, u64>>,
+    /// Pre-rendered digest line per defined function:
+    /// `file|name|body-digest|struct-table-digest`.
+    fn_line: HashMap<FuncRef, String>,
 }
 
 impl<'a> KeyBuilder<'a> {
@@ -187,30 +257,23 @@ impl<'a> KeyBuilder<'a> {
         dsa: &'a DsaResult,
         cg: &'a CallGraph,
     ) -> Self {
-        KeyBuilder {
-            program,
-            dsa,
-            cg,
-            config_line: format!("{config:?}"),
-            fn_hash: RefCell::new(HashMap::new()),
-            mod_hash: RefCell::new(HashMap::new()),
+        let mut mod_hash: HashMap<u32, u64> = HashMap::new();
+        let mut fn_line = HashMap::new();
+        for fr in program.defined_funcs() {
+            let mod_digest = *mod_hash.entry(fr.module).or_insert_with(|| {
+                let mut h = FnvWriter::new();
+                let _ = write!(h, "{:?}", program.modules[fr.module as usize].structs);
+                h.0
+            });
+            let mut h = FnvWriter::new();
+            let _ = write!(h, "{:?}", program.func(fr));
+            let m = program.module_of(fr);
+            fn_line.insert(
+                fr,
+                format!("{}|{}|{:016x}|{:016x}", m.file, program.func(fr).name, h.0, mod_digest),
+            );
         }
-    }
-
-    fn fn_digest(&self, fr: FuncRef) -> u64 {
-        *self.fn_hash.borrow_mut().entry(fr).or_insert_with(|| {
-            let mut h = FnvWriter::new();
-            let _ = write!(h, "{:?}", self.program.func(fr));
-            h.0
-        })
-    }
-
-    fn mod_digest(&self, module: u32) -> u64 {
-        *self.mod_hash.borrow_mut().entry(module).or_insert_with(|| {
-            let mut h = FnvWriter::new();
-            let _ = write!(h, "{:?}", self.program.modules[module as usize].structs);
-            h.0
-        })
+        KeyBuilder { program, dsa, cg, config_line: format!("{config:?}"), fn_line }
     }
 
     /// Build the content key for one analysis root: checker config, the
@@ -221,7 +284,9 @@ impl<'a> KeyBuilder<'a> {
         let program = self.program;
         let mut s = String::new();
         let f = program.func(root);
-        let _ = writeln!(s, "deepmc-cache-v1");
+        // v2: warnings carry (and dedup on) the analysis-root name, so v1
+        // entries must not satisfy v2 lookups.
+        let _ = writeln!(s, "deepmc-cache-v2");
         let _ = writeln!(s, "config {}", self.config_line);
         let _ = writeln!(s, "root {}", f.name);
 
@@ -248,15 +313,8 @@ impl<'a> KeyBuilder<'a> {
         reach.sort();
         let mut fold = FnvWriter::new();
         for fr in reach.iter() {
-            let m = program.module_of(*fr);
-            let _ = writeln!(
-                fold,
-                "{}|{}|{:016x}|{:016x}",
-                m.file,
-                program.func(*fr).name,
-                self.fn_digest(*fr),
-                self.mod_digest(fr.module)
-            );
+            let line = self.fn_line.get(fr).expect("reachable functions are defined");
+            let _ = writeln!(fold, "{line}");
         }
         let _ = writeln!(s, "reach n={} digest={:016x}", reach.len(), fold.0);
         s
@@ -264,18 +322,21 @@ impl<'a> KeyBuilder<'a> {
 
     /// Defined functions reachable from `root` through resolvable calls
     /// (including `root` itself), off the prebuilt call-graph adjacency.
+    /// Membership goes through a `HashSet` — a `Vec::contains` scan here
+    /// is quadratic on wide call graphs.
     fn reachable(&self, root: FuncRef) -> Vec<FuncRef> {
-        let mut seen = vec![root];
+        let mut seen: HashSet<FuncRef> = HashSet::from([root]);
         let mut work = vec![root];
+        let mut order = vec![root];
         while let Some(fr) = work.pop() {
             for &t in self.cg.callees_of(fr) {
-                if !seen.contains(&t) {
-                    seen.push(t);
+                if seen.insert(t) {
+                    order.push(t);
                     work.push(t);
                 }
             }
         }
-        seen
+        order
     }
 }
 
@@ -365,6 +426,60 @@ entry:
         cache.store(&entry);
         assert_eq!(cache.lookup("k1"), Some(entry));
         assert!(cache.lookup("k2").is_none(), "different key misses");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn claim_excludes_second_claimer_until_released() {
+        let dir = std::env::temp_dir().join(format!("deepmc-cache-claim-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = AnalysisCache::open(&dir);
+        let guard = cache.claim("k").expect("first claim wins");
+        assert!(cache.claim("k").is_none(), "held claim must exclude");
+        drop(guard);
+        let again = cache.claim("k");
+        assert!(again.is_some(), "released claim is re-claimable");
+        drop(again);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn waiter_sees_entry_stored_by_claim_holder() {
+        let dir = std::env::temp_dir().join(format!("deepmc-cache-wait-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = AnalysisCache::open(&dir);
+        let entry = CacheEntry {
+            key: "k".into(),
+            root: "main".into(),
+            warnings: Vec::new(),
+            paths_pruned: 0,
+            events_truncated: 0,
+            traces: 1,
+        };
+        let guard = cache.claim("k").expect("claim");
+        let got = std::thread::scope(|s| {
+            let waiter = s.spawn(|| cache.wait_for("k"));
+            std::thread::sleep(Duration::from_millis(10));
+            cache.store(&entry);
+            drop(guard);
+            waiter.join().unwrap()
+        });
+        assert_eq!(got, Some(entry));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_claim_without_entry_is_broken() {
+        let dir = std::env::temp_dir().join(format!("deepmc-cache-stale-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = AnalysisCache::open(&dir);
+        // Simulate a dead holder: claim file exists, holder never stores
+        // or releases. The claim is leaked (guard forgotten), so wait_for
+        // must eventually break it.
+        let guard = cache.claim("k").expect("claim");
+        std::mem::forget(guard);
+        assert_eq!(cache.wait_for("k"), None, "no entry ever appears");
+        assert!(cache.claim("k").is_some(), "stale claim was broken");
         let _ = fs::remove_dir_all(&dir);
     }
 

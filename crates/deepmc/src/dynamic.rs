@@ -83,6 +83,9 @@ impl Hooks for DynamicChecker {
                 line: loc.line,
                 class: BugClass::InterStrandDependency,
                 function: func.to_string(),
+                // Dynamic findings come from an execution, not a static
+                // analysis root.
+                root: String::new(),
                 message: format!(
                     "{kind} dependence on persistent address {:#x} between concurrent \
                      strands {} and {}; dependent persists must share a strand or be \

@@ -45,6 +45,7 @@ pub mod config;
 pub mod dynamic;
 pub mod fixer;
 pub mod instrument;
+pub mod pool;
 pub mod report;
 pub mod static_checker;
 pub mod suppress;

@@ -1,0 +1,18 @@
+//! Worker-pool plumbing for parallel checking.
+//!
+//! The pool itself lives in [`deepmc_analysis::pool`] (so `nvm-apps`,
+//! which this crate depends on, can reuse it for the crash sweep without
+//! a dependency cycle); this module re-exports it under the `deepmc`
+//! namespace the CLI and external callers use.
+//!
+//! Worker count resolution, everywhere a pool is spawned:
+//!
+//! 1. an explicit `--jobs N` / API argument (`n > 0`),
+//! 2. the `DEEPMC_JOBS` environment variable,
+//! 3. the machine's available parallelism.
+//!
+//! Parallel runs are deterministic: results merge in work-item order, and
+//! every consumer's merge is order-insensitive beyond that, so reports
+//! and cache contents are byte-identical for any worker count.
+
+pub use deepmc_analysis::pool::{resolve_jobs, run_indexed};

@@ -2,7 +2,10 @@
 //!
 //! "DeepMC will create a detailed report of warnings, which shows the line
 //! numbers of the bugs" (paper §4.3). Warnings are deduplicated by
-//! (class, file, line): many traces traverse the same buggy code.
+//! (class, file, line, root): many traces traverse the same buggy code,
+//! but the same buggy line reached from two different analysis roots is
+//! two findings — each root is a separate entry point whose persistency
+//! contract the fix must satisfy.
 
 use deepmc_models::{BugClass, PersistencyModel, Severity};
 use serde::{Deserialize, Serialize};
@@ -39,6 +42,10 @@ pub struct Warning {
     pub line: u32,
     pub class: BugClass,
     pub function: String,
+    /// Name of the analysis root whose traces exposed the warning; empty
+    /// for warnings not attributable to a root (dynamic checking).
+    #[serde(default)]
+    pub root: String,
     pub message: String,
     pub model: PersistencyModel,
     /// True when found by the dynamic (online) checker.
@@ -53,9 +60,9 @@ impl Warning {
         self.class.severity()
     }
 
-    /// Deduplication key: one warning per (class, file, line).
-    pub fn key(&self) -> (BugClass, &str, u32) {
-        (self.class, self.file.as_str(), self.line)
+    /// Deduplication key: one warning per (class, file, line, root).
+    pub fn key(&self) -> (BugClass, &str, u32, &str) {
+        (self.class, self.file.as_str(), self.line, self.root.as_str())
     }
 }
 
@@ -63,15 +70,18 @@ impl fmt::Display for Warning {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "WARNING [{}] {}:{} in `{}` ({} under {} persistency): {}",
+            "WARNING [{}] {}:{} in `{}` ({} under {} persistency",
             self.severity(),
             self.file,
             self.line,
             self.function,
             self.class,
             self.model,
-            self.message
-        )
+        )?;
+        if !self.root.is_empty() {
+            write!(f, ", root `{}`", self.root)?;
+        }
+        write!(f, "): {}", self.message)
     }
 }
 
@@ -87,20 +97,23 @@ pub struct Report {
 }
 
 impl Report {
-    /// Merge raw warnings, deduplicating by (class, file, line) and sorting
-    /// by file, then line, then class.
+    /// Merge raw warnings, deduplicating by (class, file, line, root) and
+    /// sorting by file, then line, then class.
     ///
     /// The full sort happens *before* deduplication: two raw warnings can
-    /// share (class, file, line) but differ in message or function (e.g.
-    /// the same store reached through two roots), and the raw order depends
-    /// on trace enumeration. Sorting on every field first makes the
-    /// surviving duplicate — and therefore the rendered report — a pure
-    /// function of the warning set.
+    /// share the dedup key but differ in message, and the raw order
+    /// depends on trace enumeration (and, in a parallel run, on merge
+    /// order). Sorting on every field first makes the surviving duplicate
+    /// — and therefore the rendered report — a pure function of the
+    /// warning *set*, which is what lets worker pools of any size produce
+    /// byte-identical reports.
     pub fn from_raw(mut raw: Vec<Warning>) -> Report {
         raw.sort();
         let mut seen = BTreeSet::new();
-        let warnings: Vec<Warning> =
-            raw.into_iter().filter(|w| seen.insert((w.class, w.file.clone(), w.line))).collect();
+        let warnings: Vec<Warning> = raw
+            .into_iter()
+            .filter(|w| seen.insert((w.class, w.file.clone(), w.line, w.root.clone())))
+            .collect();
         Report { warnings, notes: Vec::new() }
     }
 
@@ -181,6 +194,7 @@ mod tests {
             line,
             class,
             function: "f".into(),
+            root: "main".into(),
             message: "m".into(),
             model: PersistencyModel::Strict,
             dynamic: false,
@@ -209,6 +223,30 @@ mod tests {
         let locs: Vec<(String, u32)> =
             r.warnings.iter().map(|w| (w.file.clone(), w.line)).collect();
         assert_eq!(locs, vec![("a.c".into(), 2), ("a.c".into(), 9), ("b.c".into(), 5)]);
+    }
+
+    #[test]
+    fn same_site_different_roots_stays_distinct() {
+        // Regression: the dedup key must include the analysis root —
+        // identical findings reached from two entry points are two
+        // warnings, not one.
+        let mut from_main = w(BugClass::UnflushedWrite, "a.c", 10);
+        from_main.root = "main".into();
+        let mut from_recover = w(BugClass::UnflushedWrite, "a.c", 10);
+        from_recover.root = "recover".into();
+        let r = Report::from_raw(vec![from_main, from_recover]);
+        assert_eq!(r.warnings.len(), 2);
+        let roots: Vec<&str> = r.warnings.iter().map(|w| w.root.as_str()).collect();
+        assert_eq!(roots, vec!["main", "recover"]);
+    }
+
+    #[test]
+    fn rendered_warning_names_its_root() {
+        let shown = w(BugClass::UnflushedWrite, "a.c", 10).to_string();
+        assert!(shown.contains("root `main`"), "missing root in: {shown}");
+        let mut rootless = w(BugClass::UnflushedWrite, "a.c", 10);
+        rootless.root = String::new();
+        assert!(!rootless.to_string().contains("root `"));
     }
 
     #[test]

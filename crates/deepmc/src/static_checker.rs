@@ -42,10 +42,39 @@ use crate::config::DeepMcConfig;
 use crate::report::{FixHint, Report, Warning};
 use deepmc_analysis::trace::EvLoc;
 use deepmc_analysis::{
-    Addr, CallGraph, DsaResult, FieldSel, ObjId, Program, Trace, TraceCollector, TraceEvent,
+    pool, Addr, CallGraph, DsaResult, FieldSel, FuncRef, ObjId, Program, Trace, TraceCollector,
+    TraceEvent,
 };
 use deepmc_models::{BugClass, PersistencyModel};
 use std::collections::BTreeSet;
+
+/// What one analysis root contributed to a run; produced by one worker,
+/// merged in root order by [`StaticChecker::check_program_with_jobs`].
+struct RootOutcome {
+    /// Raw (pre-dedup) warnings from this root's traces.
+    raw: Vec<Warning>,
+    traces: u64,
+    paths_pruned: u64,
+    events_truncated: u64,
+    source: RootSource,
+}
+
+enum RootSource {
+    CacheHit,
+    Computed { stored: bool },
+}
+
+impl RootOutcome {
+    fn from_entry(entry: CacheEntry) -> RootOutcome {
+        RootOutcome {
+            raw: entry.warnings,
+            traces: entry.traces,
+            paths_pruned: entry.paths_pruned,
+            events_truncated: entry.events_truncated,
+            source: RootSource::CacheHit,
+        }
+    }
+}
 
 /// The static checker. Create one per configuration and feed it programs or
 /// traces.
@@ -71,72 +100,73 @@ impl StaticChecker {
     }
 
     /// [`StaticChecker::check_program`], optionally backed by an on-disk
-    /// incremental cache.
-    ///
-    /// The pipeline runs root by root. With a cache, each root's content
-    /// key ([`cache::root_key`]) is looked up first; a hit replays the
-    /// stored raw warnings and pruning/truncation deltas instead of
-    /// collecting and scanning traces, so the report — notes included —
-    /// is byte-identical to a cold run. CFG, call-graph, and DSA
-    /// construction always run (they are cheap and the key depends on
-    /// DSA facts).
+    /// incremental cache. Worker count comes from `DEEPMC_JOBS` /
+    /// available cores; see [`StaticChecker::check_program_with_jobs`].
     pub fn check_program_cached(
         &self,
         program: &Program,
         cache: Option<&AnalysisCache>,
     ) -> (Report, CacheRunStats) {
+        self.check_program_with_jobs(program, cache, 0)
+    }
+
+    /// [`StaticChecker::check_program_cached`] with an explicit worker
+    /// count: `0` resolves `DEEPMC_JOBS` / available cores, `1` forces the
+    /// sequential pipeline, `n > 1` fans the analysis roots over a
+    /// work-stealing pool of `n` workers sharing one trace collector (and
+    /// therefore one callee-summary memo table).
+    ///
+    /// The pipeline runs root by root. With a cache, each root's content
+    /// key ([`cache::root_key`]) is looked up first; a hit replays the
+    /// stored raw warnings and pruning/truncation deltas instead of
+    /// collecting and scanning traces, so the report — notes included —
+    /// is byte-identical to a cold run. Cold roots are *claimed*
+    /// ([`AnalysisCache::claim`]) so two workers never double-compute one.
+    /// CFG, call-graph, and DSA construction always run (they are cheap
+    /// and the key depends on DSA facts).
+    ///
+    /// Determinism: per-root results are merged in root order and
+    /// [`Report::from_raw`] fully sorts before deduplicating, so the
+    /// report and the cache contents are byte-identical for every worker
+    /// count.
+    pub fn check_program_with_jobs(
+        &self,
+        program: &Program,
+        cache: Option<&AnalysisCache>,
+        jobs: usize,
+    ) -> (Report, CacheRunStats) {
+        let jobs = pool::resolve_jobs((jobs > 0).then_some(jobs));
         let cg = CallGraph::build(program);
         let dsa = DsaResult::analyze(program, &cg);
         let collector = TraceCollector::new(program, &dsa, self.config.trace.clone());
         let keys = cache.map(|_| cache::KeyBuilder::new(&self.config, program, &dsa, &cg));
+        let roots = collector.analysis_roots(&cg);
+        let outcomes = pool::run_indexed(jobs, roots, |_, root| {
+            self.check_root(program, &collector, cache, keys.as_ref(), root)
+        });
+
+        // Deterministic merge: outcomes arrive in root order regardless of
+        // scheduling, and every aggregate below is associative.
         let mut raw = Vec::new();
         let mut stats = CacheRunStats::default();
         let mut paths_pruned = 0u64;
         let mut events_truncated = 0u64;
-        for root in collector.analysis_roots(&cg) {
-            let key = keys.as_ref().map(|kb| kb.root_key(root));
-            if let (Some(c), Some(k)) = (cache, key.as_deref()) {
-                if let Some(entry) = c.lookup(k) {
-                    stats.hits += 1;
-                    stats.traces += entry.traces;
-                    paths_pruned += entry.paths_pruned;
-                    events_truncated += entry.events_truncated;
-                    raw.extend(entry.warnings);
-                    continue;
+        for o in outcomes {
+            match o.source {
+                RootSource::CacheHit => stats.hits += 1,
+                RootSource::Computed { stored } => {
+                    if cache.is_some() {
+                        stats.misses += 1;
+                    }
+                    if stored {
+                        stats.stores += 1;
+                    }
                 }
-                stats.misses += 1;
             }
-            let (pruned_before, truncated_before) = collector.truncation();
-            let traces = collector.collect_root(root);
-            let (pruned_after, truncated_after) = collector.truncation();
-            let model = model_override(program.func(root)).unwrap_or(self.config.model);
-            let mut config = self.config.clone();
-            config.model = model;
-            let mut root_raw = Vec::new();
-            for t in &traces {
-                let mut scan = Scan::new(&config, t);
-                for ev in &t.events {
-                    scan.step(ev);
-                }
-                root_raw.extend(scan.finish());
-            }
-            let root_pruned = pruned_after - pruned_before;
-            let root_truncated = truncated_after - truncated_before;
-            stats.traces += traces.len() as u64;
-            paths_pruned += root_pruned;
-            events_truncated += root_truncated;
-            if let (Some(c), Some(k)) = (cache, key) {
-                c.store(&CacheEntry {
-                    key: k,
-                    root: program.func(root).name.clone(),
-                    warnings: root_raw.clone(),
-                    paths_pruned: root_pruned,
-                    events_truncated: root_truncated,
-                    traces: traces.len() as u64,
-                });
-                stats.stores += 1;
-            }
-            raw.extend(root_raw);
+            stats.traces += o.traces;
+            paths_pruned += o.paths_pruned;
+            events_truncated += o.events_truncated;
+            raw.extend(o.raw);
         }
         let mut report = Report::from_raw(raw);
         if paths_pruned > 0 {
@@ -154,6 +184,88 @@ impl StaticChecker {
             ));
         }
         (report, stats)
+    }
+
+    /// One worker's unit of work: produce everything root `root`
+    /// contributes to the run. Pure function of (checker, program, root)
+    /// plus cache state, so workers can run it in any order.
+    fn check_root(
+        &self,
+        program: &Program,
+        collector: &TraceCollector<'_>,
+        cache: Option<&AnalysisCache>,
+        keys: Option<&cache::KeyBuilder<'_>>,
+        root: FuncRef,
+    ) -> RootOutcome {
+        let key = keys.map(|kb| kb.root_key(root));
+        if let (Some(c), Some(k)) = (cache, key.as_deref()) {
+            if let Some(entry) = c.lookup(k) {
+                return RootOutcome::from_entry(entry);
+            }
+            // Cold root. Claim it so a concurrent worker — here or in
+            // another process sharing the directory — doesn't recompute.
+            if let Some(_guard) = c.claim(k) {
+                let mut out = self.compute_root(program, collector, root);
+                self.store_root(c, k.to_string(), program, root, &mut out);
+                return out;
+            }
+            // Claim lost: the holder is computing. Wait for its entry;
+            // if the claim turns out stale (holder died), compute here.
+            if let Some(entry) = c.wait_for(k) {
+                return RootOutcome::from_entry(entry);
+            }
+            let mut out = self.compute_root(program, collector, root);
+            self.store_root(c, k.to_string(), program, root, &mut out);
+            return out;
+        }
+        self.compute_root(program, collector, root)
+    }
+
+    /// Collect and scan one root's traces (the uncached path).
+    fn compute_root(
+        &self,
+        program: &Program,
+        collector: &TraceCollector<'_>,
+        root: FuncRef,
+    ) -> RootOutcome {
+        let (traces, trunc) = collector.collect_root_counted(root);
+        let model = model_override(program.func(root)).unwrap_or(self.config.model);
+        let mut config = self.config.clone();
+        config.model = model;
+        let mut raw = Vec::new();
+        for t in &traces {
+            let mut scan = Scan::new(&config, t);
+            for ev in &t.events {
+                scan.step(ev);
+            }
+            raw.extend(scan.finish());
+        }
+        RootOutcome {
+            raw,
+            traces: traces.len() as u64,
+            paths_pruned: trunc.paths_pruned,
+            events_truncated: trunc.events_truncated,
+            source: RootSource::Computed { stored: false },
+        }
+    }
+
+    fn store_root(
+        &self,
+        c: &AnalysisCache,
+        key: String,
+        program: &Program,
+        root: FuncRef,
+        out: &mut RootOutcome,
+    ) {
+        c.store(&CacheEntry {
+            key,
+            root: program.func(root).name.clone(),
+            warnings: out.raw.clone(),
+            paths_pruned: out.paths_pruned,
+            events_truncated: out.events_truncated,
+            traces: out.traces,
+        });
+        out.source = RootSource::Computed { stored: true };
     }
 
     /// Apply the rules to pre-collected traces.
@@ -294,6 +406,7 @@ impl<'a> Scan<'a> {
             line: loc.line,
             class,
             function: loc.func.to_string(),
+            root: self.trace.root.to_string(),
             message,
             model: self.model,
             dynamic: false,
@@ -862,6 +975,48 @@ mod tests {
 
     fn classes(r: &Report) -> Vec<BugClass> {
         r.warnings.iter().map(|w| w.class).collect()
+    }
+
+    // --- root attribution -------------------------------------------------
+
+    #[test]
+    fn two_roots_sharing_a_buggy_callee_get_separate_warnings() {
+        // Regression for the dedup key: `writer` leaves %q.a unflushed; it
+        // is reachable from BOTH roots, so the report must carry one
+        // warning per (root, site), not collapse them into one.
+        let r = check(
+            Strict,
+            r#"
+module m
+file "m.c"
+struct s { a: i64 }
+fn writer(%q: ptr s) {
+entry:
+  store %q.a, 1
+  ret
+}
+fn root_a() {
+entry:
+  %x = palloc s
+  call writer(%x)
+  ret
+}
+fn root_b() {
+entry:
+  %y = palloc s
+  call writer(%y)
+  ret
+}
+"#,
+        );
+        let unflushed: Vec<&Warning> = r.of_class(BugClass::UnflushedWrite).collect();
+        assert_eq!(unflushed.len(), 2, "one warning per root: {r}");
+        let mut roots: Vec<&str> = unflushed.iter().map(|w| w.root.as_str()).collect();
+        roots.sort_unstable();
+        assert_eq!(roots, vec!["root_a", "root_b"]);
+        for w in &unflushed {
+            assert_eq!(w.function, "writer", "site attribution unchanged");
+        }
     }
 
     // --- clean programs ---------------------------------------------------

@@ -99,6 +99,7 @@ mod tests {
             line,
             class,
             function: "f".into(),
+            root: "main".into(),
             message: "m".into(),
             model: PersistencyModel::Strict,
             dynamic: false,
