@@ -25,17 +25,32 @@ use parking_lot::Mutex;
 /// Resolve a worker count: an explicit request wins, then the
 /// `DEEPMC_JOBS` environment variable, then the machine's available
 /// parallelism. Always at least 1.
+///
+/// An unparsable `DEEPMC_JOBS` warns (stderr + obs layer) and falls
+/// back to the next source — a typo must not silently serialize or
+/// misconfigure the run.
 pub fn resolve_jobs(explicit: Option<usize>) -> usize {
+    resolve_jobs_with_env(explicit, std::env::var("DEEPMC_JOBS").ok().as_deref())
+}
+
+/// [`resolve_jobs`] with the environment value injected, so the fallback
+/// and warning paths are unit-testable without touching process env.
+pub fn resolve_jobs_with_env(explicit: Option<usize>, env: Option<&str>) -> usize {
     if let Some(n) = explicit {
         if n > 0 {
             return n;
         }
     }
-    if let Ok(v) = std::env::var("DEEPMC_JOBS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
+    if let Some(v) = env {
+        match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => deepmc_obs::warning(
+                "jobs.env_unparsable",
+                &format!(
+                    "DEEPMC_JOBS={v:?} is not a positive integer; \
+                     falling back to available parallelism"
+                ),
+            ),
         }
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -54,7 +69,17 @@ where
 {
     let n = items.len();
     if jobs <= 1 || n <= 1 {
-        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| {
+                deepmc_obs::counter("pool.items", 1);
+                let _s = deepmc_obs::span_lazy("pool.job", || {
+                    vec![("index", i.to_string()), ("stolen", "false".to_string())]
+                });
+                f(i, item)
+            })
+            .collect();
     }
     let workers = jobs.min(n);
     let deques: Vec<Mutex<VecDeque<(usize, T)>>> =
@@ -63,22 +88,47 @@ where
         deques[i % workers].lock().push_back((i, item));
     }
     let (tx, rx) = mpsc::channel::<(usize, R)>();
+    // If the caller is recording, workers attach to the same recorder
+    // under worker ids 1..=N (the caller thread is worker 0), so spans
+    // carry the executing worker and steals are visible in the trace.
+    let recorder = deepmc_obs::Recorder::current();
     let deques = &deques;
     let f = &f;
     crossbeam::scope(|s| {
         for w in 0..workers {
             let tx = tx.clone();
-            s.spawn(move |_| loop {
-                // Own deque first (front: oldest local item), then steal
-                // from the back of the nearest non-empty sibling.
-                let job = deques[w].lock().pop_front().or_else(|| {
-                    (1..workers).find_map(|d| deques[(w + d) % workers].lock().pop_back())
-                });
-                let Some((i, item)) = job else { return };
-                // The work set is static: once every deque is empty the
-                // worker can retire — nothing re-enqueues.
-                if tx.send((i, f(i, item))).is_err() {
-                    return;
+            let recorder = recorder.clone();
+            s.spawn(move |_| {
+                let _attach = recorder.as_ref().map(|r| r.attach(w as u32 + 1));
+                loop {
+                    // Own deque first (front: oldest local item), then
+                    // steal from the back of the nearest non-empty
+                    // sibling. The own-deque guard must drop before the
+                    // steal loop — holding it while locking a sibling
+                    // deadlocks two empty workers against each other.
+                    let own = deques[w].lock().pop_front();
+                    let job = match own {
+                        Some(j) => Some((j, false)),
+                        None => (1..workers)
+                            .find_map(|d| deques[(w + d) % workers].lock().pop_back())
+                            .map(|j| (j, true)),
+                    };
+                    let Some(((i, item), stolen)) = job else { return };
+                    deepmc_obs::counter("pool.items", 1);
+                    if stolen {
+                        deepmc_obs::counter("pool.steals", 1);
+                    }
+                    let r = {
+                        let _s = deepmc_obs::span_lazy("pool.job", || {
+                            vec![("index", i.to_string()), ("stolen", stolen.to_string())]
+                        });
+                        f(i, item)
+                    };
+                    // The work set is static: once every deque is empty
+                    // the worker can retire — nothing re-enqueues.
+                    if tx.send((i, r)).is_err() {
+                        return;
+                    }
                 }
             });
         }
@@ -141,5 +191,69 @@ mod tests {
     fn resolve_jobs_prefers_explicit() {
         assert_eq!(resolve_jobs(Some(3)), 3);
         assert!(resolve_jobs(None) >= 1);
+    }
+
+    #[test]
+    fn resolve_jobs_env_precedence() {
+        // Explicit beats env; a valid env beats the machine default.
+        assert_eq!(resolve_jobs_with_env(Some(2), Some("7")), 2);
+        assert_eq!(resolve_jobs_with_env(None, Some("7")), 7);
+        assert_eq!(resolve_jobs_with_env(None, Some(" 5 ")), 5, "whitespace tolerated");
+    }
+
+    #[test]
+    fn resolve_jobs_unparsable_env_warns_and_falls_back() {
+        let fallback = resolve_jobs_with_env(None, None);
+        for bad in ["banana", "", "-2", "0", "4.5"] {
+            let rec = deepmc_obs::Recorder::new();
+            let got = {
+                let _a = rec.attach(0);
+                resolve_jobs_with_env(None, Some(bad))
+            };
+            assert_eq!(got, fallback, "DEEPMC_JOBS={bad:?} falls back, not silently serializes");
+            let data = rec.finish();
+            let warn = data
+                .events
+                .iter()
+                .find(|e| e.cat == "warn" && e.name == "jobs.env_unparsable")
+                .unwrap_or_else(|| panic!("DEEPMC_JOBS={bad:?} must record a warning"));
+            assert!(warn.args[0].1.contains("DEEPMC_JOBS"), "warning names the variable");
+        }
+    }
+
+    #[test]
+    fn pool_records_jobs_and_steals_when_attached() {
+        let rec = deepmc_obs::Recorder::new();
+        {
+            let _a = rec.attach(0);
+            // A heavy head item forces the other workers to steal.
+            let got = run_indexed(4, (0..16u64).collect::<Vec<_>>(), |_, x| {
+                if x == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                x
+            });
+            assert_eq!(got.len(), 16);
+        }
+        let data = rec.finish();
+        assert_eq!(data.counter("pool.items"), 16, "every item counted exactly once");
+        assert_eq!(data.spans_of("pool.job").count(), 16, "one span per job");
+        // Workers are 1-based; the caller thread (0) records no job
+        // spans on the threaded path.
+        assert!(data.spans_of("pool.job").all(|e| e.worker >= 1));
+        assert!(data.counter("pool.steals") <= 15, "steal count bounded by item count");
+    }
+
+    #[test]
+    fn pool_counts_inline_jobs_on_caller_thread() {
+        let rec = deepmc_obs::Recorder::new();
+        {
+            let _a = rec.attach(0);
+            run_indexed(1, vec![1, 2, 3], |_, x| x);
+        }
+        let data = rec.finish();
+        assert_eq!(data.counter("pool.items"), 3);
+        assert_eq!(data.counter("pool.steals"), 0);
+        assert!(data.spans_of("pool.job").all(|e| e.worker == 0));
     }
 }

@@ -34,6 +34,7 @@ use crate::redis::Redis;
 use crate::tracker::{DeepMcTracker, NoopTracker, Tracker};
 use crate::workloads::ClientCtx;
 use deepmc_analysis::pool::{resolve_jobs, run_indexed};
+use deepmc_obs as obs;
 use nvm_runtime::{CrashPolicy, FaultConfig, PmemHeap, PmemPool, PoolConfig};
 use std::collections::HashMap;
 use std::fmt;
@@ -330,6 +331,9 @@ struct StepOutcome {
 
 /// Crash after op `crash_step` under every policy and check invariants.
 fn sweep_step(cfg: &SweepConfig, app: SweepApp, crash_step: usize) -> StepOutcome {
+    let _s = obs::span_lazy("sweep.step", || {
+        vec![("app", app.name().to_string()), ("step", crash_step.to_string())]
+    });
     let mut outcome = StepOutcome::default();
     {
         let run = run_prefix(cfg, app, crash_step);
@@ -417,6 +421,12 @@ fn sweep_step(cfg: &SweepConfig, app: SweepApp, crash_step: usize) -> StepOutcom
             }
         }
     }
+    obs::counter("sweep.images_checked", outcome.images_checked);
+    obs::counter("sweep.records_dropped", outcome.records_dropped);
+    obs::counter("sweep.flushes_dropped", outcome.flushes_dropped);
+    obs::counter("sweep.fault_attributed", outcome.fault_attributed);
+    obs::counter("sweep.bug_attributed", outcome.bug_attributed);
+    obs::counter("sweep.violations", outcome.violations.len() as u64);
     outcome
 }
 
@@ -427,6 +437,7 @@ fn sweep_step(cfg: &SweepConfig, app: SweepApp, crash_step: usize) -> StepOutcom
 /// outcome (counter for counter, violation for violation) is identical
 /// for any worker count.
 pub fn sweep_app(cfg: &SweepConfig, app: SweepApp) -> SweepOutcome {
+    let _s = obs::span_lazy("sweep.app", || vec![("app", app.name().to_string())]);
     let mut outcome = SweepOutcome {
         app: app.name(),
         images_checked: 0,
@@ -454,6 +465,7 @@ pub fn sweep_app(cfg: &SweepConfig, app: SweepApp) -> SweepOutcome {
 /// One instrumented, crash-free run of the same script: the dynamic
 /// checker must stay quiet on the correct applications.
 fn dynamic_cross_check(cfg: &SweepConfig, app: SweepApp) -> usize {
+    let _s = obs::span_lazy("sweep.dynamic", || vec![("app", app.name().to_string())]);
     let pool = PmemPool::new(PoolConfig { size: 4 << 20, shards: 8, ..Default::default() });
     let heap = PmemHeap::open(&pool);
     let tracker = DeepMcTracker::new();
@@ -500,7 +512,10 @@ fn dynamic_cross_check(cfg: &SweepConfig, app: SweepApp) -> usize {
             }
         }
     }
-    tracker.reports().len()
+    let reports = tracker.reports().len();
+    obs::counter("sweep.dynamic_reports", reports as u64);
+    obs::counter("dynamic.shadow_cells", tracker.shadow_cells() as u64);
+    reports
 }
 
 /// Sweep a set of applications.

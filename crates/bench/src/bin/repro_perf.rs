@@ -26,7 +26,7 @@
 //! records the points but marks the bar unenforced.
 
 use deepmc::{AnalysisCache, DeepMcConfig, StaticChecker};
-use deepmc_analysis::{CallGraph, DsaResult, TraceCollector, TraceConfig, TraceEvent};
+use deepmc_analysis::{CallGraph, DsaResult, Program, TraceCollector, TraceConfig, TraceEvent};
 use deepmc_corpus::Framework;
 use serde::Serialize;
 use std::collections::HashSet;
@@ -38,6 +38,47 @@ struct MemoCounters {
     misses: u64,
     skips: u64,
     summaries: u64,
+}
+
+/// Aggregate wall time of one obs-layer span name (a pipeline phase).
+#[derive(Debug, Serialize)]
+struct PhaseMs {
+    name: String,
+    count: u64,
+    total_ms: f64,
+}
+
+/// One obs-layer attribution counter.
+#[derive(Debug, Serialize)]
+struct CounterVal {
+    name: String,
+    value: u64,
+}
+
+/// One instrumented pass of the full uncached pipeline through the
+/// observability layer: per-phase spans (EXPERIMENTS.md Table 9c) and
+/// attribution counters, at --jobs 1 so the phases partition the wall
+/// clock.
+fn obs_profile(checker: &StaticChecker, program: &Program) -> (Vec<PhaseMs>, Vec<CounterVal>) {
+    let rec = deepmc_obs::Recorder::new();
+    {
+        let _a = rec.attach(0);
+        let _t = deepmc_obs::span("total");
+        std::hint::black_box(checker.check_program_with_jobs(program, None, 1));
+    }
+    let data = rec.finish();
+    let phases = data
+        .phase_totals()
+        .into_iter()
+        .map(|p| PhaseMs {
+            name: p.name.to_string(),
+            count: p.count,
+            total_ms: p.total_us as f64 / 1000.0,
+        })
+        .collect();
+    let counters =
+        data.counters.iter().map(|(k, v)| CounterVal { name: k.to_string(), value: *v }).collect();
+    (phases, counters)
 }
 
 #[derive(Debug, Serialize)]
@@ -65,6 +106,10 @@ struct FrameworkBench {
     cache_warm_ms: f64,
     cache_warm_hits: u64,
     cache_warm_misses: u64,
+    /// Per-phase wall time from the obs layer (one --jobs 1 pass).
+    obs_phases: Vec<PhaseMs>,
+    /// Obs-layer attribution counters from the same pass.
+    obs_counters: Vec<CounterVal>,
 }
 
 /// Cold/warm cache timings for one Table-9 generated application — the
@@ -203,6 +248,8 @@ fn bench_framework(fw: Framework, reps: usize) -> FrameworkBench {
     );
     assert_eq!(warm_stats.misses, 0, "{}: warm run must not re-analyze any root", fw.name());
 
+    let (obs_phases, obs_counters) = obs_profile(&checker, &program);
+
     FrameworkBench {
         name: fw.name(),
         model: format!("{:?}", fw.model()),
@@ -225,6 +272,8 @@ fn bench_framework(fw: Framework, reps: usize) -> FrameworkBench {
         cache_warm_ms,
         cache_warm_hits: warm_stats.hits,
         cache_warm_misses: warm_stats.misses,
+        obs_phases,
+        obs_counters,
     }
 }
 
@@ -365,6 +414,27 @@ fn main() {
             f.cache_warm_ms
         );
     }
+    println!("\nPer-phase breakdown from the obs layer (--jobs 1; Table 9c):\n");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>10} {:>9} {:>10}",
+        "Framework", "cfg ms", "dsa ms", "roots ms", "traces ms", "rules ms", "report ms"
+    );
+    for f in &report.frameworks {
+        let phase = |name: &str| {
+            f.obs_phases.iter().find(|p| p.name == name).map(|p| p.total_ms).unwrap_or(0.0)
+        };
+        println!(
+            "{:<12} {:>8.2} {:>8.2} {:>8.2} {:>10.2} {:>9.2} {:>10.2}",
+            f.name,
+            phase("cfg"),
+            phase("dsa"),
+            phase("roots"),
+            phase("traces"),
+            phase("rules"),
+            phase("report")
+        );
+    }
+
     println!("\nGenerated applications (Table-9 workload):\n");
     println!(
         "{:<12} {:>12} {:>12} {:>10} {:>10} {:>6}",

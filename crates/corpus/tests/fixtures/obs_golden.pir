@@ -1,0 +1,36 @@
+module obs_golden
+file "obs_golden.c"
+
+struct entry { key: i64, val: i64 }
+
+fn persist_entry(%e: ptr entry, %k: i64, %v: i64) {
+entry:
+  store %e.key, %k
+  store %e.val, %v
+  flush %e.key
+  flush %e.val
+  fence
+  ret
+}
+
+fn forget_entry(%e: ptr entry, %k: i64) {
+entry:
+  store %e.key, %k
+  ret
+}
+
+fn root_clean() {
+entry:
+  %a = palloc entry
+  call persist_entry(%a, 1, 10)
+  ret
+}
+
+fn root_buggy() {
+entry:
+  %b = palloc entry
+  call persist_entry(%b, 2, 20)
+  %c = palloc entry
+  call forget_entry(%c, 3)
+  ret
+}

@@ -2,18 +2,28 @@
 //!
 //! ```text
 //! deepmc check  -strict|-epoch|-strand [--json] [--violations-only|--performance-only]
-//!               [--no-cache] [--cache-dir DIR] [--jobs N] FILE...
+//!               [--no-cache] [--cache-dir DIR] [--jobs N]
+//!               [--profile] [--verbose] [--trace-out FILE] [--metrics-out FILE] FILE...
 //! deepmc dynamic -strand ENTRY FILE...
 //! deepmc run     ENTRY FILE...            # execute on the simulated NVM runtime
 //! deepmc crash   ENTRY FILE... [--steps N] [--seeds N]
 //! deepmc crashsweep [--app NAME] [--steps N] [--seeds N] [--seed S]
 //!                   [--torn R] [--drop-flush R] [--poison R] [--inject-bug] [--jobs N]
+//!                   [--profile] [--trace-out FILE] [--metrics-out FILE]
 //! deepmc rules                            # print the checking-rule catalog
 //! ```
 //!
 //! `--jobs N` (or `DEEPMC_JOBS`) sizes the worker pool for `check` and
 //! `crashsweep`; the default is the machine's available cores. Reports
 //! are byte-identical for any worker count.
+//!
+//! Observability (`check` and `crashsweep`): `--profile` prints a
+//! per-phase breakdown and counter summary to stderr, `--trace-out FILE`
+//! writes a Chrome-trace JSON (load in Perfetto or `chrome://tracing`;
+//! spans carry worker ids), `--metrics-out FILE` writes a versioned JSON
+//! metrics snapshot. All observability output goes to stderr or the
+//! named files — the report on stdout is byte-identical with or without
+//! instrumentation.
 //!
 //! Exit code is 0 when no warnings (or for `run`/`crash` on success), 1
 //! when warnings were reported, 2 on usage or input errors — so `deepmc
@@ -23,6 +33,7 @@ use deepmc::{DeepMcConfig, Report, StaticChecker};
 use deepmc_analysis::Program;
 use deepmc_interp::{InterpConfig, NoHooks, Outcome, Session};
 use deepmc_models::PersistencyModel;
+use deepmc_obs as obs;
 use nvm_runtime::{CrashPolicy, PmemHeap, PmemPool, PoolConfig, TxManager};
 use std::process::ExitCode;
 
@@ -30,16 +41,68 @@ fn usage() -> ExitCode {
     eprintln!(
         "deepmc — detect deep memory persistency bugs in NVM programs\n\n\
          USAGE:\n  \
-         deepmc check  (-strict|-epoch|-strand) [--json] [--violations-only|--performance-only] [--suppress DB.json] [--no-cache] [--cache-dir DIR] [--jobs N] FILE...\n  \
+         deepmc check  (-strict|-epoch|-strand) [--json] [--violations-only|--performance-only] [--suppress DB.json] [--no-cache] [--cache-dir DIR] [--jobs N] [--profile] [--verbose] [--trace-out FILE] [--metrics-out FILE] FILE...\n  \
          deepmc fix    (-strict|-epoch|-strand) FILE... [-o DIR]\n  \
          deepmc dynamic ENTRY FILE...\n  \
          deepmc run ENTRY FILE...\n  \
          deepmc crash ENTRY FILE... [--steps N] [--seeds N]\n  \
-         deepmc crashsweep [--app all|memcached|redis|nstore] [--steps N] [--seeds N] [--seed S] [--torn R] [--drop-flush R] [--poison R] [--inject-bug] [--jobs N]\n  \
+         deepmc crashsweep [--app all|memcached|redis|nstore] [--steps N] [--seeds N] [--seed S] [--torn R] [--drop-flush R] [--poison R] [--inject-bug] [--jobs N] [--profile] [--trace-out FILE] [--metrics-out FILE]\n  \
          deepmc dsg FUNCTION FILE...          # Graphviz of the function's data structure graph\n  \
          deepmc rules"
     );
     ExitCode::from(2)
+}
+
+/// Observability flags shared by `check` and `crashsweep`.
+#[derive(Default)]
+struct ObsOpts {
+    profile: bool,
+    verbose: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+impl ObsOpts {
+    fn enabled(&self) -> bool {
+        self.profile || self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    /// Consume one flag if it belongs to this group. `Ok(true)` if
+    /// consumed, `Ok(false)` if not ours, `Err(())` on a missing value.
+    fn parse(&mut self, a: &str, it: &mut std::slice::Iter<'_, String>) -> Result<bool, ()> {
+        match a {
+            "--profile" => self.profile = true,
+            "--verbose" => self.verbose = true,
+            "--trace-out" => self.trace_out = Some(it.next().ok_or(())?.clone()),
+            "--metrics-out" => self.metrics_out = Some(it.next().ok_or(())?.clone()),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn recorder(&self) -> Option<obs::Recorder> {
+        self.enabled().then(obs::Recorder::new)
+    }
+
+    /// Finish the recorder and write every requested output. Profile
+    /// summaries go to stderr and machine output to the named files, so
+    /// the report on stdout is untouched.
+    fn emit(&self, recorder: Option<obs::Recorder>, tool: &str) -> Result<(), String> {
+        let Some(rec) = recorder else { return Ok(()) };
+        let data = rec.finish();
+        if self.profile {
+            eprint!("{}", data.profile_summary(tool));
+        }
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, data.chrome_trace())
+                .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+        }
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, data.metrics_snapshot(tool).to_json())
+                .map_err(|e| format!("cannot write metrics `{path}`: {e}"))?;
+        }
+        Ok(())
+    }
 }
 
 fn load_modules(paths: &[String]) -> Result<Vec<deepmc_pir::Module>, String> {
@@ -79,9 +142,15 @@ fn cmd_check(args: &[String]) -> ExitCode {
     let mut no_cache = false;
     let mut cache_dir = deepmc::cache::DEFAULT_CACHE_DIR.to_string();
     let mut jobs = 0usize;
+    let mut obs_opts = ObsOpts::default();
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        match obs_opts.parse(a, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(()) => return usage(),
+        }
         match a.as_str() {
             "--suppress" => match it.next() {
                 Some(path) => suppress_db = Some(path.clone()),
@@ -124,6 +193,10 @@ fn cmd_check(args: &[String]) -> ExitCode {
     if performance_only {
         config = config.performance_only();
     }
+    let recorder = obs_opts.recorder();
+    let attach = recorder.as_ref().map(|r| r.attach(0));
+    let total_span = obs::span("total");
+    let parse_span = obs::span("parse");
     let modules = match load_modules(&files) {
         Ok(m) => m,
         Err(e) => {
@@ -138,12 +211,14 @@ fn cmd_check(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    drop(parse_span);
     let cache = (!no_cache).then(|| deepmc::AnalysisCache::open(&cache_dir));
     let (mut report, stats) =
         StaticChecker::new(config).check_program_with_jobs(&program, cache.as_ref(), jobs);
-    if !no_cache {
+    if !no_cache && (obs_opts.verbose || obs_opts.profile) {
         // Stats go to stderr so the report on stdout stays byte-identical
-        // between cold and warm runs.
+        // between cold and warm runs. (The same numbers are always
+        // available as cache.* counters via --metrics-out/--profile.)
         eprintln!(
             "cache: {} hit(s), {} miss(es), {} store(s), {} trace(s) ({} hit rate, dir {})",
             stats.hits,
@@ -170,6 +245,12 @@ fn cmd_check(args: &[String]) -> ExitCode {
             eprintln!("({} warning(s) suppressed by {path})", suppressed.len());
         }
         report = surviving;
+    }
+    drop(total_span);
+    drop(attach);
+    if let Err(e) = obs_opts.emit(recorder, "deepmc check") {
+        eprintln!("{e}");
+        return ExitCode::from(2);
     }
     report_exit(&report, json)
 }
@@ -373,8 +454,14 @@ fn cmd_crashsweep(args: &[String]) -> ExitCode {
     use nvm_apps::crashsweep::{sweep, SweepApp, SweepConfig};
     let mut cfg = SweepConfig::default();
     let mut apps: Vec<SweepApp> = SweepApp::ALL.to_vec();
+    let mut obs_opts = ObsOpts::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        match obs_opts.parse(a, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(()) => return usage(),
+        }
         let mut numeric = |target: &mut u64| match it.next().and_then(|v| v.parse().ok()) {
             Some(n) => {
                 *target = n;
@@ -439,7 +526,16 @@ fn cmd_crashsweep(args: &[String]) -> ExitCode {
         cfg.fault.poison_rate,
         if cfg.inject_bug { ", nstore commit bug injected" } else { "" }
     );
-    let outcomes = sweep(&cfg, &apps);
+    let recorder = obs_opts.recorder();
+    let outcomes = {
+        let _attach = recorder.as_ref().map(|r| r.attach(0));
+        let _total = obs::span("total");
+        sweep(&cfg, &apps)
+    };
+    if let Err(e) = obs_opts.emit(recorder, "deepmc crashsweep") {
+        eprintln!("{e}");
+        return ExitCode::from(2);
+    }
     let mut failed = false;
     for outcome in &outcomes {
         print!("{outcome}");

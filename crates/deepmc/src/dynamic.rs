@@ -15,6 +15,7 @@
 use crate::report::{Report, Warning};
 use deepmc_interp::{Hooks, InstrumentScope, InterpConfig, InterpError, Outcome, Session};
 use deepmc_models::{BugClass, PersistencyModel};
+use deepmc_obs as obs;
 use deepmc_pir::{Module, SourceLoc};
 use nvm_runtime::{PmemHeap, PmemPool, PoolConfig, RaceDetector, RaceKind, StrandId, TxManager};
 use parking_lot::Mutex;
@@ -46,14 +47,24 @@ impl DynamicChecker {
 
 impl Hooks for DynamicChecker {
     fn strand_begin(&self, parent: Option<StrandId>) -> Option<StrandId> {
-        Some(self.detector.strand_begin(parent))
+        let strand = self.detector.strand_begin(parent);
+        obs::counter("dynamic.strands", 1);
+        if obs::active() {
+            obs::instant_args("dynamic.strand_begin", vec![("strand", strand.0.to_string())]);
+        }
+        Some(strand)
     }
 
     fn strand_end(&self, strand: StrandId) {
+        if obs::active() {
+            obs::instant_args("dynamic.strand_end", vec![("strand", strand.0.to_string())]);
+        }
         self.detector.strand_end(strand);
     }
 
     fn global_barrier(&self) {
+        obs::counter("dynamic.barriers", 1);
+        obs::instant("dynamic.barrier");
         self.detector.global_barrier();
     }
 
@@ -68,9 +79,37 @@ impl Hooks for DynamicChecker {
         loc: SourceLoc,
     ) {
         let Some(strand) = strand else { return };
+        obs::counter("dynamic.accesses", 1);
+        if is_write {
+            obs::counter("dynamic.writes", 1);
+        }
+        let cells_before = if obs::active() { self.detector.shadow_cells() } else { 0 };
         let fresh = self.detector.on_access(strand, addr, len, is_write);
+        if obs::active() {
+            let grown = self.detector.shadow_cells().saturating_sub(cells_before);
+            obs::counter("dynamic.shadow_cells_allocated", grown as u64);
+        }
         if fresh.is_empty() {
             return;
+        }
+        obs::counter("dynamic.hb_edges", fresh.len() as u64);
+        if obs::active() {
+            for r in &fresh {
+                obs::instant_args(
+                    "dynamic.hb_edge",
+                    vec![
+                        ("addr", format!("{:#x}", r.addr)),
+                        (
+                            "kind",
+                            match r.kind {
+                                RaceKind::WriteAfterWrite => "WAW".to_string(),
+                                RaceKind::ReadAfterWrite => "RAW".to_string(),
+                            },
+                        ),
+                        ("strands", format!("{}-{}", r.first.0, r.second.0)),
+                    ],
+                );
+            }
         }
         let mut warnings = self.warnings.lock();
         for r in fresh {
@@ -121,8 +160,12 @@ pub fn check_dynamic(
         hooks: &checker,
         config: InterpConfig { scope: InstrumentScope::AnnotatedRegions, ..Default::default() },
     };
-    let outcome = session.run(entry, &[])?;
+    let outcome = {
+        let _s = obs::span("dynamic");
+        session.run(entry, &[])?
+    };
     debug_assert!(matches!(outcome, Outcome::Finished(_)));
+    obs::counter("dynamic.shadow_cells", checker.shadow_cells() as u64);
     Ok(checker.report())
 }
 

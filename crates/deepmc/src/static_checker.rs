@@ -46,7 +46,14 @@ use deepmc_analysis::{
     TraceEvent,
 };
 use deepmc_models::{BugClass, PersistencyModel};
+use deepmc_obs as obs;
 use std::collections::BTreeSet;
+
+/// Span/event annotation naming an analysis root. Only called when a
+/// recorder is active (the `to_string` allocates).
+fn root_arg(program: &Program, root: FuncRef) -> Vec<(&'static str, String)> {
+    vec![("root", program.func(root).name.clone())]
+}
 
 /// What one analysis root contributed to a run; produced by one worker,
 /// merged in root order by [`StaticChecker::check_program_with_jobs`].
@@ -136,14 +143,35 @@ impl StaticChecker {
         jobs: usize,
     ) -> (Report, CacheRunStats) {
         let jobs = pool::resolve_jobs((jobs > 0).then_some(jobs));
-        let cg = CallGraph::build(program);
-        let dsa = DsaResult::analyze(program, &cg);
+        let cg = {
+            let _s = obs::span("cfg");
+            CallGraph::build(program)
+        };
+        let dsa = {
+            let _s = obs::span("dsa");
+            DsaResult::analyze(program, &cg)
+        };
         let collector = TraceCollector::new(program, &dsa, self.config.trace.clone());
-        let keys = cache.map(|_| cache::KeyBuilder::new(&self.config, program, &dsa, &cg));
-        let roots = collector.analysis_roots(&cg);
-        let outcomes = pool::run_indexed(jobs, roots, |_, root| {
-            self.check_root(program, &collector, cache, keys.as_ref(), root)
+        let keys = cache.map(|_| {
+            let _s = obs::span("cache.keys");
+            cache::KeyBuilder::new(&self.config, program, &dsa, &cg)
         });
+        let roots = collector.analysis_roots(&cg);
+        obs::counter("check.roots", roots.len() as u64);
+        let outcomes = {
+            // One driver-side span over the whole fan-out, so the
+            // top-level phases partition the wall clock even when the
+            // per-root traces/rules spans land on worker threads.
+            let _s = obs::span_lazy("roots", || vec![("jobs", jobs.to_string())]);
+            pool::run_indexed(jobs, roots, |_, root| {
+                self.check_root(program, &collector, cache, keys.as_ref(), root)
+            })
+        };
+        let memo = collector.memo_stats();
+        obs::counter("trace.memo.hits", memo.hits);
+        obs::counter("trace.memo.misses", memo.misses);
+        obs::counter("trace.memo.skips", memo.skips);
+        obs::counter("trace.memo.summaries", memo.summaries);
 
         // Deterministic merge: outcomes arrive in root order regardless of
         // scheduling, and every aggregate below is associative.
@@ -168,6 +196,16 @@ impl StaticChecker {
             events_truncated += o.events_truncated;
             raw.extend(o.raw);
         }
+        obs::counter("check.traces", stats.traces);
+        obs::counter("check.paths_pruned", paths_pruned);
+        obs::counter("check.events_truncated", events_truncated);
+        obs::counter("check.warnings_raw", raw.len() as u64);
+        if cache.is_some() {
+            obs::counter("cache.hits", stats.hits);
+            obs::counter("cache.misses", stats.misses);
+            obs::counter("cache.stores", stats.stores);
+        }
+        let _report_span = obs::span("report");
         let mut report = Report::from_raw(raw);
         if paths_pruned > 0 {
             report.push_note(format!(
@@ -200,6 +238,9 @@ impl StaticChecker {
         let key = keys.map(|kb| kb.root_key(root));
         if let (Some(c), Some(k)) = (cache, key.as_deref()) {
             if let Some(entry) = c.lookup(k) {
+                if obs::active() {
+                    obs::instant_args("cache.hit", root_arg(program, root));
+                }
                 return RootOutcome::from_entry(entry);
             }
             // Cold root. Claim it so a concurrent worker — here or in
@@ -211,7 +252,12 @@ impl StaticChecker {
             }
             // Claim lost: the holder is computing. Wait for its entry;
             // if the claim turns out stale (holder died), compute here.
-            if let Some(entry) = c.wait_for(k) {
+            obs::counter("cache.claim_waits", 1);
+            let waited = {
+                let _s = obs::span_lazy("cache.wait", || root_arg(program, root));
+                c.wait_for(k)
+            };
+            if let Some(entry) = waited {
                 return RootOutcome::from_entry(entry);
             }
             let mut out = self.compute_root(program, collector, root);
@@ -228,10 +274,14 @@ impl StaticChecker {
         collector: &TraceCollector<'_>,
         root: FuncRef,
     ) -> RootOutcome {
-        let (traces, trunc) = collector.collect_root_counted(root);
+        let (traces, trunc) = {
+            let _s = obs::span_lazy("traces", || root_arg(program, root));
+            collector.collect_root_counted(root)
+        };
         let model = model_override(program.func(root)).unwrap_or(self.config.model);
         let mut config = self.config.clone();
         config.model = model;
+        let _s = obs::span_lazy("rules", || root_arg(program, root));
         let mut raw = Vec::new();
         for t in &traces {
             let mut scan = Scan::new(&config, t);

@@ -10,6 +10,10 @@
 //! * byte-identical incremental-cache directories (same file names, same
 //!   contents — the claim protocol must leave no residue and the stored
 //!   entries must not depend on which worker computed them).
+//!
+//! A third, instrumented leg runs the same parallel check with a
+//! `deepmc-obs` recorder attached: the observability layer must not
+//! perturb either artifact.
 
 use deepmc::{AnalysisCache, DeepMcConfig, StaticChecker};
 use deepmc_analysis::Program;
@@ -97,6 +101,14 @@ fn dir_snapshot(dir: &Path) -> Vec<(String, Vec<u8>)> {
     out
 }
 
+/// Callees no root calls — each is a call-graph root of its own and
+/// counts toward `check.roots`.
+fn uncalled(g: &GenProgram) -> usize {
+    let called: std::collections::HashSet<usize> =
+        g.roots.iter().flat_map(|r| r.calls.iter().copied()).collect();
+    (0..g.callees.len()).filter(|i| !called.contains(i)).count()
+}
+
 static CASE: AtomicUsize = AtomicUsize::new(0);
 
 proptest! {
@@ -113,21 +125,39 @@ proptest! {
         let base = std::env::temp_dir().join(format!("deepmc-pd-{}-{case}", std::process::id()));
         let dir_seq = base.join("seq");
         let dir_par = base.join("par");
+        let dir_obs = base.join("obs");
 
         let cache_seq = AnalysisCache::open(&dir_seq);
         let cache_par = AnalysisCache::open(&dir_par);
+        let cache_obs = AnalysisCache::open(&dir_obs);
         let (rep_seq, _) = checker.check_program_with_jobs(&program, Some(&cache_seq), 1);
         let (rep_par, _) = checker.check_program_with_jobs(&program, Some(&cache_par), jobs);
+        // Instrumented leg: same parallel run with a recorder attached.
+        let rec = deepmc_obs::Recorder::new();
+        let (rep_obs, _) = {
+            let _attach = rec.attach(0);
+            let _total = deepmc_obs::span("total");
+            checker.check_program_with_jobs(&program, Some(&cache_obs), jobs)
+        };
+        let obs_data = rec.finish();
 
         let text_eq = rep_seq.to_string() == rep_par.to_string();
         let json_eq = serde_json::to_string(&rep_seq).unwrap()
             == serde_json::to_string(&rep_par).unwrap();
         let cache_eq = dir_snapshot(&dir_seq) == dir_snapshot(&dir_par);
+        let obs_text_eq = rep_seq.to_string() == rep_obs.to_string();
+        let obs_cache_eq = dir_snapshot(&dir_seq) == dir_snapshot(&dir_obs);
         let _ = std::fs::remove_dir_all(&base);
 
         prop_assert!(text_eq, "jobs={jobs}: rendered report differs from sequential");
         prop_assert!(json_eq, "jobs={jobs}: JSON report differs from sequential");
         prop_assert!(cache_eq, "jobs={jobs}: cache directory differs from sequential");
+        prop_assert!(obs_text_eq, "jobs={jobs}: instrumented report differs from sequential");
+        prop_assert!(obs_cache_eq, "jobs={jobs}: instrumented cache dir differs from sequential");
+        prop_assert!(
+            obs_data.counter("check.roots") == g.roots.len() as u64 + uncalled(&g) as u64,
+            "instrumented run recorded every analysis root"
+        );
 
         // Sanity: the generator must exercise the interesting case often
         // enough — every (root, distinct buggy callee) pair is one

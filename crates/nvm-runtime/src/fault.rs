@@ -33,6 +33,7 @@
 //! sequence; the crash-sweep driver relies on this to replay violations.
 
 use crate::pool::CACHE_LINE;
+use deepmc_obs as obs;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -184,6 +185,7 @@ impl FaultPlan {
             let split = rng.gen_range(1..old.len());
             torn.insert(line, TornMark { start, old: old.to_vec(), split });
             self.counters.torn_marks.fetch_add(1, Ordering::Relaxed);
+            obs::counter("fault.torn_marks", 1);
         }
     }
 
@@ -210,6 +212,7 @@ impl FaultPlan {
         let mark = self.torn.lock().get(&line).cloned();
         if mark.is_some() {
             self.counters.torn_applied.fetch_add(1, Ordering::Relaxed);
+            obs::counter("fault.torn_applied", 1);
         }
         mark
     }
@@ -235,6 +238,7 @@ impl FaultPlan {
             out.push((line, transient));
         }
         self.counters.poisoned_lines.fetch_add(out.len() as u64, Ordering::Relaxed);
+        obs::counter("fault.poisoned_lines", out.len() as u64);
         out
     }
 

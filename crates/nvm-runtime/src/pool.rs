@@ -27,6 +27,7 @@
 //! can introduce extra latency by 2–4×") have measurable cost.
 
 use crate::fault::{FaultConfig, FaultPlan, FaultStats, PmemError};
+use deepmc_obs as obs;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -402,8 +403,15 @@ impl PmemPool {
         }
         self.check_range(addr, len);
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        obs::counter("pmem.flushes", 1);
         let first = addr.line();
         let last = PAddr(addr.0 + len - 1).line();
+        if obs::active() {
+            obs::instant_args(
+                "pmem.flush",
+                vec![("addr", format!("{:#x}", addr.0)), ("lines", (last - first + 1).to_string())],
+            );
+        }
         if self.flush_cost > Duration::ZERO {
             busy_wait(self.flush_cost * (last - first + 1) as u32);
         }
@@ -426,6 +434,7 @@ impl PmemPool {
                         // dirty — the next fence persists nothing for it.
                         if self.fault.as_ref().is_some_and(|f| f.drop_flush(line)) {
                             self.stats.dropped_flushes.fetch_add(1, Ordering::Relaxed);
+                            obs::counter("fault.dropped_flushes", 1);
                             continue;
                         }
                         shard.lines[idx] = LineState::FlushPending;
@@ -469,6 +478,11 @@ impl PmemPool {
             }
         }
         self.stats.lines_written_back.fetch_add(written_back, Ordering::Relaxed);
+        obs::counter("pmem.fences", 1);
+        obs::counter("pmem.lines_written_back", written_back);
+        if obs::active() {
+            obs::instant_args("pmem.fence", vec![("written_back", written_back.to_string())]);
+        }
         if self.writeback_cost > Duration::ZERO && written_back > 0 {
             busy_wait(self.writeback_cost * written_back as u32);
         }

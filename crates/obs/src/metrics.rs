@@ -1,0 +1,159 @@
+//! Versioned metrics snapshot: the machine-readable counterpart of the
+//! `--profile` summary, written by `--metrics-out FILE`.
+//!
+//! The schema is a stability contract: external tooling (CI, dashboards,
+//! BENCH_analysis.json consumers) keys on `schema_version`, so any shape
+//! change — field added, removed, renamed, or re-typed — must bump
+//! [`METRICS_SCHEMA_VERSION`]. A golden-file test in the corpus crate
+//! enforces this: changing the shape without bumping the version fails
+//! the golden comparison.
+//!
+//! The vendored serde cannot serialize maps, so counters and phases are
+//! sorted `Vec`s of named structs — which also keeps the JSON ordering
+//! deterministic without relying on map-iteration order.
+
+use crate::ObsData;
+use serde::{Deserialize, Serialize};
+
+/// Bump on ANY change to the shape of [`MetricsSnapshot`] or its
+/// children.
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
+/// One named monotonic counter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterMetric {
+    pub name: String,
+    pub value: u64,
+}
+
+/// Aggregate timing for one span name (a pipeline phase).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseMetric {
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Summed duration across those spans, microseconds. Note this is
+    /// aggregate CPU-side time: with multiple workers the per-root
+    /// phases sum to more than the wall clock.
+    pub total_us: u64,
+}
+
+/// The versioned snapshot written by `--metrics-out`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Schema version; see [`METRICS_SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Which tool produced the snapshot ("deepmc check", "crashsweep",
+    /// "repro-perf").
+    pub tool: String,
+    /// Wall time of the run, microseconds (duration of the root `total`
+    /// span when present).
+    pub wall_us: u64,
+    /// Number of distinct workers that recorded events.
+    pub workers: u32,
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterMetric>,
+    /// Per-phase totals, sorted by name.
+    pub phases: Vec<PhaseMetric>,
+}
+
+impl MetricsSnapshot {
+    /// Build a snapshot from merged recording data.
+    pub fn from_data(tool: &str, data: &ObsData) -> MetricsSnapshot {
+        MetricsSnapshot {
+            schema_version: METRICS_SCHEMA_VERSION,
+            tool: tool.to_string(),
+            wall_us: data.wall_us(),
+            workers: data.workers(),
+            counters: data
+                .counters
+                .iter()
+                .map(|(name, value)| CounterMetric { name: name.to_string(), value: *value })
+                .collect(),
+            phases: data
+                .phase_totals()
+                .into_iter()
+                .map(|p| PhaseMetric {
+                    name: p.name.to_string(),
+                    count: p.count,
+                    total_us: p.total_us,
+                })
+                .collect(),
+        }
+    }
+
+    /// Pretty-printed JSON with a trailing newline, ready to write to a
+    /// file.
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("metrics snapshot serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Zero every timing field. Golden tests compare redacted snapshots:
+    /// the structure (names, counts, versions) is deterministic, the
+    /// timings are not.
+    pub fn redact_timings(&mut self) {
+        self.wall_us = 0;
+        for p in &mut self.phases {
+            p.total_us = 0;
+        }
+    }
+
+    /// Value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{counter, span, Recorder};
+
+    fn sample() -> MetricsSnapshot {
+        let rec = Recorder::new();
+        {
+            let _a = rec.attach(0);
+            let _t = span("total");
+            {
+                let _p = span("parse");
+            }
+            counter("check.roots", 2);
+            counter("cache.hits", 1);
+        }
+        rec.finish().metrics_snapshot("deepmc check")
+    }
+
+    #[test]
+    fn snapshot_shape_and_ordering() {
+        let m = sample();
+        assert_eq!(m.schema_version, METRICS_SCHEMA_VERSION);
+        assert_eq!(m.tool, "deepmc check");
+        assert_eq!(m.workers, 1);
+        let names: Vec<&str> = m.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["cache.hits", "check.roots"], "counters sorted by name");
+        assert_eq!(m.counter("check.roots"), 2);
+        let phases: Vec<&str> = m.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(phases, ["parse", "total"], "phases sorted by name");
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let mut m = sample();
+        m.redact_timings();
+        let json = m.to_json();
+        assert!(json.ends_with('\n'));
+        let back: MetricsSnapshot = serde_json::from_str(json.trim_end()).expect("parses back");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn redaction_zeroes_timings_only() {
+        let mut m = sample();
+        m.redact_timings();
+        assert_eq!(m.wall_us, 0);
+        assert!(m.phases.iter().all(|p| p.total_us == 0));
+        assert_eq!(m.counter("check.roots"), 2, "counters survive redaction");
+    }
+}
