@@ -13,11 +13,16 @@
 //! item index and reassembled in input order, so callers observe a
 //! deterministic, schedule-independent result vector.
 //!
-//! A worker that panics propagates the panic out of [`run_indexed`]
-//! (after the remaining workers are joined), matching the behaviour the
-//! same loop would have had sequentially.
+//! Each job body runs under [`std::panic::catch_unwind`]: a panicking
+//! item becomes an `Err(message)` in the result slot of
+//! [`run_indexed_caught`] while every other item completes normally.
+//! [`run_indexed`] keeps the legacy contract — it re-raises the first
+//! panic (in item order) after all workers have drained — so callers
+//! that cannot represent partial failure still behave as the same loop
+//! would have sequentially.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 
 use parking_lot::Mutex;
@@ -56,13 +61,50 @@ pub fn resolve_jobs_with_env(explicit: Option<usize>, env: Option<&str>) -> usiz
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// Render a panic payload as a human-readable message. Panics raised via
+/// `panic!("...")` carry a `String` or `&'static str`; anything else gets
+/// a stable placeholder so degraded reports stay deterministic.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 /// Run `f` over every item on up to `jobs` workers, returning the results
 /// in item order regardless of which worker computed what.
 ///
 /// With `jobs <= 1` (or one item) the items run inline on the calling
 /// thread, in order — the zero-thread path parallel callers are compared
 /// against for byte-identity.
+///
+/// A panicking item re-raises out of this function (first in item order)
+/// once all workers have drained; use [`run_indexed_caught`] to receive
+/// panics as per-item `Err` values instead.
 pub fn run_indexed<T, R>(jobs: usize, items: Vec<T>, f: impl Fn(usize, T) -> R + Sync) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    run_indexed_caught(jobs, items, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|msg| panic!("analysis worker panicked: {msg}")))
+        .collect()
+}
+
+/// [`run_indexed`] with per-item panic isolation: each job body runs
+/// under `catch_unwind`, so a panicking item yields `Err(message)` in its
+/// result slot while every other item completes. The result vector is in
+/// item order and independent of the worker count — the degraded-output
+/// determinism the checker's report contract relies on.
+pub fn run_indexed_caught<T, R>(
+    jobs: usize,
+    items: Vec<T>,
+    f: impl Fn(usize, T) -> R + Sync,
+) -> Vec<Result<R, String>>
 where
     T: Send,
     R: Send,
@@ -77,7 +119,7 @@ where
                 let _s = deepmc_obs::span_lazy("pool.job", || {
                     vec![("index", i.to_string()), ("stolen", "false".to_string())]
                 });
-                f(i, item)
+                catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(panic_message)
             })
             .collect();
     }
@@ -87,7 +129,7 @@ where
     for (i, item) in items.into_iter().enumerate() {
         deques[i % workers].lock().push_back((i, item));
     }
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let (tx, rx) = mpsc::channel::<(usize, Result<R, String>)>();
     // If the caller is recording, workers attach to the same recorder
     // under worker ids 1..=N (the caller thread is worker 0), so spans
     // carry the executing worker and steals are visible in the trace.
@@ -122,7 +164,7 @@ where
                         let _s = deepmc_obs::span_lazy("pool.job", || {
                             vec![("index", i.to_string()), ("stolen", stolen.to_string())]
                         });
-                        f(i, item)
+                        catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(panic_message)
                     };
                     // The work set is static: once every deque is empty
                     // the worker can retire — nothing re-enqueues.
@@ -134,8 +176,8 @@ where
         }
         drop(tx);
     })
-    .expect("analysis worker panicked");
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    .expect("analysis worker panicked outside a job body");
+    let mut out: Vec<Option<Result<R, String>>> = (0..n).map(|_| None).collect();
     for (i, r) in rx {
         out[i] = Some(r);
     }
@@ -185,6 +227,89 @@ mod tests {
             x + 1
         });
         assert_eq!(got, (1..=32u64).collect::<Vec<_>>());
+    }
+
+    /// Suppress the default panic hook's stderr noise for panics whose
+    /// payload is marked as intentional test chaos.
+    fn quiet_chaos_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let chaotic = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .map(|s| s.contains("chaos:"))
+                    .or_else(|| info.payload().downcast_ref::<&str>().map(|s| s.contains("chaos:")))
+                    .unwrap_or(false);
+                if !chaotic {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn caught_panics_become_err_slots_in_item_order() {
+        quiet_chaos_panics();
+        for jobs in [1, 4] {
+            let got = run_indexed_caught(jobs, (0..16u64).collect::<Vec<_>>(), |_, x| {
+                if x % 5 == 0 {
+                    panic!("chaos: item {x}");
+                }
+                x * 2
+            });
+            assert_eq!(got.len(), 16, "jobs={jobs}");
+            for (i, r) in got.iter().enumerate() {
+                if i % 5 == 0 {
+                    assert_eq!(r.as_ref().unwrap_err(), &format!("chaos: item {i}"));
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(i as u64 * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn caught_results_are_identical_across_worker_counts() {
+        quiet_chaos_panics();
+        let run = |jobs| {
+            run_indexed_caught(jobs, (0..64u32).collect::<Vec<_>>(), |_, x| {
+                if x % 7 == 3 {
+                    panic!("chaos: {x}");
+                }
+                x + 1
+            })
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn caught_static_str_payload_is_preserved() {
+        quiet_chaos_panics();
+        let got = run_indexed_caught(2, vec![0, 1], |_, x| {
+            if x == 1 {
+                panic!("chaos: static payload");
+            }
+            x
+        });
+        assert_eq!(got[0], Ok(0));
+        assert_eq!(got[1], Err("chaos: static payload".to_string()));
+    }
+
+    #[test]
+    fn run_indexed_reraises_job_panics() {
+        quiet_chaos_panics();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_indexed(2, vec![0u8, 1, 2, 3], |_, x| {
+                if x == 2 {
+                    panic!("chaos: boom");
+                }
+                x
+            })
+        }));
+        let msg = panic_message(caught.unwrap_err());
+        assert!(msg.contains("chaos: boom"), "re-raised message carries payload: {msg}");
     }
 
     #[test]

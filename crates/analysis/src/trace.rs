@@ -28,6 +28,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Abstract object id, unique within one trace-collection run per root.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -224,6 +225,16 @@ pub struct TraceConfig {
     /// are memoized, and replay is guarded so collected traces are
     /// bit-identical to the non-memoized walk.
     pub memoize: bool,
+    /// Wall-clock budget per root. When the deadline passes, the walk
+    /// stops forking and returns what it has, marking the root's
+    /// [`RootTruncation`] as `timed_out`. Inherently nondeterministic
+    /// (where the walk stops depends on machine speed); use
+    /// `max_walk_steps` where reproducibility matters.
+    pub root_timeout: Option<Duration>,
+    /// Deterministic analogue of `root_timeout`: a cap on walk steps
+    /// (block visits) per root. Schedule-independent — the same program
+    /// times out at the same point at any worker count, memoized or not.
+    pub max_walk_steps: Option<u64>,
 }
 
 impl Default for TraceConfig {
@@ -234,6 +245,8 @@ impl Default for TraceConfig {
             max_paths: 128,
             max_trace_len: 100_000,
             memoize: true,
+            root_timeout: None,
+            max_walk_steps: None,
         }
     }
 }
@@ -346,6 +359,10 @@ struct MemoSummary {
     /// High-water mark of events appended on any path prefix (including
     /// paths later abandoned by the loop bound).
     max_added: usize,
+    /// Walk steps (block visits) the inline collection performed; replay
+    /// charges the same amount so step-budget timeouts fire at the same
+    /// point whether or not a summary was spliced.
+    steps: u64,
     ends: Vec<MemoEnd>,
 }
 
@@ -424,6 +441,34 @@ struct WalkCtx {
     pruned: u64,
     /// Events truncated during this walk.
     truncated: u64,
+    /// Walk steps (block visits) consumed, including steps charged for
+    /// spliced summaries.
+    steps: u64,
+    /// Deterministic step cap ([`TraceConfig::max_walk_steps`]).
+    step_limit: Option<u64>,
+    /// Wall-clock cutoff ([`TraceConfig::root_timeout`]).
+    deadline: Option<Instant>,
+    /// Set once either budget trips; the walk then unwinds without
+    /// exploring further.
+    timed_out: bool,
+}
+
+impl WalkCtx {
+    /// Charge one walk step and report whether the walk is out of budget.
+    /// Once tripped, stays tripped (and stops charging) so unwinding is
+    /// cheap and the step count at the trip point is well-defined.
+    fn out_of_budget(&mut self) -> bool {
+        if self.timed_out {
+            return true;
+        }
+        self.steps += 1;
+        if self.step_limit.is_some_and(|l| self.steps > l)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+        {
+            self.timed_out = true;
+        }
+        self.timed_out
+    }
 }
 
 /// Exploration losses of one root's collection: `(paths pruned, events
@@ -432,6 +477,9 @@ struct WalkCtx {
 pub struct RootTruncation {
     pub paths_pruned: u64,
     pub events_truncated: u64,
+    /// The root's walk hit its wall-clock or step budget and returned a
+    /// partial trace set.
+    pub timed_out: bool,
 }
 
 /// Everything needed to turn an inline callee walk into a stored summary.
@@ -444,6 +492,7 @@ struct RecordCtx {
     budget_before: usize,
     pruned_before: u64,
     truncated_before: u64,
+    steps_before: u64,
     hw_saved: usize,
 }
 
@@ -581,13 +630,24 @@ impl<'p> TraceCollector<'p> {
             st.events.push(TraceEvent::TxBegin { loc });
         }
 
-        let mut ctx =
-            WalkCtx { budget: self.config.max_paths, events_hw: 0, pruned: 0, truncated: 0 };
+        let mut ctx = WalkCtx {
+            budget: self.config.max_paths,
+            events_hw: 0,
+            pruned: 0,
+            truncated: 0,
+            steps: 0,
+            step_limit: self.config.max_walk_steps,
+            deadline: self.config.root_timeout.map(|t| Instant::now() + t),
+            timed_out: false,
+        };
         let ends = self.walk_function(root, env, st, 0, &mut ctx);
         self.paths_pruned.fetch_add(ctx.pruned, Ordering::Relaxed);
         self.events_truncated.fetch_add(ctx.truncated, Ordering::Relaxed);
-        let truncation =
-            RootTruncation { paths_pruned: ctx.pruned, events_truncated: ctx.truncated };
+        let truncation = RootTruncation {
+            paths_pruned: ctx.pruned,
+            events_truncated: ctx.truncated,
+            timed_out: ctx.timed_out,
+        };
         let traces = ends
             .into_iter()
             .map(|mut end| {
@@ -651,6 +711,11 @@ impl<'p> TraceCollector<'p> {
         ctx: &mut WalkCtx,
     ) -> Vec<WalkEnd> {
         let f = self.program.func(fr);
+        // Budget check first: a timed-out walk unwinds without exploring,
+        // keeping whatever path ends were already produced.
+        if ctx.out_of_budget() {
+            return Vec::new();
+        }
         // Loop bound: abandon paths that revisit a block too often.
         let v = visits.entry(bb).or_insert(0);
         *v += 1;
@@ -1007,12 +1072,19 @@ impl<'p> TraceCollector<'p> {
                 Some(sum) => {
                     // Replay guards: every fork during collection saw
                     // budget > 1, and every per-instruction length check
-                    // passed; require the same at this call site.
-                    if ctx.budget > sum.forks
+                    // passed; require the same at this call site. A step
+                    // budget additionally requires headroom for every
+                    // step the inline walk would have taken, so the
+                    // timeout point is identical with and without memo.
+                    let steps_fit =
+                        !ctx.timed_out && ctx.step_limit.is_none_or(|l| ctx.steps + sum.steps <= l);
+                    if steps_fit
+                        && ctx.budget > sum.forks
                         && st.events.len() + sum.max_added < self.config.max_trace_len
                     {
                         self.memo_hits.fetch_add(1, Ordering::Relaxed);
                         ctx.budget -= sum.forks;
+                        ctx.steps += sum.steps;
                         self.splice(&sum, dst, &env, &st, &arg_objs, ctx)
                     } else {
                         self.memo_skips.fetch_add(1, Ordering::Relaxed);
@@ -1066,6 +1138,7 @@ impl<'p> TraceCollector<'p> {
                 budget_before: ctx.budget,
                 pruned_before: ctx.pruned,
                 truncated_before: ctx.truncated,
+                steps_before: ctx.steps,
                 hw_saved: ctx.events_hw,
             };
             ctx.events_hw = st.events.len();
@@ -1159,11 +1232,15 @@ impl<'p> TraceCollector<'p> {
 
     /// Turn a finished inline walk into a stored summary, unless the walk's
     /// outcome depended on the remaining path budget or trace-length cap
-    /// (pruning/truncation observed), or an end references a caller object
-    /// that is not an argument (cannot happen for loadless callees; checked
-    /// defensively).
+    /// (pruning/truncation observed) or was cut short by a walk budget
+    /// (the partial ends are not the callee's true behaviour), or an end
+    /// references a caller object that is not an argument (cannot happen
+    /// for loadless callees; checked defensively).
     fn finish_recording(&self, ctx: &RecordCtx, ends: &[WalkEnd], wctx: &WalkCtx) {
-        if wctx.pruned != ctx.pruned_before || wctx.truncated != ctx.truncated_before {
+        if wctx.timed_out
+            || wctx.pruned != ctx.pruned_before
+            || wctx.truncated != ctx.truncated_before
+        {
             return;
         }
         let n_args = ctx.arg_objs.len() as u32;
@@ -1206,6 +1283,7 @@ impl<'p> TraceCollector<'p> {
         let sum = MemoSummary {
             forks: ctx.budget_before - wctx.budget,
             max_added: wctx.events_hw.saturating_sub(ctx.incoming_events),
+            steps: wctx.steps - ctx.steps_before,
             ends: sends,
         };
         self.memo.insert(ctx.key.clone(), Arc::new(sum));
@@ -1755,5 +1833,135 @@ entry:
         let traces = collect(&src);
         assert!(traces.len() <= TraceConfig::default().max_paths);
         assert!(!traces.is_empty());
+    }
+
+    fn collect_counted(src: &str, config: TraceConfig) -> Vec<(Vec<Trace>, RootTruncation)> {
+        let p = Program::single(parse(src).unwrap());
+        let cg = CallGraph::build(&p);
+        let dsa = DsaResult::analyze(&p, &cg);
+        let tc = TraceCollector::new(&p, &dsa, config);
+        let roots = tc.analysis_roots(&cg);
+        roots.iter().map(|&r| tc.collect_root_counted(r)).collect()
+    }
+
+    #[test]
+    fn step_budget_degrades_to_partial_traces() {
+        let mut src = String::from(
+            "module m\nstruct s { a: i64 }\nfn main(%c: i64) {\nentry:\n  %x = palloc s\n  jmp b0\n",
+        );
+        for i in 0..12 {
+            src.push_str(&format!(
+                "b{i}:\n  br %c, t{i}, f{i}\nt{i}:\n  store %x.a, {i}\n  jmp b{next}\nf{i}:\n  fence\n  jmp b{next}\n",
+                next = i + 1
+            ));
+        }
+        src.push_str("b12:\n  ret\n}\n");
+        let full = collect_counted(&src, TraceConfig::default());
+        assert!(!full[0].1.timed_out, "default config has no step budget");
+        let tight = TraceConfig { max_walk_steps: Some(6), ..Default::default() };
+        let got = collect_counted(&src, tight);
+        assert!(got[0].1.timed_out, "six steps cannot finish a 12-branch walk");
+        assert!(got[0].0.len() < full[0].0.len(), "timed-out walk keeps only partial paths");
+    }
+
+    #[test]
+    fn generous_step_budget_changes_nothing() {
+        let src = r#"
+module m
+struct s { a: i64, b: i64 }
+fn main(%c: i64) {
+entry:
+  %x = palloc s
+  store %x.a, 1
+  br %c, t, f
+t:
+  flush %x.a
+  jmp d
+f:
+  jmp d
+d:
+  fence
+  ret
+}
+"#;
+        let full = collect_counted(src, TraceConfig::default());
+        let capped = collect_counted(
+            src,
+            TraceConfig { max_walk_steps: Some(1_000_000), ..Default::default() },
+        );
+        assert_eq!(full, capped);
+        assert!(!capped[0].1.timed_out);
+    }
+
+    #[test]
+    fn step_budget_timeout_point_is_memoization_independent() {
+        // A loadless callee called repeatedly: with memoization the later
+        // calls splice a summary instead of walking inline. The step
+        // accounting must make the walk trip at exactly the same point
+        // either way, or step-budget timeouts would be schedule- and
+        // cache-dependent.
+        let src = r#"
+module m
+struct s { a: i64, b: i64 }
+fn wr(%q: ptr s) {
+entry:
+  store %q.a, 2
+  flush %q.a
+  ret
+}
+fn root_a(%c: i64) {
+entry:
+  %x = palloc s
+  call wr(%x)
+  call wr(%x)
+  call wr(%x)
+  br %c, t, f
+t:
+  store %x.b, 1
+  jmp d
+f:
+  jmp d
+d:
+  fence
+  ret
+}
+fn root_b() {
+entry:
+  %y = palloc s
+  call wr(%y)
+  call wr(%y)
+  ret
+}
+"#;
+        for limit in 1..=24u64 {
+            let memo = collect_counted(
+                src,
+                TraceConfig { max_walk_steps: Some(limit), memoize: true, ..Default::default() },
+            );
+            let plain = collect_counted(
+                src,
+                TraceConfig { max_walk_steps: Some(limit), memoize: false, ..Default::default() },
+            );
+            assert_eq!(memo, plain, "walk diverged under memoization at step limit {limit}");
+        }
+    }
+
+    #[test]
+    fn wall_clock_timeout_marks_root_timed_out() {
+        let mut src = String::from(
+            "module m\nstruct s { a: i64 }\nfn main(%c: i64) {\nentry:\n  %x = palloc s\n  jmp b0\n",
+        );
+        for i in 0..12 {
+            src.push_str(&format!(
+                "b{i}:\n  br %c, t{i}, f{i}\nt{i}:\n  store %x.a, {i}\n  jmp b{next}\nf{i}:\n  fence\n  jmp b{next}\n",
+                next = i + 1
+            ));
+        }
+        src.push_str("b12:\n  ret\n}\n");
+        // A zero-duration budget is already expired at the first check.
+        let cfg = TraceConfig { root_timeout: Some(Duration::ZERO), ..Default::default() };
+        let got = collect_counted(&src, cfg);
+        assert!(got[0].1.timed_out);
+        assert!(got[0].0.is_empty(), "expired-before-start walk yields no traces");
     }
 }

@@ -26,6 +26,16 @@
 //! so the sweep fans them out over the shared work-stealing pool
 //! ([`deepmc_analysis::pool`]) and merges per-step results in step order
 //! — the outcome is identical for any [`SweepConfig::jobs`] value.
+//!
+//! Sweeps are *resumable*: with a [`SweepJournal`] attached, every
+//! completed crash step is appended (one flushed line each) as it
+//! finishes, and a later run over the same config skips journaled steps
+//! and replays their recorded outcomes. Because each line is written and
+//! flushed atomically enough to survive a hard kill (a torn trailing
+//! line is simply re-executed), even a SIGKILLed sweep resumes from its
+//! last completed step. Cooperative interruption ([`SweepSession`]) stops
+//! scheduling new steps, drains in-flight workers, and leaves the journal
+//! flushed.
 
 use crate::memcached::Memcached;
 use crate::nstore::NStore;
@@ -36,8 +46,14 @@ use crate::workloads::ClientCtx;
 use deepmc_analysis::pool::{resolve_jobs, run_indexed};
 use deepmc_obs as obs;
 use nvm_runtime::{CrashPolicy, FaultConfig, PmemHeap, PmemPool, PoolConfig};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Which applications to sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,9 +111,9 @@ impl Default for SweepConfig {
 }
 
 /// One unattributed invariant violation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Violation {
-    pub app: &'static str,
+    pub app: String,
     pub crash_step: u64,
     pub policy: String,
     pub key: u64,
@@ -319,7 +335,9 @@ fn run_prefix(cfg: &SweepConfig, app: SweepApp, crash_step: usize) -> AppRun {
 /// Per-crash-step partial results. Each crash step is self-contained —
 /// its own fault-injecting pool, script prefix, and crash images — so
 /// steps run independently on the worker pool and merge in step order.
-#[derive(Debug, Default)]
+/// Serializable: a completed step's outcome is journaled verbatim and
+/// replayed on `--resume` instead of re-executing the step.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
 struct StepOutcome {
     images_checked: u64,
     records_dropped: u64,
@@ -391,7 +409,7 @@ fn sweep_step(cfg: &SweepConfig, app: SweepApp, crash_step: usize) -> StepOutcom
                 // raw history values.
                 if !in_history {
                     outcome.violations.push(Violation {
-                        app: app.name(),
+                        app: app.name().to_string(),
                         crash_step: crash_step as u64,
                         policy: policy_name(&policy),
                         key: k,
@@ -411,7 +429,7 @@ fn sweep_step(cfg: &SweepConfig, app: SweepApp, crash_step: usize) -> StepOutcom
                     outcome.fault_attributed += 1;
                 } else {
                     outcome.violations.push(Violation {
-                        app: app.name(),
+                        app: app.name().to_string(),
                         crash_step: crash_step as u64,
                         policy: policy_name(&policy),
                         key: k,
@@ -430,6 +448,186 @@ fn sweep_step(cfg: &SweepConfig, app: SweepApp, crash_step: usize) -> StepOutcom
     outcome
 }
 
+/// Magic first line of a sweep journal; ties the journal to one config.
+const JOURNAL_MAGIC: &str = "deepmc-sweep-journal-v1";
+
+/// FNV-1a 64-bit, local copy (stability across runs is what matters).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest of everything that determines a step's outcome: seed, script
+/// shape, fault plan, bug injection, and the app set. `jobs` is excluded
+/// on purpose — a journal written at `--jobs 4` resumes at any worker
+/// count.
+fn config_fingerprint(cfg: &SweepConfig, apps: &[SweepApp]) -> u64 {
+    let mut text = format!(
+        "seed={} steps={} random_seeds={} fault={:?} inject_bug={}",
+        cfg.seed, cfg.steps, cfg.random_seeds, cfg.fault, cfg.inject_bug
+    );
+    for a in apps {
+        text.push(' ');
+        text.push_str(a.name());
+    }
+    fnv1a(text.as_bytes())
+}
+
+/// One journaled crash step.
+#[derive(Serialize, Deserialize)]
+struct JournalLine {
+    app: String,
+    step: u64,
+    outcome: StepOutcome,
+}
+
+/// Append-only on-disk record of completed crash steps.
+///
+/// Layout: a header line binding the journal to a config fingerprint,
+/// then one JSON line per completed step. Every append is a single
+/// `write_all` + flush, so a killed sweep leaves at most one torn
+/// trailing line — tolerated (skipped) on reload, costing one re-executed
+/// step. Opening with `resume = false`, or with a header that doesn't
+/// match the current config, truncates and starts fresh.
+pub struct SweepJournal {
+    done: HashMap<(String, u64), StepOutcome>,
+    file: Mutex<fs::File>,
+    appended: AtomicU64,
+}
+
+impl SweepJournal {
+    /// Open (or create) the journal at `path` for this config. With
+    /// `resume`, previously journaled steps of a matching-config journal
+    /// are loaded and later skipped by [`sweep_session`].
+    pub fn open(
+        path: impl Into<PathBuf>,
+        cfg: &SweepConfig,
+        apps: &[SweepApp],
+        resume: bool,
+    ) -> io::Result<SweepJournal> {
+        let path = path.into();
+        let header = format!("{JOURNAL_MAGIC} fingerprint={:016x}", config_fingerprint(cfg, apps));
+        let mut done = HashMap::new();
+        let mut reusable = false;
+        if resume {
+            if let Ok(text) = fs::read_to_string(&path) {
+                let mut lines = text.lines();
+                if lines.next() == Some(header.as_str()) {
+                    reusable = true;
+                    for line in lines {
+                        // Torn or unparsable lines (hard kill mid-append)
+                        // are skipped: that step simply re-executes.
+                        if let Ok(jl) = serde_json::from_str::<JournalLine>(line) {
+                            done.insert((jl.app, jl.step), jl.outcome);
+                        }
+                    }
+                } else {
+                    obs::warning(
+                        "sweep.journal_mismatch",
+                        &format!(
+                            "journal {} was written for a different sweep config; starting fresh",
+                            path.display()
+                        ),
+                    );
+                }
+            }
+        }
+        let file = if reusable {
+            fs::OpenOptions::new().append(true).open(&path)?
+        } else {
+            let mut f = fs::File::create(&path)?;
+            writeln!(f, "{header}")?;
+            f.flush()?;
+            f
+        };
+        Ok(SweepJournal { done, file: Mutex::new(file), appended: AtomicU64::new(0) })
+    }
+
+    /// Steps loaded from a previous run (skippable on this one).
+    pub fn loaded_steps(&self) -> u64 {
+        self.done.len() as u64
+    }
+
+    fn lookup(&self, app: &str, step: u64) -> Option<&StepOutcome> {
+        self.done.get(&(app.to_string(), step))
+    }
+
+    /// Append one completed step (single flushed write); returns how many
+    /// steps this run has journaled so far.
+    fn append(&self, app: &str, step: u64, outcome: &StepOutcome) -> u64 {
+        let line = JournalLine { app: app.to_string(), step, outcome: outcome.clone() };
+        if let Ok(json) = serde_json::to_string(&line) {
+            let mut buf = json.into_bytes();
+            buf.push(b'\n');
+            let mut f = self.file.lock().expect("journal file lock");
+            let _ = f.write_all(&buf);
+            let _ = f.flush();
+        }
+        self.appended.fetch_add(1, Ordering::SeqCst) + 1
+    }
+}
+
+/// Controls for one resumable/interruptible sweep run.
+#[derive(Default)]
+pub struct SweepSession<'a> {
+    /// Completed steps are appended here and journaled steps skipped.
+    pub journal: Option<&'a SweepJournal>,
+    /// Cooperative interrupt: after this many freshly journaled steps,
+    /// cancel the session (deterministic stand-in for Ctrl-C in tests and
+    /// CI; see `DEEPMC_SWEEP_INTERRUPT_AFTER`).
+    pub trip_after: Option<u64>,
+    cancelled: AtomicBool,
+}
+
+impl<'a> SweepSession<'a> {
+    /// A session with a journal and an optional cooperative trip point.
+    pub fn new(journal: Option<&'a SweepJournal>, trip_after: Option<u64>) -> SweepSession<'a> {
+        SweepSession { journal, trip_after, cancelled: AtomicBool::new(false) }
+    }
+
+    /// Request cancellation: no further crash steps start, in-flight ones
+    /// drain, the journal stays flushed.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Has the session been cancelled?
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+/// Result of a [`sweep_session`] run.
+pub struct SweepRun {
+    /// Per-app outcomes, in app order (partial if interrupted).
+    pub outcomes: Vec<SweepOutcome>,
+    /// Steps replayed from the journal instead of re-executed.
+    pub resumed_steps: u64,
+    /// Steps not executed because the session was cancelled.
+    pub skipped_steps: u64,
+}
+
+impl SweepRun {
+    /// Did cancellation leave steps unexecuted (results are partial)?
+    pub fn interrupted(&self) -> bool {
+        self.skipped_steps > 0
+    }
+}
+
+/// What one pool job produced for a crash step.
+enum StepResult {
+    /// Session cancelled before the step started.
+    Skipped,
+    /// Replayed from the journal.
+    Resumed(StepOutcome),
+    /// Freshly executed.
+    Computed(StepOutcome),
+}
+
 /// Sweep one application: crash after every op under every policy.
 ///
 /// Crash steps fan out over a work-stealing pool sized by
@@ -437,7 +635,17 @@ fn sweep_step(cfg: &SweepConfig, app: SweepApp, crash_step: usize) -> StepOutcom
 /// outcome (counter for counter, violation for violation) is identical
 /// for any worker count.
 pub fn sweep_app(cfg: &SweepConfig, app: SweepApp) -> SweepOutcome {
+    sweep_app_session(cfg, app, &SweepSession::default()).0
+}
+
+/// [`sweep_app`] under a session; returns `(outcome, resumed, skipped)`.
+fn sweep_app_session(
+    cfg: &SweepConfig,
+    app: SweepApp,
+    session: &SweepSession<'_>,
+) -> (SweepOutcome, u64, u64) {
     let _s = obs::span_lazy("sweep.app", || vec![("app", app.name().to_string())]);
+    let total_steps = script(cfg).len();
     let mut outcome = SweepOutcome {
         app: app.name(),
         images_checked: 0,
@@ -445,13 +653,48 @@ pub fn sweep_app(cfg: &SweepConfig, app: SweepApp) -> SweepOutcome {
         flushes_dropped: 0,
         fault_attributed: 0,
         bug_attributed: 0,
-        dynamic_reports: dynamic_cross_check(cfg, app),
+        dynamic_reports: 0,
         violations: Vec::new(),
     };
-    let total_steps = script(cfg).len();
+    if session.is_cancelled() {
+        return (outcome, 0, total_steps as u64);
+    }
+    outcome.dynamic_reports = dynamic_cross_check(cfg, app);
     let jobs = resolve_jobs((cfg.jobs > 0).then_some(cfg.jobs));
     let steps: Vec<usize> = (1..=total_steps).collect();
-    for step in run_indexed(jobs, steps, |_, crash_step| sweep_step(cfg, app, crash_step)) {
+    let results = run_indexed(jobs, steps, |_, crash_step| {
+        if session.is_cancelled() {
+            return StepResult::Skipped;
+        }
+        if let Some(journal) = session.journal {
+            if let Some(done) = journal.lookup(app.name(), crash_step as u64) {
+                obs::counter("sweep.resumed_steps", 1);
+                return StepResult::Resumed(done.clone());
+            }
+        }
+        let out = sweep_step(cfg, app, crash_step);
+        if let Some(journal) = session.journal {
+            let journaled = journal.append(app.name(), crash_step as u64, &out);
+            if session.trip_after.is_some_and(|t| journaled >= t) {
+                session.cancel();
+            }
+        }
+        StepResult::Computed(out)
+    });
+    let mut resumed = 0u64;
+    let mut skipped = 0u64;
+    for result in results {
+        let step = match result {
+            StepResult::Skipped => {
+                skipped += 1;
+                continue;
+            }
+            StepResult::Resumed(s) => {
+                resumed += 1;
+                s
+            }
+            StepResult::Computed(s) => s,
+        };
         outcome.images_checked += step.images_checked;
         outcome.records_dropped += step.records_dropped;
         outcome.flushes_dropped += step.flushes_dropped;
@@ -459,7 +702,7 @@ pub fn sweep_app(cfg: &SweepConfig, app: SweepApp) -> SweepOutcome {
         outcome.bug_attributed += step.bug_attributed;
         outcome.violations.extend(step.violations);
     }
-    outcome
+    (outcome, resumed, skipped)
 }
 
 /// One instrumented, crash-free run of the same script: the dynamic
@@ -521,6 +764,20 @@ fn dynamic_cross_check(cfg: &SweepConfig, app: SweepApp) -> usize {
 /// Sweep a set of applications.
 pub fn sweep(cfg: &SweepConfig, apps: &[SweepApp]) -> Vec<SweepOutcome> {
     apps.iter().map(|&a| sweep_app(cfg, a)).collect()
+}
+
+/// Sweep a set of applications under a [`SweepSession`]: journaled steps
+/// are replayed, fresh steps are journaled as they complete, and
+/// cancellation drains in-flight workers then stops.
+pub fn sweep_session(cfg: &SweepConfig, apps: &[SweepApp], session: &SweepSession<'_>) -> SweepRun {
+    let mut run = SweepRun { outcomes: Vec::new(), resumed_steps: 0, skipped_steps: 0 };
+    for &app in apps {
+        let (outcome, resumed, skipped) = sweep_app_session(cfg, app, session);
+        run.outcomes.push(outcome);
+        run.resumed_steps += resumed;
+        run.skipped_steps += skipped;
+    }
+    run
 }
 
 #[cfg(test)]
@@ -611,5 +868,95 @@ mod tests {
         assert_eq!(a.records_dropped, b.records_dropped);
         assert_eq!(a.fault_attributed, b.fault_attributed);
         assert_eq!(a.violations.len(), b.violations.len());
+    }
+
+    fn outcomes_text(outcomes: &[SweepOutcome]) -> String {
+        outcomes.iter().map(|o| o.to_string()).collect()
+    }
+
+    #[test]
+    fn interrupted_sweep_resumes_to_identical_attribution() {
+        let dir = std::env::temp_dir().join(format!("deepmc-sweep-j1-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let journal_path = dir.join("sweep.journal");
+        let cfg = SweepConfig { inject_bug: true, jobs: 2, ..small(13) };
+        let apps = [SweepApp::NStore];
+
+        // Ground truth: an uninterrupted sweep with no journal.
+        let straight = sweep(&cfg, &apps);
+
+        // Run 1: cancel after 4 freshly journaled steps.
+        let journal = SweepJournal::open(&journal_path, &cfg, &apps, false).unwrap();
+        let session =
+            SweepSession { journal: Some(&journal), trip_after: Some(4), ..Default::default() };
+        let first = sweep_session(&cfg, &apps, &session);
+        assert!(first.interrupted(), "trip_after must cancel mid-sweep");
+        assert!(first.skipped_steps > 0);
+        drop(journal);
+
+        // Run 2: resume. Journaled steps replay; the rest execute.
+        let journal = SweepJournal::open(&journal_path, &cfg, &apps, true).unwrap();
+        let loaded = journal.loaded_steps();
+        assert!(loaded >= 4, "at least the tripped steps were journaled, got {loaded}");
+        let session = SweepSession { journal: Some(&journal), ..Default::default() };
+        let second = sweep_session(&cfg, &apps, &session);
+        assert!(!second.interrupted());
+        assert_eq!(second.resumed_steps, loaded, "every journaled step is skipped, not re-run");
+        assert_eq!(
+            outcomes_text(&second.outcomes),
+            outcomes_text(&straight),
+            "resumed sweep must match the uninterrupted one byte for byte"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_for_different_config_is_discarded() {
+        let dir = std::env::temp_dir().join(format!("deepmc-sweep-j2-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let journal_path = dir.join("sweep.journal");
+        let apps = [SweepApp::Redis];
+        let cfg_a = small(1);
+        let cfg_b = small(2);
+        let journal = SweepJournal::open(&journal_path, &cfg_a, &apps, false).unwrap();
+        let session = SweepSession { journal: Some(&journal), ..Default::default() };
+        let _ = sweep_session(&cfg_a, &apps, &session);
+        drop(journal);
+        // Resuming under a different seed must not replay cfg_a's steps.
+        let journal = SweepJournal::open(&journal_path, &cfg_b, &apps, true).unwrap();
+        assert_eq!(journal.loaded_steps(), 0, "mismatched journal starts fresh");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_trailing_journal_line_is_tolerated() {
+        let dir = std::env::temp_dir().join(format!("deepmc-sweep-j3-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let journal_path = dir.join("sweep.journal");
+        let apps = [SweepApp::Redis];
+        let cfg = small(4);
+        let journal = SweepJournal::open(&journal_path, &cfg, &apps, false).unwrap();
+        let session = SweepSession { journal: Some(&journal), ..Default::default() };
+        let straight = sweep_session(&cfg, &apps, &session);
+        drop(journal);
+        // Simulate a hard kill mid-append: truncate the last line in half.
+        let text = fs::read_to_string(&journal_path).unwrap();
+        let full_steps = text.trim_end().lines().count() - 1;
+        let keep = text.trim_end().rfind('\n').unwrap() + 1;
+        let torn = format!("{}{}", &text[..keep], &text[keep..keep + (text.len() - keep) / 2]);
+        fs::write(&journal_path, torn).unwrap();
+        let journal = SweepJournal::open(&journal_path, &cfg, &apps, true).unwrap();
+        assert_eq!(journal.loaded_steps() as usize, full_steps - 1, "only the torn step is lost");
+        let session = SweepSession { journal: Some(&journal), ..Default::default() };
+        let resumed = sweep_session(&cfg, &apps, &session);
+        assert_eq!(
+            outcomes_text(&resumed.outcomes),
+            outcomes_text(&straight.outcomes),
+            "the torn step re-executes and the result is unchanged"
+        );
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -42,12 +42,22 @@ fn bench_pool() -> PmemPool {
     })
 }
 
+/// Time `iters` calls of `body`, best of three passes. A single pass is
+/// at the mercy of the scheduler — one preemption during the *fixed*
+/// side can make a real improvement measure negative. The minimum over
+/// three passes is the standard de-noising for throughput loops: noise
+/// only ever adds time, so the fastest pass is the closest to the true
+/// cost.
 fn time_loop(iters: u64, mut body: impl FnMut(u64)) -> Duration {
-    let start = Instant::now();
-    for i in 0..iters {
-        body(i);
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for i in 0..iters {
+            body(i);
+        }
+        best = best.min(start.elapsed());
     }
-    start.elapsed()
+    best
 }
 
 /// PMFS superblock recovery: the fix flushes only the modified field.

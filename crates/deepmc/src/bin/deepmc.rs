@@ -2,13 +2,15 @@
 //!
 //! ```text
 //! deepmc check  -strict|-epoch|-strand [--json] [--violations-only|--performance-only]
-//!               [--no-cache] [--cache-dir DIR] [--jobs N]
+//!               [--no-cache] [--cache-dir DIR] [--cache-staleness-ms MS] [--jobs N]
+//!               [--root-timeout SECS] [--max-walk-steps N] [--chaos-panic ROOT]
 //!               [--profile] [--verbose] [--trace-out FILE] [--metrics-out FILE] FILE...
 //! deepmc dynamic -strand ENTRY FILE...
 //! deepmc run     ENTRY FILE...            # execute on the simulated NVM runtime
 //! deepmc crash   ENTRY FILE... [--steps N] [--seeds N]
 //! deepmc crashsweep [--app NAME] [--steps N] [--seeds N] [--seed S]
 //!                   [--torn R] [--drop-flush R] [--poison R] [--inject-bug] [--jobs N]
+//!                   [--journal FILE] [--resume]
 //!                   [--profile] [--trace-out FILE] [--metrics-out FILE]
 //! deepmc rules                            # print the checking-rule catalog
 //! ```
@@ -26,8 +28,14 @@
 //! instrumentation.
 //!
 //! Exit code is 0 when no warnings (or for `run`/`crash` on success), 1
-//! when warnings were reported, 2 on usage or input errors — so `deepmc
-//! check` drops into CI pipelines.
+//! when warnings were reported, 2 on usage or input errors, and 3 when
+//! the run *completed but degraded*: some analysis roots panicked or ran
+//! over their `--root-timeout`/`--max-walk-steps` budget (the report
+//! carries the surviving warnings plus a `FAILED root` line per lost
+//! root), or a crash sweep was interrupted before finishing (rerun with
+//! `--resume` to pick up from the journal). Exit 3 takes precedence over
+//! exit 1 so CI can distinguish "complete verdict" from "partial
+//! verdict".
 
 use deepmc::{DeepMcConfig, Report, StaticChecker};
 use deepmc_analysis::Program;
@@ -41,12 +49,12 @@ fn usage() -> ExitCode {
     eprintln!(
         "deepmc — detect deep memory persistency bugs in NVM programs\n\n\
          USAGE:\n  \
-         deepmc check  (-strict|-epoch|-strand) [--json] [--violations-only|--performance-only] [--suppress DB.json] [--no-cache] [--cache-dir DIR] [--jobs N] [--profile] [--verbose] [--trace-out FILE] [--metrics-out FILE] FILE...\n  \
+         deepmc check  (-strict|-epoch|-strand) [--json] [--violations-only|--performance-only] [--suppress DB.json] [--no-cache] [--cache-dir DIR] [--cache-staleness-ms MS] [--jobs N] [--root-timeout SECS] [--max-walk-steps N] [--chaos-panic ROOT] [--profile] [--verbose] [--trace-out FILE] [--metrics-out FILE] FILE...\n  \
          deepmc fix    (-strict|-epoch|-strand) FILE... [-o DIR]\n  \
          deepmc dynamic ENTRY FILE...\n  \
          deepmc run ENTRY FILE...\n  \
          deepmc crash ENTRY FILE... [--steps N] [--seeds N]\n  \
-         deepmc crashsweep [--app all|memcached|redis|nstore] [--steps N] [--seeds N] [--seed S] [--torn R] [--drop-flush R] [--poison R] [--inject-bug] [--jobs N] [--profile] [--trace-out FILE] [--metrics-out FILE]\n  \
+         deepmc crashsweep [--app all|memcached|redis|nstore] [--steps N] [--seeds N] [--seed S] [--torn R] [--drop-flush R] [--poison R] [--inject-bug] [--jobs N] [--journal FILE] [--resume] [--profile] [--trace-out FILE] [--metrics-out FILE]\n  \
          deepmc dsg FUNCTION FILE...          # Graphviz of the function's data structure graph\n  \
          deepmc rules"
     );
@@ -126,11 +134,35 @@ fn report_exit(report: &Report, json: bool) -> ExitCode {
     } else {
         print!("{report}");
     }
-    if report.warnings.is_empty() {
+    if report.degraded {
+        // "Completed but partial" outranks "has warnings": a degraded
+        // report may be missing warnings, so CI must not read exit 0/1 as
+        // a complete verdict.
+        ExitCode::from(3)
+    } else if report.warnings.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Silence the default panic banner for `--chaos-panic`-injected panics.
+/// The pool's `catch_unwind` already converts them into `RootFailure`s;
+/// without this, each injected panic would still splat a backtrace notice
+/// on stderr and drown the real diagnostics.
+fn quiet_chaos_panics() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&'static str>().copied());
+        if msg.is_some_and(|m| m.contains("chaos:")) {
+            return;
+        }
+        prev(info);
+    }));
 }
 
 fn cmd_check(args: &[String]) -> ExitCode {
@@ -141,7 +173,11 @@ fn cmd_check(args: &[String]) -> ExitCode {
     let mut suppress_db: Option<String> = None;
     let mut no_cache = false;
     let mut cache_dir = deepmc::cache::DEFAULT_CACHE_DIR.to_string();
+    let mut cache_staleness_ms: Option<u64> = None;
     let mut jobs = 0usize;
+    let mut root_timeout_secs: Option<u64> = None;
+    let mut max_walk_steps: Option<u64> = None;
+    let mut chaos_roots: Vec<String> = Vec::new();
     let mut obs_opts = ObsOpts::default();
     let mut files = Vec::new();
     let mut it = args.iter();
@@ -161,9 +197,25 @@ fn cmd_check(args: &[String]) -> ExitCode {
                 Some(dir) => cache_dir = dir.clone(),
                 None => return usage(),
             },
+            "--cache-staleness-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => cache_staleness_ms = Some(n),
+                _ => return usage(),
+            },
             "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n > 0 => jobs = n,
                 _ => return usage(),
+            },
+            "--root-timeout" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => root_timeout_secs = Some(n),
+                _ => return usage(),
+            },
+            "--max-walk-steps" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => max_walk_steps = Some(n),
+                _ => return usage(),
+            },
+            "--chaos-panic" => match it.next() {
+                Some(root) => chaos_roots.push(root.clone()),
+                None => return usage(),
             },
             "-strict" | "-epoch" | "-strand" => match a.parse() {
                 Ok(m) => model = Some(m),
@@ -193,6 +245,14 @@ fn cmd_check(args: &[String]) -> ExitCode {
     if performance_only {
         config = config.performance_only();
     }
+    config.trace.root_timeout = root_timeout_secs.map(std::time::Duration::from_secs);
+    config.trace.max_walk_steps = max_walk_steps;
+    if !chaos_roots.is_empty() {
+        quiet_chaos_panics();
+        for root in chaos_roots {
+            config = config.with_chaos_panic(root);
+        }
+    }
     let recorder = obs_opts.recorder();
     let attach = recorder.as_ref().map(|r| r.attach(0));
     let total_span = obs::span("total");
@@ -212,7 +272,13 @@ fn cmd_check(args: &[String]) -> ExitCode {
         }
     };
     drop(parse_span);
-    let cache = (!no_cache).then(|| deepmc::AnalysisCache::open(&cache_dir));
+    let cache = (!no_cache).then(|| {
+        let c = deepmc::AnalysisCache::open(&cache_dir);
+        match cache_staleness_ms {
+            Some(ms) => c.with_staleness(std::time::Duration::from_millis(ms)),
+            None => c,
+        }
+    });
     let (mut report, stats) =
         StaticChecker::new(config).check_program_with_jobs(&program, cache.as_ref(), jobs);
     if !no_cache && (obs_opts.verbose || obs_opts.profile) {
@@ -220,10 +286,11 @@ fn cmd_check(args: &[String]) -> ExitCode {
         // between cold and warm runs. (The same numbers are always
         // available as cache.* counters via --metrics-out/--profile.)
         eprintln!(
-            "cache: {} hit(s), {} miss(es), {} store(s), {} trace(s) ({} hit rate, dir {})",
+            "cache: {} hit(s), {} miss(es), {} store(s), {} quarantined, {} trace(s) ({} hit rate, dir {})",
             stats.hits,
             stats.misses,
             stats.stores,
+            stats.quarantined,
             stats.traces,
             format_args!("{:.0}%", stats.hit_rate() * 100.0),
             cache_dir,
@@ -451,9 +518,11 @@ fn cmd_crash(args: &[String]) -> ExitCode {
 }
 
 fn cmd_crashsweep(args: &[String]) -> ExitCode {
-    use nvm_apps::crashsweep::{sweep, SweepApp, SweepConfig};
+    use nvm_apps::crashsweep::{sweep_session, SweepApp, SweepConfig, SweepJournal, SweepSession};
     let mut cfg = SweepConfig::default();
     let mut apps: Vec<SweepApp> = SweepApp::ALL.to_vec();
+    let mut journal_path: Option<String> = None;
+    let mut resume = false;
     let mut obs_opts = ObsOpts::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -509,6 +578,11 @@ fn cmd_crashsweep(args: &[String]) -> ExitCode {
                 None => return usage(),
             },
             "--inject-bug" => cfg.inject_bug = true,
+            "--journal" => match it.next() {
+                Some(p) => journal_path = Some(p.clone()),
+                None => return usage(),
+            },
+            "--resume" => resume = true,
             other => {
                 eprintln!("unknown argument `{other}`");
                 return usage();
@@ -526,28 +600,62 @@ fn cmd_crashsweep(args: &[String]) -> ExitCode {
         cfg.fault.poison_rate,
         if cfg.inject_bug { ", nstore commit bug injected" } else { "" }
     );
+    // A cooperative interrupt point for CI and tests: after N freshly
+    // journaled steps the session cancels itself, exactly as a Ctrl-C
+    // handler would — workers drain, the journal stays flushed, and the
+    // run exits 3 with partial results.
+    let trip_after =
+        std::env::var("DEEPMC_SWEEP_INTERRUPT_AFTER").ok().and_then(|v| v.parse::<u64>().ok());
+    let journal = if journal_path.is_some() || resume || trip_after.is_some() {
+        let path = journal_path.unwrap_or_else(|| ".deepmc-sweep.journal".to_string());
+        match SweepJournal::open(&path, &cfg, &apps, resume) {
+            Ok(j) => Some(j),
+            Err(e) => {
+                eprintln!("cannot open sweep journal `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
+    };
+    let session = SweepSession::new(journal.as_ref(), trip_after);
     let recorder = obs_opts.recorder();
-    let outcomes = {
+    let run = {
         let _attach = recorder.as_ref().map(|r| r.attach(0));
         let _total = obs::span("total");
-        sweep(&cfg, &apps)
+        sweep_session(&cfg, &apps, &session)
     };
     if let Err(e) = obs_opts.emit(recorder, "deepmc crashsweep") {
         eprintln!("{e}");
         return ExitCode::from(2);
     }
+    if run.resumed_steps > 0 {
+        eprintln!("resumed: {} step(s) replayed from the journal", run.resumed_steps);
+    }
     let mut failed = false;
-    for outcome in &outcomes {
+    for outcome in &run.outcomes {
         print!("{outcome}");
         // With the bug injected the sweep is *supposed* to catch it: the
-        // run succeeds only if every loss is attributed.
+        // run succeeds only if every loss is attributed. An interrupted
+        // (partial) run skips this check — exit 3 already says the
+        // verdict is incomplete.
         failed |= !outcome.violations.is_empty();
-        if cfg.inject_bug && outcome.app == "nstore" && outcome.bug_attributed == 0 {
+        if !run.interrupted()
+            && cfg.inject_bug
+            && outcome.app == "nstore"
+            && outcome.bug_attributed == 0
+        {
             println!("  FAIL: injected bug was not observed");
             failed = true;
         }
     }
-    if failed {
+    if run.interrupted() {
+        eprintln!(
+            "sweep interrupted: {} step(s) not executed; rerun with --resume to continue",
+            run.skipped_steps
+        );
+        ExitCode::from(3)
+    } else if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -36,11 +36,21 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 use std::fs;
-use std::path::PathBuf;
-use std::time::Duration;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, SystemTime};
 
 /// Default cache directory, relative to the working directory.
 pub const DEFAULT_CACHE_DIR: &str = ".deepmc-cache";
+
+/// Subdirectory (under the cache dir) holding quarantined entries.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// Default staleness cutoff for claim files: a claim whose mtime has not
+/// advanced for this long has a dead holder ([`ClaimGuard`] heartbeats
+/// well inside it).
+pub const DEFAULT_CLAIM_STALENESS: Duration = Duration::from_secs(2);
 
 /// One cached per-root analysis result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -69,6 +79,8 @@ pub struct CacheRunStats {
     pub misses: u64,
     /// Fresh entries written this run.
     pub stores: u64,
+    /// Corrupt or key-mismatched entries moved to quarantine this run.
+    pub quarantined: u64,
     /// Traces collected or (for hits) skipped-and-accounted.
     pub traces: u64,
 }
@@ -89,12 +101,21 @@ impl CacheRunStats {
 #[derive(Debug, Clone)]
 pub struct AnalysisCache {
     dir: PathBuf,
+    /// A claim whose mtime is older than this is a dead holder; live
+    /// holders heartbeat at a quarter of it.
+    staleness: Duration,
+    /// Entries quarantined through this handle (clones share the counter).
+    quarantined: Arc<AtomicU64>,
 }
 
 impl AnalysisCache {
     /// Open (without yet creating) a cache rooted at `dir`.
     pub fn open(dir: impl Into<PathBuf>) -> AnalysisCache {
-        AnalysisCache { dir: dir.into() }
+        AnalysisCache {
+            dir: dir.into(),
+            staleness: DEFAULT_CLAIM_STALENESS,
+            quarantined: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// Open the default `.deepmc-cache/` directory.
@@ -102,9 +123,21 @@ impl AnalysisCache {
         AnalysisCache::open(DEFAULT_CACHE_DIR)
     }
 
+    /// Builder-style: override the claim staleness cutoff (and, with it,
+    /// the heartbeat interval). Mostly for tests and CI chaos harnesses.
+    pub fn with_staleness(mut self, staleness: Duration) -> AnalysisCache {
+        self.staleness = staleness.max(Duration::from_millis(1));
+        self
+    }
+
     /// The cache directory path.
     pub fn dir(&self) -> &std::path::Path {
         &self.dir
+    }
+
+    /// Entries quarantined through this handle (and its clones) so far.
+    pub fn quarantined_count(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
     }
 
     fn path_for(&self, key: &str) -> PathBuf {
@@ -115,11 +148,44 @@ impl AnalysisCache {
         self.dir.join(format!("{:016x}.claim", fnv1a(key.as_bytes())))
     }
 
-    /// Look up a key; any I/O or decode problem is treated as a miss.
+    /// Move a bad entry file to `<dir>/quarantine/` (falling back to
+    /// deletion) so it is inspected once, not re-missed on every run.
+    /// Counted only when this handle actually removed the file — two
+    /// workers racing on the same corrupt entry quarantine it once.
+    fn quarantine(&self, path: &Path, reason: &str) {
+        let qdir = self.dir.join(QUARANTINE_DIR);
+        let moved = fs::create_dir_all(&qdir).is_ok()
+            && path
+                .file_name()
+                .map(|name| fs::rename(path, qdir.join(name)).is_ok())
+                .unwrap_or(false);
+        if moved || fs::remove_file(path).is_ok() {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+            deepmc_obs::counter("cache.quarantined", 1);
+            deepmc_obs::warning(
+                "cache.quarantined",
+                &format!("quarantined cache entry {}: {reason}", path.display()),
+            );
+        }
+    }
+
+    /// Look up a key. A missing file is a plain miss; a file that fails
+    /// checksum, parse, or key verification is quarantined (self-healing:
+    /// the next run misses cleanly instead of re-tripping forever).
     pub fn lookup(&self, key: &str) -> Option<CacheEntry> {
-        let text = fs::read_to_string(self.path_for(key)).ok()?;
-        let entry: CacheEntry = serde_json::from_str(&text).ok()?;
-        (entry.key == key).then_some(entry)
+        let path = self.path_for(key);
+        let text = fs::read_to_string(&path).ok()?;
+        match decode_entry(&text) {
+            Ok(entry) if entry.key == key => Some(entry),
+            Ok(_) => {
+                self.quarantine(&path, "key mismatch (hash collision or stale format)");
+                None
+            }
+            Err(reason) => {
+                self.quarantine(&path, reason);
+                None
+            }
+        }
     }
 
     /// Store an entry; failures are silent (a cache must never break the
@@ -131,7 +197,7 @@ impl AnalysisCache {
         let path = self.path_for(&entry.key);
         if let Ok(json) = serde_json::to_string(entry) {
             let tmp = path.with_extension("tmp");
-            if fs::write(&tmp, json).is_ok() {
+            if fs::write(&tmp, encode_entry(&json)).is_ok() {
                 let _ = fs::rename(&tmp, &path);
             }
         }
@@ -144,51 +210,129 @@ impl AnalysisCache {
     /// [`AnalysisCache::wait_for`] instead of recomputing.
     ///
     /// The claim is an `O_EXCL`-created side file, so it also excludes
-    /// workers in *other* processes sharing the cache directory.
+    /// workers in *other* processes sharing the cache directory. While the
+    /// guard lives, a background thread bumps the claim file's mtime every
+    /// `staleness / 4`, so [`AnalysisCache::wait_for`] can tell a slow
+    /// holder (mtime advancing) from a dead one (mtime frozen).
     pub fn claim(&self, key: &str) -> Option<ClaimGuard> {
         if fs::create_dir_all(&self.dir).is_err() {
             // Unusable cache directory: claims can't exclude anyone, so
             // pretend we won and let `store` fail silently later.
-            return Some(ClaimGuard { path: None });
+            return Some(ClaimGuard { path: None, heartbeat: None });
         }
         let path = self.claim_path(key);
         match fs::OpenOptions::new().write(true).create_new(true).open(&path) {
-            Ok(_) => Some(ClaimGuard { path: Some(path) }),
+            Ok(_) => {
+                let heartbeat = Heartbeat::spawn(path.clone(), self.staleness / 4);
+                Some(ClaimGuard { path: Some(path), heartbeat })
+            }
             Err(_) => None,
         }
     }
 
     /// Wait for the holder of `key`'s claim to publish its entry. Returns
-    /// `None` if the claim disappears without an entry or looks stale
-    /// (holder died); the stale claim is broken so the caller can compute
-    /// the root itself.
+    /// `None` if the claim disappears without an entry or goes stale (its
+    /// mtime stops advancing, i.e. the holder died without dropping its
+    /// [`ClaimGuard`]); the stale claim is broken so the caller can
+    /// compute the root itself. A live holder may be waited on
+    /// indefinitely — its heartbeat is the liveness proof.
     pub fn wait_for(&self, key: &str) -> Option<CacheEntry> {
-        // The slowest single root in the corpus computes in well under a
-        // second; a claim older than this is a dead holder.
-        for _ in 0..500 {
+        let claim = self.claim_path(key);
+        loop {
             if let Some(entry) = self.lookup(key) {
                 return Some(entry);
             }
-            if !self.claim_path(key).exists() {
+            let Ok(meta) = fs::metadata(&claim) else {
                 // Claim released: one final look, then treat as ours.
                 return self.lookup(key);
+            };
+            // A future or unreadable mtime reads as "fresh just now":
+            // coarse clocks must not make us break a live holder's claim.
+            // An mtime the platform can't report at all reads as stale —
+            // worst case is a benign double-compute (stores are atomic
+            // and idempotent).
+            let fresh = meta.modified().is_ok_and(|m| {
+                SystemTime::now().duration_since(m).unwrap_or(Duration::ZERO) < self.staleness
+            });
+            if !fresh {
+                let _ = fs::remove_file(&claim);
+                return None;
             }
             std::thread::sleep(Duration::from_millis(2));
         }
-        let _ = fs::remove_file(self.claim_path(key));
-        None
+    }
+}
+
+/// Entry-file checksum footer prefix; the line after the JSON body.
+const ENTRY_FOOTER_PREFIX: &str = "deepmc-entry-fnv1a:";
+
+/// Entry file layout: one line of JSON, then a checksum footer line over
+/// the JSON bytes. Torn or bit-rotted files fail the footer check and are
+/// quarantined instead of being half-trusted or silently re-missed.
+fn encode_entry(json: &str) -> String {
+    format!("{json}\n{ENTRY_FOOTER_PREFIX}{:016x}\n", fnv1a(json.as_bytes()))
+}
+
+fn decode_entry(text: &str) -> Result<CacheEntry, &'static str> {
+    let trimmed = text.trim_end_matches('\n');
+    let (json, footer) = trimmed.rsplit_once('\n').ok_or("missing checksum footer")?;
+    let sum = footer.strip_prefix(ENTRY_FOOTER_PREFIX).ok_or("missing checksum footer")?;
+    let sum = u64::from_str_radix(sum, 16).map_err(|_| "unparsable checksum footer")?;
+    if sum != fnv1a(json.as_bytes()) {
+        return Err("checksum mismatch");
+    }
+    serde_json::from_str(json).map_err(|_| "unparsable entry body")
+}
+
+/// Background mtime-bumper for a held claim file.
+#[derive(Debug)]
+struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    fn spawn(path: PathBuf, interval: Duration) -> Option<Heartbeat> {
+        let interval = interval.max(Duration::from_millis(10));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("deepmc-claim-heartbeat".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Acquire) {
+                    if let Ok(f) = fs::OpenOptions::new().write(true).open(&path) {
+                        let _ = f.set_modified(SystemTime::now());
+                    }
+                    std::thread::park_timeout(interval);
+                }
+            })
+            .ok()?;
+        Some(Heartbeat { stop, handle: Some(handle) })
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
     }
 }
 
 /// RAII release of a [`AnalysisCache::claim`]; removing the claim file
-/// wakes waiters whether or not an entry was stored.
+/// wakes waiters whether or not an entry was stored. The heartbeat stops
+/// first so a final mtime bump can't resurrect the removed file.
 #[derive(Debug)]
 pub struct ClaimGuard {
     path: Option<PathBuf>,
+    heartbeat: Option<Heartbeat>,
 }
 
 impl Drop for ClaimGuard {
     fn drop(&mut self) {
+        drop(self.heartbeat.take());
         if let Some(path) = &self.path {
             let _ = fs::remove_file(path);
         }
@@ -472,19 +616,96 @@ entry:
     fn stale_claim_without_entry_is_broken() {
         let dir = std::env::temp_dir().join(format!("deepmc-cache-stale-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
-        let cache = AnalysisCache::open(&dir);
-        // Simulate a dead holder: claim file exists, holder never stores
-        // or releases. The claim is leaked (guard forgotten), so wait_for
-        // must eventually break it.
-        let guard = cache.claim("k").expect("claim");
-        std::mem::forget(guard);
+        let cache = AnalysisCache::open(&dir).with_staleness(Duration::from_millis(100));
+        // Simulate a dead holder: the claim file exists but nothing
+        // heartbeats it, as if the holding process was killed. Age the
+        // mtime past the cutoff so the test doesn't sleep for it.
+        fs::create_dir_all(&dir).unwrap();
+        let claim = cache.claim_path("k");
+        fs::write(&claim, b"").unwrap();
+        let aged = SystemTime::now() - Duration::from_secs(5);
+        fs::OpenOptions::new().write(true).open(&claim).unwrap().set_modified(aged).unwrap();
         assert_eq!(cache.wait_for("k"), None, "no entry ever appears");
         assert!(cache.claim("k").is_some(), "stale claim was broken");
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn collision_with_wrong_key_is_a_miss() {
+    fn slow_but_alive_holder_is_not_declared_dead() {
+        // Regression: wait_for used to break any claim older than a fixed
+        // ~1s, double-computing behind every legitimately slow holder.
+        // With heartbeating, a holder that takes many times the staleness
+        // cutoff must still win the wait.
+        let dir = std::env::temp_dir().join(format!("deepmc-cache-slow-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = AnalysisCache::open(&dir).with_staleness(Duration::from_millis(80));
+        let entry = CacheEntry {
+            key: "k".into(),
+            root: "main".into(),
+            warnings: Vec::new(),
+            paths_pruned: 0,
+            events_truncated: 0,
+            traces: 3,
+        };
+        let guard = cache.claim("k").expect("claim");
+        let got = std::thread::scope(|s| {
+            let waiter = s.spawn(|| cache.wait_for("k"));
+            // Holder "computes" for 5x the staleness cutoff.
+            std::thread::sleep(Duration::from_millis(400));
+            cache.store(&entry);
+            drop(guard);
+            waiter.join().unwrap()
+        });
+        assert_eq!(got, Some(entry), "waiter must get the slow holder's entry, not None");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_once() {
+        let dir = std::env::temp_dir().join(format!("deepmc-cache-quar-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = AnalysisCache::open(&dir);
+        let entry = CacheEntry {
+            key: "k".into(),
+            root: "main".into(),
+            warnings: Vec::new(),
+            paths_pruned: 0,
+            events_truncated: 0,
+            traces: 1,
+        };
+        cache.store(&entry);
+        let path = cache.path_for("k");
+        // Flip the body without updating the footer: checksum mismatch.
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, text.replace("\"traces\":1", "\"traces\":9")).unwrap();
+        assert!(cache.lookup("k").is_none(), "corrupt entry is a miss");
+        assert_eq!(cache.quarantined_count(), 1);
+        assert!(!path.exists(), "corrupt file was moved out of the way");
+        let quarantined: Vec<_> =
+            fs::read_dir(dir.join(QUARANTINE_DIR)).unwrap().collect::<Result<_, _>>().unwrap();
+        assert_eq!(quarantined.len(), 1, "the bad entry landed in quarantine/");
+        // Self-healing: the key is now a clean miss and can be re-stored.
+        assert!(cache.lookup("k").is_none());
+        assert_eq!(cache.quarantined_count(), 1, "a clean miss quarantines nothing");
+        cache.store(&entry);
+        assert_eq!(cache.lookup("k"), Some(entry));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unparsable_entry_is_quarantined() {
+        let dir = std::env::temp_dir().join(format!("deepmc-cache-garbage-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = AnalysisCache::open(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(cache.path_for("k"), b"not json at all").unwrap();
+        assert!(cache.lookup("k").is_none());
+        assert_eq!(cache.quarantined_count(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn collision_with_wrong_key_is_a_miss_and_quarantined() {
         let dir = std::env::temp_dir().join(format!("deepmc-cache-coll-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         let cache = AnalysisCache::open(&dir);
@@ -496,12 +717,32 @@ entry:
             events_truncated: 0,
             traces: 1,
         };
-        // Simulate a colliding file: write `other`'s entry where `mine`
-        // would hash (by just writing to mine's path).
+        // Simulate a colliding file: write `other`'s (well-formed) entry
+        // where `mine` would hash.
         fs::create_dir_all(&dir).unwrap();
         let mine_path = dir.join(format!("{:016x}.json", fnv1a(b"mine")));
-        fs::write(&mine_path, serde_json::to_string(&entry).unwrap()).unwrap();
+        let json = serde_json::to_string(&entry).unwrap();
+        fs::write(&mine_path, encode_entry(&json)).unwrap();
         assert!(cache.lookup("mine").is_none(), "key text mismatch rejects the entry");
+        assert_eq!(cache.quarantined_count(), 1, "mismatched entry is quarantined, not re-missed");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entry_checksum_roundtrip_and_rejection() {
+        let entry = CacheEntry {
+            key: "k".into(),
+            root: "r".into(),
+            warnings: Vec::new(),
+            paths_pruned: 1,
+            events_truncated: 2,
+            traces: 3,
+        };
+        let json = serde_json::to_string(&entry).unwrap();
+        let encoded = encode_entry(&json);
+        assert_eq!(decode_entry(&encoded).unwrap(), entry);
+        assert!(decode_entry(&json).is_err(), "footerless payload rejected");
+        let torn = &encoded[..encoded.len() / 2];
+        assert!(decode_entry(torn).is_err(), "torn file rejected");
     }
 }

@@ -24,6 +24,11 @@ pub struct DeepMcConfig {
     /// for the paper's §5.1 claim that field sensitivity is what avoids
     /// false negatives on "flush an unmodified object" bugs.
     pub field_sensitive: bool,
+    /// Chaos injection: analysis roots (by function name) whose check
+    /// deliberately panics. Exercises the panic-isolation path in tests
+    /// and CI; the injected panic degrades the root to a `RootFailure`
+    /// instead of aborting the run.
+    pub chaos_panic_roots: Vec<String>,
 }
 
 impl DeepMcConfig {
@@ -35,6 +40,7 @@ impl DeepMcConfig {
             check_violations: true,
             check_performance: true,
             field_sensitive: true,
+            chaos_panic_roots: Vec::new(),
         }
     }
 
@@ -59,6 +65,13 @@ impl DeepMcConfig {
     /// Builder-style: degrade to object-granularity addresses (ablation).
     pub fn field_insensitive(mut self) -> Self {
         self.field_sensitive = false;
+        self
+    }
+
+    /// Builder-style: inject a deliberate panic into `root`'s check
+    /// (chaos testing of the panic-isolation path).
+    pub fn with_chaos_panic(mut self, root: impl Into<String>) -> Self {
+        self.chaos_panic_roots.push(root.into());
         self
     }
 }

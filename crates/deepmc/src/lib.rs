@@ -52,7 +52,7 @@ pub mod suppress;
 
 pub use cache::{AnalysisCache, CacheRunStats};
 pub use config::DeepMcConfig;
-pub use report::{FixHint, Report, Warning};
+pub use report::{FixHint, Report, RootFailure, Warning};
 pub use static_checker::StaticChecker;
 
 use deepmc_analysis::Program;

@@ -85,6 +85,27 @@ impl fmt::Display for Warning {
     }
 }
 
+/// An analysis root whose check did not complete: its worker panicked and
+/// was isolated by the pool. The rest of the report is intact — a failure
+/// entry marks exactly which root's findings are missing.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RootFailure {
+    /// Name of the analysis root that failed.
+    pub root: String,
+    /// The panic payload, as a string.
+    pub panic: String,
+}
+
+impl fmt::Display for RootFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "root `{}` failed: {}", self.root, self.panic)
+    }
+}
+
+fn is_false(b: &bool) -> bool {
+    !*b
+}
+
 /// A full DeepMC report.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Report {
@@ -94,6 +115,15 @@ pub struct Report {
     /// an empty warning list is not a clean bill of health.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub notes: Vec<String>,
+    /// Roots whose analysis panicked (isolated, not aborted). Sorted and
+    /// deduplicated so degraded reports are schedule-independent.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub failures: Vec<RootFailure>,
+    /// The run completed but produced partial results: some roots failed
+    /// or were cut short by a budget. Drives the distinct process exit
+    /// code so fleet callers can tell partial results from clean ones.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub degraded: bool,
 }
 
 impl Report {
@@ -114,7 +144,7 @@ impl Report {
             .into_iter()
             .filter(|w| seen.insert((w.class, w.file.clone(), w.line, w.root.clone())))
             .collect();
-        Report { warnings, notes: Vec::new() }
+        Report { warnings, notes: Vec::new(), failures: Vec::new(), degraded: false }
     }
 
     /// Attach an analysis caveat (deduplicated).
@@ -124,7 +154,21 @@ impl Report {
         }
     }
 
-    /// Append another report, re-deduplicating warnings and notes.
+    /// Record a failed root (deduplicated) and mark the report degraded.
+    pub fn push_failure(&mut self, failure: RootFailure) {
+        if !self.failures.contains(&failure) {
+            self.failures.push(failure);
+        }
+        self.degraded = true;
+    }
+
+    /// Mark the report as carrying partial results.
+    pub fn mark_degraded(&mut self) {
+        self.degraded = true;
+    }
+
+    /// Append another report, re-deduplicating warnings, notes, and
+    /// failures.
     pub fn merge(self, other: Report) -> Report {
         let mut raw = self.warnings;
         raw.extend(other.warnings);
@@ -132,6 +176,13 @@ impl Report {
         for note in self.notes.into_iter().chain(other.notes) {
             merged.push_note(note);
         }
+        let mut failures: Vec<RootFailure> =
+            self.failures.into_iter().chain(other.failures).collect();
+        failures.sort();
+        for failure in failures {
+            merged.push_failure(failure);
+        }
+        merged.degraded = self.degraded || other.degraded || !merged.failures.is_empty();
         merged
     }
 
@@ -177,8 +228,22 @@ impl fmt::Display for Report {
                 writeln!(f, "  {w}")?;
             }
         }
+        for fail in &self.failures {
+            writeln!(f, "  FAILED {fail}")?;
+        }
         for note in &self.notes {
             writeln!(f, "  NOTE: {note}")?;
+        }
+        if self.degraded {
+            if self.failures.is_empty() {
+                writeln!(f, "DeepMC: DEGRADED — partial results.")?;
+            } else {
+                writeln!(
+                    f,
+                    "DeepMC: DEGRADED — partial results ({} failed root(s)).",
+                    self.failures.len()
+                )?;
+            }
         }
         Ok(())
     }
@@ -306,5 +371,44 @@ mod tests {
         let s = serde_json::to_string(&r).unwrap();
         let back: Report = serde_json::from_str(&s).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn failures_mark_degraded_and_render() {
+        let mut r = Report::from_raw(vec![w(BugClass::UnflushedWrite, "a.c", 1)]);
+        assert!(!r.degraded);
+        r.push_failure(RootFailure { root: "recover".into(), panic: "boom".into() });
+        r.push_failure(RootFailure { root: "recover".into(), panic: "boom".into() });
+        assert!(r.degraded);
+        assert_eq!(r.failures.len(), 1, "failures are deduplicated");
+        let shown = r.to_string();
+        assert!(shown.contains("FAILED root `recover` failed: boom"), "got: {shown}");
+        assert!(shown.contains("DEGRADED"), "got: {shown}");
+    }
+
+    #[test]
+    fn merge_carries_and_sorts_failures() {
+        let mut a = Report::default();
+        a.push_failure(RootFailure { root: "z".into(), panic: "p".into() });
+        let mut b = Report::default();
+        b.push_failure(RootFailure { root: "a".into(), panic: "p".into() });
+        b.push_failure(RootFailure { root: "z".into(), panic: "p".into() });
+        let m = a.merge(b);
+        assert!(m.degraded);
+        let roots: Vec<&str> = m.failures.iter().map(|f| f.root.as_str()).collect();
+        assert_eq!(roots, vec!["a", "z"], "merged failures are sorted and deduped");
+    }
+
+    #[test]
+    fn degraded_json_roundtrip_and_clean_reports_omit_fields() {
+        let clean = serde_json::to_string(&Report::default()).unwrap();
+        assert!(!clean.contains("failures") && !clean.contains("degraded"));
+        let mut r = Report::default();
+        r.push_failure(RootFailure { root: "m".into(), panic: "chaos".into() });
+        let s = serde_json::to_string(&r).unwrap();
+        let back: Report = serde_json::from_str(&s).unwrap();
+        assert_eq!(r, back);
+        let legacy: Report = serde_json::from_str(&clean).unwrap();
+        assert!(!legacy.degraded && legacy.failures.is_empty());
     }
 }

@@ -39,7 +39,7 @@
 
 use crate::cache::{self, AnalysisCache, CacheEntry, CacheRunStats};
 use crate::config::DeepMcConfig;
-use crate::report::{FixHint, Report, Warning};
+use crate::report::{FixHint, Report, RootFailure, Warning};
 use deepmc_analysis::trace::EvLoc;
 use deepmc_analysis::{
     pool, Addr, CallGraph, DsaResult, FieldSel, FuncRef, ObjId, Program, Trace, TraceCollector,
@@ -63,6 +63,9 @@ struct RootOutcome {
     traces: u64,
     paths_pruned: u64,
     events_truncated: u64,
+    /// The root's walk hit its wall-clock or step budget; the warnings are
+    /// from a partial trace set and the result is never cached.
+    timed_out: bool,
     source: RootSource,
 }
 
@@ -78,6 +81,7 @@ impl RootOutcome {
             traces: entry.traces,
             paths_pruned: entry.paths_pruned,
             events_truncated: entry.events_truncated,
+            timed_out: false,
             source: RootSource::CacheHit,
         }
     }
@@ -158,12 +162,16 @@ impl StaticChecker {
         });
         let roots = collector.analysis_roots(&cg);
         obs::counter("check.roots", roots.len() as u64);
+        let quarantined_before = cache.map(|c| c.quarantined_count()).unwrap_or(0);
         let outcomes = {
             // One driver-side span over the whole fan-out, so the
             // top-level phases partition the wall clock even when the
             // per-root traces/rules spans land on worker threads.
             let _s = obs::span_lazy("roots", || vec![("jobs", jobs.to_string())]);
-            pool::run_indexed(jobs, roots, |_, root| {
+            // Panic isolation: a panicking root (pathological input, or
+            // injected chaos) becomes an Err slot here and a RootFailure
+            // below, instead of aborting the whole run.
+            pool::run_indexed_caught(jobs, roots.clone(), |_, root| {
                 self.check_root(program, &collector, cache, keys.as_ref(), root)
             })
         };
@@ -179,7 +187,16 @@ impl StaticChecker {
         let mut stats = CacheRunStats::default();
         let mut paths_pruned = 0u64;
         let mut events_truncated = 0u64;
-        for o in outcomes {
+        let mut timeouts = 0u64;
+        let mut failures: Vec<RootFailure> = Vec::new();
+        for (i, result) in outcomes.into_iter().enumerate() {
+            let o = match result {
+                Ok(o) => o,
+                Err(panic) => {
+                    failures.push(RootFailure { root: program.func(roots[i]).name.clone(), panic });
+                    continue;
+                }
+            };
             match o.source {
                 RootSource::CacheHit => stats.hits += 1,
                 RootSource::Computed { stored } => {
@@ -191,11 +208,21 @@ impl StaticChecker {
                     }
                 }
             }
+            if o.timed_out {
+                timeouts += 1;
+            }
             stats.traces += o.traces;
             paths_pruned += o.paths_pruned;
             events_truncated += o.events_truncated;
             raw.extend(o.raw);
         }
+        if !failures.is_empty() {
+            obs::counter("robust.panics", failures.len() as u64);
+        }
+        if timeouts > 0 {
+            obs::counter("robust.timeouts", timeouts);
+        }
+        stats.quarantined = cache.map(|c| c.quarantined_count() - quarantined_before).unwrap_or(0);
         obs::counter("check.traces", stats.traces);
         obs::counter("check.paths_pruned", paths_pruned);
         obs::counter("check.events_truncated", events_truncated);
@@ -220,6 +247,18 @@ impl StaticChecker {
                  (max_trace_len = {}); coverage is incomplete",
                 self.config.trace.max_trace_len
             ));
+        }
+        if timeouts > 0 {
+            report.push_note(format!(
+                "analysis budget exceeded: {timeouts} root(s) stopped early \
+                 and contributed partial results"
+            ));
+            report.mark_degraded();
+        }
+        // Failures arrive in root order (the merge above walks outcomes by
+        // index), so the degraded report is schedule-independent too.
+        for failure in failures {
+            report.push_failure(failure);
         }
         (report, stats)
     }
@@ -274,6 +313,10 @@ impl StaticChecker {
         collector: &TraceCollector<'_>,
         root: FuncRef,
     ) -> RootOutcome {
+        let name = &program.func(root).name;
+        if self.config.chaos_panic_roots.iter().any(|r| r == name) {
+            panic!("chaos: injected panic in root `{name}`");
+        }
         let (traces, trunc) = {
             let _s = obs::span_lazy("traces", || root_arg(program, root));
             collector.collect_root_counted(root)
@@ -295,6 +338,7 @@ impl StaticChecker {
             traces: traces.len() as u64,
             paths_pruned: trunc.paths_pruned,
             events_truncated: trunc.events_truncated,
+            timed_out: trunc.timed_out,
             source: RootSource::Computed { stored: false },
         }
     }
@@ -307,6 +351,12 @@ impl StaticChecker {
         root: FuncRef,
         out: &mut RootOutcome,
     ) {
+        // A budget-truncated result is not the root's true analysis:
+        // caching it would replay the partial warning set on runs that
+        // have no (or a larger) budget. Leave the root cold instead.
+        if out.timed_out {
+            return;
+        }
         c.store(&CacheEntry {
             key,
             root: program.func(root).name.clone(),

@@ -74,7 +74,15 @@ impl SuppressionDb {
                 surviving.push(w.clone());
             }
         }
-        (Report { warnings: surviving, notes: report.notes.clone() }, suppressed)
+        (
+            Report {
+                warnings: surviving,
+                notes: report.notes.clone(),
+                failures: report.failures.clone(),
+                degraded: report.degraded,
+            },
+            suppressed,
+        )
     }
 
     /// Serialize to the committed JSON form.

@@ -111,6 +111,27 @@ fn uncalled(g: &GenProgram) -> usize {
 
 static CASE: AtomicUsize = AtomicUsize::new(0);
 
+/// Filter the default panic banner for chaos-injected panics so the
+/// chaos proptest below doesn't spray one backtrace notice per injected
+/// panic; every other panic still prints normally.
+fn quiet_chaos_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&'static str>().copied());
+            if msg.is_some_and(|m| m.contains("chaos:")) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -186,5 +207,138 @@ proptest! {
             rep_seq.warnings.len() == expected,
             "one UnflushedWrite per (root, buggy callee) pair: expected {expected}\n{src}\n{rep_seq}"
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Chaos leg: inject panics into a random subset of the generated
+    /// roots. The run must *complete* — every surviving root's warnings
+    /// present, one `RootFailure` per panicked root, `degraded` set —
+    /// and the degraded report must stay byte-identical between jobs=1
+    /// and jobs=4..8 (panic isolation must not make the outcome
+    /// schedule-dependent).
+    #[test]
+    fn chaos_panics_degrade_deterministically(
+        g in gen_program(),
+        jobs in 4usize..=8,
+        mask in any::<u64>(),
+    ) {
+        quiet_chaos_panics();
+        let src = pir(&g);
+        let module = deepmc_pir::parse(&src).expect("generated PIR parses");
+        let program = Program::single(module);
+        let panicked: Vec<usize> =
+            (0..g.roots.len()).filter(|r| mask & (1u64 << r) != 0).collect();
+        let mut config = DeepMcConfig::new(PersistencyModel::Strict);
+        for &r in &panicked {
+            config = config.with_chaos_panic(format!("root_{r}"));
+        }
+        let checker = StaticChecker::new(config);
+
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let base = std::env::temp_dir().join(format!("deepmc-chaos-{}-{case}", std::process::id()));
+        let dir_seq = base.join("seq");
+        let dir_par = base.join("par");
+        let cache_seq = AnalysisCache::open(&dir_seq);
+        let cache_par = AnalysisCache::open(&dir_par);
+        let (rep_seq, _) = checker.check_program_with_jobs(&program, Some(&cache_seq), 1);
+        let (rep_par, _) = checker.check_program_with_jobs(&program, Some(&cache_par), jobs);
+
+        let text_eq = rep_seq.to_string() == rep_par.to_string();
+        let json_eq = serde_json::to_string(&rep_seq).unwrap()
+            == serde_json::to_string(&rep_par).unwrap();
+        let cache_eq = dir_snapshot(&dir_seq) == dir_snapshot(&dir_par);
+        let _ = std::fs::remove_dir_all(&base);
+
+        prop_assert!(text_eq, "jobs={jobs}: degraded rendered report differs from sequential");
+        prop_assert!(json_eq, "jobs={jobs}: degraded JSON report differs from sequential");
+        prop_assert!(cache_eq, "jobs={jobs}: cache directory differs under chaos");
+
+        // Exactly one RootFailure per panicked root, in root order, each
+        // carrying the injected payload.
+        prop_assert!(
+            rep_seq.failures.len() == panicked.len(),
+            "expected {} RootFailures, got {}\n{rep_seq}",
+            panicked.len(),
+            rep_seq.failures.len()
+        );
+        for (f, &r) in rep_seq.failures.iter().zip(&panicked) {
+            prop_assert!(f.root == format!("root_{r}"), "failure order: {} vs root_{r}", f.root);
+            prop_assert!(f.panic.contains("chaos:"), "payload lost: {}", f.panic);
+        }
+        prop_assert!(rep_seq.degraded == !panicked.is_empty(), "degraded iff K > 0");
+
+        // Surviving roots still contribute every warning they would have:
+        // N−K roots' distinct-buggy-callee pairs plus uncalled buggy
+        // callees (their own call-graph roots, never chaos targets).
+        let called: std::collections::HashSet<usize> =
+            g.roots.iter().flat_map(|r| r.calls.iter().copied()).collect();
+        let expected: usize = g
+            .roots
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| !panicked.contains(r))
+            .map(|(_, root)| {
+                root.calls
+                    .iter()
+                    .filter(|&&c| g.callees[c].buggy)
+                    .collect::<std::collections::HashSet<_>>()
+                    .len()
+            })
+            .sum::<usize>()
+            + g.callees
+                .iter()
+                .enumerate()
+                .filter(|(i, c)| c.buggy && !called.contains(i))
+                .count();
+        prop_assert!(
+            rep_seq.warnings.len() == expected,
+            "surviving roots keep their warnings: expected {expected}\n{src}\n{rep_seq}"
+        );
+    }
+
+    /// Budget leg: a tight deterministic step budget must degrade roots
+    /// to partial results *identically* for any worker count — the step
+    /// accounting is designed to be memoization- and schedule-
+    /// independent, and this is the end-to-end check of that property.
+    #[test]
+    fn step_budget_degrades_deterministically(
+        g in gen_program(),
+        jobs in 4usize..=8,
+        limit in 1u64..12,
+    ) {
+        let src = pir(&g);
+        let module = deepmc_pir::parse(&src).expect("generated PIR parses");
+        let program = Program::single(module);
+        let mut config = DeepMcConfig::new(PersistencyModel::Strict);
+        config.trace.max_walk_steps = Some(limit);
+        let checker = StaticChecker::new(config);
+
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let base = std::env::temp_dir().join(format!("deepmc-budget-{}-{case}", std::process::id()));
+        let dir_seq = base.join("seq");
+        let dir_par = base.join("par");
+        let cache_seq = AnalysisCache::open(&dir_seq);
+        let cache_par = AnalysisCache::open(&dir_par);
+        let (rep_seq, _) = checker.check_program_with_jobs(&program, Some(&cache_seq), 1);
+        let (rep_par, _) = checker.check_program_with_jobs(&program, Some(&cache_par), jobs);
+
+        let text_eq = rep_seq.to_string() == rep_par.to_string();
+        let json_eq = serde_json::to_string(&rep_seq).unwrap()
+            == serde_json::to_string(&rep_par).unwrap();
+        let cache_eq = dir_snapshot(&dir_seq) == dir_snapshot(&dir_par);
+        let _ = std::fs::remove_dir_all(&base);
+
+        prop_assert!(text_eq, "jobs={jobs} limit={limit}: budgeted report differs");
+        prop_assert!(json_eq, "jobs={jobs} limit={limit}: budgeted JSON differs");
+        prop_assert!(cache_eq, "jobs={jobs} limit={limit}: budgeted cache dir differs");
+        if rep_seq.degraded {
+            prop_assert!(
+                rep_seq.notes.iter().any(|n| n.contains("analysis budget exceeded")),
+                "degraded budget run must carry the truncation note\n{rep_seq}"
+            );
+        }
     }
 }
