@@ -61,6 +61,17 @@ pub fn resolve_jobs_with_env(explicit: Option<usize>, env: Option<&str>) -> usiz
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// Resolve a user-facing `--jobs N` request where `0` means "all cores".
+///
+/// Every CLI that exposes a `--jobs` flag must route through this helper
+/// so `0` behaves identically everywhere: it defers to `DEEPMC_JOBS`,
+/// then available parallelism — the same fallback chain as omitting the
+/// flag. (`check` and `crashsweep` used to disagree here, each rejecting
+/// `--jobs 0` at a different layer.)
+pub fn resolve_jobs_request(requested: usize) -> usize {
+    resolve_jobs((requested > 0).then_some(requested))
+}
+
 /// Render a panic payload as a human-readable message. Panics raised via
 /// `panic!("...")` carry a `String` or `&'static str`; anything else gets
 /// a stable placeholder so degraded reports stay deterministic.
@@ -316,6 +327,16 @@ mod tests {
     fn resolve_jobs_prefers_explicit() {
         assert_eq!(resolve_jobs(Some(3)), 3);
         assert!(resolve_jobs(None) >= 1);
+    }
+
+    #[test]
+    fn resolve_jobs_request_treats_zero_as_all_cores() {
+        // Positive requests are taken literally.
+        assert_eq!(resolve_jobs_request(5), 5);
+        // `--jobs 0` falls back through the same chain as omitting the
+        // flag entirely: DEEPMC_JOBS, then available parallelism.
+        assert_eq!(resolve_jobs_request(0), resolve_jobs(None));
+        assert!(resolve_jobs_request(0) >= 1);
     }
 
     #[test]

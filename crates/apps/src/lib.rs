@@ -25,6 +25,7 @@
 //!   application, for the Table 9 compilation-overhead experiment.
 
 pub mod crashsweep;
+mod explore;
 pub mod memcached;
 pub mod nstore;
 pub mod pirgen;

@@ -80,6 +80,14 @@ impl<'p> Memcached<'p> {
         self.kv.epoch_barrier(t);
     }
 
+    /// **Seeded bug**: close the epoch without the fence
+    /// ([`PmKv::epoch_barrier_skip_fence`]) — clients get their durability
+    /// ack but the flush queue never drains. The crash sweep injects this
+    /// as Memcached's ground-truth bug.
+    pub fn epoch_barrier_skip_fence(&self, t: &dyn Tracker) {
+        self.kv.epoch_barrier_skip_fence(t);
+    }
+
     /// Number of cached items.
     pub fn len(&self) -> usize {
         self.kv.len()

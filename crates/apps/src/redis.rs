@@ -146,6 +146,22 @@ impl<'p> Redis<'p> {
 
     /// Durably append one AOF record (op, key, value).
     fn aof_append(&self, op: u64, key: u64, value: u64, t: &dyn Tracker, strand: Option<StrandId>) {
+        self.aof_append_inner(op, key, value, t, strand, true);
+    }
+
+    /// [`Self::aof_append`] with the persist made optional so the crash
+    /// sweep can inject Redis's ground-truth bug: `persist = false` leaves
+    /// the entry's cache line merely dirty (no `clwb`/`sfence`), the
+    /// missing-persist-before-publish pattern of Table 2.
+    fn aof_append_inner(
+        &self,
+        op: u64,
+        key: u64,
+        value: u64,
+        t: &dyn Tracker,
+        strand: Option<StrandId>,
+        persist: bool,
+    ) {
         let mut aof = self.aof.lock();
         if t.enabled() {
             t.lock_acquire(strand, AOF_LOCK);
@@ -164,7 +180,9 @@ impl<'p> Redis<'p> {
         if t.enabled() {
             t.access(strand, at.0, AOF_USED, true);
         }
-        self.pool.persist(at, AOF_USED);
+        if persist {
+            self.pool.persist(at, AOF_USED);
+        }
         aof.cursor += AOF_ENTRY;
         aof.seq += 1;
         if t.enabled() {
@@ -175,6 +193,21 @@ impl<'p> Redis<'p> {
     /// `SET key value`.
     pub fn set(&self, key: u64, value: u64, t: &dyn Tracker, strand: Option<StrandId>) {
         self.aof_append(1, key, value, t, strand);
+        self.kv.set(key, value, t, strand);
+    }
+
+    /// **Seeded bug**: `SET` whose AOF entry is written but never
+    /// persisted — the ack races the flush that was never issued. A crash
+    /// before some later append's fence silently loses the update. Only
+    /// the crash sweep's ground-truth injection calls this.
+    pub fn set_skip_aof_persist(
+        &self,
+        key: u64,
+        value: u64,
+        t: &dyn Tracker,
+        strand: Option<StrandId>,
+    ) {
+        self.aof_append_inner(1, key, value, t, strand, false);
         self.kv.set(key, value, t, strand);
     }
 

@@ -251,6 +251,17 @@ impl<'p> PmKv<'p> {
         }
     }
 
+    /// **Seeded bug** (missing `sfence` at epoch close; Table 2's
+    /// missing-fence pattern): acknowledge the epoch without draining the
+    /// flush queue. Flushed lines stay `FlushPending`, so a crash after
+    /// this "barrier" can drop updates the caller already acked. Only the
+    /// crash sweep's ground-truth injection calls this.
+    pub fn epoch_barrier_skip_fence(&self, tracker: &dyn Tracker) {
+        if tracker.enabled() {
+            tracker.barrier();
+        }
+    }
+
     /// Number of keys present.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()

@@ -216,6 +216,179 @@ mod tests {
     }
 }
 
+/// One scripted crash-sweep operation. `Barrier` closes an epoch: only
+/// Memcached acts on it (its durability acks are deferred to the next
+/// barrier); the strict apps ack every op as it completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptOp {
+    Set { key: u64, val: u64 },
+    Del { key: u64 },
+    Barrier,
+}
+
+/// Deterministic sweep script: mostly sets over a small keyspace,
+/// occasional deletes, barriers every 6 ops. Everything derives from
+/// `seed`, so the same seed replays the same operation history.
+pub fn sweep_script(seed: u64, steps: u64) -> Vec<ScriptOp> {
+    let keyspace = 16;
+    let mut ops = Vec::new();
+    for i in 0..steps {
+        if i > 0 && i % 6 == 0 {
+            ops.push(ScriptOp::Barrier);
+        }
+        let r = crate::recovery::checksum(seed, &[0xC0FFEE, i]);
+        let key = 1 + r % keyspace;
+        if r % 11 == 10 {
+            ops.push(ScriptOp::Del { key });
+        } else {
+            ops.push(ScriptOp::Set { key, val: crate::recovery::checksum(seed, &[0xBEEF, i]) | 1 });
+        }
+    }
+    ops
+}
+
+/// Pre-crash operation history recorded by the workload driver: every
+/// write with its script position, the last *acknowledged* update per key
+/// (with its ack position), and which keys' latest acked update went
+/// through a deliberately buggy code path. Post-recovery oracles compare
+/// the recovered read-back against this record.
+#[derive(Debug, Default, Clone)]
+pub struct OpHistory {
+    /// key -> every (script position, value) written, in program order.
+    writes: std::collections::HashMap<u64, Vec<(u64, u64)>>,
+    /// key -> (position at which durability was acknowledged, value).
+    acked: std::collections::HashMap<u64, (u64, u64)>,
+    /// Keys whose latest acked update used the injected-bug path.
+    buggy: std::collections::HashSet<u64>,
+}
+
+impl OpHistory {
+    /// Record a write of `val` to `key` at script position `pos`.
+    pub fn record_write(&mut self, pos: u64, key: u64, val: u64) {
+        self.writes.entry(key).or_default().push((pos, val));
+    }
+
+    /// Acknowledge `key = val` as durable at script position `pos`.
+    pub fn ack(&mut self, key: u64, pos: u64, val: u64, buggy: bool) {
+        self.acked.insert(key, (pos, val));
+        if buggy {
+            self.buggy.insert(key);
+        } else {
+            self.buggy.remove(&key);
+        }
+    }
+
+    /// Withdraw the durability acknowledgement for `key` (a delete).
+    pub fn unack(&mut self, key: u64) {
+        self.acked.remove(&key);
+        self.buggy.remove(&key);
+    }
+
+    /// Every key that was ever written.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.writes.keys().copied()
+    }
+
+    /// Was `val` ever written to `key`?
+    pub fn was_written(&self, key: u64, val: u64) -> bool {
+        self.writes.get(&key).is_some_and(|h| h.iter().any(|&(_, v)| v == val))
+    }
+
+    /// Was `val` written to `key` at script position `pos` or later?
+    /// (A recovered value older than the last acked update is a rollback
+    /// past an acknowledgement; one at or after it is legal eviction
+    /// nondeterminism.)
+    pub fn written_at_or_after(&self, key: u64, pos: u64, val: u64) -> bool {
+        self.writes.get(&key).is_some_and(|h| h.iter().any(|&(p, v)| p >= pos && v == val))
+    }
+
+    /// The last acknowledged (position, value) per key.
+    pub fn acked(&self) -> &std::collections::HashMap<u64, (u64, u64)> {
+        &self.acked
+    }
+
+    /// Is `key`'s latest acked update attributable to the injected bug?
+    pub fn is_buggy(&self, key: u64) -> bool {
+        self.buggy.contains(&key)
+    }
+
+    /// Did any key's latest acked update use the buggy path?
+    pub fn any_buggy(&self) -> bool {
+        !self.buggy.is_empty()
+    }
+
+    /// Order-independent digest of the oracle-relevant state: the acked
+    /// map plus the buggy-key set. Two crash points with equal pool-image
+    /// hashes *and* equal history digests validate identically, so the
+    /// pruned explorer folds this into its equivalence-class key.
+    pub fn digest(&self) -> u64 {
+        let mut acked: Vec<(u64, u64, u64)> =
+            self.acked.iter().map(|(&k, &(p, v))| (k, p, v)).collect();
+        acked.sort_unstable();
+        let mut buggy: Vec<u64> = self.buggy.iter().copied().collect();
+        buggy.sort_unstable();
+        let mut stream = Vec::with_capacity(acked.len() * 3 + buggy.len() + 1);
+        for (k, p, v) in acked {
+            stream.extend_from_slice(&[k, p, v]);
+        }
+        stream.push(0xB06_D16E57);
+        stream.extend_from_slice(&buggy);
+        crate::recovery::checksum(0xD16E57, &stream)
+    }
+}
+
+#[cfg(test)]
+mod history_tests {
+    use super::*;
+
+    #[test]
+    fn sweep_script_is_deterministic_and_barriered() {
+        let a = sweep_script(3, 24);
+        assert_eq!(a, sweep_script(3, 24));
+        assert!(a.iter().any(|op| matches!(op, ScriptOp::Barrier)));
+        assert!(a.len() > 24, "barriers ride along with the steps");
+        assert_ne!(a, sweep_script(4, 24), "seed changes the script");
+    }
+
+    #[test]
+    fn history_tracks_acks_positions_and_bug_paths() {
+        let mut h = OpHistory::default();
+        h.record_write(0, 1, 10);
+        h.record_write(2, 1, 20);
+        h.ack(1, 2, 20, false);
+        assert!(h.was_written(1, 10) && h.was_written(1, 20));
+        assert!(!h.was_written(1, 30));
+        assert!(h.written_at_or_after(1, 2, 20));
+        assert!(!h.written_at_or_after(1, 1, 10), "value 10 was only written before position 1");
+        assert_eq!(h.acked().get(&1), Some(&(2, 20)));
+        assert!(!h.any_buggy());
+
+        h.ack(1, 3, 30, true);
+        assert!(h.is_buggy(1) && h.any_buggy());
+        h.ack(1, 4, 40, false);
+        assert!(!h.is_buggy(1), "a clean ack clears the bug mark");
+        h.unack(1);
+        assert!(h.acked().is_empty());
+    }
+
+    #[test]
+    fn digest_is_order_independent_and_state_sensitive() {
+        let mut a = OpHistory::default();
+        a.ack(1, 5, 10, false);
+        a.ack(2, 6, 20, true);
+        let mut b = OpHistory::default();
+        b.ack(2, 6, 20, true);
+        b.ack(1, 5, 10, false);
+        assert_eq!(a.digest(), b.digest(), "insertion order must not matter");
+        // Writes are deliberately excluded from the digest (they only grow
+        // monotonically and the explorer handles them separately).
+        b.record_write(9, 9, 9);
+        assert_eq!(a.digest(), b.digest());
+        b.ack(1, 7, 10, false);
+        assert_ne!(a.digest(), b.digest(), "ack position is part of the digest");
+    }
+}
+
 /// Per-client context handed through the benchmark driver.
 pub struct ClientCtx<'t> {
     pub id: usize,

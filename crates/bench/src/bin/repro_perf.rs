@@ -147,12 +147,34 @@ struct ScalingSweep {
     points: Vec<ScalingPoint>,
 }
 
+/// Exhaustive vs pruned crash-state exploration for one app (Table 9e).
+#[derive(Debug, Serialize)]
+struct ExplorationBench {
+    app: &'static str,
+    /// Crash states the exhaustive sweep recovers and validates.
+    states_total: u64,
+    /// Equivalence-class representatives the pruned run validates.
+    states_explored: u64,
+    /// States whose verdict propagated from a representative instead.
+    states_pruned: u64,
+    /// `states_total / states_explored` on the clean run; the acceptance
+    /// bar is ≥ 2×.
+    reduction: f64,
+    /// Bug attributions under `--inject-bug --oracle`, exhaustive run.
+    bugs_exhaustive: u64,
+    /// Same, pruned run — must equal `bugs_exhaustive` (and be nonzero).
+    bugs_pruned: u64,
+    exhaustive_ms: f64,
+    pruned_ms: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     bench: &'static str,
     frameworks: Vec<FrameworkBench>,
     apps: Vec<AppBench>,
     scaling: ScalingSweep,
+    exploration: Vec<ExplorationBench>,
     total_cold_ms: f64,
     total_warm_ms: f64,
     /// warm / cold over frameworks + apps; the acceptance bar is ≤ 0.5.
@@ -366,6 +388,65 @@ fn bench_scaling(reps: usize) -> ScalingSweep {
     ScalingSweep { cores, enforced: cores >= 4, points }
 }
 
+/// Exhaustive vs pruned crash-state exploration over the sweep apps
+/// (Table 9e): the clean run measures the state-space reduction, the
+/// bug-injected run checks pruning hides nothing the exhaustive sweep
+/// attributes to the seeded bugs.
+fn bench_exploration() -> Vec<ExplorationBench> {
+    use nvm_apps::crashsweep::{sweep_app, SweepApp, SweepConfig};
+    SweepApp::ALL
+        .iter()
+        .map(|&app| {
+            let clean = SweepConfig {
+                seed: 13,
+                steps: 24,
+                random_seeds: 2,
+                oracle: true,
+                ..Default::default()
+            };
+            let t = Instant::now();
+            let exhaustive = sweep_app(&clean, app);
+            let exhaustive_ms = ms(t.elapsed());
+            let t = Instant::now();
+            let pruned = sweep_app(&SweepConfig { prune: true, ..clean }, app);
+            let pruned_ms = ms(t.elapsed());
+            assert!(
+                exhaustive.violations.is_empty() && pruned.violations.is_empty(),
+                "{}: a clean sweep must be violation-free",
+                app.name()
+            );
+            assert_eq!(
+                exhaustive.images_checked,
+                pruned.images_checked,
+                "{}: pruning must account for every crash state",
+                app.name()
+            );
+
+            let buggy = SweepConfig { inject_bug: true, ..clean };
+            let bugs_ex = sweep_app(&buggy, app);
+            let bugs_pr = sweep_app(&SweepConfig { prune: true, ..buggy }, app);
+            assert_eq!(
+                bugs_ex.bug_attributed,
+                bugs_pr.bug_attributed,
+                "{}: pruning must attribute exactly the bugs the exhaustive sweep does",
+                app.name()
+            );
+
+            ExplorationBench {
+                app: app.name(),
+                states_total: pruned.images_checked,
+                states_explored: pruned.states_explored,
+                states_pruned: pruned.states_pruned,
+                reduction: pruned.images_checked as f64 / pruned.states_explored as f64,
+                bugs_exhaustive: bugs_ex.bug_attributed,
+                bugs_pruned: bugs_pr.bug_attributed,
+                exhaustive_ms,
+                pruned_ms,
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let reps = if std::env::args().any(|a| a == "--quick") { 3 } else { 9 };
     let frameworks: Vec<FrameworkBench> =
@@ -382,6 +463,7 @@ fn main() {
         frameworks,
         apps,
         scaling: bench_scaling(reps),
+        exploration: bench_exploration(),
         total_cold_ms,
         total_warm_ms,
         warm_over_cold: total_warm_ms / total_cold_ms,
@@ -469,6 +551,25 @@ fn main() {
         println!("(< 4 cores: the ≥1.7x @ 4-workers bar is recorded but not enforced)");
     }
 
+    println!("\nPruned crash-state exploration (Table 9e; clean run + seeded bugs):\n");
+    println!(
+        "{:<12} {:>7} {:>9} {:>7} {:>10} {:>6} {:>12} {:>10}",
+        "App", "states", "explored", "pruned", "reduction", "bugs", "exhaust ms", "pruned ms"
+    );
+    for e in &report.exploration {
+        println!(
+            "{:<12} {:>7} {:>9} {:>7} {:>9.1}x {:>6} {:>12.2} {:>10.2}",
+            e.app,
+            e.states_total,
+            e.states_explored,
+            e.states_pruned,
+            e.reduction,
+            e.bugs_pruned,
+            e.exhaustive_ms,
+            e.pruned_ms
+        );
+    }
+
     let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
     std::fs::write("BENCH_analysis.json", json + "\n").expect("write BENCH_analysis.json");
     println!("wrote BENCH_analysis.json");
@@ -491,6 +592,23 @@ fn main() {
             eprintln!(
                 "FAIL: --jobs 4 reached {:.2}x over --jobs 1 (acceptance bar: >= 1.7x)",
                 four.speedup
+            );
+            std::process::exit(1);
+        }
+    }
+    for e in &report.exploration {
+        if e.reduction < 2.0 {
+            eprintln!(
+                "FAIL: {} pruned exploration validated {} of {} states ({:.2}x; \
+                 acceptance bar: >= 2x reduction)",
+                e.app, e.states_explored, e.states_total, e.reduction
+            );
+            std::process::exit(1);
+        }
+        if e.bugs_pruned == 0 || e.bugs_pruned != e.bugs_exhaustive {
+            eprintln!(
+                "FAIL: {} pruned sweep attributed {} bugs vs {} exhaustive",
+                e.app, e.bugs_pruned, e.bugs_exhaustive
             );
             std::process::exit(1);
         }

@@ -15,4 +15,4 @@
 //! every consumer's merge is order-insensitive beyond that, so reports
 //! and cache contents are byte-identical for any worker count.
 
-pub use deepmc_analysis::pool::{resolve_jobs, run_indexed};
+pub use deepmc_analysis::pool::{resolve_jobs, resolve_jobs_request, run_indexed};

@@ -146,7 +146,7 @@ impl StaticChecker {
         cache: Option<&AnalysisCache>,
         jobs: usize,
     ) -> (Report, CacheRunStats) {
-        let jobs = pool::resolve_jobs((jobs > 0).then_some(jobs));
+        let jobs = pool::resolve_jobs_request(jobs);
         let cg = {
             let _s = obs::span("cfg");
             CallGraph::build(program)

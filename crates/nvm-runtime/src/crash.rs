@@ -71,6 +71,51 @@ impl CrashImage {
         &self.poisoned
     }
 
+    /// Content hash of the *durable* identity of this crash state: the
+    /// image bytes plus the set of permanently poisoned lines. Two images
+    /// with equal hashes recover identically, so crash-state explorers may
+    /// collapse them into one equivalence class.
+    ///
+    /// Transient poison is deliberately excluded: it clears after a single
+    /// failed read, and every recovery path reads through
+    /// [`crate::PmemPool::read_reliable`] with at least one retry, so it
+    /// can never alter what recovery adopts or drops. Hashing it would
+    /// split logically identical crash states into distinct classes.
+    pub fn content_hash(&self) -> u64 {
+        // FNV-1a over 8-byte words (the image is word-aligned by
+        // construction; a byte-at-a-time fold is ~8x slower on the 4 MiB
+        // pools the sweep uses, which matters in debug test builds).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |w: u64| {
+            h ^= w;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        let mut chunks = self.bytes.chunks_exact(8);
+        for c in &mut chunks {
+            mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        for &b in chunks.remainder() {
+            mix(b as u64);
+        }
+        let mut durable_poison: Vec<u64> = self
+            .poisoned
+            .iter()
+            .filter(|&&(_, transient)| !transient)
+            .map(|&(line, _)| line)
+            .collect();
+        durable_poison.sort_unstable();
+        mix(0x9E37_79B9_7F4A_7C15 ^ durable_poison.len() as u64);
+        for line in durable_poison {
+            mix(line);
+        }
+        h
+    }
+
+    /// The raw durable image.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
     pub fn len(&self) -> usize {
         self.bytes.len()
     }
@@ -143,6 +188,35 @@ mod tests {
         let a = CrashPolicy::Random(7).apply(&p);
         let b = CrashPolicy::Random(7).apply(&p);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn content_hash_tracks_bytes_and_permanent_poison_only() {
+        let p = pool();
+        p.write_u64(PAddr(64), 42);
+        p.persist(PAddr(64), 8);
+        let base = CrashPolicy::Pessimistic.apply(&p);
+        let h = base.content_hash();
+        assert_eq!(h, base.content_hash(), "hash is a pure function of the image");
+
+        // Different bytes -> different class.
+        p.write_u64(PAddr(64), 43);
+        p.persist(PAddr(64), 8);
+        assert_ne!(CrashPolicy::Pessimistic.apply(&p).content_hash(), h);
+
+        // Transient poison is scratch state: same class as the clean image.
+        let bytes = base.bytes().to_vec();
+        let transient = CrashImage::with_poison(bytes.clone(), vec![(3, true), (9, true)]);
+        assert_eq!(transient.content_hash(), h, "transient poison must not split classes");
+
+        // Permanent poison changes what recovery can read -> new class.
+        let permanent = CrashImage::with_poison(bytes.clone(), vec![(3, false)]);
+        assert_ne!(permanent.content_hash(), h);
+
+        // Permanent poison order is irrelevant.
+        let a = CrashImage::with_poison(bytes.clone(), vec![(3, false), (9, false)]);
+        let b = CrashImage::with_poison(bytes, vec![(9, false), (3, false)]);
+        assert_eq!(a.content_hash(), b.content_hash());
     }
 
     #[test]
