@@ -8,15 +8,22 @@
 
 use crate::program::{FuncRef, Program};
 use deepmc_pir::Inst;
-use std::collections::{HashMap, HashSet};
 
 /// Call graph over defined functions.
+///
+/// Adjacency is stored densely, indexed by the program-wide function index
+/// ([`Program::dense_index`]), so edge lookups on the analysis walk path are
+/// plain `u32` indexing with no hashing. A snapshot of the program's
+/// per-module index bases keeps [`CallGraph::callees_of`] usable without
+/// re-threading the `Program` through every call site.
 #[derive(Debug, Clone)]
 pub struct CallGraph {
-    /// Edges: caller → set of callees (defined functions only).
-    pub callees: HashMap<FuncRef, Vec<FuncRef>>,
-    /// Reverse edges.
-    pub callers: HashMap<FuncRef, Vec<FuncRef>>,
+    /// Edges: dense func index → callees (defined functions only).
+    callees: Vec<Vec<FuncRef>>,
+    /// Reverse edges, dense-indexed.
+    callers: Vec<Vec<FuncRef>>,
+    /// Per-module base offsets mirroring the program's dense index.
+    func_base: Vec<u32>,
     /// Post-order over all defined functions: callees before callers.
     pub post_order: Vec<FuncRef>,
     /// Functions never called from within the program (analysis roots).
@@ -26,47 +33,55 @@ pub struct CallGraph {
 impl CallGraph {
     /// Build the call graph of `program`.
     pub fn build(program: &Program) -> CallGraph {
-        let mut callees: HashMap<FuncRef, Vec<FuncRef>> = HashMap::new();
-        let mut callers: HashMap<FuncRef, Vec<FuncRef>> = HashMap::new();
+        let n = program.num_funcs();
+        let mut callees: Vec<Vec<FuncRef>> = vec![Vec::new(); n];
+        let mut callers: Vec<Vec<FuncRef>> = vec![Vec::new(); n];
+        let mut defined_mask = vec![false; n];
         let defined: Vec<FuncRef> = program.defined_funcs().collect();
-        let defined_set: HashSet<FuncRef> = defined.iter().copied().collect();
+        for &fr in &defined {
+            defined_mask[program.dense_index(fr) as usize] = true;
+        }
 
         for &fr in &defined {
             let f = program.func(fr);
             let mut out: Vec<FuncRef> = Vec::new();
-            for b in &f.blocks {
-                for si in &b.insts {
-                    if let Inst::Call { callee, .. } = &si.inst {
-                        if let Some(target) = program.resolve(callee) {
-                            if defined_set.contains(&target) && !out.contains(&target) {
-                                out.push(target);
-                            }
+            // Call edges are block-order independent: scan the flat arena.
+            for si in &f.insts {
+                if let Inst::Call { callee, .. } = &si.inst {
+                    if let Some(target) = program.resolve_sym(fr.module, *callee) {
+                        if defined_mask[program.dense_index(target) as usize]
+                            && !out.contains(&target)
+                        {
+                            out.push(target);
                         }
                     }
                 }
             }
             for &t in &out {
-                callers.entry(t).or_default().push(fr);
+                callers[program.dense_index(t) as usize].push(fr);
             }
-            callees.insert(fr, out);
+            callees[program.dense_index(fr) as usize] = out;
         }
 
         // Post-order DFS from every node (covers disconnected components).
         let mut post_order = Vec::with_capacity(defined.len());
-        let mut visited: HashSet<FuncRef> = HashSet::new();
+        let mut visited = vec![false; n];
         for &start in &defined {
-            if visited.contains(&start) {
+            let si = program.dense_index(start) as usize;
+            if visited[si] {
                 continue;
             }
             // Iterative DFS.
             let mut stack: Vec<(FuncRef, usize)> = vec![(start, 0)];
-            visited.insert(start);
+            visited[si] = true;
             while let Some(&mut (fr, ref mut next)) = stack.last_mut() {
-                let outs = &callees[&fr];
+                let outs = &callees[program.dense_index(fr) as usize];
                 if *next < outs.len() {
                     let s = outs[*next];
                     *next += 1;
-                    if visited.insert(s) {
+                    let di = program.dense_index(s) as usize;
+                    if !visited[di] {
+                        visited[di] = true;
                         stack.push((s, 0));
                     }
                 } else {
@@ -79,20 +94,28 @@ impl CallGraph {
         let roots = defined
             .iter()
             .copied()
-            .filter(|fr| callers.get(fr).is_none_or(|c| c.is_empty()))
+            .filter(|&fr| callers[program.dense_index(fr) as usize].is_empty())
             .collect();
 
-        CallGraph { callees, callers, post_order, roots }
+        let func_base = (0..program.modules.len())
+            .map(|mi| program.dense_index(FuncRef::new(mi, deepmc_pir::FuncId(0))))
+            .collect();
+
+        CallGraph { callees, callers, func_base, post_order, roots }
+    }
+
+    fn dense(&self, fr: FuncRef) -> usize {
+        (self.func_base[fr.module as usize] + fr.func.0) as usize
     }
 
     /// Direct callees of `fr`.
     pub fn callees_of(&self, fr: FuncRef) -> &[FuncRef] {
-        self.callees.get(&fr).map(|v| v.as_slice()).unwrap_or(&[])
+        self.callees.get(self.dense(fr)).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// Direct callers of `fr`.
     pub fn callers_of(&self, fr: FuncRef) -> &[FuncRef] {
-        self.callers.get(&fr).map(|v| v.as_slice()).unwrap_or(&[])
+        self.callers.get(self.dense(fr)).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// Reverse post-order (callers before callees), used by the top-down

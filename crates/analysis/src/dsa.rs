@@ -27,7 +27,7 @@
 use crate::callgraph::CallGraph;
 use crate::program::{FuncRef, Program};
 use crate::unionfind::UnionFind;
-use deepmc_pir::{Accessor, FuncAttr, Inst, LocalId, Operand, StructId, Ty};
+use deepmc_pir::{Accessor, FuncAttr, Inst, LocalId, Operand, StructId, Symbol, Ty};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Field marker meaning "the whole object / every field".
@@ -114,7 +114,8 @@ impl DsaNode {
 /// phases.
 #[derive(Debug, Clone)]
 struct CallSite {
-    callee: String,
+    /// Interned callee handle in the caller's module.
+    callee: Symbol,
     /// Per argument: the caller local if the argument is a pointer local.
     ptr_args: Vec<Option<LocalId>>,
     dst: Option<LocalId>,
@@ -320,54 +321,66 @@ impl FunctionDsg {
     }
 }
 
-/// DSA results for a whole program.
+/// DSA results for a whole program, stored densely by the program-wide
+/// function index (`None` for functions without bodies).
 #[derive(Debug, Clone)]
 pub struct DsaResult {
-    pub graphs: HashMap<FuncRef, FunctionDsg>,
+    graphs: Vec<Option<FunctionDsg>>,
+    /// Per-module base offsets mirroring [`Program::dense_index`].
+    func_base: Vec<u32>,
 }
 
 impl DsaResult {
     /// Run all three phases over `program`.
     pub fn analyze(program: &Program, cg: &CallGraph) -> DsaResult {
-        let mut graphs: HashMap<FuncRef, FunctionDsg> = HashMap::new();
+        let mut graphs: Vec<Option<FunctionDsg>> = vec![None; program.num_funcs()];
+        let dense = |fr: FuncRef| program.dense_index(fr) as usize;
 
         // Phase 1: Local.
         for fr in program.defined_funcs() {
-            graphs.insert(fr, local_phase(program, fr));
+            graphs[dense(fr)] = Some(local_phase(program, fr));
         }
 
         // Phase 2: Bottom-Up (callees before callers).
         for &fr in &cg.post_order {
-            let call_sites = graphs[&fr].call_sites.clone();
+            let call_sites = graphs[dense(fr)]
+                .as_ref()
+                .expect("post-order covers defined funcs")
+                .call_sites
+                .clone();
             for cs in &call_sites {
-                let Some(callee_fr) = program.resolve(&cs.callee) else { continue };
+                let Some(callee_fr) = program.resolve_sym(fr.module, cs.callee) else { continue };
                 if callee_fr == fr {
                     continue; // direct self-recursion: summary is itself
                 }
-                let Some(callee_g) = graphs.get(&callee_fr) else { continue };
+                let Some(callee_g) = graphs[dense(callee_fr)].as_ref() else { continue };
                 if program.func(callee_fr).blocks.is_empty() {
                     continue;
                 }
                 let summary = clone_summary(callee_g);
-                let g = graphs.get_mut(&fr).expect("graph exists");
+                let g = graphs[dense(fr)].as_mut().expect("graph exists");
                 apply_summary(g, summary, cs);
             }
         }
 
         // Phase 3: Top-Down (callers before callees).
         for fr in cg.reverse_post_order() {
-            let call_sites = graphs[&fr].call_sites.clone();
+            let call_sites = graphs[dense(fr)]
+                .as_ref()
+                .expect("post-order covers defined funcs")
+                .call_sites
+                .clone();
             for cs in &call_sites {
-                let Some(callee_fr) = program.resolve(&cs.callee) else { continue };
+                let Some(callee_fr) = program.resolve_sym(fr.module, cs.callee) else { continue };
                 if callee_fr == fr {
                     continue;
                 }
                 // Compute argument persistence in the caller first.
                 let arg_kinds: Vec<Option<PersistKind>> = {
-                    let g = &graphs[&fr];
+                    let g = graphs[dense(fr)].as_ref().expect("caller graph exists");
                     cs.ptr_args.iter().map(|a| a.map(|l| g.local_persist(l))).collect()
                 };
-                if let Some(callee_g) = graphs.get_mut(&callee_fr) {
+                if let Some(callee_g) = graphs[dense(callee_fr)].as_mut() {
                     for (i, kind) in arg_kinds.iter().enumerate() {
                         let (Some(kind), Some(pn)) =
                             (kind, callee_g.param_nodes.get(i).copied().flatten())
@@ -385,12 +398,24 @@ impl DsaResult {
             }
         }
 
-        DsaResult { graphs }
+        let func_base = (0..program.modules.len())
+            .map(|mi| program.dense_index(FuncRef::new(mi, deepmc_pir::FuncId(0))))
+            .collect();
+        DsaResult { graphs, func_base }
+    }
+
+    fn dense(&self, fr: FuncRef) -> usize {
+        (self.func_base[fr.module as usize] + fr.func.0) as usize
     }
 
     /// The DSG of `fr` (panics for functions without bodies).
     pub fn graph(&self, fr: FuncRef) -> &FunctionDsg {
-        &self.graphs[&fr]
+        self.graphs[self.dense(fr)].as_ref().expect("no DSG: function has no body")
+    }
+
+    /// Number of functions with a DSG (defined functions).
+    pub fn graph_count(&self) -> usize {
+        self.graphs.iter().filter(|g| g.is_some()).count()
     }
 }
 
@@ -431,7 +456,7 @@ fn local_phase(program: &Program, fr: FuncRef) -> FunctionDsg {
     while changed {
         changed = false;
         for (bi, b) in f.blocks.iter().enumerate() {
-            for (ii, si) in b.insts.iter().enumerate() {
+            for (ii, si) in f.insts_of(b).iter().enumerate() {
                 match &si.inst {
                     Inst::PAlloc { dst, ty } | Inst::VAlloc { dst, ty } => {
                         let persistent = matches!(si.inst, Inst::PAlloc { .. });
@@ -545,7 +570,7 @@ fn local_phase(program: &Program, fr: FuncRef) -> FunctionDsg {
                     Inst::Call { dst, callee, args } => {
                         if first {
                             g.call_sites.push(CallSite {
-                                callee: callee.clone(),
+                                callee: *callee,
                                 ptr_args: args
                                     .iter()
                                     .map(|a| match a {
@@ -983,6 +1008,6 @@ entry:
 }
 "#,
         );
-        assert_eq!(dsa.graphs.len(), 1);
+        assert_eq!(dsa.graph_count(), 1);
     }
 }

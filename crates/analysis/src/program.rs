@@ -2,8 +2,9 @@
 //! cross-module function resolution by name (standing in for linked LLVM
 //! bitcode).
 
-use deepmc_pir::{FuncId, Function, Module};
+use deepmc_pir::{FuncId, Function, Module, Symbol};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A function reference: module index + function id within that module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -18,16 +19,68 @@ impl FuncRef {
     }
 }
 
+/// Dense side table mapping program-wide function indices to the strings
+/// needed when rendering a source location: the module's file and the
+/// function's name. Trace events carry only the dense `u32` index; the
+/// strings are resolved here once, at warning-emission time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LocTable {
+    files: Vec<Arc<str>>,
+    names: Vec<Arc<str>>,
+}
+
+impl LocTable {
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Source file of the function with dense index `func`.
+    pub fn file(&self, func: u32) -> &Arc<str> {
+        debug_assert!(
+            (func as usize) < self.files.len(),
+            "dense func index {func} outside loc table ({} entries)",
+            self.files.len()
+        );
+        &self.files[func as usize]
+    }
+
+    /// Name of the function with dense index `func`.
+    pub fn name(&self, func: u32) -> &Arc<str> {
+        debug_assert!(
+            (func as usize) < self.names.len(),
+            "dense func index {func} outside loc table ({} entries)",
+            self.names.len()
+        );
+        &self.names[func as usize]
+    }
+}
+
 /// A program: one or more modules plus a global name → function index.
 ///
 /// Function names are required to be unique across the program, matching the
 /// C linkage model of the frameworks the corpus re-implements. If two
 /// modules define the same name, [`Program::new`] returns an error naming
 /// the clash.
+///
+/// Besides the name map, the program carries dense side tables built once at
+/// construction: a program-wide `u32` index for every function (module-major
+/// order), a [`LocTable`] resolving that index back to rendering strings,
+/// and per-module symbol → [`FuncRef`] target tables so the hot analysis
+/// paths resolve callees by `u32` indexing instead of string hashing.
 #[derive(Debug, Clone)]
 pub struct Program {
     pub modules: Vec<Module>,
     by_name: HashMap<String, FuncRef>,
+    /// Per-module base offset into the dense program-wide function index.
+    func_base: Vec<u32>,
+    /// Per module: symbol index → resolved callee (None for unknown names).
+    sym_targets: Vec<Vec<Option<FuncRef>>>,
+    /// Dense func index → (file, name) strings for warning rendering.
+    locs: Arc<LocTable>,
 }
 
 /// Error from [`Program::new`]: duplicate function definitions.
@@ -73,7 +126,25 @@ impl Program {
                 }
             }
         }
-        Ok(Program { modules, by_name })
+
+        let mut func_base = Vec::with_capacity(modules.len());
+        let mut base = 0u32;
+        let mut locs = LocTable::default();
+        let mut sym_targets = Vec::with_capacity(modules.len());
+        for m in &modules {
+            func_base.push(base);
+            base += m.functions.len() as u32;
+            let file: Arc<str> = Arc::from(m.file.as_str());
+            for f in &m.functions {
+                locs.files.push(file.clone());
+                locs.names.push(Arc::from(f.name.as_str()));
+            }
+            sym_targets.push(
+                m.symbols.strings().iter().map(|s| by_name.get(s.as_str()).copied()).collect(),
+            );
+        }
+
+        Ok(Program { modules, by_name, func_base, sym_targets, locs: Arc::new(locs) })
     }
 
     /// A single-module program.
@@ -84,6 +155,44 @@ impl Program {
     /// Resolve a function by name.
     pub fn resolve(&self, name: &str) -> Option<FuncRef> {
         self.by_name.get(name).copied()
+    }
+
+    /// Resolve an interned call target of `module` without touching the
+    /// callee's string: a pair of `u32` indexes into dense tables.
+    pub fn resolve_sym(&self, module: u32, sym: Symbol) -> Option<FuncRef> {
+        self.sym_targets[module as usize].get(sym.index()).copied().flatten()
+    }
+
+    /// Program-wide dense index of `fr` (module-major order).
+    pub fn dense_index(&self, fr: FuncRef) -> u32 {
+        self.func_base[fr.module as usize] + fr.func.index() as u32
+    }
+
+    /// Inverse of [`Program::dense_index`].
+    pub fn func_by_dense(&self, idx: u32) -> FuncRef {
+        let mi = match self.func_base.binary_search(&idx) {
+            // A run of empty modules shares a base; take the last one so the
+            // function index stays in range.
+            Ok(i) => {
+                let mut i = i;
+                while i + 1 < self.func_base.len() && self.func_base[i + 1] == idx {
+                    i += 1;
+                }
+                i
+            }
+            Err(i) => i - 1,
+        };
+        FuncRef { module: mi as u32, func: FuncId(idx - self.func_base[mi]) }
+    }
+
+    /// Total number of functions across all modules (dense index bound).
+    pub fn num_funcs(&self) -> usize {
+        self.locs.len()
+    }
+
+    /// The shared dense location table for warning rendering.
+    pub fn loc_table(&self) -> Arc<LocTable> {
+        Arc::clone(&self.locs)
     }
 
     /// The function for `fr`.
@@ -133,6 +242,33 @@ mod tests {
         let g = p.resolve("g").unwrap();
         assert_eq!(g.module, 1, "definition wins over extern");
         assert_eq!(p.defined_funcs().count(), 2);
+    }
+
+    #[test]
+    fn dense_index_roundtrips() {
+        let m1 =
+            parse("module a\nfn f() {\nentry:\n  ret\n}\nfn h() {\nentry:\n  ret\n}\n").unwrap();
+        let m2 = parse("module b\nfn g() {\nentry:\n  ret\n}\n").unwrap();
+        let p = Program::new(vec![m1, m2]).unwrap();
+        assert_eq!(p.num_funcs(), 3);
+        for fr in p.defined_funcs() {
+            let idx = p.dense_index(fr);
+            assert_eq!(p.func_by_dense(idx), fr);
+            let locs = p.loc_table();
+            assert_eq!(locs.name(idx).as_ref(), p.func(fr).name);
+        }
+    }
+
+    #[test]
+    fn resolve_sym_matches_resolve() {
+        let m1 =
+            parse("module a\nfn f() {\nentry:\n  call g()\n  call nope()\n  ret\n}\n").unwrap();
+        let m2 = parse("module b\nfn g() {\nentry:\n  ret\n}\n").unwrap();
+        let p = Program::new(vec![m1, m2]).unwrap();
+        let g_sym = p.modules[0].symbols.get("g").unwrap();
+        let nope_sym = p.modules[0].symbols.get("nope").unwrap();
+        assert_eq!(p.resolve_sym(0, g_sym), p.resolve("g"));
+        assert_eq!(p.resolve_sym(0, nope_sym), None);
     }
 
     #[test]

@@ -205,7 +205,9 @@ fn render(callees: &[GenCallee], main_ops: &[MOp]) -> String {
 fn collect(program: &Program, memoize: bool) -> Vec<deepmc_analysis::Trace> {
     let cg = CallGraph::build(program);
     let dsa = DsaResult::analyze(program, &cg);
-    let config = TraceConfig { memoize, ..TraceConfig::default() };
+    // Generated callees can be tiny; drop the summary size threshold so
+    // memoization stays exercised on every generated shape.
+    let config = TraceConfig { memoize, memo_min_insts: 0, ..TraceConfig::default() };
     let collector = TraceCollector::new(program, &dsa, config);
     collector.collect_program(&cg)
 }
@@ -236,7 +238,11 @@ fn generated_shape_reaches_the_memo_table() {
     let program = Program::single(module);
     let cg = CallGraph::build(&program);
     let dsa = DsaResult::analyze(&program, &cg);
-    let collector = TraceCollector::new(&program, &dsa, TraceConfig::default());
+    let collector = TraceCollector::new(
+        &program,
+        &dsa,
+        TraceConfig { memo_min_insts: 0, ..TraceConfig::default() },
+    );
     let _ = collector.collect_program(&cg);
     let stats = collector.memo_stats();
     assert!(stats.summaries > 0, "no summaries recorded: {stats:?}\n{src}");

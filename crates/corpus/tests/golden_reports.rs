@@ -1,0 +1,58 @@
+//! Byte-identity of rendered corpus reports against golden files.
+//!
+//! The goldens under `tests/golden/reports/` were rendered by the
+//! pre-interning checker (string-keyed PIR, JSON cache). Any refactor of
+//! the IR, the trace collector, or the report path must keep the rendered
+//! text byte-for-byte identical — this is what guards name fidelity
+//! through the interned string tables.
+//!
+//! Regenerate with `UPDATE_REPORT_GOLDEN=1 cargo test -p deepmc-corpus
+//! --test golden_reports` after an *intentional* report change.
+
+use deepmc_corpus::Framework;
+use std::path::PathBuf;
+
+fn golden_path(fw: Framework) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/reports")
+        .join(format!("{}.txt", fw.name()))
+}
+
+fn assert_golden(fw: Framework) {
+    let rendered = fw.check().to_string();
+    let path = golden_path(fw);
+    if std::env::var_os("UPDATE_REPORT_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {} ({e}); regenerate with UPDATE_REPORT_GOLDEN=1", path.display())
+    });
+    assert_eq!(
+        rendered,
+        golden,
+        "{}: rendered report differs from the pre-refactor golden",
+        fw.name()
+    );
+}
+
+#[test]
+fn pmdk_report_matches_golden() {
+    assert_golden(Framework::Pmdk);
+}
+
+#[test]
+fn nvm_direct_report_matches_golden() {
+    assert_golden(Framework::NvmDirect);
+}
+
+#[test]
+fn pmfs_report_matches_golden() {
+    assert_golden(Framework::Pmfs);
+}
+
+#[test]
+fn mnemosyne_report_matches_golden() {
+    assert_golden(Framework::Mnemosyne);
+}

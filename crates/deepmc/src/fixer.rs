@@ -53,8 +53,8 @@ struct InstPos {
 /// Find the first instruction at `line` satisfying `pred`.
 fn find_inst(module: &Module, line: u32, pred: impl Fn(&Inst) -> bool) -> Option<InstPos> {
     for (fi, f) in module.functions.iter().enumerate() {
-        for (bi, b) in f.blocks.iter().enumerate() {
-            for (ii, si) in b.insts.iter().enumerate() {
+        for bi in 0..f.blocks.len() {
+            for (ii, si) in f.block_insts(bi).iter().enumerate() {
                 if si.loc.line == line && pred(&si.inst) {
                     return Some(InstPos { func: fi, block: bi, inst: ii });
                 }
@@ -65,17 +65,19 @@ fn find_inst(module: &Module, line: u32, pred: impl Fn(&Inst) -> bool) -> Option
 }
 
 fn insert_at(module: &mut Module, pos: InstPos, offset: usize, inst: Inst, line: u32) {
-    module.functions[pos.func].blocks[pos.block]
-        .insts
-        .insert(pos.inst + offset, Spanned::new(inst, SourceLoc::new(line)));
+    module.functions[pos.func].insert_inst(
+        pos.block,
+        pos.inst + offset,
+        Spanned::new(inst, SourceLoc::new(line)),
+    );
 }
 
 fn remove_at(module: &mut Module, pos: InstPos) -> Inst {
-    module.functions[pos.func].blocks[pos.block].insts.remove(pos.inst).inst
+    module.functions[pos.func].remove_inst(pos.block, pos.inst).inst
 }
 
 fn inst_at(module: &Module, pos: InstPos) -> &Inst {
-    &module.functions[pos.func].blocks[pos.block].insts[pos.inst].inst
+    &module.functions[pos.func].block_insts(pos.block)[pos.inst].inst
 }
 
 fn is_store(i: &Inst) -> bool {
@@ -159,14 +161,16 @@ fn apply_one(module: &mut Module, hint: FixHint) -> FixOutcome {
             // the late write-back, the write-back is what persists *that*
             // store — removing it would just trade this warning for an
             // unflushed write. Keep it and only add the early persist.
-            let reused_later = spos.func == fpos.func
-                && module.functions[spos.func].blocks.iter().enumerate().any(|(bi, b)| {
-                    b.insts.iter().enumerate().any(|(ii, si)| {
+            let reused_later = spos.func == fpos.func && {
+                let f = &module.functions[spos.func];
+                (0..f.blocks.len()).any(|bi| {
+                    f.block_insts(bi).iter().enumerate().any(|(ii, si)| {
                         (bi, ii) > (spos.block, spos.inst)
                             && (bi, ii) < (fpos.block, fpos.inst)
                             && matches!(&si.inst, Inst::Store { place: sp, .. } if *sp == place)
                     })
-                });
+                })
+            };
             if reused_later {
                 insert_at(module, spos, 1, Inst::Persist { place }, store_line);
                 return FixOutcome::Applied {
@@ -201,8 +205,8 @@ fn apply_one(module: &mut Module, hint: FixHint) -> FixOutcome {
             // write-back, in block order within the same function.
             let f = &module.functions[pos.func];
             let mut fields: Vec<Place> = Vec::new();
-            'scan: for (bi, b) in f.blocks.iter().enumerate() {
-                for (ii, si) in b.insts.iter().enumerate() {
+            'scan: for bi in 0..f.blocks.len() {
+                for (ii, si) in f.block_insts(bi).iter().enumerate() {
                     if bi == pos.block && ii == pos.inst {
                         break 'scan;
                     }
@@ -383,7 +387,7 @@ entry:
         );
         // The fix is a tx_add, not a flush.
         let f = &fixed[0].functions[0];
-        assert!(f.blocks[0].insts.iter().any(|si| matches!(si.inst, Inst::TxAdd { .. })));
+        assert!(f.block_insts(0).iter().any(|si| matches!(si.inst, Inst::TxAdd { .. })));
     }
 
     #[test]
@@ -456,7 +460,7 @@ entry:
             BugClass::SemanticMismatch,
         );
         // The persist now sits right after the store.
-        let insts = &fixed[0].functions[0].blocks[0].insts;
+        let insts = fixed[0].functions[0].block_insts(0);
         let store_idx = insts.iter().position(|si| matches!(si.inst, Inst::Store { .. })).unwrap();
         assert!(matches!(insts[store_idx + 1].inst, Inst::Persist { .. }));
     }
@@ -501,7 +505,7 @@ entry:
             BugClass::UnmodifiedWriteback,
         );
         // The whole-object persist became a field persist.
-        let insts = &fixed[0].functions[0].blocks[0].insts;
+        let insts = fixed[0].functions[0].block_insts(0);
         let persists: Vec<&Inst> =
             insts.iter().map(|si| &si.inst).filter(|i| matches!(i, Inst::Persist { .. })).collect();
         assert_eq!(persists.len(), 1);

@@ -60,11 +60,11 @@ impl InstrumentationPlan {
             let f = program.func(fr);
             let g = dsa.graph(fr);
             let in_region = strand_region_blocks(f);
-            for (bi, b) in f.blocks.iter().enumerate() {
+            for bi in 0..f.blocks.len() {
                 // Track the strand depth as it evolves *within* the block:
                 // entry depth comes from the fixpoint, markers adjust it.
                 let mut depth = in_region.get(&(bi as u32)).copied().unwrap_or(0);
-                for (ii, si) in b.insts.iter().enumerate() {
+                for (ii, si) in f.block_insts(bi).iter().enumerate() {
                     match &si.inst {
                         Inst::StrandBegin => depth += 1,
                         Inst::StrandEnd => depth = depth.saturating_sub(1),
@@ -106,7 +106,7 @@ fn strand_region_blocks(f: &deepmc_pir::Function) -> HashMap<u32, u32> {
         depth_at.insert(bi, depth);
         let b = &f.blocks[bi as usize];
         let mut d = depth;
-        for si in &b.insts {
+        for si in f.insts_of(b) {
             match si.inst {
                 Inst::StrandBegin => d += 1,
                 Inst::StrandEnd => d = d.saturating_sub(1),

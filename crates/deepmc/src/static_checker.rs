@@ -40,7 +40,7 @@
 use crate::cache::{self, AnalysisCache, CacheEntry, CacheRunStats};
 use crate::config::DeepMcConfig;
 use crate::report::{FixHint, Report, RootFailure, Warning};
-use deepmc_analysis::trace::EvLoc;
+use deepmc_analysis::trace::{EvKind, EvLoc};
 use deepmc_analysis::{
     pool, Addr, CallGraph, DsaResult, FieldSel, FuncRef, ObjId, Program, Trace, TraceCollector,
     TraceEvent,
@@ -501,11 +501,20 @@ impl<'a> Scan<'a> {
         if (is_violation && !self.check_violations) || (!is_violation && !self.check_performance) {
             return;
         }
+        // Report rendering is the only place dense function indices are
+        // resolved back to strings; catch a stale or cross-program index
+        // here rather than rendering the wrong attribution.
+        debug_assert!(
+            (loc.func as usize) < self.trace.locs.len(),
+            "event function index {} outside the trace's location table ({} entries)",
+            loc.func,
+            self.trace.locs.len()
+        );
         self.warnings.push(Warning {
-            file: loc.file.to_string(),
+            file: self.trace.locs.file(loc.func).to_string(),
             line: loc.line,
             class,
-            function: loc.func.to_string(),
+            function: self.trace.locs.name(loc.func).to_string(),
             root: self.trace.root.to_string(),
             message,
             model: self.model,
@@ -537,43 +546,44 @@ impl<'a> Scan<'a> {
     }
 
     fn step(&mut self, ev: &TraceEvent) {
-        let ev = if self.field_sensitive {
-            ev.clone()
-        } else {
-            // Object-granularity view of the same event stream.
-            let mut ev = ev.clone();
-            match &mut ev {
-                TraceEvent::Write { addr, .. }
-                | TraceEvent::Read { addr, .. }
-                | TraceEvent::Flush { addr, .. }
-                | TraceEvent::TxAdd { addr, .. } => *addr = self.granulate(*addr),
-                _ => {}
+        // Packed events are a plain struct copy; the object-granularity
+        // ablation rewrites the address field in place.
+        let mut ev = *ev;
+        if !self.field_sensitive {
+            if let Some(addr) = ev.addr() {
+                ev.set_addr(self.granulate(addr));
             }
-            ev
-        };
-        match &ev {
-            TraceEvent::Write { addr, loc, .. } => self.on_write(*addr, loc),
-            TraceEvent::Read { addr, .. } => {
+        }
+        let loc = ev.loc();
+        match ev.kind {
+            EvKind::Write => {
+                let addr = ev.addr().expect("write carries an address");
+                self.on_write(addr, &loc)
+            }
+            EvKind::Read => {
                 if let Some((set, _)) = &mut self.current_strand {
-                    set.reads.push(*addr);
+                    set.reads.push(ev.addr().expect("read carries an address"));
                 }
             }
-            TraceEvent::Flush { addr, loc } => self.on_flush(*addr, loc),
-            TraceEvent::Fence { loc } => self.on_fence(loc),
-            TraceEvent::TxBegin { loc } => self.on_tx_begin(loc),
-            TraceEvent::TxCommit { loc } => self.on_tx_commit(loc),
-            TraceEvent::TxAbort { .. } => self.on_tx_abort(),
-            TraceEvent::TxAdd { addr, .. } => {
+            EvKind::Flush => {
+                let addr = ev.addr().expect("flush carries an address");
+                self.on_flush(addr, &loc)
+            }
+            EvKind::Fence => self.on_fence(&loc),
+            EvKind::TxBegin => self.on_tx_begin(&loc),
+            EvKind::TxCommit => self.on_tx_commit(&loc),
+            EvKind::TxAbort => self.on_tx_abort(),
+            EvKind::TxAdd => {
                 if let Some(frame) = self.tx_stack.last_mut() {
-                    frame.logged.push(*addr);
+                    frame.logged.push(ev.addr().expect("tx_add carries an address"));
                 }
             }
-            TraceEvent::EpochBegin { loc } => self.on_epoch_begin(loc),
-            TraceEvent::EpochEnd { loc } => self.on_epoch_end(loc),
-            TraceEvent::StrandBegin { loc } => {
-                self.current_strand = Some((StrandSet::default(), loc.clone()));
+            EvKind::EpochBegin => self.on_epoch_begin(&loc),
+            EvKind::EpochEnd => self.on_epoch_end(&loc),
+            EvKind::StrandBegin => {
+                self.current_strand = Some((StrandSet::default(), loc));
             }
-            TraceEvent::StrandEnd { loc } => self.on_strand_end(loc),
+            EvKind::StrandEnd => self.on_strand_end(&loc),
         }
     }
 
@@ -581,7 +591,7 @@ impl<'a> Scan<'a> {
         // Strict: an unfenced flush followed by another persistent write
         // breaks program-order durability (Fig. 3 shape).
         if self.model == PersistencyModel::Strict && !self.unfenced_flushes.is_empty() {
-            let (f_addr, f_loc) = self.unfenced_flushes[0].clone();
+            let (f_addr, f_loc) = self.unfenced_flushes[0];
             // A rewrite of the very address that was just flushed is a
             // flush-then-modify pattern, not a missing barrier.
             if !f_addr.overlaps(&addr) {
@@ -638,7 +648,7 @@ impl<'a> Scan<'a> {
         if !logged {
             self.pending.push(PendingWrite {
                 addr,
-                loc: loc.clone(),
+                loc: *loc,
                 interval: self.fence_interval,
                 tx: self.tx_stack.last().map(|f| f.id),
                 epoch: self.epoch_stack.last().map(|f| f.id),
@@ -712,7 +722,7 @@ impl<'a> Scan<'a> {
                 );
                 fired_redundant = true;
             } else {
-                frame.flushed_objs.push((addr.obj, loc.clone()));
+                frame.flushed_objs.push((addr.obj, *loc));
             }
         }
         if !fired_redundant && clean_hit {
@@ -739,7 +749,7 @@ impl<'a> Scan<'a> {
         self.pending.retain(|p| {
             if addr.covers(&p.addr) {
                 if !in_tx && p.tx.is_none() && p.interval < interval {
-                    mismatches.push((p.loc.clone(), p.interval));
+                    mismatches.push((p.loc, p.interval));
                 }
                 false
             } else {
@@ -763,7 +773,7 @@ impl<'a> Scan<'a> {
         self.dirty.retain(|d| !addr.covers(d));
         self.clean.retain(|c| !addr.covers(c));
         self.clean.push(addr);
-        self.unfenced_flushes.push((addr, loc.clone()));
+        self.unfenced_flushes.push((addr, *loc));
         for (a, flushed) in &mut self.writes_since_fence {
             if addr.covers(a) {
                 *flushed = true;
@@ -813,7 +823,7 @@ impl<'a> Scan<'a> {
 
     fn on_tx_begin(&mut self, loc: &EvLoc) {
         if self.model == PersistencyModel::Strict && !self.unfenced_flushes.is_empty() {
-            let (_, f_loc) = self.unfenced_flushes[0].clone();
+            let (_, f_loc) = self.unfenced_flushes[0];
             self.warn_fix(
                 BugClass::MissingPersistBarrier,
                 &f_loc,
@@ -845,7 +855,7 @@ impl<'a> Scan<'a> {
         let mut missed: Vec<(Addr, EvLoc)> = Vec::new();
         self.pending.retain(|p| {
             if p.tx == Some(frame.id) {
-                missed.push((p.addr, p.loc.clone()));
+                missed.push((p.addr, p.loc));
                 false
             } else {
                 true
@@ -901,7 +911,7 @@ impl<'a> Scan<'a> {
             && !self.fence_since_epoch_end
             && self.epoch_stack.is_empty()
         {
-            let prev_loc = self.prev_epoch_objs.as_ref().unwrap().1.clone();
+            let prev_loc = self.prev_epoch_objs.as_ref().unwrap().1;
             self.warn_fix(
                 BugClass::MissingPersistBarrier,
                 &prev_loc,
@@ -920,7 +930,7 @@ impl<'a> Scan<'a> {
             written_objs: BTreeSet::new(),
             did_work: false,
             fence_at_tail: false,
-            begin_loc: loc.clone(),
+            begin_loc: *loc,
         });
     }
 
@@ -932,7 +942,7 @@ impl<'a> Scan<'a> {
             let mut missed: Vec<(Addr, EvLoc)> = Vec::new();
             self.pending.retain(|p| {
                 if p.epoch == Some(frame.id) {
-                    missed.push((p.addr, p.loc.clone()));
+                    missed.push((p.addr, p.loc));
                     false
                 } else {
                     true
@@ -986,7 +996,7 @@ impl<'a> Scan<'a> {
                     );
                 }
             }
-            self.prev_epoch_objs = Some((frame.written_objs.clone(), loc.clone()));
+            self.prev_epoch_objs = Some((frame.written_objs.clone(), *loc));
             self.fence_since_epoch_end = frame.fence_at_tail;
         }
     }
@@ -1011,7 +1021,7 @@ impl<'a> Scan<'a> {
                 }
             }
         }
-        self.sibling_strands.push((set, loc.clone()));
+        self.sibling_strands.push((set, *loc));
     }
 
     fn finish(mut self) -> Vec<Warning> {

@@ -365,7 +365,7 @@ impl<'a> Interp<'a> {
         let mut bb = Function::ENTRY;
         loop {
             let block = &f.blocks[bb.index()];
-            for si in &block.insts {
+            for si in f.insts_of(block) {
                 if !self.tick()? {
                     return Ok(None); // crash injected
                 }
@@ -576,7 +576,8 @@ impl<'a> Interp<'a> {
                 }
             }
             Inst::Call { dst, callee, args } => {
-                let Some(&(cmi, cf)) = self.funcs.get(callee.as_str()) else {
+                let callee_name = self.module(mi).symbols.resolve(*callee);
+                let Some(&(cmi, cf)) = self.funcs.get(callee_name) else {
                     // Unknown externals return 0.
                     if let Some(d) = dst {
                         env[d.index()] = Some(Value::Int(0));

@@ -8,7 +8,7 @@
 
 use crate::inst::{BinOp, Inst, Operand, Place, Terminator};
 use crate::loc::SourceLoc;
-use crate::module::{Block, BlockId, FuncAttr, Function, LocalDecl, LocalId, Module, Spanned};
+use crate::module::{BlockId, FuncAttr, Function, LocalDecl, LocalId, Module, Spanned};
 use crate::types::{FieldDef, StructDef, StructId, Ty};
 
 /// Builds a [`Module`] incrementally.
@@ -61,6 +61,7 @@ impl ModuleBuilder {
             num_params,
             locals,
             ret_ty,
+            insts: Vec::new(),
             blocks: Vec::new(),
             attrs,
         });
@@ -68,6 +69,21 @@ impl ModuleBuilder {
 
     /// Finalize: rebuild indexes and hand back the module.
     pub fn finish(mut self) -> Module {
+        // Re-intern callee symbols in flattened body order. The builder
+        // interns at call-build time, which can differ from block order
+        // when `switch_to` fills blocks out of order; the parser interns
+        // in body order, so canonicalizing here keeps `parse(print(m))`
+        // handle-for-handle equal to `m`.
+        let old = std::mem::take(&mut self.module.symbols);
+        let mut canon = crate::intern::SymbolTable::new();
+        for f in &mut self.module.functions {
+            for si in &mut f.insts {
+                if let Inst::Call { callee, .. } = &mut si.inst {
+                    *callee = canon.intern(old.resolve(*callee));
+                }
+            }
+        }
+        self.module.symbols = canon;
         self.module.rebuild_index();
         self.module
     }
@@ -275,13 +291,15 @@ impl<'m> FunctionBuilder<'m> {
 
     /// `call callee(args)` discarding any result.
     pub fn call_void(&mut self, callee: impl Into<String>, args: Vec<Operand>) {
-        self.push(Inst::Call { dst: None, callee: callee.into(), args });
+        let callee = self.mb.module.symbols.intern(&callee.into());
+        self.push(Inst::Call { dst: None, callee, args });
     }
 
     /// `%dst = call callee(args) : ty`.
     pub fn call(&mut self, callee: impl Into<String>, args: Vec<Operand>, ty: Ty) -> LocalId {
+        let callee = self.mb.module.symbols.intern(&callee.into());
         let dst = self.fresh_local("c", ty);
-        self.push(Inst::Call { dst: Some(dst), callee: callee.into(), args });
+        self.push(Inst::Call { dst: Some(dst), callee, args });
         dst
     }
 
@@ -306,23 +324,23 @@ impl<'m> FunctionBuilder<'m> {
     /// lacks a terminator (catching builder misuse early, matching the
     /// parser's error behaviour).
     pub fn finish(self) {
-        let blocks: Vec<Block> = self
+        let pending: Vec<_> = self
             .blocks
             .into_iter()
             .map(|b| {
                 let term =
                     b.term.unwrap_or_else(|| panic!("block `{}` has no terminator", b.label));
-                Block { label: b.label, insts: b.insts, term }
+                (b.label, b.insts, term)
             })
             .collect();
-        self.mb.module.functions.push(Function {
-            name: self.name,
-            num_params: self.num_params,
-            locals: self.locals,
-            ret_ty: self.ret_ty,
-            blocks,
-            attrs: self.attrs,
-        });
+        self.mb.module.functions.push(Function::assemble(
+            self.name,
+            self.num_params,
+            self.locals,
+            self.ret_ty,
+            pending,
+            self.attrs,
+        ));
     }
 }
 
@@ -387,8 +405,8 @@ mod tests {
         fb.ret(None);
         fb.finish();
         let m = mb.finish();
-        let b = &m.functions[0].blocks[0];
-        assert_eq!(b.insts[0].loc.line, 614);
-        assert_eq!(b.insts[1].loc.line, 615);
+        let insts = m.functions[0].block_insts(0);
+        assert_eq!(insts[0].loc.line, 614);
+        assert_eq!(insts[1].loc.line, 615);
     }
 }

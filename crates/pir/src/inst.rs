@@ -6,6 +6,7 @@
 //! `strand_*`), pointer manipulation (`palloc`/`valloc`/`load`), plain
 //! arithmetic, and control flow.
 
+use crate::intern::Symbol;
 use crate::module::{BlockId, LocalId};
 use crate::types::StructId;
 use serde::{Deserialize, Serialize};
@@ -211,9 +212,10 @@ pub enum Inst {
     StrandBegin,
     /// End the current strand.
     StrandEnd,
-    /// Direct call, by function name. `args` are operands; pointer locals
-    /// pass object references.
-    Call { dst: Option<LocalId>, callee: String, args: Vec<Operand> },
+    /// Direct call. The callee is an interned handle into the owning
+    /// module's symbol table; `args` are operands and pointer locals pass
+    /// object references.
+    Call { dst: Option<LocalId>, callee: Symbol, args: Vec<Operand> },
 }
 
 impl Inst {

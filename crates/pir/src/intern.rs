@@ -1,0 +1,157 @@
+//! String interning for PIR.
+//!
+//! Call instructions reference their callee through a [`Symbol`] — a dense
+//! `u32` handle into the owning module's [`SymbolTable`] — instead of an
+//! owned `String`. Everything downstream (call-graph construction, DSA call
+//! sites, the trace collector's callee resolution) compares and hashes
+//! plain integers on the hot path; the string itself is materialized only
+//! when rendering (printer, reports, diagnostics).
+//!
+//! The table serializes as its string vector alone; the reverse lookup map
+//! is rebuilt on deserialization. Equality between tables compares the
+//! string vectors, so a parse → print → parse round trip (which interns in
+//! the same instruction order) reproduces identical handles.
+
+use serde::{Deserialize, Deserializer, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A handle into a module's [`SymbolTable`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// A per-module intern table: `Symbol` ↔ `&str`.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct SymbolTable {
+    strings: Vec<String>,
+    #[serde(skip)]
+    map: HashMap<String, u32>,
+}
+
+impl SymbolTable {
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Intern `s`, returning its (stable) handle.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&id) = self.map.get(s) {
+            return Symbol(id);
+        }
+        let id = self.strings.len() as u32;
+        self.strings.push(s.to_string());
+        self.map.insert(s.to_string(), id);
+        Symbol(id)
+    }
+
+    /// Resolve a handle to its string. Panics (in all builds) on a handle
+    /// that does not belong to this table — a stale-ID bug must surface as
+    /// a panic, never as a wrong name in a report.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Look up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).map(|&id| Symbol(id))
+    }
+
+    /// True if `sym` is a valid handle into this table.
+    pub fn contains(&self, sym: Symbol) -> bool {
+        sym.index() < self.strings.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// The interned strings in handle order.
+    pub fn strings(&self) -> &[String] {
+        &self.strings
+    }
+
+    fn rebuild_map(&mut self) {
+        self.map = self.strings.iter().enumerate().map(|(i, s)| (s.clone(), i as u32)).collect();
+    }
+}
+
+impl PartialEq for SymbolTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.strings == other.strings
+    }
+}
+
+impl Eq for SymbolTable {}
+
+impl<'de> Deserialize<'de> for SymbolTable {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        #[derive(Deserialize)]
+        struct Raw {
+            strings: Vec<String>,
+        }
+        let raw = Raw::deserialize(deserializer)?;
+        let mut table = SymbolTable { strings: raw.strings, map: HashMap::new() };
+        table.rebuild_map();
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("alloc");
+        let b = t.intern("free");
+        assert_eq!(t.intern("alloc"), a);
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "alloc");
+        assert_eq!(t.resolve(b), "free");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.get("x"), None);
+        let s = t.intern("x");
+        assert_eq!(t.get("x"), Some(s));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn serde_rebuilds_reverse_map() {
+        let mut t = SymbolTable::new();
+        t.intern("a");
+        t.intern("b");
+        let json = serde_json::to_string(&t).unwrap();
+        let back: SymbolTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back.get("b"), Some(Symbol(1)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn stale_handle_panics() {
+        let t = SymbolTable::new();
+        let _ = t.resolve(Symbol(3));
+    }
+}

@@ -38,6 +38,7 @@
 
 pub mod builder;
 pub mod inst;
+pub mod intern;
 pub mod loc;
 pub mod module;
 pub mod parser;
@@ -47,8 +48,11 @@ pub mod verify;
 
 pub use builder::{FunctionBuilder, ModuleBuilder};
 pub use inst::{Accessor, BinOp, Inst, Operand, Place, Terminator};
+pub use intern::{Symbol, SymbolTable};
 pub use loc::SourceLoc;
-pub use module::{Block, BlockId, FuncAttr, FuncId, Function, LocalDecl, LocalId, Module, Spanned};
+pub use module::{
+    Block, BlockId, FuncAttr, FuncId, Function, InstRange, LocalDecl, LocalId, Module, Spanned,
+};
 pub use parser::{parse, ParseError};
 pub use printer::print;
 pub use types::{FieldDef, StructDef, StructId, Ty};

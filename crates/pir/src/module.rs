@@ -1,6 +1,13 @@
 //! Modules, functions, blocks, and locals.
+//!
+//! Instructions live in one flat per-function arena (`Function::insts`);
+//! each block holds a `u32` range into it instead of its own vector. The
+//! arena keeps a whole body contiguous in memory — the analysis walk and
+//! the verifier iterate it without pointer-chasing per block — and makes
+//! "function size" an O(1) query for the memoization threshold.
 
 use crate::inst::{Inst, Terminator};
+use crate::intern::SymbolTable;
 use crate::loc::SourceLoc;
 use crate::types::{StructDef, StructId, Ty};
 use serde::{Deserialize, Serialize};
@@ -79,11 +86,33 @@ impl<T> Spanned<T> {
     }
 }
 
-/// A basic block: a label, straight-line instructions, and one terminator.
+/// A half-open range `[start, end)` into a function's instruction arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstRange {
+    pub start: u32,
+    pub end: u32,
+}
+
+impl InstRange {
+    pub fn len(self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    pub fn range(self) -> std::ops::Range<usize> {
+        self.start as usize..self.end as usize
+    }
+}
+
+/// A basic block: a label, a range of straight-line instructions in the
+/// function's arena, and one terminator.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Block {
     pub label: String,
-    pub insts: Vec<Spanned<Inst>>,
+    pub insts: InstRange,
     pub term: Spanned<Terminator>,
 }
 
@@ -96,6 +125,8 @@ pub struct Function {
     pub locals: Vec<LocalDecl>,
     /// Return type; `None` for void.
     pub ret_ty: Option<Ty>,
+    /// Flat instruction arena; blocks index into it via [`InstRange`].
+    pub insts: Vec<Spanned<Inst>>,
     pub blocks: Vec<Block>,
     pub attrs: Vec<FuncAttr>,
 }
@@ -103,6 +134,70 @@ pub struct Function {
 impl Function {
     /// The entry block (always block 0).
     pub const ENTRY: BlockId = BlockId(0);
+
+    /// Assemble a function from per-block instruction vectors, flattening
+    /// them into the arena in block order. This is the single construction
+    /// path shared by the parser and the builder, so equal bodies always
+    /// get equal ranges.
+    pub fn assemble(
+        name: String,
+        num_params: u32,
+        locals: Vec<LocalDecl>,
+        ret_ty: Option<Ty>,
+        pending: Vec<(String, Vec<Spanned<Inst>>, Spanned<Terminator>)>,
+        attrs: Vec<FuncAttr>,
+    ) -> Function {
+        let total: usize = pending.iter().map(|(_, insts, _)| insts.len()).sum();
+        let mut arena = Vec::with_capacity(total);
+        let mut blocks = Vec::with_capacity(pending.len());
+        for (label, insts, term) in pending {
+            let start = arena.len() as u32;
+            arena.extend(insts);
+            blocks.push(Block { label, insts: InstRange { start, end: arena.len() as u32 }, term });
+        }
+        Function { name, num_params, locals, ret_ty, insts: arena, blocks, attrs }
+    }
+
+    /// The instructions of block `b`.
+    pub fn insts_of(&self, b: &Block) -> &[Spanned<Inst>] {
+        &self.insts[b.insts.range()]
+    }
+
+    /// The instructions of the block at index `bi`.
+    pub fn block_insts(&self, bi: usize) -> &[Spanned<Inst>] {
+        self.insts_of(&self.blocks[bi])
+    }
+
+    /// Insert an instruction at position `at` within block `bi`, shifting
+    /// later arena ranges. Cold path — used only by the fixer.
+    pub fn insert_inst(&mut self, bi: usize, at: usize, si: Spanned<Inst>) {
+        let point = self.blocks[bi].insts.start + at as u32;
+        self.insts.insert(point as usize, si);
+        for (i, b) in self.blocks.iter_mut().enumerate() {
+            if i == bi {
+                b.insts.end += 1;
+            } else if b.insts.start >= point {
+                b.insts.start += 1;
+                b.insts.end += 1;
+            }
+        }
+    }
+
+    /// Remove and return the instruction at position `at` within block
+    /// `bi`, shifting later arena ranges. Cold path — fixer only.
+    pub fn remove_inst(&mut self, bi: usize, at: usize) -> Spanned<Inst> {
+        let point = self.blocks[bi].insts.start + at as u32;
+        let removed = self.insts.remove(point as usize);
+        for (i, b) in self.blocks.iter_mut().enumerate() {
+            if i == bi {
+                b.insts.end -= 1;
+            } else if b.insts.start > point {
+                b.insts.start -= 1;
+                b.insts.end -= 1;
+            }
+        }
+        removed
+    }
 
     /// Parameter declarations.
     pub fn params(&self) -> &[LocalDecl] {
@@ -129,9 +224,10 @@ impl Function {
         self.attrs.contains(&attr)
     }
 
-    /// Total instruction count (excluding terminators).
+    /// Total instruction count (excluding terminators). O(1): the arena
+    /// holds every instruction exactly once.
     pub fn inst_count(&self) -> usize {
-        self.blocks.iter().map(|b| b.insts.len()).sum()
+        self.insts.len()
     }
 }
 
@@ -144,6 +240,9 @@ pub struct Module {
     pub file: String,
     pub structs: Vec<StructDef>,
     pub functions: Vec<Function>,
+    /// Interned strings referenced by instructions (callee names).
+    #[serde(default)]
+    pub symbols: SymbolTable,
     /// Name → id caches rebuilt by [`Module::rebuild_index`].
     #[serde(skip)]
     struct_index: HashMap<String, StructId>,
@@ -159,6 +258,7 @@ impl Module {
             file: file.into(),
             structs: Vec::new(),
             functions: Vec::new(),
+            symbols: SymbolTable::new(),
             struct_index: HashMap::new(),
             func_index: HashMap::new(),
         }
@@ -229,6 +329,7 @@ mod tests {
             num_params: 0,
             locals: vec![],
             ret_ty: None,
+            insts: vec![],
             blocks: vec![],
             attrs: vec![],
         });
@@ -248,6 +349,7 @@ mod tests {
                 LocalDecl { name: "x".into(), ty: Ty::I64 },
             ],
             ret_ty: Some(Ty::I64),
+            insts: vec![],
             blocks: vec![],
             attrs: vec![FuncAttr::TxContext],
         };
@@ -255,5 +357,42 @@ mod tests {
         assert_eq!(f.params().len(), 1);
         assert!(f.has_attr(FuncAttr::TxContext));
         assert!(!f.has_attr(FuncAttr::PersistWrapper));
+    }
+
+    #[test]
+    fn arena_splice_shifts_ranges() {
+        let mk = |line: u32| Spanned::new(Inst::Fence, SourceLoc::new(line));
+        let mut f = Function::assemble(
+            "f".into(),
+            0,
+            vec![],
+            None,
+            vec![
+                (
+                    "entry".into(),
+                    vec![mk(1), mk(2)],
+                    Spanned::new(Terminator::Jmp { bb: BlockId(1) }, SourceLoc::new(3)),
+                ),
+                (
+                    "done".into(),
+                    vec![mk(4)],
+                    Spanned::new(Terminator::Ret { value: None }, SourceLoc::new(5)),
+                ),
+            ],
+            vec![],
+        );
+        assert_eq!(f.inst_count(), 3);
+        assert_eq!(f.block_insts(0).len(), 2);
+        assert_eq!(f.block_insts(1).len(), 1);
+
+        f.insert_inst(0, 1, mk(10));
+        assert_eq!(f.block_insts(0).len(), 3);
+        assert_eq!(f.block_insts(0)[1].loc.line, 10);
+        assert_eq!(f.block_insts(1)[0].loc.line, 4, "later block shifted intact");
+
+        let removed = f.remove_inst(0, 1);
+        assert_eq!(removed.loc.line, 10);
+        assert_eq!(f.block_insts(0).len(), 2);
+        assert_eq!(f.block_insts(1)[0].loc.line, 4);
     }
 }

@@ -11,8 +11,9 @@
 //!   wrapper or out-of-module callee).
 
 use crate::inst::{BinOp, Inst, Operand, Place, Terminator};
+use crate::intern::SymbolTable;
 use crate::loc::SourceLoc;
-use crate::module::{Block, FuncAttr, Function, LocalDecl, LocalId, Module, Spanned};
+use crate::module::{FuncAttr, Function, LocalDecl, LocalId, Module, Spanned};
 use crate::types::{FieldDef, StructDef, StructId, Ty};
 use std::collections::HashMap;
 use std::fmt;
@@ -788,14 +789,23 @@ fn resolve(
         }
     }
 
+    let mut symbols = SymbolTable::new();
     let mut functions = Vec::with_capacity(raw_funcs.len());
     for rf in raw_funcs {
-        functions.push(resolve_function(rf, &structs, &struct_ids, &func_ret, &lower_ty)?);
+        functions.push(resolve_function(
+            rf,
+            &structs,
+            &struct_ids,
+            &func_ret,
+            &lower_ty,
+            &mut symbols,
+        )?);
     }
 
     let mut module = Module::new(mod_name, file);
     module.structs = structs;
     module.functions = functions;
+    module.symbols = symbols;
     module.rebuild_index();
     Ok(module)
 }
@@ -806,6 +816,7 @@ fn resolve_function(
     _struct_ids: &HashMap<String, StructId>,
     func_ret: &HashMap<String, Option<Ty>>,
     lower_ty: &dyn Fn(&RawTy, u32) -> PResult<Ty>,
+    symbols: &mut SymbolTable,
 ) -> Result<Function, ParseError> {
     let mut locals: Vec<LocalDecl> = Vec::new();
     let mut local_ids: HashMap<String, LocalId> = HashMap::new();
@@ -1048,7 +1059,7 @@ fn resolve_function(
                             Some(define(&name, dty, line, &mut locals, &mut local_ids)?)
                         }
                     };
-                    Inst::Call { dst, callee, args }
+                    Inst::Call { dst, callee: symbols.intern(&callee), args }
                 }
             };
             insts.push(Spanned { inst, loc });
@@ -1079,7 +1090,7 @@ fn resolve_function(
                 Terminator::Jmp { bb }
             }
         };
-        blocks.push(Block { label: rb.label, insts, term: Spanned { inst: term, loc: term_loc } });
+        blocks.push((rb.label, insts, Spanned { inst: term, loc: term_loc }));
     }
 
     if rf.is_extern && !blocks.is_empty() {
@@ -1089,7 +1100,7 @@ fn resolve_function(
         });
     }
 
-    Ok(Function { name: rf.name, num_params, locals, ret_ty, blocks, attrs: rf.attrs })
+    Ok(Function::assemble(rf.name, num_params, locals, ret_ty, blocks, rf.attrs))
 }
 
 /// Operand-lowering callback shared by terminator helpers.
@@ -1157,7 +1168,7 @@ done:
         assert_eq!(m.functions.len(), 2);
         let main = &m.functions[m.func_by_name("main").unwrap().index()];
         assert_eq!(main.blocks.len(), 3);
-        assert!(matches!(main.blocks[0].insts[0].inst, Inst::PAlloc { .. }));
+        assert!(matches!(main.block_insts(0)[0].inst, Inst::PAlloc { .. }));
     }
 
     #[test]
@@ -1174,15 +1185,15 @@ entry:
 "#;
         let m = parse(src).unwrap();
         let f = &m.functions[0];
-        assert_eq!(f.blocks[0].insts[0].loc.line, 201);
-        assert_eq!(f.blocks[0].insts[1].loc.line, 202, "loc auto-increments");
+        assert_eq!(f.block_insts(0)[0].loc.line, 201);
+        assert_eq!(f.block_insts(0)[1].loc.line, 202, "loc auto-increments");
     }
 
     #[test]
     fn natural_lines_without_loc() {
         let src = "module m\nfn f() {\nentry:\n  fence\n  ret\n}\n";
         let m = parse(src).unwrap();
-        assert_eq!(m.functions[0].blocks[0].insts[0].loc.line, 4);
+        assert_eq!(m.functions[0].block_insts(0)[0].loc.line, 4);
     }
 
     #[test]
@@ -1284,7 +1295,7 @@ entry:
         let src = "module m\nfn f() {\nentry:\n  %x = mov -5\n  ret %x\n}\n";
         let m = parse(src).unwrap();
         let f = &m.functions[0];
-        assert!(matches!(f.blocks[0].insts[0].inst, Inst::Mov { src: Operand::Const(-5), .. }));
+        assert!(matches!(f.block_insts(0)[0].inst, Inst::Mov { src: Operand::Const(-5), .. }));
     }
 
     #[test]

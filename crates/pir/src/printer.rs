@@ -116,7 +116,7 @@ fn print_function(out: &mut String, f: &Function, module: &Module) {
     };
     for b in &f.blocks {
         let _ = writeln!(out, "{}:", b.label);
-        for si in &b.insts {
+        for si in f.insts_of(b) {
             emit_loc(out, si.loc.line, &mut next_loc);
             let _ = writeln!(out, "  {}", inst_str(&si.inst, f, module));
         }
@@ -165,6 +165,13 @@ fn inst_str(inst: &Inst, f: &Function, module: &Module) -> String {
         Inst::StrandBegin => "strand_begin".to_string(),
         Inst::StrandEnd => "strand_end".to_string(),
         Inst::Call { dst, callee, args } => {
+            // Rendering is the only place symbols turn back into strings;
+            // a handle from another module's table would print garbage.
+            debug_assert!(
+                module.symbols.contains(*callee),
+                "callee symbol {callee:?} not in this module's string table"
+            );
+            let callee = module.symbols.resolve(*callee);
             let args: Vec<String> = args.iter().map(|a| operand_str(*a, f)).collect();
             match dst {
                 // Annotate the result type so externs round-trip.
@@ -247,8 +254,8 @@ done:
         let m2 = parse(&print(&m1)).unwrap();
         let f1 = &m1.functions[0];
         let f2 = &m2.functions[0];
-        assert_eq!(f1.blocks[0].insts[0].loc.line, 100);
-        assert_eq!(f1.blocks[0].insts[0].loc, f2.blocks[0].insts[0].loc);
+        assert_eq!(f1.block_insts(0)[0].loc.line, 100);
+        assert_eq!(f1.block_insts(0)[0].loc, f2.block_insts(0)[0].loc);
     }
 
     #[test]

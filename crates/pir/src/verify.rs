@@ -127,7 +127,7 @@ fn verify_function(
         return Ok(()); // extern declaration
     }
     for b in &f.blocks {
-        for si in &b.insts {
+        for si in f.insts_of(b) {
             let line = si.loc.line;
             match &si.inst {
                 Inst::PAlloc { dst, ty } | Inst::VAlloc { dst, ty } => {
@@ -204,10 +204,14 @@ fn verify_function(
                 | Inst::StrandBegin
                 | Inst::StrandEnd => {}
                 Inst::Call { dst, callee, args } => {
+                    if !module.symbols.contains(*callee) {
+                        return Err(err(f, line, "call references an unknown symbol handle"));
+                    }
+                    let callee = module.symbols.resolve(*callee);
                     for a in args {
                         check_operand(*a, f, line)?;
                     }
-                    if let Some((callee_fn, arity)) = sigs.get(callee.as_str()) {
+                    if let Some((callee_fn, arity)) = sigs.get(callee) {
                         if args.len() != *arity {
                             return Err(err(
                                 f,
@@ -310,7 +314,7 @@ fn verify_regions(f: &Function) -> VResult {
             continue;
         }
         let b = &f.blocks[bb.index()];
-        for si in &b.insts {
+        for si in f.insts_of(b) {
             let line = si.loc.line;
             match &si.inst {
                 Inst::TxBegin => st.tx_depth = st.tx_depth.saturating_add(1),

@@ -10,13 +10,34 @@ use proptest::prelude::*;
 /// A compact recipe for one generated instruction in a straight-line body.
 #[derive(Debug, Clone)]
 enum Op {
-    Store { field: u8, val: i64 },
-    StoreIndexed { field: u8, idx: u8, val: i64 },
-    Load { field: u8 },
-    Flush { field: Option<u8> },
+    Store {
+        field: u8,
+        val: i64,
+    },
+    StoreIndexed {
+        field: u8,
+        idx: u8,
+        val: i64,
+    },
+    Load {
+        field: u8,
+    },
+    Flush {
+        field: Option<u8>,
+    },
     Fence,
-    Persist { field: Option<u8> },
+    Persist {
+        field: Option<u8>,
+    },
     Bin(u8, i64, i64),
+    /// Call one of the module's extern helpers — `ext_b` with a result,
+    /// `ext_a` without. Exercises the interned callee-symbol path: the
+    /// builder interns the name to a `Symbol` handle, the printer resolves
+    /// it back through the module string table, and the parser re-interns
+    /// it, so the round trip must be handle-for-handle identical.
+    Call {
+        ext_b: bool,
+    },
     TxRegion(Vec<OpInner>),
     EpochRegion(Vec<OpInner>),
 }
@@ -49,6 +70,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         Just(Op::Fence),
         proptest::option::of(0u8..3).prop_map(|field| Op::Persist { field }),
         (0u8..14, any::<i64>(), any::<i64>()).prop_map(|(op, a, b)| Op::Bin(op, a, b)),
+        any::<bool>().prop_map(|ext_b| Op::Call { ext_b }),
         proptest::collection::vec(inner_strategy(), 0..4).prop_map(Op::TxRegion),
         proptest::collection::vec(inner_strategy(), 0..4).prop_map(Op::EpochRegion),
     ]
@@ -62,6 +84,8 @@ fn build_module(ops: &[Op], with_branch: bool) -> Module {
         "obj",
         vec![("a", Ty::I64), ("b", Ty::I64), ("c", Ty::I64), ("arr", Ty::Array(4))],
     );
+    mb.extern_fn("ext_a", vec![("p", Ty::Ptr(s))], None, vec![]);
+    mb.extern_fn("ext_b", vec![("p", Ty::Ptr(s))], Some(Ty::I64), vec![]);
     let mut fb = mb.function("f", vec![("q", Ty::Ptr(s))], Some(Ty::I64));
     let p = fb.palloc(s);
     let place = |field: Option<u8>| match field {
@@ -89,6 +113,13 @@ fn build_module(ops: &[Op], with_branch: bool) -> Module {
                     Operand::Const(*a),
                     Operand::Const(*b),
                 );
+            }
+            Op::Call { ext_b } => {
+                if *ext_b {
+                    fb.call("ext_b", vec![Operand::Local(p)], Ty::I64);
+                } else {
+                    fb.call_void("ext_a", vec![Operand::Local(p)]);
+                }
             }
             Op::TxRegion(inner) => {
                 fb.tx_begin();

@@ -28,17 +28,18 @@ enum Mutation {
 fn mutate(module: &mut Module, mutation: Mutation, k: usize) -> Option<(String, u32)> {
     let mut seen = 0usize;
     for f in &mut module.functions {
-        for b in &mut f.blocks {
-            for i in 0..b.insts.len() {
+        for bi in 0..f.blocks.len() {
+            for i in 0..f.block_insts(bi).len() {
+                let insts = f.block_insts(bi);
                 let is_field_persist = matches!(
-                    &b.insts[i].inst,
+                    &insts[i].inst,
                     Inst::Persist { place } if !place.is_whole_object()
                 );
                 // Eligible: a field persist directly preceded by the store
                 // it covers (the generator's strict idiom).
                 let eligible = is_field_persist
                     && i > 0
-                    && matches!((&b.insts[i - 1].inst, &b.insts[i].inst),
+                    && matches!((&insts[i - 1].inst, &insts[i].inst),
                         (Inst::Store { place: sp, .. }, Inst::Persist { place: fp }) if sp == fp);
                 if !eligible {
                     continue;
@@ -47,19 +48,25 @@ fn mutate(module: &mut Module, mutation: Mutation, k: usize) -> Option<(String, 
                     seen += 1;
                     continue;
                 }
-                let line = b.insts[i].loc.line;
+                let line = insts[i].loc.line;
                 let name = f.name.clone();
                 match mutation {
                     Mutation::DropPersist => {
-                        b.insts.remove(i);
+                        f.remove_inst(bi, i);
                     }
                     Mutation::DuplicatePersist => {
-                        let dup = b.insts[i].clone();
-                        b.insts.insert(i + 1, dup);
+                        let dup = f.block_insts(bi)[i].clone();
+                        f.insert_inst(bi, i + 1, dup);
                     }
                     Mutation::WidenPersist => {
-                        let Inst::Persist { place } = &mut b.insts[i].inst else { unreachable!() };
+                        let removed = f.remove_inst(bi, i);
+                        let Inst::Persist { mut place } = removed.inst else { unreachable!() };
                         place.path.clear();
+                        f.insert_inst(
+                            bi,
+                            i,
+                            deepmc_repro::pir::Spanned::new(Inst::Persist { place }, removed.loc),
+                        );
                     }
                 }
                 return Some((name, line));
