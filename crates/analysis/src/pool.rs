@@ -121,16 +121,24 @@ where
     R: Send,
 {
     let n = items.len();
+    // Progress (when a --progress sink is installed): each batch adds
+    // its items to the declared total, each completed item ticks.
+    // Strictly stderr presentation; results are untouched.
+    deepmc_obs::progress::add_total(n as u64);
     if jobs <= 1 || n <= 1 {
         return items
             .into_iter()
             .enumerate()
             .map(|(i, item)| {
                 deepmc_obs::counter("pool.items", 1);
-                let _s = deepmc_obs::span_lazy("pool.job", || {
-                    vec![("index", i.to_string()), ("stolen", "false".to_string())]
-                });
-                catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(panic_message)
+                let r = {
+                    let _s = deepmc_obs::span_lazy("pool.job", || {
+                        vec![("index", i.to_string()), ("stolen", "false".to_string())]
+                    });
+                    catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(panic_message)
+                };
+                deepmc_obs::progress::tick(1);
+                r
             })
             .collect();
     }
@@ -177,6 +185,7 @@ where
                         });
                         catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(panic_message)
                     };
+                    deepmc_obs::progress::tick(1);
                     // The work set is static: once every deque is empty
                     // the worker can retire — nothing re-enqueues.
                     if tx.send((i, r)).is_err() {

@@ -109,6 +109,7 @@ pub(crate) fn explore_app_session(
         if session.is_cancelled() {
             return None;
         }
+        let _s = obs::span_lazy("explore.probe", || vec![("step", crash_step.to_string())]);
         let run = run_prefix(cfg, app, crash_step);
         let flush_faults = run.pool.stats().dropped_flushes;
         let digest = run.history.digest();
@@ -160,6 +161,7 @@ pub(crate) fn explore_app_session(
                 return ExploreResult::Resumed(frags.clone());
             }
         }
+        let _s = obs::span_lazy("explore.validate", || vec![("step", crash_step.to_string())]);
         let run = run_prefix(cfg, app, crash_step);
         let flush_faults = run.pool.stats().dropped_flushes;
         let mut frags: Vec<ExploreFrag> = Vec::with_capacity(rep_pis.len());
@@ -244,6 +246,7 @@ pub(crate) fn explore_app_session(
     }
     outcome.states_explored = explored.len() as u64;
     outcome.states_pruned = outcome.images_checked - outcome.states_explored;
+    obs::progress::add_pruned(outcome.states_pruned);
     obs::counter("sweep.images_checked", outcome.images_checked);
     obs::counter("sweep.records_dropped", outcome.records_dropped);
     obs::counter("sweep.fault_attributed", outcome.fault_attributed);

@@ -215,6 +215,17 @@ struct ExplorationBench {
     pruned_ms: f64,
 }
 
+/// EXPERIMENTS.md Table 9g: the run-ledger record of one instrumented
+/// `--jobs 1` pass over the Table-9 apps — per-phase latency percentiles
+/// plus folded flamegraph stacks — and where it was appended.
+#[derive(Debug, Serialize)]
+struct ObservatoryBench {
+    /// Ledger file the record was appended to (`DEEPMC_LEDGER` or the
+    /// default `.deepmc-obs/ledger.jsonl`).
+    ledger_path: String,
+    record: deepmc_obs::LedgerRecord,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     bench: &'static str,
@@ -224,6 +235,8 @@ struct BenchReport {
     throughput: ThroughputTable,
     scaling: ScalingSweep,
     exploration: Vec<ExplorationBench>,
+    /// EXPERIMENTS.md Table 9g.
+    observatory: ObservatoryBench,
     total_cold_ms: f64,
     total_warm_ms: f64,
     /// warm / cold over frameworks + apps; the acceptance bar is ≤ 0.5.
@@ -631,6 +644,41 @@ fn bench_exploration() -> Vec<ExplorationBench> {
         .collect()
 }
 
+/// Table 9g: one instrumented `--jobs 1` pass of the full uncached
+/// pipeline over every Table-9 app, distilled into a run-ledger record
+/// (per-phase latency percentiles + folded stacks) and appended to the
+/// ledger so `deepmc stats regress --baseline` can gate this build
+/// against a recorded one. `--jobs 1` keeps the span structure — and
+/// therefore the phase set the gate compares — machine-independent.
+fn bench_observatory() -> ObservatoryBench {
+    let programs: Vec<Program> = nvm_apps::pirgen::table9_apps()
+        .iter()
+        .map(|s| Program::new(nvm_apps::pirgen::generate_app(s)).expect("generated app links"))
+        .collect();
+    let checker = StaticChecker::new(DeepMcConfig::new(deepmc_models::PersistencyModel::Strict));
+    let rec = deepmc_obs::Recorder::new();
+    {
+        let _a = rec.attach(0);
+        let _t = deepmc_obs::span("total");
+        for p in &programs {
+            std::hint::black_box(checker.check_program_with_jobs(p, None, 1));
+        }
+    }
+    let data = rec.finish();
+
+    let build_id = std::env::var("DEEPMC_BUILD_ID").unwrap_or_else(|_| "dev".to_string());
+    // Fixed workload digest: every repro-perf observatory pass runs the
+    // same Table-9 corpus at --jobs 1, so records are comparable across
+    // builds by construction.
+    let digest = format!("{:016x}", deepmc_obs::ledger::fnv1a(b"repro-perf:table9:jobs1"));
+    let record = deepmc_obs::LedgerRecord::from_data("repro-perf", &build_id, &digest, 0, &data);
+    let ledger_path = std::env::var("DEEPMC_LEDGER")
+        .unwrap_or_else(|_| deepmc_obs::ledger::DEFAULT_LEDGER_PATH.to_string());
+    deepmc_obs::ledger::append(std::path::Path::new(&ledger_path), &record)
+        .expect("append repro-perf ledger record");
+    ObservatoryBench { ledger_path, record }
+}
+
 /// First failing throughput gate, if any — shared between the
 /// re-measure loop in `main` and the final enforcement, so a retried
 /// table is judged by exactly the bars it must later clear.
@@ -706,6 +754,7 @@ fn main() {
         throughput,
         scaling: bench_scaling(reps),
         exploration: bench_exploration(),
+        observatory: bench_observatory(),
         total_cold_ms,
         total_warm_ms,
         warm_over_cold: total_warm_ms / total_cold_ms,
@@ -852,6 +901,34 @@ fn main() {
             e.pruned_ms
         );
     }
+
+    println!(
+        "\nRun-ledger observatory (Table 9g): per-phase latency percentiles, \
+         one instrumented --jobs 1 pass over the Table-9 apps:\n"
+    );
+    println!(
+        "{:<14} {:>7} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "phase", "count", "total ms", "p50 us", "p90 us", "p99 us", "max us"
+    );
+    for p in &report.observatory.record.phases {
+        println!(
+            "{:<14} {:>7} {:>10.3} {:>8} {:>8} {:>8} {:>8}",
+            p.name,
+            p.count,
+            p.total_us as f64 / 1000.0,
+            p.p50_us,
+            p.p90_us,
+            p.p99_us,
+            p.max_us
+        );
+    }
+    println!(
+        "appended build `{}` to {} ({} stack(s) folded); gate with \
+         `deepmc stats regress --baseline ... --tool repro-perf`",
+        report.observatory.record.build_id,
+        report.observatory.ledger_path,
+        report.observatory.record.stacks.len()
+    );
 
     let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
     std::fs::write("BENCH_analysis.json", json + "\n").expect("write BENCH_analysis.json");

@@ -30,9 +30,15 @@
 //! per-phase breakdown and counter summary to stderr, `--trace-out FILE`
 //! writes a Chrome-trace JSON (load in Perfetto or `chrome://tracing`;
 //! spans carry worker ids), `--metrics-out FILE` writes a versioned JSON
-//! metrics snapshot. All observability output goes to stderr or the
-//! named files — the report on stdout is byte-identical with or without
-//! instrumentation.
+//! metrics snapshot (schema v2: per-phase p50/p90/p99/max latency
+//! percentiles), `--ledger FILE` appends one fingerprinted
+//! [`deepmc_obs::LedgerRecord`] per run (config digest, `--build-id`,
+//! counters, percentiles, folded stacks, exit code) to an append-only
+//! JSONL ledger, and `--progress` renders a throttled heartbeat on
+//! stderr (steps done/total, classes pruned, ETA). All observability
+//! output goes to stderr or the named files — the report on stdout is
+//! byte-identical with or without instrumentation. `deepmc stats`
+//! queries the ledger: `show`/`diff`/`regress` (the CI gate)/`flame`.
 //!
 //! Exit code is 0 when no warnings (or for `run`/`crash` on success), 1
 //! when warnings were reported, 2 on usage or input errors, and 3 when
@@ -56,30 +62,43 @@ fn usage() -> ExitCode {
     eprintln!(
         "deepmc — detect deep memory persistency bugs in NVM programs\n\n\
          USAGE:\n  \
-         deepmc check  (-strict|-epoch|-strand) [--json] [--violations-only|--performance-only] [--suppress DB.json] [--no-cache] [--cache-dir DIR] [--cache-staleness-ms MS] [--jobs N] [--root-timeout SECS] [--max-walk-steps N] [--chaos-panic ROOT] [--profile] [--verbose] [--trace-out FILE] [--metrics-out FILE] FILE...\n  \
+         deepmc check  (-strict|-epoch|-strand) [--json] [--violations-only|--performance-only] [--suppress DB.json] [--no-cache] [--cache-dir DIR] [--cache-staleness-ms MS] [--jobs N] [--root-timeout SECS] [--max-walk-steps N] [--chaos-panic ROOT] [--profile] [--verbose] [--progress] [--trace-out FILE] [--metrics-out FILE] [--ledger FILE] [--build-id ID] FILE...\n  \
          deepmc fix    (-strict|-epoch|-strand) FILE... [-o DIR]\n  \
          deepmc dynamic ENTRY FILE...\n  \
          deepmc run ENTRY FILE...\n  \
          deepmc crash ENTRY FILE... [--steps N] [--seeds N]\n  \
-         deepmc crashsweep [--app all|memcached|redis|nstore] [--steps N] [--seeds N] [--seed S] [--torn R] [--drop-flush R] [--poison R] [--inject-bug] [--jobs N] [--prune] [--oracle] [--journal FILE] [--resume] [--profile] [--trace-out FILE] [--metrics-out FILE]\n  \
+         deepmc crashsweep [--app all|memcached|redis|nstore] [--steps N] [--seeds N] [--seed S] [--torn R] [--drop-flush R] [--poison R] [--inject-bug] [--jobs N] [--prune] [--oracle] [--journal FILE] [--resume] [--profile] [--progress] [--trace-out FILE] [--metrics-out FILE] [--ledger FILE] [--build-id ID]\n  \
+         deepmc stats show    [--ledger FILE] [--tool NAME] [N]              # percentile table (default: latest record)\n  \
+         deepmc stats diff    [--ledger FILE] [--threshold PCT] [A B]        # deltas between two records (default: last two)\n  \
+         deepmc stats regress --baseline FILE [--ledger FILE] [--max-p50-pct N] [--max-p99-pct N] [--min-us N]  # CI gate, exit 1 on regression\n  \
+         deepmc stats flame   [--ledger FILE] [--out FILE] [N]               # collapsed stacks (inferno/flamegraph.pl format)\n  \
          deepmc dsg FUNCTION FILE...          # Graphviz of the function's data structure graph\n  \
          deepmc rules"
     );
     ExitCode::from(2)
 }
 
-/// Observability flags shared by `check` and `crashsweep`.
+/// Observability flags shared by every long-running subcommand
+/// (`check`, `crashsweep` and its `--prune` exploration paths). The CLI
+/// matrix test in `tests/cli_matrix.rs` fails when a subcommand forgets
+/// one of these.
 #[derive(Default)]
 struct ObsOpts {
     profile: bool,
     verbose: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    progress: bool,
+    ledger: Option<String>,
+    build_id: Option<String>,
 }
 
 impl ObsOpts {
     fn enabled(&self) -> bool {
-        self.profile || self.trace_out.is_some() || self.metrics_out.is_some()
+        self.profile
+            || self.trace_out.is_some()
+            || self.metrics_out.is_some()
+            || self.ledger.is_some()
     }
 
     /// Consume one flag if it belongs to this group. `Ok(true)` if
@@ -88,8 +107,11 @@ impl ObsOpts {
         match a {
             "--profile" => self.profile = true,
             "--verbose" => self.verbose = true,
+            "--progress" => self.progress = true,
             "--trace-out" => self.trace_out = Some(it.next().ok_or(())?.clone()),
             "--metrics-out" => self.metrics_out = Some(it.next().ok_or(())?.clone()),
+            "--ledger" => self.ledger = Some(it.next().ok_or(())?.clone()),
+            "--build-id" => self.build_id = Some(it.next().ok_or(())?.clone()),
             _ => return Ok(false),
         }
         Ok(true)
@@ -99,10 +121,35 @@ impl ObsOpts {
         self.enabled().then(obs::Recorder::new)
     }
 
+    /// Install the live-progress heartbeat when `--progress` was given.
+    /// Strictly stderr presentation — reports, journals, and cache dirs
+    /// are byte-identical with it on or off.
+    fn progress_guard(&self, label: &'static str) -> Option<obs::progress::ProgressGuard> {
+        self.progress.then(|| obs::progress::install(label))
+    }
+
+    /// The build id recorded in ledger entries: `--build-id`, then the
+    /// `DEEPMC_BUILD_ID` environment (CI sets it to a git describe), then
+    /// `"dev"`.
+    fn build_id(&self) -> String {
+        self.build_id
+            .clone()
+            .or_else(|| std::env::var("DEEPMC_BUILD_ID").ok())
+            .unwrap_or_else(|| "dev".to_string())
+    }
+
     /// Finish the recorder and write every requested output. Profile
-    /// summaries go to stderr and machine output to the named files, so
-    /// the report on stdout is untouched.
-    fn emit(&self, recorder: Option<obs::Recorder>, tool: &str) -> Result<(), String> {
+    /// summaries go to stderr and machine output to the named files
+    /// (plus the append-only ledger), so the report on stdout is
+    /// untouched. `exit_code` is the code the process is about to exit
+    /// with — compute it *before* calling this so the ledger records it.
+    fn emit(
+        &self,
+        recorder: Option<obs::Recorder>,
+        tool: &str,
+        config_digest: &str,
+        exit_code: i32,
+    ) -> Result<(), String> {
         let Some(rec) = recorder else { return Ok(()) };
         let data = rec.finish();
         if self.profile {
@@ -116,8 +163,51 @@ impl ObsOpts {
             std::fs::write(path, data.metrics_snapshot(tool).to_json())
                 .map_err(|e| format!("cannot write metrics `{path}`: {e}"))?;
         }
+        if let Some(path) = &self.ledger {
+            let record = obs::LedgerRecord::from_data(
+                tool,
+                &self.build_id(),
+                config_digest,
+                exit_code,
+                &data,
+            );
+            obs::ledger::append(std::path::Path::new(path), &record)
+                .map_err(|e| format!("cannot append to ledger `{path}`: {e}"))?;
+        }
         Ok(())
     }
+}
+
+/// Digest of the run configuration recorded in ledger entries, so
+/// `stats` can refuse to compare runs with different configs. FNV-1a
+/// over the argv, NUL-separated.
+fn config_digest(cmd: &str, args: &[String]) -> String {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(cmd.as_bytes());
+    for a in args {
+        // Ledger/build-id plumbing must not change the digest: the same
+        // analysis config recorded into two different ledgers is still
+        // the same run configuration.
+        bytes.push(0);
+        bytes.extend_from_slice(a.as_bytes());
+    }
+    format!("{:016x}", obs::ledger::fnv1a(&bytes))
+}
+
+/// Strip flags that only steer telemetry output from a digest argv.
+fn digest_args(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ledger" | "--build-id" | "--trace-out" | "--metrics-out" => {
+                let _ = it.next();
+            }
+            "--profile" | "--verbose" | "--progress" => {}
+            other => out.push(other.to_string()),
+        }
+    }
+    out
 }
 
 fn load_modules(paths: &[String]) -> Result<Vec<deepmc_pir::Module>, String> {
@@ -135,22 +225,32 @@ fn load_modules(paths: &[String]) -> Result<Vec<deepmc_pir::Module>, String> {
         .collect()
 }
 
-fn report_exit(report: &Report, json: bool) -> ExitCode {
+/// The exit code a report maps to, computed separately from printing so
+/// the ledger can record it before the report is emitted.
+fn report_code(report: &Report) -> u8 {
+    if report.degraded {
+        // "Completed but partial" outranks "has warnings": a degraded
+        // report may be missing warnings, so CI must not read exit 0/1 as
+        // a complete verdict.
+        3
+    } else if report.warnings.is_empty() {
+        0
+    } else {
+        1
+    }
+}
+
+fn print_report(report: &Report, json: bool) {
     if json {
         println!("{}", serde_json::to_string_pretty(report).expect("report serializes"));
     } else {
         print!("{report}");
     }
-    if report.degraded {
-        // "Completed but partial" outranks "has warnings": a degraded
-        // report may be missing warnings, so CI must not read exit 0/1 as
-        // a complete verdict.
-        ExitCode::from(3)
-    } else if report.warnings.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+}
+
+fn report_exit(report: &Report, json: bool) -> ExitCode {
+    print_report(report, json);
+    ExitCode::from(report_code(report))
 }
 
 /// Silence the default panic banner for `--chaos-panic`-injected panics.
@@ -263,6 +363,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
     }
     let recorder = obs_opts.recorder();
     let attach = recorder.as_ref().map(|r| r.attach(0));
+    let progress = obs_opts.progress_guard("check");
     let total_span = obs::span("total");
     let parse_span = obs::span("parse");
     let modules = match load_modules(&files) {
@@ -291,17 +392,22 @@ fn cmd_check(args: &[String]) -> ExitCode {
         StaticChecker::new(config).check_program_with_jobs(&program, cache.as_ref(), jobs);
     if !no_cache && (obs_opts.verbose || obs_opts.profile) {
         // Stats go to stderr so the report on stdout stays byte-identical
-        // between cold and warm runs. (The same numbers are always
+        // between cold and warm runs. Routed through the obs note
+        // emitter: printed once even if this path re-runs, and recorded
+        // as an event when instrumented. (The same numbers are always
         // available as cache.* counters via --metrics-out/--profile.)
-        eprintln!(
-            "cache: {} hit(s), {} miss(es), {} store(s), {} quarantined, {} trace(s) ({} hit rate, dir {})",
-            stats.hits,
-            stats.misses,
-            stats.stores,
-            stats.quarantined,
-            stats.traces,
-            format_args!("{:.0}%", stats.hit_rate() * 100.0),
-            cache_dir,
+        obs::note(
+            "cache.stats",
+            &format!(
+                "cache: {} hit(s), {} miss(es), {} store(s), {} quarantined, {} trace(s) ({} hit rate, dir {})",
+                stats.hits,
+                stats.misses,
+                stats.stores,
+                stats.quarantined,
+                stats.traces,
+                format_args!("{:.0}%", stats.hit_rate() * 100.0),
+                cache_dir,
+            ),
         );
     }
     if let Some(path) = suppress_db {
@@ -322,12 +428,19 @@ fn cmd_check(args: &[String]) -> ExitCode {
         report = surviving;
     }
     drop(total_span);
+    drop(progress);
     drop(attach);
-    if let Err(e) = obs_opts.emit(recorder, "deepmc check") {
+    // The exit code is part of the ledger record, so compute it before
+    // emitting telemetry; the report itself prints after (stdout and
+    // stderr are separate channels, so report bytes are unaffected).
+    let code = report_code(&report);
+    let digest = config_digest("check", &digest_args(args));
+    if let Err(e) = obs_opts.emit(recorder, "deepmc check", &digest, i32::from(code)) {
         eprintln!("{e}");
         return ExitCode::from(2);
     }
-    report_exit(&report, json)
+    print_report(&report, json);
+    ExitCode::from(code)
 }
 
 fn cmd_fix(args: &[String]) -> ExitCode {
@@ -635,27 +748,45 @@ fn cmd_crashsweep(args: &[String]) -> ExitCode {
     let recorder = obs_opts.recorder();
     let run = {
         let _attach = recorder.as_ref().map(|r| r.attach(0));
+        let _progress = obs_opts.progress_guard(if cfg.prune { "explore" } else { "sweep" });
         let _total = obs::span("total");
         sweep_session(&cfg, &apps, &session)
     };
-    if let Err(e) = obs_opts.emit(recorder, "deepmc crashsweep") {
-        eprintln!("{e}");
-        return ExitCode::from(2);
-    }
-    if run.resumed_steps > 0 {
-        eprintln!("resumed: {} step(s) replayed from the journal", run.resumed_steps);
-    }
+    // Decide the exit code (and the FAIL lines that go with it) before
+    // emitting telemetry, so the ledger records the code the process
+    // actually exits with.
     let mut failed = false;
+    let mut bug_missed: Vec<&str> = Vec::new();
     for outcome in &run.outcomes {
-        print!("{outcome}");
         // With the bug injected the sweep is *supposed* to catch it: the
         // run succeeds only if every loss is attributed. An interrupted
         // (partial) run skips this check — exit 3 already says the
         // verdict is incomplete.
         failed |= !outcome.violations.is_empty();
         if !run.interrupted() && cfg.inject_bug && outcome.bug_attributed == 0 {
-            println!("  FAIL: injected bug was not observed");
+            bug_missed.push(outcome.app);
             failed = true;
+        }
+    }
+    let code: u8 = if run.interrupted() {
+        3
+    } else if failed {
+        1
+    } else {
+        0
+    };
+    let digest = config_digest("crashsweep", &digest_args(args));
+    if let Err(e) = obs_opts.emit(recorder, "deepmc crashsweep", &digest, i32::from(code)) {
+        eprintln!("{e}");
+        return ExitCode::from(2);
+    }
+    if run.resumed_steps > 0 {
+        eprintln!("resumed: {} step(s) replayed from the journal", run.resumed_steps);
+    }
+    for outcome in &run.outcomes {
+        print!("{outcome}");
+        if bug_missed.contains(&outcome.app) {
+            println!("  FAIL: injected bug was not observed");
         }
     }
     if run.interrupted() {
@@ -663,11 +794,196 @@ fn cmd_crashsweep(args: &[String]) -> ExitCode {
             "sweep interrupted: {} step(s) not executed; rerun with --resume to continue",
             run.skipped_steps
         );
-        ExitCode::from(3)
-    } else if failed {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
+    }
+    ExitCode::from(code)
+}
+
+/// `deepmc stats` — query the run ledger: `show` a percentile table,
+/// `diff` two records, `regress` against a baseline (the CI gate), or
+/// emit a `flame`graph in collapsed-stack format.
+fn cmd_stats(args: &[String]) -> ExitCode {
+    use deepmc::stats;
+    let Some((verb, rest)) = args.split_first() else {
+        eprintln!(
+            "usage: deepmc stats (show|diff|regress|flame) [--ledger PATH] [--tool NAME] ..."
+        );
+        return ExitCode::from(2);
+    };
+    let mut ledger_path = obs::ledger::DEFAULT_LEDGER_PATH.to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut tool: Option<String> = None;
+    let mut threshold = 25.0f64;
+    let mut policy = stats::RegressPolicy::default();
+    let mut selectors: Vec<i64> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ledger" => match it.next() {
+                Some(p) => ledger_path = p.clone(),
+                None => return usage(),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(p.clone()),
+                None => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => return usage(),
+            },
+            "--tool" => match it.next() {
+                Some(t) => tool = Some(t.clone()),
+                None => return usage(),
+            },
+            "--threshold" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => threshold = t,
+                None => return usage(),
+            },
+            "--max-p50-pct" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => policy.max_p50_pct = t,
+                None => return usage(),
+            },
+            "--max-p99-pct" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => policy.max_p99_pct = t,
+                None => return usage(),
+            },
+            "--min-us" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => policy.min_us = t,
+                None => return usage(),
+            },
+            // Record selectors: integers, negative = from the end
+            // (`-1` is the latest record).
+            sel if sel.parse::<i64>().is_ok() => selectors.push(sel.parse().unwrap()),
+            other => {
+                eprintln!("unknown stats argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let load = |path: &str| -> Result<Vec<obs::LedgerRecord>, String> {
+        let loaded = obs::ledger::load(std::path::Path::new(path))?;
+        if loaded.rejected > 0 {
+            obs::warning(
+                "ledger.rejected",
+                &format!(
+                    "{}: {} damaged record(s) rejected (fingerprint mismatch or unparsable)",
+                    path, loaded.rejected
+                ),
+            );
+        }
+        if loaded.torn {
+            obs::warning(
+                "ledger.torn",
+                &format!("{path}: dropped a torn trailing record (interrupted append)"),
+            );
+        }
+        Ok(loaded.records)
+    };
+    let current = match load(&ledger_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let current: Vec<obs::LedgerRecord> =
+        stats::filter_tool(&current, tool.as_deref()).into_iter().cloned().collect();
+    let pick = |sel: i64| stats::select(&current, sel).cloned();
+    match verb.as_str() {
+        "show" => {
+            let sel = selectors.first().copied().unwrap_or(-1);
+            match pick(sel) {
+                Ok(r) => {
+                    print!("{}", stats::render_show(&r));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        "diff" => {
+            let (sa, sb) = match selectors[..] {
+                [a, b] => (a, b),
+                [] => (-2, -1),
+                _ => {
+                    eprintln!("stats diff takes exactly two record selectors (or none for the last two runs)");
+                    return ExitCode::from(2);
+                }
+            };
+            match (pick(sa), pick(sb)) {
+                (Ok(a), Ok(b)) => {
+                    print!("{}", stats::render_diff(&a, &b, threshold));
+                    ExitCode::SUCCESS
+                }
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("{e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        "regress" => {
+            let Some(baseline_path) = baseline_path else {
+                eprintln!("stats regress requires --baseline LEDGER");
+                return ExitCode::from(2);
+            };
+            let baseline = match load(&baseline_path) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let baseline: Vec<obs::LedgerRecord> =
+                stats::filter_tool(&baseline, tool.as_deref()).into_iter().cloned().collect();
+            let base = match stats::select(&baseline, -1) {
+                Ok(r) => r.clone(),
+                Err(e) => {
+                    eprintln!("baseline {baseline_path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let cur = match pick(selectors.first().copied().unwrap_or(-1)) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let outcome = stats::regress(&base, &cur, &policy);
+            print!("{}", outcome.report);
+            if outcome.failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        "flame" => {
+            let r = match pick(selectors.first().copied().unwrap_or(-1)) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let folded = obs::flame::to_folded(&r.stacks);
+            match out_path {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(&path, folded) {
+                        eprintln!("cannot write flamegraph `{path}`: {e}");
+                        return ExitCode::from(2);
+                    }
+                    eprintln!("wrote {} stack(s) to {path}", r.stacks.len());
+                }
+                None => print!("{folded}"),
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown stats verb `{other}` (expected show, diff, regress, or flame)");
+            ExitCode::from(2)
+        }
     }
 }
 
@@ -707,6 +1023,7 @@ fn main() -> ExitCode {
             "run" => cmd_run(rest),
             "crash" => cmd_crash(rest),
             "crashsweep" => cmd_crashsweep(rest),
+            "stats" => cmd_stats(rest),
             "dsg" => cmd_dsg(rest),
             "rules" => {
                 for rule in deepmc_models::RULES {

@@ -48,6 +48,7 @@ pub mod instrument;
 pub mod pool;
 pub mod report;
 pub mod static_checker;
+pub mod stats;
 pub mod suppress;
 
 pub use cache::{AnalysisCache, CacheRunStats};

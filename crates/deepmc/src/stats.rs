@@ -1,0 +1,400 @@
+//! `deepmc stats` — the regression observatory over the run ledger.
+//!
+//! The ledger ([`deepmc_obs::ledger`]) gives every instrumented run a
+//! durable, fingerprinted record: counters, per-phase latency
+//! percentiles, folded flamegraph stacks, exit code. This module is the
+//! query side:
+//!
+//! * [`render_show`] — a percentile table for one record;
+//! * [`render_diff`] — counter and percentile deltas between two
+//!   records, with over-threshold rows marked;
+//! * [`regress`] — the CI gate: compares per-phase p50/p99 (and wall)
+//!   against a baseline record under a [`RegressPolicy`], reporting
+//!   every regression beyond the thresholds;
+//! * [`select`] — record selection by index (negative = from the end)
+//!   or build id.
+//!
+//! All rendering is pure string building over already-loaded records, so
+//! the golden-file tests in `tests/stats_golden.rs` pin the exact output
+//! byte-for-byte.
+
+use deepmc_obs::ledger::LedgerRecord;
+use deepmc_obs::PhaseMetric;
+use std::fmt::Write as _;
+
+/// Pick a record from a loaded ledger: non-negative `sel` is an index
+/// from the start, negative counts from the end (`-1` = latest).
+pub fn select(records: &[LedgerRecord], sel: i64) -> Result<&LedgerRecord, String> {
+    let n = records.len() as i64;
+    if n == 0 {
+        return Err("ledger has no records".into());
+    }
+    let idx = if sel < 0 { n + sel } else { sel };
+    if idx < 0 || idx >= n {
+        return Err(format!("record {sel} out of range (ledger has {n} record(s))"));
+    }
+    Ok(&records[idx as usize])
+}
+
+/// The latest record whose tool matches, if a filter is given.
+pub fn filter_tool<'a>(records: &'a [LedgerRecord], tool: Option<&str>) -> Vec<&'a LedgerRecord> {
+    records.iter().filter(|r| tool.is_none_or(|t| r.tool == t)).collect()
+}
+
+fn fmt_ms(us: u64) -> String {
+    format!("{:.3}", us as f64 / 1000.0)
+}
+
+/// Percentile table for one record.
+pub fn render_show(r: &LedgerRecord) -> String {
+    let mut out = String::new();
+    writeln!(out, "== {} run ==", r.tool).unwrap();
+    writeln!(out, "build: {}  config: {}  exit: {}", r.build_id, r.config_digest, r.exit_code)
+        .unwrap();
+    writeln!(out, "wall: {} ms, workers: {}", fmt_ms(r.wall_us), r.workers).unwrap();
+    writeln!(
+        out,
+        "{:<18} {:>7} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "phase", "count", "total ms", "p50 us", "p90 us", "p99 us", "max us"
+    )
+    .unwrap();
+    for p in &r.phases {
+        writeln!(
+            out,
+            "{:<18} {:>7} {:>10} {:>8} {:>8} {:>8} {:>8}",
+            p.name,
+            p.count,
+            fmt_ms(p.total_us),
+            p.p50_us,
+            p.p90_us,
+            p.p99_us,
+            p.max_us
+        )
+        .unwrap();
+    }
+    if !r.counters.is_empty() {
+        writeln!(out, "counters:").unwrap();
+        for c in &r.counters {
+            writeln!(out, "  {:<28} {}", c.name, c.value).unwrap();
+        }
+    }
+    out
+}
+
+/// Signed percentage change from `from` to `to` (0 when both are 0).
+fn pct_delta(from: u64, to: u64) -> f64 {
+    if from == 0 {
+        if to == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        100.0 * (to as f64 - from as f64) / from as f64
+    }
+}
+
+fn fmt_pct(p: f64) -> String {
+    if p.is_infinite() {
+        "new".to_string()
+    } else {
+        format!("{p:+.1}%")
+    }
+}
+
+/// Counter and percentile deltas between two records. Rows whose
+/// absolute percentile change exceeds `threshold_pct` are marked `!`.
+pub fn render_diff(a: &LedgerRecord, b: &LedgerRecord, threshold_pct: f64) -> String {
+    let mut out = String::new();
+    writeln!(out, "== stats diff: {} ({}) -> {} ({}) ==", a.build_id, a.tool, b.build_id, b.tool)
+        .unwrap();
+    if a.config_digest != b.config_digest {
+        writeln!(
+            out,
+            "note: config digests differ ({} vs {}) — timings may not be comparable",
+            a.config_digest, b.config_digest
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "wall: {} ms -> {} ms ({})",
+        fmt_ms(a.wall_us),
+        fmt_ms(b.wall_us),
+        fmt_pct(pct_delta(a.wall_us, b.wall_us))
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<18} {:>12} {:>12} {:>12} {:>12}",
+        "phase", "p50 us", "Δp50", "p99 us", "Δp99"
+    )
+    .unwrap();
+    let mut names: Vec<&str> = a.phases.iter().chain(&b.phases).map(|p| p.name.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    for name in names {
+        let pa = a.phase(name);
+        let pb = b.phase(name);
+        let (p50a, p99a) = pa.map(|p| (p.p50_us, p.p99_us)).unwrap_or((0, 0));
+        let (p50b, p99b) = pb.map(|p| (p.p50_us, p.p99_us)).unwrap_or((0, 0));
+        let d50 = pct_delta(p50a, p50b);
+        let d99 = pct_delta(p99a, p99b);
+        let hot = d50.abs() > threshold_pct || d99.abs() > threshold_pct;
+        writeln!(
+            out,
+            "{:<18} {:>5} -> {:>4} {:>12} {:>5} -> {:>4} {:>12}{}",
+            name,
+            p50a,
+            p50b,
+            fmt_pct(d50),
+            p99a,
+            p99b,
+            fmt_pct(d99),
+            if hot { "  !" } else { "" }
+        )
+        .unwrap();
+    }
+    let mut cnames: Vec<&str> =
+        a.counters.iter().chain(&b.counters).map(|c| c.name.as_str()).collect();
+    cnames.sort_unstable();
+    cnames.dedup();
+    let mut changed = 0usize;
+    let mut counter_rows = String::new();
+    for name in cnames {
+        let va = a.counter(name);
+        let vb = b.counter(name);
+        if va != vb {
+            changed += 1;
+            writeln!(
+                counter_rows,
+                "  {:<28} {} -> {} ({})",
+                name,
+                va,
+                vb,
+                fmt_pct(pct_delta(va, vb))
+            )
+            .unwrap();
+        }
+    }
+    if changed > 0 {
+        writeln!(out, "counters changed ({changed}):").unwrap();
+        out.push_str(&counter_rows);
+    } else {
+        writeln!(out, "counters: identical").unwrap();
+    }
+    out
+}
+
+/// Regression thresholds for [`regress`]. A phase regresses when its
+/// p50 grows more than `max_p50_pct` percent or its p99 more than
+/// `max_p99_pct` percent over the baseline. Phases whose baseline p50 is
+/// under `min_us` are ignored — microsecond-scale phases jitter by whole
+/// buckets and would gate on noise.
+#[derive(Debug, Clone, Copy)]
+pub struct RegressPolicy {
+    pub max_p50_pct: f64,
+    pub max_p99_pct: f64,
+    pub min_us: u64,
+}
+
+impl Default for RegressPolicy {
+    fn default() -> Self {
+        RegressPolicy { max_p50_pct: 25.0, max_p99_pct: 50.0, min_us: 200 }
+    }
+}
+
+/// Outcome of a regression check: the rendered report and whether any
+/// phase regressed beyond the policy.
+pub struct RegressOutcome {
+    pub report: String,
+    pub failed: bool,
+}
+
+fn check_phase(
+    name: &str,
+    base: &PhaseMetric,
+    cur: &PhaseMetric,
+    policy: &RegressPolicy,
+    out: &mut String,
+    failed: &mut bool,
+) {
+    let d50 = pct_delta(base.p50_us, cur.p50_us);
+    let d99 = pct_delta(base.p99_us, cur.p99_us);
+    let bad50 = d50 > policy.max_p50_pct;
+    let bad99 = d99 > policy.max_p99_pct;
+    if bad50 || bad99 {
+        *failed = true;
+        writeln!(
+            out,
+            "REGRESSION {name}: p50 {} -> {} us ({}), p99 {} -> {} us ({})",
+            base.p50_us,
+            cur.p50_us,
+            fmt_pct(d50),
+            base.p99_us,
+            cur.p99_us,
+            fmt_pct(d99)
+        )
+        .unwrap();
+    } else {
+        writeln!(
+            out,
+            "ok         {name}: p50 {} -> {} us ({}), p99 {} -> {} us ({})",
+            base.p50_us,
+            cur.p50_us,
+            fmt_pct(d50),
+            base.p99_us,
+            cur.p99_us,
+            fmt_pct(d99)
+        )
+        .unwrap();
+    }
+}
+
+/// Gate `current` against `baseline` under `policy`.
+///
+/// Verdicts depend only on the two records and the policy — a run's
+/// record is identical at `--jobs 1` and `--jobs 4` for a deterministic
+/// workload's structure, and percentile *comparisons* are pure
+/// arithmetic, so the gate is reproducible.
+pub fn regress(
+    baseline: &LedgerRecord,
+    current: &LedgerRecord,
+    policy: &RegressPolicy,
+) -> RegressOutcome {
+    let mut out = String::new();
+    let mut failed = false;
+    writeln!(
+        out,
+        "== stats regress: baseline {} vs current {} (p50 +{:.0}%, p99 +{:.0}%, floor {} us) ==",
+        baseline.build_id, current.build_id, policy.max_p50_pct, policy.max_p99_pct, policy.min_us
+    )
+    .unwrap();
+    if baseline.tool != current.tool {
+        failed = true;
+        writeln!(
+            out,
+            "REGRESSION tool mismatch: baseline is {}, current is {}",
+            baseline.tool, current.tool
+        )
+        .unwrap();
+    }
+    let mut compared = 0usize;
+    for base in &baseline.phases {
+        if base.p50_us < policy.min_us {
+            continue;
+        }
+        match current.phase(&base.name) {
+            Some(cur) => {
+                compared += 1;
+                check_phase(&base.name, base, cur, policy, &mut out, &mut failed);
+            }
+            None => {
+                failed = true;
+                writeln!(out, "REGRESSION {}: phase missing from current run", base.name).unwrap();
+            }
+        }
+    }
+    if compared == 0 && !failed {
+        writeln!(out, "note: no phase at or above the {} us floor; nothing gated", policy.min_us)
+            .unwrap();
+    }
+    writeln!(out, "{}", if failed { "verdict: REGRESSED" } else { "verdict: ok" }).unwrap();
+    RegressOutcome { report: out, failed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmc_obs::{CounterMetric, PhaseMetric};
+
+    pub(crate) fn record(build: &str, phases: &[(&str, u64, u64, u64, u64)]) -> LedgerRecord {
+        LedgerRecord {
+            schema_version: deepmc_obs::LEDGER_SCHEMA_VERSION,
+            tool: "deepmc check".into(),
+            build_id: build.into(),
+            config_digest: "0123456789abcdef".into(),
+            exit_code: 0,
+            wall_us: phases.iter().map(|p| p.2).sum(),
+            workers: 1,
+            counters: vec![CounterMetric { name: "check.roots".into(), value: 2 }],
+            phases: phases
+                .iter()
+                .map(|(name, count, total, p50, p99)| PhaseMetric {
+                    name: (*name).into(),
+                    count: *count,
+                    total_us: *total,
+                    p50_us: *p50,
+                    p90_us: (*p50 + *p99) / 2,
+                    p99_us: *p99,
+                    max_us: *p99,
+                })
+                .collect(),
+            stacks: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn identical_records_pass() {
+        let r = record("a", &[("traces", 4, 4000, 900, 1400)]);
+        let out = regress(&r, &r, &RegressPolicy::default());
+        assert!(!out.failed, "{}", out.report);
+        assert!(out.report.contains("verdict: ok"));
+    }
+
+    #[test]
+    fn planted_2x_slowdown_fails() {
+        let base = record("a", &[("traces", 4, 4000, 900, 1400)]);
+        let slow = record("b", &[("traces", 4, 8000, 1800, 2800)]);
+        let out = regress(&base, &slow, &RegressPolicy::default());
+        assert!(out.failed);
+        assert!(out.report.contains("REGRESSION traces"));
+        assert!(out.report.contains("verdict: REGRESSED"));
+    }
+
+    #[test]
+    fn sub_floor_phases_do_not_gate() {
+        let base = record("a", &[("report", 1, 50, 50, 50)]);
+        let slow = record("b", &[("report", 1, 500, 500, 500)]);
+        let out = regress(&base, &slow, &RegressPolicy::default());
+        assert!(!out.failed, "sub-floor phase must not gate: {}", out.report);
+    }
+
+    #[test]
+    fn missing_phase_is_a_regression() {
+        let base = record("a", &[("traces", 4, 4000, 900, 1400)]);
+        let cur = record("b", &[("other", 4, 4000, 900, 1400)]);
+        let out = regress(&base, &cur, &RegressPolicy::default());
+        assert!(out.failed);
+        assert!(out.report.contains("phase missing"));
+    }
+
+    #[test]
+    fn improvement_passes() {
+        let base = record("a", &[("traces", 4, 4000, 900, 1400)]);
+        let fast = record("b", &[("traces", 4, 2000, 450, 700)]);
+        assert!(!regress(&base, &fast, &RegressPolicy::default()).failed);
+    }
+
+    #[test]
+    fn select_supports_negative_indices() {
+        let recs = vec![record("a", &[]), record("b", &[]), record("c", &[])];
+        assert_eq!(select(&recs, 0).unwrap().build_id, "a");
+        assert_eq!(select(&recs, -1).unwrap().build_id, "c");
+        assert_eq!(select(&recs, -3).unwrap().build_id, "a");
+        assert!(select(&recs, 3).is_err());
+        assert!(select(&recs, -4).is_err());
+        assert!(select(&[], -1).is_err());
+    }
+
+    #[test]
+    fn diff_marks_over_threshold_rows() {
+        let a = record("a", &[("traces", 4, 4000, 900, 1400), ("cfg", 1, 100, 100, 100)]);
+        let b = record("b", &[("traces", 4, 8000, 1800, 2800), ("cfg", 1, 100, 100, 100)]);
+        let out = render_diff(&a, &b, 25.0);
+        let traces_line = out.lines().find(|l| l.starts_with("traces")).unwrap();
+        assert!(traces_line.ends_with('!'), "over-threshold row marked: {traces_line}");
+        let cfg_line = out.lines().find(|l| l.starts_with("cfg")).unwrap();
+        assert!(!cfg_line.ends_with('!'), "unchanged row unmarked: {cfg_line}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Flag-parity matrix for the long-running subcommands.
+//!
+//! Every subcommand that can run long enough to care about telemetry
+//! (`check`, `crashsweep`, and both `crashsweep --prune` exploration
+//! paths) must accept the full shared observability flag set:
+//! `--profile`, `--progress`, `--trace-out`, `--metrics-out`,
+//! `--ledger`, and `--build-id`. A subcommand that forgets one falls
+//! through to `usage()` and exits 2, which this matrix turns into a
+//! named failure — so adding a new long-running subcommand without
+//! wiring `ObsOpts` through it breaks the build here, not in the field.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_deepmc");
+
+/// Tiny clean program so `check` legs exit 0 quickly.
+const FIXTURE: &str = "module m\nfile \"m.c\"\nstruct s { a: i64 }\n\
+                       fn main() {\nentry:\n  %r = palloc s\n  store %r.a, 1\n  \
+                       flush %r.a\n  fence\n  ret\n}\n";
+
+struct Ctx {
+    dir: PathBuf,
+    fixture: PathBuf,
+}
+
+impl Ctx {
+    fn new(tag: &str) -> Ctx {
+        let dir =
+            std::env::temp_dir().join(format!("deepmc-cli-matrix-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let fixture = dir.join("m.pir");
+        std::fs::write(&fixture, FIXTURE).expect("write fixture");
+        Ctx { dir, fixture }
+    }
+
+    /// The base argv of every long-running subcommand invocation. Kept
+    /// tiny (`--steps 2 --seeds 1`, one app) so the whole matrix runs in
+    /// seconds.
+    fn subcommands(&self) -> Vec<(&'static str, Vec<String>)> {
+        let f = self.fixture.to_string_lossy().into_owned();
+        let sweep = |extra: &[&str]| {
+            let mut v = vec![
+                "crashsweep".to_string(),
+                "--app".into(),
+                "memcached".into(),
+                "--steps".into(),
+                "2".into(),
+                "--seeds".into(),
+                "1".into(),
+            ];
+            v.extend(extra.iter().map(|s| s.to_string()));
+            v
+        };
+        vec![
+            ("check", vec!["check".to_string(), "-strict".into(), "--no-cache".into(), f]),
+            ("crashsweep", sweep(&[])),
+            ("crashsweep --prune", sweep(&["--prune"])),
+            ("crashsweep --prune --oracle", sweep(&["--prune", "--oracle"])),
+        ]
+    }
+}
+
+impl Drop for Ctx {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Every (subcommand, observability flag) pair parses and runs. Exit 2
+/// is the usage path — the one a forgotten flag takes.
+#[test]
+fn every_long_running_subcommand_accepts_every_obs_flag() {
+    let ctx = Ctx::new("flags");
+    let flag_sets: Vec<Vec<String>> = vec![
+        vec!["--profile".into()],
+        vec!["--progress".into()],
+        vec!["--trace-out".into(), ctx.dir.join("t.json").to_string_lossy().into_owned()],
+        vec!["--metrics-out".into(), ctx.dir.join("m.json").to_string_lossy().into_owned()],
+        vec!["--ledger".into(), ctx.dir.join("l.jsonl").to_string_lossy().into_owned()],
+        vec!["--build-id".into(), "matrix-test".into()],
+    ];
+    for (name, base) in ctx.subcommands() {
+        for flags in &flag_sets {
+            let mut args = base.clone();
+            args.extend(flags.iter().cloned());
+            let out = Command::new(BIN).args(&args).output().expect("spawn deepmc");
+            let code = out.status.code().expect("exit code");
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert_ne!(code, 2, "`deepmc {name}` rejected {flags:?} (usage exit):\n{stderr}");
+            assert!(
+                !stderr.contains("USAGE:"),
+                "`deepmc {name}` printed usage for {flags:?}:\n{stderr}"
+            );
+        }
+    }
+}
+
+/// All the flags together, plus side-effect checks: the trace, metrics,
+/// and ledger files must actually appear for every subcommand.
+#[test]
+fn combined_obs_flags_produce_artifacts_everywhere() {
+    let ctx = Ctx::new("artifacts");
+    for (name, base) in ctx.subcommands() {
+        let tag = name.replace([' ', '-'], "_");
+        let trace = ctx.dir.join(format!("{tag}.trace.json"));
+        let metrics = ctx.dir.join(format!("{tag}.metrics.json"));
+        let ledger = ctx.dir.join(format!("{tag}.ledger.jsonl"));
+        let mut args = base.clone();
+        for extra in [
+            "--profile",
+            "--progress",
+            "--trace-out",
+            &trace.to_string_lossy(),
+            "--metrics-out",
+            &metrics.to_string_lossy(),
+            "--ledger",
+            &ledger.to_string_lossy(),
+            "--build-id",
+            "matrix-test",
+        ] {
+            args.push(extra.to_string());
+        }
+        let out = Command::new(BIN).args(&args).output().expect("spawn deepmc");
+        let code = out.status.code().expect("exit code");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_ne!(code, 2, "`deepmc {name}` combined flags hit usage:\n{stderr}");
+        for (what, path) in [("trace", &trace), ("metrics", &metrics), ("ledger", &ledger)] {
+            assert!(
+                path.exists(),
+                "`deepmc {name}` did not write the {what} file {}:\n{stderr}",
+                path.display()
+            );
+        }
+        // The ledger record must carry the flagged build id and the
+        // true exit code.
+        let loaded = deepmc_obs::ledger::load(&ledger).expect("ledger loads");
+        assert_eq!(loaded.records.len(), 1, "{name}: one run, one record");
+        assert_eq!(loaded.records[0].build_id, "matrix-test");
+        assert_eq!(loaded.records[0].exit_code, i32::from(code as u8));
+        assert_eq!(loaded.rejected, 0);
+        assert!(!loaded.torn);
+    }
+}
+
+/// `--progress` is presentation-only: report bytes on stdout, the
+/// metrics snapshot (timings redacted), and the sweep journal are
+/// byte-identical with and without it, at `--jobs 1` and `--jobs 4`.
+#[test]
+fn progress_flag_never_perturbs_outputs() {
+    let ctx = Ctx::new("progress");
+    let run = |extra: &[&str], tag: &str| -> (Vec<u8>, String, String) {
+        let journal = ctx.dir.join(format!("{tag}.journal"));
+        let metrics = ctx.dir.join(format!("{tag}.metrics.json"));
+        let mut args = vec![
+            "crashsweep".to_string(),
+            "--app".into(),
+            "memcached".into(),
+            "--steps".into(),
+            "3".into(),
+            "--seeds".into(),
+            "1".into(),
+            "--inject-bug".into(),
+            "--journal".into(),
+            journal.to_string_lossy().into_owned(),
+            "--metrics-out".into(),
+            metrics.to_string_lossy().into_owned(),
+        ];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let out = Command::new(BIN).args(&args).output().expect("spawn deepmc");
+        assert_ne!(out.status.code(), Some(2), "usage error in progress leg {tag}");
+        // The journal is a keyed resume log: workers append completed
+        // steps in finish order, so the *line set* is the determinism
+        // contract, not the byte order.
+        let journal_text = std::fs::read_to_string(&journal).expect("journal written");
+        let mut lines: Vec<&str> = journal_text.lines().collect();
+        lines.sort_unstable();
+        let mut snap: deepmc_obs::MetricsSnapshot =
+            serde_json::from_str(&std::fs::read_to_string(&metrics).expect("metrics written"))
+                .expect("metrics parse");
+        snap.redact_timings();
+        (out.stdout, lines.join("\n"), snap.to_json())
+    };
+    let q1 = run(&["--jobs", "1"], "q1");
+    let p1 = run(&["--progress", "--jobs", "1"], "p1");
+    let q4 = run(&["--jobs", "4"], "q4");
+    let p4 = run(&["--progress", "--jobs", "4"], "p4");
+    for (tag, got) in [("p1", &p1), ("q4", &q4), ("p4", &p4)] {
+        assert_eq!(q1.0, got.0, "{tag}: stdout report differs from quiet jobs=1");
+        assert_eq!(q1.1, got.1, "{tag}: sweep journal differs from quiet jobs=1");
+    }
+    // The redacted metrics snapshot records the worker count, so compare
+    // it within each jobs level: --progress must not change it.
+    assert_eq!(q1.2, p1.2, "jobs=1: --progress changed the redacted metrics");
+    assert_eq!(q4.2, p4.2, "jobs=4: --progress changed the redacted metrics");
+}

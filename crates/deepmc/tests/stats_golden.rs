@@ -1,0 +1,257 @@
+//! Golden-file and end-to-end tests for the `deepmc stats` observatory.
+//!
+//! * `stats show` and `stats diff` output is pinned byte-for-byte
+//!   against golden files (regenerate with `UPDATE_OBS_GOLDEN=1 cargo
+//!   test -p deepmc --test stats_golden`).
+//! * The regression gate is exercised through the real pipeline: records
+//!   appended to a ledger file with `deepmc_obs::ledger::append`, then
+//!   judged by the `deepmc stats regress` CLI — a planted 2× slowdown
+//!   must exit nonzero, identical runs must exit zero.
+//! * The gate's verdict is worker-count-independent: the same latency
+//!   stream recorded from 1 and from 4 attached workers merges to
+//!   identical histograms, records, and verdicts.
+//! * A ledger with a torn trailing line (interrupted append) still
+//!   serves `stats show`; an interior tampered record is rejected
+//!   without poisoning its neighbors.
+
+use deepmc::stats;
+use deepmc_obs::ledger::{self, LedgerRecord};
+use deepmc_obs::{CounterMetric, PhaseMetric, Recorder};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_deepmc");
+const SHOW_GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/stats_show.txt");
+const DIFF_GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/stats_diff.txt");
+
+/// Deterministic fixture record — everything the renderers consume,
+/// nothing wall-clock-derived.
+fn record(build: &str, phases: &[(&str, u64, u64, u64, u64)]) -> LedgerRecord {
+    LedgerRecord {
+        schema_version: deepmc_obs::LEDGER_SCHEMA_VERSION,
+        tool: "deepmc check".into(),
+        build_id: build.into(),
+        config_digest: "0123456789abcdef".into(),
+        exit_code: 0,
+        wall_us: phases.iter().map(|p| p.2).sum(),
+        workers: 1,
+        counters: vec![
+            CounterMetric { name: "check.roots".into(), value: 6 },
+            CounterMetric { name: "check.traces".into(), value: 24 },
+        ],
+        phases: phases
+            .iter()
+            .map(|(name, count, total, p50, p99)| PhaseMetric {
+                name: (*name).into(),
+                count: *count,
+                total_us: *total,
+                p50_us: *p50,
+                p90_us: (*p50 + *p99) / 2,
+                p99_us: *p99,
+                max_us: *p99,
+            })
+            .collect(),
+        stacks: vec![
+            deepmc_obs::StackSample { stack: "total".into(), self_us: 120 },
+            deepmc_obs::StackSample { stack: "total;check.root".into(), self_us: 4180 },
+        ],
+    }
+}
+
+fn baseline() -> LedgerRecord {
+    record(
+        "v1",
+        &[
+            ("check.root", 6, 4300, 700, 1400),
+            ("pool.job", 6, 4400, 720, 1500),
+            ("total", 1, 4700, 4700, 4700),
+        ],
+    )
+}
+
+fn slower() -> LedgerRecord {
+    record(
+        "v2",
+        &[
+            ("check.root", 6, 8600, 1400, 2800),
+            ("pool.job", 6, 8800, 1440, 3000),
+            ("total", 1, 9400, 9400, 9400),
+        ],
+    )
+}
+
+fn check_golden(path: &str, got: &str, what: &str) {
+    if std::env::var("UPDATE_OBS_GOLDEN").is_ok() {
+        std::fs::write(path, got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect(
+        "golden file exists — regenerate with UPDATE_OBS_GOLDEN=1 \
+         cargo test -p deepmc --test stats_golden",
+    );
+    assert_eq!(
+        got, want,
+        "{what} output changed; regenerate with UPDATE_OBS_GOLDEN=1 if intentional"
+    );
+}
+
+#[test]
+fn show_output_matches_golden() {
+    check_golden(SHOW_GOLDEN, &stats::render_show(&baseline()), "stats show");
+}
+
+#[test]
+fn diff_output_matches_golden() {
+    check_golden(DIFF_GOLDEN, &stats::render_diff(&baseline(), &slower(), 25.0), "stats diff");
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("deepmc-stats-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn regress_cli(baseline: &Path, current: &Path) -> (i32, String) {
+    let out = Command::new(BIN)
+        .args([
+            "stats",
+            "regress",
+            "--baseline",
+            &baseline.to_string_lossy(),
+            "--ledger",
+            &current.to_string_lossy(),
+        ])
+        .output()
+        .expect("spawn deepmc stats regress");
+    (out.status.code().expect("exit code"), String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+/// The CI gate end to end: appended ledger files in, verdict out.
+#[test]
+fn regress_cli_catches_planted_2x_slowdown() {
+    let dir = TempDir::new("regress");
+    let base_path = dir.path("baseline.jsonl");
+    let cur_path = dir.path("current.jsonl");
+    ledger::append(&base_path, &baseline()).expect("append baseline");
+    ledger::append(&cur_path, &slower()).expect("append slow current");
+
+    let (code, report) = regress_cli(&base_path, &cur_path);
+    assert_eq!(code, 1, "2x slowdown must fail the gate:\n{report}");
+    assert!(report.contains("verdict: REGRESSED"), "{report}");
+    assert!(report.contains("REGRESSION check.root"), "{report}");
+
+    // Identical record appended after the slow one: regress picks the
+    // latest record, so the gate goes green again.
+    ledger::append(&cur_path, &baseline()).expect("append recovered current");
+    let (code, report) = regress_cli(&base_path, &cur_path);
+    assert_eq!(code, 0, "identical runs must pass the gate:\n{report}");
+    assert!(report.contains("verdict: ok"), "{report}");
+}
+
+/// Record one fixed latency stream from `shards` attached worker
+/// threads, fanned out round-robin, and build a ledger record from the
+/// merged data.
+fn record_sharded(shards: usize) -> LedgerRecord {
+    // A fixed, skewed latency population for one phase family.
+    let samples: Vec<u64> = (0..96u64).map(|i| 40 + (i * i * 7) % 3000).collect();
+    let rec = Recorder::new();
+    std::thread::scope(|scope| {
+        for w in 0..shards {
+            let rec = &rec;
+            let samples = &samples;
+            scope.spawn(move || {
+                let _attach = rec.attach(w as u32);
+                for v in samples.iter().skip(w).step_by(shards) {
+                    deepmc_obs::latency("check.root", *v);
+                }
+            });
+        }
+    });
+    let data = rec.finish();
+    LedgerRecord::from_data("deepmc check", "sharded", "cafe", 0, &data)
+}
+
+/// The regress verdict must not depend on how many workers recorded the
+/// latencies: merged histograms — and therefore percentiles, records,
+/// and verdicts — are shard-order-independent.
+#[test]
+fn regress_verdict_is_identical_at_1_and_4_workers() {
+    let r1 = record_sharded(1);
+    let r4 = record_sharded(4);
+    // The records agree on everything except the recorded worker count.
+    let p1 = r1.phase("check.root").expect("phase recorded");
+    let p4 = r4.phase("check.root").expect("phase recorded");
+    assert_eq!(p1, p4, "merged percentiles differ across shard counts");
+    assert_eq!(r1.counters, r4.counters);
+
+    let base = baseline();
+    let v1 = stats::regress(&base, &r1, &stats::RegressPolicy::default());
+    let v4 = stats::regress(&base, &r4, &stats::RegressPolicy::default());
+    assert_eq!(v1.failed, v4.failed, "verdict depends on worker count");
+    assert_eq!(
+        v1.report.replace("sharded", "X"),
+        v4.report.replace("sharded", "X"),
+        "regress report depends on worker count"
+    );
+}
+
+/// Durability: a torn trailing line is tolerated, interior tampering is
+/// rejected without dropping the rest of the ledger.
+#[test]
+fn stats_survives_torn_and_tampered_ledgers() {
+    let dir = TempDir::new("torn");
+    let path = dir.path("ledger.jsonl");
+    ledger::append(&path, &baseline()).expect("append 1");
+    ledger::append(&path, &slower()).expect("append 2");
+
+    // Simulate a crash mid-append: half a record, no trailing newline.
+    let mut bytes = std::fs::read(&path).expect("read ledger");
+    let tail: Vec<u8> = record("v3", &[]).to_line().into_bytes();
+    bytes.extend_from_slice(&tail[..tail.len() / 2]);
+    std::fs::write(&path, &bytes).expect("tear ledger");
+
+    let loaded = ledger::load(&path).expect("torn ledger still loads");
+    assert!(loaded.torn, "torn tail detected");
+    assert_eq!(loaded.records.len(), 2, "intact records survive the torn tail");
+
+    let out = Command::new(BIN)
+        .args(["stats", "show", "--ledger", &path.to_string_lossy()])
+        .output()
+        .expect("spawn deepmc stats show");
+    assert_eq!(out.status.code(), Some(0), "stats show fails on a torn ledger");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("build: v2"), "latest intact record shown:\n{stdout}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("torn"),
+        "torn tail is reported on stderr"
+    );
+
+    // Tamper with the *first* record's payload: its fingerprint no
+    // longer matches, so it is rejected — but the second record and the
+    // (re-appended, terminated) third remain served.
+    let text = std::fs::read_to_string(&path).expect("read ledger");
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    lines.pop(); // drop the torn tail
+    lines[1] = lines[1].replace("\"v1\"", "\"evil\"");
+    std::fs::write(&path, lines.join("\n") + "\n").expect("tamper ledger");
+
+    let loaded = ledger::load(&path).expect("tampered ledger still loads");
+    assert_eq!(loaded.rejected, 1, "tampered record rejected");
+    assert!(!loaded.torn);
+    assert_eq!(loaded.records.len(), 1);
+    assert_eq!(loaded.records[0].build_id, "v2", "neighbor record unharmed");
+}

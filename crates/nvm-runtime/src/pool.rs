@@ -404,6 +404,9 @@ impl PmemPool {
         self.check_range(addr, len);
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
         obs::counter("pmem.flushes", 1);
+        // Latency histogram sample, not a span: flushes are far too
+        // frequent for one event each. Timed only when instrumented.
+        let lat_start = obs::active().then(Instant::now);
         let first = addr.line();
         let last = PAddr(addr.0 + len - 1).line();
         if obs::active() {
@@ -448,12 +451,16 @@ impl PmemPool {
             }
             l = upto + 1;
         }
+        if let Some(t0) = lat_start {
+            obs::latency("pmem.flush", t0.elapsed().as_micros() as u64);
+        }
     }
 
     /// `sfence`: all pending write-backs complete; their lines become
     /// durable. Dirty (unflushed) lines are *not* persisted — that is the
     /// whole point of persistency bugs.
     pub fn fence(&self) {
+        let lat_start = obs::active().then(Instant::now);
         self.stats.fences.fetch_add(1, Ordering::Relaxed);
         let mut written_back = 0u64;
         for shard in &self.shards {
@@ -488,6 +495,9 @@ impl PmemPool {
         }
         if self.fence_cost > Duration::ZERO {
             busy_wait(self.fence_cost);
+        }
+        if let Some(t0) = lat_start {
+            obs::latency("pmem.fence", t0.elapsed().as_micros() as u64);
         }
     }
 

@@ -1,0 +1,149 @@
+//! Fold recorded span nesting into inferno-compatible collapsed stacks.
+//!
+//! Events flush in open order per worker and carry the span depth at
+//! open time, so the parent chain of any span is recoverable by
+//! truncating a running stack to the event's depth — the same
+//! reconstruction the corpus nesting tests use. Each frame contributes
+//! its *self* time (duration minus the summed durations of its direct
+//! children) to the `;`-joined stack it terminates; stacks are summed
+//! across workers and emitted sorted, so the folded output is
+//! structurally deterministic for a deterministic workload.
+
+use crate::ledger::StackSample;
+use crate::{Event, ObsData};
+use std::collections::BTreeMap;
+
+struct Frame {
+    name: &'static str,
+    dur_us: u64,
+    child_us: u64,
+}
+
+fn pop_emit(stack: &mut Vec<Frame>, agg: &mut BTreeMap<String, u64>) {
+    let frame = stack.pop().expect("pop_emit on non-empty stack");
+    let mut path = String::new();
+    for f in stack.iter() {
+        path.push_str(f.name);
+        path.push(';');
+    }
+    path.push_str(frame.name);
+    *agg.entry(path).or_insert(0) += frame.dur_us.saturating_sub(frame.child_us);
+}
+
+/// Fold all completed spans in `data` into collapsed stacks with self
+/// times, sorted by stack string.
+pub fn fold(data: &ObsData) -> Vec<StackSample> {
+    let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+    let mut by_worker: BTreeMap<u32, Vec<&Event>> = BTreeMap::new();
+    for e in &data.events {
+        if e.is_span() {
+            by_worker.entry(e.worker).or_default().push(e);
+        }
+    }
+    for events in by_worker.values() {
+        let mut stack: Vec<Frame> = Vec::new();
+        for e in events {
+            while stack.len() > e.depth as usize {
+                pop_emit(&mut stack, &mut agg);
+            }
+            let dur = e.dur_us.unwrap_or(0);
+            if let Some(parent) = stack.last_mut() {
+                parent.child_us += dur;
+            }
+            stack.push(Frame { name: e.name, dur_us: dur, child_us: 0 });
+        }
+        while !stack.is_empty() {
+            pop_emit(&mut stack, &mut agg);
+        }
+    }
+    agg.into_iter().map(|(stack, self_us)| StackSample { stack, self_us }).collect()
+}
+
+/// Render folded stacks in the collapsed-stack text format inferno and
+/// `flamegraph.pl` consume: one `stack value` line each, trailing
+/// newline.
+pub fn to_folded(stacks: &[StackSample]) -> String {
+    let mut out = String::new();
+    for s in stacks {
+        out.push_str(&s.stack);
+        out.push(' ');
+        out.push_str(&s.self_us.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{span, Recorder};
+
+    #[test]
+    fn nesting_folds_to_stacks_with_self_time() {
+        let rec = Recorder::new();
+        {
+            let _a = rec.attach(0);
+            let _t = span("total");
+            {
+                let _p = span("parse");
+            }
+            {
+                let _r = span("roots");
+                let _j = span("job");
+            }
+        }
+        let data = rec.finish();
+        let stacks = fold(&data);
+        let names: Vec<&str> = stacks.iter().map(|s| s.stack.as_str()).collect();
+        assert_eq!(names, ["total", "total;parse", "total;roots", "total;roots;job"]);
+        // Self times partition each span: total's self + children == dur.
+        let total_dur = data.spans_of("total").next().unwrap().dur_us.unwrap();
+        let folded_sum: u64 = stacks.iter().map(|s| s.self_us).sum();
+        assert!(folded_sum <= total_dur, "self times cannot exceed the root span");
+    }
+
+    #[test]
+    fn sibling_spans_merge_into_one_stack() {
+        let rec = Recorder::new();
+        {
+            let _a = rec.attach(0);
+            let _t = span("total");
+            for _ in 0..3 {
+                let _p = span("step");
+            }
+        }
+        let stacks = fold(&rec.finish());
+        assert!(stacks.iter().any(|s| s.stack == "total;step"), "merged stack present");
+        let step_lines = stacks.iter().filter(|s| s.stack.contains("step")).count();
+        assert_eq!(step_lines, 1, "three sibling spans fold to one line");
+    }
+
+    #[test]
+    fn workers_aggregate_by_stack() {
+        let rec = Recorder::new();
+        let mut handles = Vec::new();
+        for w in 1..=3u32 {
+            let rec = rec.clone();
+            handles.push(std::thread::spawn(move || {
+                let _a = rec.attach(w);
+                let _j = span("pool.job");
+                let _t = span("traces");
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stacks = fold(&rec.finish());
+        let names: Vec<&str> = stacks.iter().map(|s| s.stack.as_str()).collect();
+        assert_eq!(names, ["pool.job", "pool.job;traces"], "three workers, two stacks");
+    }
+
+    #[test]
+    fn folded_format_is_one_line_per_stack() {
+        let stacks = vec![
+            StackSample { stack: "a".into(), self_us: 10 },
+            StackSample { stack: "a;b".into(), self_us: 2 },
+        ];
+        assert_eq!(to_folded(&stacks), "a 10\na;b 2\n");
+    }
+}

@@ -39,14 +39,20 @@
 //! worker id — see `deepmc_analysis::pool::run_indexed`.
 
 pub mod chrome;
+pub mod flame;
+pub mod hist;
+pub mod ledger;
 pub mod metrics;
+pub mod progress;
 
 use parking_lot::Mutex;
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
+pub use hist::Histogram;
+pub use ledger::{LedgerRecord, StackSample, LEDGER_SCHEMA_VERSION};
 pub use metrics::{CounterMetric, MetricsSnapshot, PhaseMetric, METRICS_SCHEMA_VERSION};
 
 /// One recorded event: a completed span (`dur_us` is `Some`) or an
@@ -84,6 +90,7 @@ struct Flushed {
     worker: u32,
     events: Vec<Event>,
     counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Histogram>,
 }
 
 struct Inner {
@@ -109,6 +116,9 @@ struct ThreadCtx {
     depth: u32,
     events: Vec<Event>,
     counters: BTreeMap<&'static str, u64>,
+    /// Direct latency samples ([`latency`]) for hot sites that are too
+    /// frequent to record as events (pmem flush/fence).
+    hists: BTreeMap<&'static str, Histogram>,
 }
 
 thread_local! {
@@ -144,6 +154,7 @@ impl Recorder {
                 depth: 0,
                 events: Vec::new(),
                 counters: BTreeMap::new(),
+                hists: BTreeMap::new(),
             });
             AttachGuard { attached: true }
         })
@@ -165,13 +176,17 @@ impl Recorder {
         buffers.sort_by_key(|b| b.worker);
         let mut events = Vec::new();
         let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut hists: BTreeMap<&'static str, Histogram> = BTreeMap::new();
         for b in buffers {
             events.extend(b.events);
             for (k, v) in b.counters {
                 *counters.entry(k).or_insert(0) += v;
             }
+            for (k, h) in b.hists {
+                hists.entry(k).or_default().merge(&h);
+            }
         }
-        ObsData { events, counters }
+        ObsData { events, counters, hists }
     }
 }
 
@@ -192,6 +207,7 @@ impl Drop for AttachGuard {
                 worker: ctx.worker,
                 events: ctx.events,
                 counters: ctx.counters,
+                hists: ctx.hists,
             });
         }
     }
@@ -297,6 +313,18 @@ fn mark(name: &'static str, cat: &'static str, args: Vec<(&'static str, String)>
     });
 }
 
+/// Record a latency sample (microseconds) into the named histogram on
+/// the current thread's buffer, without creating an event. Use for hot
+/// sites (pmem flush/fence) where one event per sample would swamp the
+/// buffer; span durations are histogrammed automatically at merge time.
+pub fn latency(name: &'static str, dur_us: u64) {
+    CTX.with(|c| {
+        let mut slot = c.borrow_mut();
+        let Some(ctx) = slot.as_mut() else { return };
+        ctx.hists.entry(name).or_default().record(dur_us);
+    });
+}
+
 /// Add `delta` to the named counter on the current thread's buffer.
 pub fn counter(name: &'static str, delta: u64) {
     if delta == 0 {
@@ -309,12 +337,62 @@ pub fn counter(name: &'static str, delta: u64) {
     });
 }
 
-/// Surface a warning: always printed to stderr (warnings must reach the
-/// user even with no recorder attached), and recorded as a `"warn"`
-/// event when one is.
+/// Warnings/notes already printed this process, keyed by FNV-1a of
+/// `name \0 message`. Diagnostics that fire per work item (the
+/// unparsable `DEEPMC_JOBS` warning fires once per jobs resolution,
+/// i.e. potentially once per sweep step) reach stderr exactly once;
+/// the obs event stream still records every occurrence.
+static EMITTED: Mutex<Option<HashSet<u64>>> = Mutex::new(None);
+
+fn first_emission(name: &str, message: &str) -> bool {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes().iter().chain([0u8].iter()).chain(message.as_bytes()) {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    EMITTED.lock().get_or_insert_with(HashSet::new).insert(h)
+}
+
+/// Reset the printed-diagnostic dedup set (test hook: lets a test assert
+/// a warning prints without interference from earlier tests in the same
+/// process).
+pub fn reset_emitted_diagnostics() {
+    *EMITTED.lock() = None;
+}
+
+/// Surface a warning: printed to stderr (warnings must reach the user
+/// even with no recorder attached) the *first* time a given
+/// name/message pair occurs in this process, and recorded as a `"warn"`
+/// event on every occurrence when a recorder is attached.
 pub fn warning(name: &'static str, message: &str) {
-    eprintln!("deepmc: warning: {message}");
+    if first_emission(name, message) {
+        eprintln!("deepmc: warning: {message}");
+    }
     mark_owned_warn(name, message.to_string());
+}
+
+/// Surface an informational diagnostic (cache stats, resume notices):
+/// printed to stderr once per unique name/message pair, recorded as a
+/// `"mark"` event on every occurrence. Callers keep their own gating
+/// (`--verbose`/`--profile`) — this only dedups the stderr side.
+pub fn note(name: &'static str, message: &str) {
+    if first_emission(name, message) {
+        eprintln!("deepmc: {message}");
+    }
+    CTX.with(|c| {
+        let mut slot = c.borrow_mut();
+        let Some(ctx) = slot.as_mut() else { return };
+        let start_us = us_since(ctx.inner.epoch);
+        ctx.events.push(Event {
+            name,
+            cat: "mark",
+            worker: ctx.worker,
+            depth: ctx.depth,
+            start_us,
+            dur_us: None,
+            args: vec![("message", message.to_string())],
+        });
+    });
 }
 
 fn mark_owned_warn(name: &'static str, message: String) {
@@ -350,6 +428,9 @@ pub struct ObsData {
     pub events: Vec<Event>,
     /// Summed counters, sorted by name.
     pub counters: BTreeMap<&'static str, u64>,
+    /// Direct latency histograms ([`latency`] sites), merged across
+    /// workers, sorted by name.
+    pub hists: BTreeMap<&'static str, Histogram>,
 }
 
 impl ObsData {
@@ -376,6 +457,26 @@ impl ObsData {
         map.into_iter()
             .map(|(name, (count, total_us))| PhaseTotal { name, count, total_us })
             .collect()
+    }
+
+    /// Latency histograms for every span family and direct-latency
+    /// site, merged deterministically: span durations are folded into
+    /// the histogram of their name (shard order does not matter — see
+    /// the merge-law proptest), then [`latency`]-recorded histograms
+    /// are merged in. A name appears through exactly one of the two
+    /// paths (spans record events, `latency` records samples), so
+    /// nothing is double-counted.
+    pub fn histograms(&self) -> BTreeMap<&'static str, Histogram> {
+        let mut out: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+        for e in &self.events {
+            if let Some(dur) = e.dur_us {
+                out.entry(e.name).or_default().record(dur);
+            }
+        }
+        for (name, h) in &self.hists {
+            out.entry(name).or_default().merge(h);
+        }
+        out
     }
 
     /// Number of distinct workers that recorded at least one event.

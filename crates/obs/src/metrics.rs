@@ -17,7 +17,13 @@ use serde::{Deserialize, Serialize};
 
 /// Bump on ANY change to the shape of [`MetricsSnapshot`] or its
 /// children.
-pub const METRICS_SCHEMA_VERSION: u32 = 1;
+///
+/// v1 → v2: [`PhaseMetric`] gained latency-histogram percentiles
+/// (`p50_us`/`p90_us`/`p99_us`/`max_us`), and phases now include
+/// direct-latency families (`pmem.flush`/`pmem.fence`) that have no
+/// span events. v1 consumers keying on `{name, count, total_us}` read
+/// v2 unchanged apart from the version bump.
+pub const METRICS_SCHEMA_VERSION: u32 = 2;
 
 /// One named monotonic counter.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -26,16 +32,25 @@ pub struct CounterMetric {
     pub value: u64,
 }
 
-/// Aggregate timing for one span name (a pipeline phase).
+/// Aggregate timing for one span name (a pipeline phase) or
+/// direct-latency family.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PhaseMetric {
     pub name: String,
-    /// Number of spans with this name.
+    /// Number of samples (spans, or `latency()` records) with this name.
     pub count: u64,
-    /// Summed duration across those spans, microseconds. Note this is
+    /// Summed duration across those samples, microseconds. Note this is
     /// aggregate CPU-side time: with multiple workers the per-root
     /// phases sum to more than the wall clock.
     pub total_us: u64,
+    /// Latency percentiles from the per-phase log-bucketed histogram
+    /// (bucket upper bounds, ≤6.25% relative error, clamped to the
+    /// exact max).
+    pub p50_us: u64,
+    pub p90_us: u64,
+    pub p99_us: u64,
+    /// Exact maximum sample, microseconds.
+    pub max_us: u64,
 }
 
 /// The versioned snapshot written by `--metrics-out`.
@@ -70,13 +85,22 @@ impl MetricsSnapshot {
                 .iter()
                 .map(|(name, value)| CounterMetric { name: name.to_string(), value: *value })
                 .collect(),
+            // Per-phase histograms cover both span families and
+            // direct-latency families (pmem.flush/fence), so they are
+            // the source of truth for phase rows; counts and totals come
+            // from the same histogram, keeping the v1 fields consistent
+            // with the new percentiles.
             phases: data
-                .phase_totals()
+                .histograms()
                 .into_iter()
-                .map(|p| PhaseMetric {
-                    name: p.name.to_string(),
-                    count: p.count,
-                    total_us: p.total_us,
+                .map(|(name, h)| PhaseMetric {
+                    name: name.to_string(),
+                    count: h.count(),
+                    total_us: h.sum(),
+                    p50_us: h.p50(),
+                    p90_us: h.p90(),
+                    p99_us: h.p99(),
+                    max_us: h.max(),
                 })
                 .collect(),
         }
@@ -97,6 +121,10 @@ impl MetricsSnapshot {
         self.wall_us = 0;
         for p in &mut self.phases {
             p.total_us = 0;
+            p.p50_us = 0;
+            p.p90_us = 0;
+            p.p99_us = 0;
+            p.max_us = 0;
         }
     }
 
@@ -146,6 +174,25 @@ mod tests {
         assert!(json.ends_with('\n'));
         let back: MetricsSnapshot = serde_json::from_str(json.trim_end()).expect("parses back");
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn latency_families_appear_as_phases_with_percentiles() {
+        let rec = Recorder::new();
+        {
+            let _a = rec.attach(0);
+            let _t = span("total");
+            for v in [5u64, 10, 200] {
+                crate::latency("pmem.flush", v);
+            }
+        }
+        let m = rec.finish().metrics_snapshot("deepmc check");
+        let p = m.phases.iter().find(|p| p.name == "pmem.flush").expect("flush phase");
+        assert_eq!(p.count, 3);
+        assert_eq!(p.total_us, 215);
+        assert_eq!(p.max_us, 200);
+        assert!((5..=10).contains(&p.p50_us), "p50 {}", p.p50_us);
+        assert_eq!(p.p99_us, 200, "p99 clamps to exact max");
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Live progress heartbeat for long runs (`--progress`).
+//!
+//! Strictly presentation-only: the sink writes throttled status lines to
+//! stderr and touches nothing else — reports, journals, cache
+//! directories, and obs data are byte-identical with it on or off
+//! (enforced by corpus tests and CI). The counters are process-global
+//! atomics so pool workers can tick without threading a handle through
+//! every call site; when no sink is installed every call is a cheap
+//! read-lock + `None` check.
+//!
+//! Work producers declare totals ([`add_total`]) as batches are
+//! dispatched, completions [`tick`] as they land, and the explorer
+//! reports collapsed crash states via [`add_pruned`]; the render path
+//! derives an ETA from the observed completion rate.
+
+use parking_lot::RwLock;
+use std::io::{IsTerminal as _, Write as _};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Minimum milliseconds between heartbeat renders.
+const THROTTLE_MS: u64 = 200;
+
+struct ProgressState {
+    label: &'static str,
+    started: Instant,
+    total: AtomicU64,
+    done: AtomicU64,
+    pruned: AtomicU64,
+    /// Milliseconds since `started` of the last render (u64::MAX before
+    /// the first), used for throttling.
+    last_render_ms: AtomicU64,
+    /// Whether stderr is a terminal: terminals get `\r`-overwritten
+    /// lines, pipes get plain throttled lines.
+    tty: bool,
+}
+
+static SINK: RwLock<Option<Arc<ProgressState>>> = RwLock::new(None);
+
+/// Install a progress sink for the duration of the returned guard. If a
+/// sink is already installed (nested long-running phases), returns a
+/// no-op guard and leaves the outer sink in place.
+pub fn install(label: &'static str) -> ProgressGuard {
+    let mut slot = SINK.write();
+    if slot.is_some() {
+        return ProgressGuard { installed: false };
+    }
+    *slot = Some(Arc::new(ProgressState {
+        label,
+        started: Instant::now(),
+        total: AtomicU64::new(0),
+        done: AtomicU64::new(0),
+        pruned: AtomicU64::new(0),
+        last_render_ms: AtomicU64::new(u64::MAX),
+        tty: std::io::stderr().is_terminal(),
+    }));
+    ProgressGuard { installed: true }
+}
+
+/// Uninstalls the sink and emits a final render on drop.
+pub struct ProgressGuard {
+    installed: bool,
+}
+
+impl Drop for ProgressGuard {
+    fn drop(&mut self) {
+        if !self.installed {
+            return;
+        }
+        if let Some(state) = SINK.write().take() {
+            if state.done.load(Ordering::Relaxed) > 0 {
+                render(&state, true);
+            }
+        }
+    }
+}
+
+fn current() -> Option<Arc<ProgressState>> {
+    SINK.read().clone()
+}
+
+/// Declare `n` more work items (called as batches are dispatched).
+pub fn add_total(n: u64) {
+    if let Some(s) = current() {
+        s.total.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Report `n` completed work items; may trigger a throttled render.
+pub fn tick(n: u64) {
+    if let Some(s) = current() {
+        s.done.fetch_add(n, Ordering::Relaxed);
+        maybe_render(&s);
+    }
+}
+
+/// Report `n` crash states collapsed away by pruning.
+pub fn add_pruned(n: u64) {
+    if let Some(s) = current() {
+        s.pruned.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+fn maybe_render(s: &ProgressState) {
+    let now_ms = s.started.elapsed().as_millis() as u64;
+    let last = s.last_render_ms.load(Ordering::Relaxed);
+    if last != u64::MAX && now_ms.saturating_sub(last) < THROTTLE_MS {
+        return;
+    }
+    // One renderer at a time: whoever wins the CAS prints.
+    if s.last_render_ms.compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed).is_ok()
+    {
+        render(s, false);
+    }
+}
+
+fn render(s: &ProgressState, fin: bool) {
+    let done = s.done.load(Ordering::Relaxed);
+    let total = s.total.load(Ordering::Relaxed).max(done);
+    let pruned = s.pruned.load(Ordering::Relaxed);
+    let elapsed = s.started.elapsed().as_secs_f64();
+    let mut line = format!("deepmc: {} {done}/{total}", s.label);
+    if pruned > 0 {
+        line.push_str(&format!(", {pruned} pruned"));
+    }
+    if fin {
+        line.push_str(&format!(", done in {elapsed:.1}s"));
+    } else if done > 0 && total > done {
+        let eta = elapsed * (total - done) as f64 / done as f64;
+        line.push_str(&format!(", eta {eta:.1}s"));
+    }
+    let mut err = std::io::stderr().lock();
+    if s.tty {
+        // Overwrite in place; pad to clear a longer previous line.
+        let _ = write!(err, "\r{line:<60}");
+        if fin {
+            let _ = writeln!(err);
+        }
+    } else {
+        let _ = writeln!(err, "{line}");
+    }
+    let _ = err.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Progress state is process-global, so exercise the whole lifecycle
+    // in one test to avoid cross-test interference under the parallel
+    // test runner.
+    #[test]
+    fn lifecycle_nested_install_and_detached_ticks() {
+        // Detached: every call is a no-op.
+        tick(5);
+        add_total(5);
+        add_pruned(5);
+        assert!(current().is_none());
+
+        let g = install("sweep");
+        add_total(10);
+        tick(3);
+        add_pruned(2);
+        {
+            let s = current().expect("installed");
+            assert_eq!(s.done.load(Ordering::Relaxed), 3);
+            assert_eq!(s.total.load(Ordering::Relaxed), 10);
+            assert_eq!(s.pruned.load(Ordering::Relaxed), 2);
+        }
+
+        // Nested install is a no-op guard; dropping it must NOT tear
+        // down the outer sink.
+        {
+            let inner = install("inner");
+            drop(inner);
+        }
+        assert!(current().is_some(), "outer sink survives nested guard");
+        tick(7);
+        assert_eq!(current().unwrap().done.load(Ordering::Relaxed), 10);
+
+        drop(g);
+        assert!(current().is_none(), "guard uninstalls the sink");
+    }
+}
