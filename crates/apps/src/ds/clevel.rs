@@ -1,0 +1,280 @@
+//! Clevel-style two-level persistent hash set.
+//!
+//! Two bucket arrays (a small level-0 and a larger level-1, standing in
+//! for Clevel's resize levels), four 16-byte slots `{key, val}` per
+//! bucket, key 0 meaning empty. An insert CAS-claims an empty slot's key
+//! word (the detectable CAS), writes the value, flushes the slot, and
+//! fences via the checkpoint. Seeded bugs:
+//!
+//! * [`DsBug::UnflushedLink`] — the claimed slot is never flushed, so the
+//!   checkpoint fence has nothing to retire and the acked key rolls back
+//!   on crash.
+//! * [`DsBug::DoubleApplyRecovery`] — recovery replays the last
+//!   checkpointed insert without a presence check, leaving a duplicate
+//!   key that no set state can linearize to.
+
+use super::{Annot, CheckpointArea, CheckpointRec, DsBug, Shared, CK_ADD, CK_NOOP, CK_REMOVE};
+use crate::tracker::{NoopTracker, Tracker};
+use nvm_runtime::{PAddr, PmemHeap, PmemPool, StrandId};
+
+const MAGIC: u64 = 0xC1E7_E157_AC00_0005;
+
+const OFF_MAGIC: u64 = 0;
+const OFF_L0: u64 = 8;
+const OFF_L1: u64 = 16;
+
+const SLOTS_PER_BUCKET: u64 = 4;
+const SLOT_BYTES: u64 = 16;
+const L0_BUCKETS: u64 = 32;
+const L1_BUCKETS: u64 = 64;
+/// Buckets examined past the home bucket before giving up.
+const PROBE: u64 = 4;
+
+pub struct ClevelHash<'p> {
+    heap: &'p PmemHeap<'p>,
+    levels: [(PAddr, u64); 2],
+    bug: Option<DsBug>,
+    shared: Shared,
+    ck: CheckpointArea,
+}
+
+impl<'p> ClevelHash<'p> {
+    pub fn create(heap: &'p PmemHeap<'p>, bug: Option<DsBug>) -> ClevelHash<'p> {
+        let pool = heap.pool();
+        let meta = heap.alloc_zeroed(64 + CheckpointArea::BYTES);
+        let l0 = heap.alloc_zeroed(L0_BUCKETS * SLOTS_PER_BUCKET * SLOT_BYTES);
+        let l1 = heap.alloc_zeroed(L1_BUCKETS * SLOTS_PER_BUCKET * SLOT_BYTES);
+        pool.write_u64(meta.offset(OFF_L0), l0.0);
+        pool.write_u64(meta.offset(OFF_L1), l1.0);
+        pool.write_u64(meta.offset(OFF_MAGIC), MAGIC);
+        pool.persist(meta, 64 + CheckpointArea::BYTES);
+        heap.set_root(meta);
+        ClevelHash {
+            heap,
+            levels: [(l1, L1_BUCKETS), (l0, L0_BUCKETS)],
+            bug,
+            shared: Shared::new(),
+            ck: CheckpointArea::at(meta.offset(64)),
+        }
+    }
+
+    pub fn recover(heap: &'p PmemHeap<'p>, bug: Option<DsBug>) -> ClevelHash<'p> {
+        let pool = heap.pool();
+        let meta = heap.root();
+        assert_eq!(pool.read_u64(meta.offset(OFF_MAGIC)), MAGIC, "clevel root magic");
+        let l0 = PAddr(pool.read_u64(meta.offset(OFF_L0)));
+        let l1 = PAddr(pool.read_u64(meta.offset(OFF_L1)));
+        let h = ClevelHash {
+            heap,
+            levels: [(l1, L1_BUCKETS), (l0, L0_BUCKETS)],
+            bug,
+            shared: Shared::new(),
+            ck: CheckpointArea::at(meta.offset(64)),
+        };
+        h.recover_inner();
+        h
+    }
+
+    fn recover_inner(&self) {
+        if self.bug != Some(DsBug::DoubleApplyRecovery) {
+            // Clean protocol: the checkpoint fence made every acked insert
+            // durable, so there is nothing to replay.
+            return;
+        }
+        let pool = self.pool();
+        if let Some(CheckpointRec { kind: CK_ADD, arg: key, .. }) = self.ck.latest(pool) {
+            // BUG: replay without a presence check — the insert already
+            // took effect, so this plants a duplicate key.
+            let t = NoopTracker;
+            let a = Annot::new(&t, None, self.bug);
+            if let Some(slot) = self.claim_empty_slot(&a, key) {
+                pool.write_u64(slot.offset(8), key ^ MAGIC);
+                pool.persist(slot, SLOT_BYTES);
+            }
+        }
+    }
+
+    fn pool(&self) -> &'p PmemPool {
+        self.heap.pool()
+    }
+
+    fn bucket(&self, level: usize, key: u64) -> u64 {
+        let (_, nbuckets) = self.levels[level];
+        crate::recovery::checksum(0xC1E7 ^ level as u64, &[key]) % nbuckets
+    }
+
+    fn slot_addr(&self, level: usize, bucket: u64, slot: u64) -> PAddr {
+        let (base, nbuckets) = self.levels[level];
+        base.offset(((bucket % nbuckets) * SLOTS_PER_BUCKET + slot) * SLOT_BYTES)
+    }
+
+    /// Probe sequence for `key`: level 1 first, then level 0, each the
+    /// home bucket plus [`PROBE`] linear-probe successors.
+    fn probe_slots(&self, key: u64) -> Vec<(usize, PAddr)> {
+        let mut out = Vec::with_capacity(((PROBE + 1) * SLOTS_PER_BUCKET * 2) as usize);
+        for level in 0..2 {
+            let home = self.bucket(level, key);
+            for b in 0..=PROBE {
+                for s in 0..SLOTS_PER_BUCKET {
+                    out.push((level, self.slot_addr(level, home + b, s)));
+                }
+            }
+        }
+        out
+    }
+
+    fn find_key(&self, a: &Annot<'_>, key: u64) -> Option<PAddr> {
+        let pool = self.pool();
+        self.probe_slots(key)
+            .into_iter()
+            .map(|(_, s)| s)
+            .find(|&s| self.shared.read(pool, a, s) == key)
+    }
+
+    /// CAS-claim the first empty slot in `key`'s probe sequence.
+    fn claim_empty_slot(&self, a: &Annot<'_>, key: u64) -> Option<PAddr> {
+        let pool = self.pool();
+        self.probe_slots(key)
+            .into_iter()
+            .map(|(_, s)| s)
+            .find(|&s| self.shared.cas(pool, a, s, 0, key).is_ok())
+    }
+
+    /// Insert `key` (set semantics); returns true if newly inserted.
+    pub fn insert(
+        &self,
+        key: u64,
+        t: &dyn Tracker,
+        strand: Option<StrandId>,
+        client: u64,
+        seq: u64,
+    ) -> bool {
+        assert!(key >= 1, "key 0 marks an empty slot");
+        let pool = self.pool();
+        let a = Annot::new(t, strand, self.bug);
+        if self.find_key(&a, key).is_some() {
+            self.ck.record(pool, &a, client, seq, CK_NOOP, key, 0, true);
+            return false;
+        }
+        let slot = self.claim_empty_slot(&a, key).expect("clevel probe window full");
+        // Synchronized store: across slot-reuse cycles, different
+        // claimants write this value word, and only a shared lock window
+        // gives those writes a happens-before edge.
+        self.shared.write(pool, &a, slot.offset(8), key ^ MAGIC);
+        if self.bug != Some(DsBug::UnflushedLink) {
+            pool.flush(slot, SLOT_BYTES);
+        }
+        self.ck.record(pool, &a, client, seq, CK_ADD, key, slot.0, true);
+        true
+    }
+
+    /// Remove `key`; returns true if it was present.
+    pub fn remove(
+        &self,
+        key: u64,
+        t: &dyn Tracker,
+        strand: Option<StrandId>,
+        client: u64,
+        seq: u64,
+    ) -> bool {
+        let pool = self.pool();
+        let a = Annot::new(t, strand, self.bug);
+        loop {
+            let Some(slot) = self.find_key(&a, key) else {
+                self.ck.record(pool, &a, client, seq, CK_NOOP, key, 0, true);
+                return false;
+            };
+            if self.shared.cas(pool, &a, slot, key, 0).is_ok() {
+                pool.flush(slot, SLOT_BYTES);
+                self.ck.record(pool, &a, client, seq, CK_REMOVE, key, slot.0, true);
+                return true;
+            }
+        }
+    }
+
+    /// Every non-empty key across both levels, sorted. Duplicates are
+    /// reported as-is so recovery bugs that plant a second copy of a key
+    /// are visible to the oracle.
+    pub fn contents(&self) -> Vec<u64> {
+        let pool = self.pool();
+        let mut out = Vec::new();
+        for &(base, nbuckets) in &self.levels {
+            for i in 0..nbuckets * SLOTS_PER_BUCKET {
+                let k = pool.read_u64(base.offset(i * SLOT_BYTES));
+                if k != 0 {
+                    out.push(k);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_runtime::{CrashPolicy, PmemPool, PoolConfig};
+
+    fn pool() -> PmemPool {
+        PmemPool::new(PoolConfig { size: 1 << 20, shards: 8, ..Default::default() })
+    }
+
+    #[test]
+    fn set_semantics() {
+        let p = pool();
+        let h = PmemHeap::open(&p);
+        let m = ClevelHash::create(&h, None);
+        let t = NoopTracker;
+        assert!(m.insert(4, &t, None, 0, 1));
+        assert!(m.insert(6, &t, None, 0, 2));
+        assert!(!m.insert(4, &t, None, 0, 3), "duplicate insert is a no-op");
+        assert_eq!(m.contents(), vec![4, 6]);
+        assert!(m.remove(4, &t, None, 0, 4));
+        assert!(!m.remove(4, &t, None, 0, 5));
+        assert_eq!(m.contents(), vec![6]);
+    }
+
+    #[test]
+    fn unflushed_slot_loses_acked_insert() {
+        let p = pool();
+        let h = PmemHeap::open(&p);
+        let m = ClevelHash::create(&h, Some(DsBug::UnflushedLink));
+        let t = NoopTracker;
+        m.insert(4, &t, None, 0, 1);
+        let img = CrashPolicy::Pessimistic.apply(&p);
+        let p2 = img.reboot(8);
+        let h2 = PmemHeap::open(&p2);
+        let m2 = ClevelHash::recover(&h2, Some(DsBug::UnflushedLink));
+        assert_eq!(m2.contents(), Vec::<u64>::new(), "claimed slot rolled back past the ack");
+    }
+
+    #[test]
+    fn double_apply_recovery_plants_duplicate_key() {
+        let p = pool();
+        let h = PmemHeap::open(&p);
+        let m = ClevelHash::create(&h, Some(DsBug::DoubleApplyRecovery));
+        let t = NoopTracker;
+        m.insert(4, &t, None, 0, 1);
+        let img = CrashPolicy::Pessimistic.apply(&p);
+        let p2 = img.reboot(8);
+        let h2 = PmemHeap::open(&p2);
+        let m2 = ClevelHash::recover(&h2, Some(DsBug::DoubleApplyRecovery));
+        assert_eq!(m2.contents(), vec![4, 4], "replayed insert duplicated the key");
+    }
+
+    #[test]
+    fn clean_insert_survives_pessimistic_crash() {
+        let p = pool();
+        let h = PmemHeap::open(&p);
+        let m = ClevelHash::create(&h, None);
+        let t = NoopTracker;
+        m.insert(4, &t, None, 0, 1);
+        m.insert(6, &t, None, 0, 2);
+        let img = CrashPolicy::Pessimistic.apply(&p);
+        let p2 = img.reboot(8);
+        let h2 = PmemHeap::open(&p2);
+        let m2 = ClevelHash::recover(&h2, None);
+        assert_eq!(m2.contents(), vec![4, 6]);
+    }
+}

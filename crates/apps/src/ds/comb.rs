@@ -1,0 +1,253 @@
+//! Flat-combining persistent queue (PBComb-style).
+//!
+//! Operations buffer in DRAM under a real combiner lock; every
+//! [`CombQueue::combine`] call (the batch close, driven by
+//! `DsInstance::batch_end` every [`DsKind::batch`] operations) applies the
+//! buffered batch to the persistent ring with one flush + fence +
+//! checkpoint. Durability is therefore acknowledged **per batch**, not per
+//! operation — the crash oracle accounts for that with a batch-floor
+//! linearization window.
+//!
+//! The combiner lock is always real (the DRAM mirror needs it for Rust
+//! soundness); the [`DsBug::StrandRace`] variant only stops *annotating*
+//! it, so the detector sees the strands' persist accesses as unordered.
+//! [`DsBug::SkipCheckpointFence`] flushes the batch but never fences, so
+//! the whole acknowledged batch can roll back on crash.
+
+use super::{Annot, CheckpointArea, DsBug, CK_ADD};
+use crate::tracker::Tracker;
+use nvm_runtime::{PAddr, PmemHeap, PmemPool, StrandId};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+const MAGIC: u64 = 0xC03B_1257_AC00_0004;
+
+const OFF_MAGIC: u64 = 0;
+const OFF_HEAD: u64 = 8;
+const OFF_TAIL: u64 = 16;
+const OFF_RING: u64 = 24;
+
+/// Ring capacity in u64 slots. Slots are reused modulo-capacity; drivers
+/// stay far below this, and `combine` asserts the live window fits.
+const CAP: u64 = 1 << 12;
+
+struct CombState {
+    /// Total dequeues (including not-yet-persisted ones).
+    vhead: u64,
+    /// Total enqueues (including not-yet-persisted ones).
+    vtail: u64,
+    /// DRAM mirror of the live queue window, front→back.
+    mirror: VecDeque<u64>,
+    /// Enqueued `(ring index, value)` pairs awaiting the next combine.
+    staged: Vec<(u64, u64)>,
+}
+
+pub struct CombQueue<'p> {
+    heap: &'p PmemHeap<'p>,
+    meta: PAddr,
+    ring: PAddr,
+    bug: Option<DsBug>,
+    mu: Mutex<CombState>,
+    ck: CheckpointArea,
+}
+
+impl<'p> CombQueue<'p> {
+    pub fn create(heap: &'p PmemHeap<'p>, bug: Option<DsBug>) -> CombQueue<'p> {
+        let pool = heap.pool();
+        let meta = heap.alloc_zeroed(64 + CheckpointArea::BYTES);
+        let ring = heap.alloc_zeroed(CAP * 8);
+        pool.write_u64(meta.offset(OFF_HEAD), 0);
+        pool.write_u64(meta.offset(OFF_TAIL), 0);
+        pool.write_u64(meta.offset(OFF_RING), ring.0);
+        pool.write_u64(meta.offset(OFF_MAGIC), MAGIC);
+        pool.persist(meta, 64 + CheckpointArea::BYTES);
+        heap.set_root(meta);
+        CombQueue {
+            heap,
+            meta,
+            ring,
+            bug,
+            mu: Mutex::new(CombState {
+                vhead: 0,
+                vtail: 0,
+                mirror: VecDeque::new(),
+                staged: Vec::new(),
+            }),
+            ck: CheckpointArea::at(meta.offset(64)),
+        }
+    }
+
+    pub fn recover(heap: &'p PmemHeap<'p>, bug: Option<DsBug>) -> CombQueue<'p> {
+        let pool = heap.pool();
+        let meta = heap.root();
+        assert_eq!(pool.read_u64(meta.offset(OFF_MAGIC)), MAGIC, "comb root magic");
+        let ring = PAddr(pool.read_u64(meta.offset(OFF_RING)));
+        let head = pool.read_u64(meta.offset(OFF_HEAD));
+        let tail = pool.read_u64(meta.offset(OFF_TAIL));
+        let mut mirror = VecDeque::new();
+        let mut i = head;
+        while i < tail && i - head < CAP {
+            mirror.push_back(pool.read_u64(ring.offset((i % CAP) * 8)));
+            i += 1;
+        }
+        CombQueue {
+            heap,
+            meta,
+            ring,
+            bug,
+            mu: Mutex::new(CombState { vhead: head, vtail: tail, mirror, staged: Vec::new() }),
+            ck: CheckpointArea::at(meta.offset(64)),
+        }
+    }
+
+    fn pool(&self) -> &'p PmemPool {
+        self.heap.pool()
+    }
+
+    pub fn enqueue(
+        &self,
+        v: u64,
+        t: &dyn Tracker,
+        strand: Option<StrandId>,
+        _client: u64,
+        _seq: u64,
+    ) {
+        let a = Annot::new(t, strand, self.bug);
+        let mut st = self.mu.lock();
+        if a.sync {
+            a.t.lock_acquire(a.strand, self.meta.0);
+        }
+        let idx = st.vtail;
+        st.vtail += 1;
+        st.mirror.push_back(v);
+        st.staged.push((idx, v));
+        if a.sync {
+            a.t.lock_release(a.strand, self.meta.0);
+        }
+    }
+
+    pub fn dequeue(
+        &self,
+        t: &dyn Tracker,
+        strand: Option<StrandId>,
+        _client: u64,
+        _seq: u64,
+    ) -> Option<u64> {
+        let a = Annot::new(t, strand, self.bug);
+        let mut st = self.mu.lock();
+        if a.sync {
+            a.t.lock_acquire(a.strand, self.meta.0);
+        }
+        let out = st.mirror.pop_front();
+        if out.is_some() {
+            st.vhead += 1;
+        }
+        if a.sync {
+            a.t.lock_release(a.strand, self.meta.0);
+        }
+        out
+    }
+
+    /// Apply the buffered batch to persistent memory: write the staged
+    /// slots and the head/tail indices, flush them, fence (unless the
+    /// seeded variant skips it), and checkpoint. This is the batch's
+    /// durability acknowledgement.
+    pub fn combine(&self, t: &dyn Tracker, strand: Option<StrandId>, client: u64, seq: u64) {
+        let pool = self.pool();
+        let a = Annot::new(t, strand, self.bug);
+        let mut st = self.mu.lock();
+        if a.sync {
+            a.t.lock_acquire(a.strand, self.meta.0);
+        }
+        assert!(st.vtail - st.vhead <= CAP, "comb ring overflow");
+        for &(idx, v) in &st.staged {
+            let slot = self.ring.offset((idx % CAP) * 8);
+            pool.write_u64(slot, v);
+            a.access(slot, 8, true);
+            pool.flush(slot, 8);
+        }
+        pool.write_u64(self.meta.offset(OFF_HEAD), st.vhead);
+        pool.write_u64(self.meta.offset(OFF_TAIL), st.vtail);
+        a.access(self.meta.offset(OFF_HEAD), 16, true);
+        pool.flush(self.meta.offset(OFF_HEAD), 16);
+        st.staged.clear();
+        let fence = self.bug != Some(DsBug::SkipCheckpointFence);
+        self.ck.record(pool, &a, client, seq, CK_ADD, st.vtail, st.vhead, fence);
+        if a.sync {
+            a.t.lock_release(a.strand, self.meta.0);
+        }
+    }
+
+    /// Front→back contents of the durable ring window. Un-combined
+    /// operations are volatile by design and do not appear.
+    pub fn contents(&self) -> Vec<u64> {
+        let pool = self.pool();
+        let head = pool.read_u64(self.meta.offset(OFF_HEAD));
+        let tail = pool.read_u64(self.meta.offset(OFF_TAIL));
+        let mut out = Vec::new();
+        let mut i = head;
+        while i < tail && i - head < CAP {
+            out.push(pool.read_u64(self.ring.offset((i % CAP) * 8)));
+            i += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::NoopTracker;
+    use nvm_runtime::{CrashPolicy, PmemPool, PoolConfig};
+
+    fn pool() -> PmemPool {
+        PmemPool::new(PoolConfig { size: 1 << 20, shards: 8, ..Default::default() })
+    }
+
+    #[test]
+    fn batched_fifo() {
+        let p = pool();
+        let h = PmemHeap::open(&p);
+        let q = CombQueue::create(&h, None);
+        let t = NoopTracker;
+        q.enqueue(1, &t, None, 0, 1);
+        q.enqueue(2, &t, None, 0, 2);
+        assert_eq!(q.contents(), Vec::<u64>::new(), "nothing durable before combine");
+        q.combine(&t, None, 0, 3);
+        assert_eq!(q.contents(), vec![1, 2]);
+        assert_eq!(q.dequeue(&t, None, 0, 4), Some(1));
+        q.combine(&t, None, 0, 5);
+        assert_eq!(q.contents(), vec![2]);
+    }
+
+    #[test]
+    fn combined_batch_survives_pessimistic_crash() {
+        let p = pool();
+        let h = PmemHeap::open(&p);
+        let q = CombQueue::create(&h, None);
+        let t = NoopTracker;
+        q.enqueue(7, &t, None, 0, 1);
+        q.enqueue(8, &t, None, 0, 2);
+        q.combine(&t, None, 0, 3);
+        let img = CrashPolicy::Pessimistic.apply(&p);
+        let p2 = img.reboot(8);
+        let h2 = PmemHeap::open(&p2);
+        let q2 = CombQueue::recover(&h2, None);
+        assert_eq!(q2.contents(), vec![7, 8]);
+    }
+
+    #[test]
+    fn fenceless_combine_loses_acked_batch() {
+        let p = pool();
+        let h = PmemHeap::open(&p);
+        let q = CombQueue::create(&h, Some(DsBug::SkipCheckpointFence));
+        let t = NoopTracker;
+        q.enqueue(7, &t, None, 0, 1);
+        q.combine(&t, None, 0, 2);
+        let img = CrashPolicy::Pessimistic.apply(&p);
+        let p2 = img.reboot(8);
+        let h2 = PmemHeap::open(&p2);
+        let q2 = CombQueue::recover(&h2, Some(DsBug::SkipCheckpointFence));
+        assert_eq!(q2.contents(), Vec::<u64>::new(), "whole batch rolled back past the ack");
+    }
+}

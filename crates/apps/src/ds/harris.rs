@@ -1,0 +1,223 @@
+//! Detectable sorted linked list (Harris-style) keyed set.
+//!
+//! A sentinel head node holds key 0; real keys are ≥ 1 and the chain is
+//! kept sorted ascending. Insertion follows the link-persist discipline:
+//! the new node `{key, next}` is persisted before the predecessor's next
+//! pointer publishes it, then the predecessor link is flushed and the
+//! checkpoint fenced. The seeded [`DsBug::UnflushedLink`] variant skips
+//! the predecessor-link flush, so an acknowledged insert can vanish on
+//! crash. Removed nodes are unlinked but never reclaimed — leaking them
+//! sidesteps ABA/reuse hazards without an epoch scheme.
+
+use super::{Annot, CheckpointArea, DsBug, Shared, CK_ADD, CK_NOOP, CK_REMOVE};
+use crate::tracker::Tracker;
+use nvm_runtime::{PAddr, PmemHeap, PmemPool, StrandId};
+
+const MAGIC: u64 = 0x4A21_1157_AC00_0003;
+
+const OFF_MAGIC: u64 = 0;
+const OFF_HEAD: u64 = 8;
+
+pub struct HarrisList<'p> {
+    heap: &'p PmemHeap<'p>,
+    meta: PAddr,
+    bug: Option<DsBug>,
+    shared: Shared,
+    ck: CheckpointArea,
+}
+
+impl<'p> HarrisList<'p> {
+    pub fn create(heap: &'p PmemHeap<'p>, bug: Option<DsBug>) -> HarrisList<'p> {
+        let pool = heap.pool();
+        let meta = heap.alloc_zeroed(64 + CheckpointArea::BYTES);
+        let sentinel = heap.alloc_zeroed(64);
+        pool.write_u64(meta.offset(OFF_HEAD), sentinel.0);
+        pool.write_u64(meta.offset(OFF_MAGIC), MAGIC);
+        pool.persist(meta, 64 + CheckpointArea::BYTES);
+        heap.set_root(meta);
+        HarrisList {
+            heap,
+            meta,
+            bug,
+            shared: Shared::new(),
+            ck: CheckpointArea::at(meta.offset(64)),
+        }
+    }
+
+    pub fn recover(heap: &'p PmemHeap<'p>, bug: Option<DsBug>) -> HarrisList<'p> {
+        let meta = heap.root();
+        assert_eq!(heap.pool().read_u64(meta.offset(OFF_MAGIC)), MAGIC, "harris root magic");
+        HarrisList {
+            heap,
+            meta,
+            bug,
+            shared: Shared::new(),
+            ck: CheckpointArea::at(meta.offset(64)),
+        }
+    }
+
+    fn pool(&self) -> &'p PmemPool {
+        self.heap.pool()
+    }
+
+    fn sentinel(&self) -> u64 {
+        self.pool().read_u64(self.meta.offset(OFF_HEAD))
+    }
+
+    /// Walk to the insertion point for `key`: returns `(pred, curr)` with
+    /// `pred.key < key <= curr.key` (curr == 0 at the end of the chain).
+    fn find(&self, a: &Annot<'_>, key: u64) -> (u64, u64) {
+        let pool = self.pool();
+        let mut pred = self.sentinel();
+        let mut curr = self.shared.read(pool, a, PAddr(pred + 8));
+        let mut steps = 0u32;
+        while super::plausible_node(pool, curr) && steps < 1 << 16 {
+            let k = pool.read_u64(PAddr(curr));
+            a.access(PAddr(curr), 8, false);
+            if k >= key {
+                break;
+            }
+            pred = curr;
+            curr = self.shared.read(pool, a, PAddr(curr + 8));
+            steps += 1;
+        }
+        (pred, curr)
+    }
+
+    /// Insert `key`; returns true if newly inserted. Set semantics: a
+    /// present key acknowledges as a no-op.
+    pub fn insert(
+        &self,
+        key: u64,
+        t: &dyn Tracker,
+        strand: Option<StrandId>,
+        client: u64,
+        seq: u64,
+    ) -> bool {
+        assert!(key >= 1, "key 0 is the sentinel");
+        let pool = self.pool();
+        let a = Annot::new(t, strand, self.bug);
+        loop {
+            let (pred, curr) = self.find(&a, key);
+            if curr != 0 && pool.read_u64(PAddr(curr)) == key {
+                self.ck.record(pool, &a, client, seq, CK_NOOP, key, 0, true);
+                return false;
+            }
+            let n = self.heap.alloc(64);
+            assert!(!n.is_null(), "harris pool exhausted");
+            pool.write_u64(n, key);
+            pool.write_u64(n.offset(8), curr);
+            a.access(n, 16, true);
+            // Link-persist: node durable before reachable.
+            pool.persist(n, 16);
+            if self.shared.cas(pool, &a, PAddr(pred + 8), curr, n.0).is_ok() {
+                if self.bug != Some(DsBug::UnflushedLink) {
+                    pool.flush(PAddr(pred + 8), 8);
+                }
+                self.ck.record(pool, &a, client, seq, CK_ADD, key, n.0, true);
+                return true;
+            }
+            // Lost the race: leak the node and retry from a fresh find.
+        }
+    }
+
+    /// Remove `key`; returns true if it was present.
+    pub fn remove(
+        &self,
+        key: u64,
+        t: &dyn Tracker,
+        strand: Option<StrandId>,
+        client: u64,
+        seq: u64,
+    ) -> bool {
+        let pool = self.pool();
+        let a = Annot::new(t, strand, self.bug);
+        loop {
+            let (pred, curr) = self.find(&a, key);
+            if curr == 0 || pool.read_u64(PAddr(curr)) != key {
+                self.ck.record(pool, &a, client, seq, CK_NOOP, key, 0, true);
+                return false;
+            }
+            let next = self.shared.read(pool, &a, PAddr(curr + 8));
+            if self.shared.cas(pool, &a, PAddr(pred + 8), curr, next).is_ok() {
+                pool.flush(PAddr(pred + 8), 8);
+                self.ck.record(pool, &a, client, seq, CK_REMOVE, key, next, true);
+                return true;
+            }
+        }
+    }
+
+    /// Sorted keys from the durable chain.
+    pub fn contents(&self) -> Vec<u64> {
+        let pool = self.pool();
+        let mut out = Vec::new();
+        let sentinel = self.sentinel();
+        if !super::plausible_node(pool, sentinel) {
+            return out;
+        }
+        let mut cur = pool.read_u64(PAddr(sentinel + 8));
+        let mut steps = 0u32;
+        while super::plausible_node(pool, cur) && steps < 1 << 16 {
+            out.push(pool.read_u64(PAddr(cur)));
+            cur = pool.read_u64(PAddr(cur + 8));
+            steps += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::NoopTracker;
+    use nvm_runtime::{CrashPolicy, PmemPool, PoolConfig};
+
+    fn pool() -> PmemPool {
+        PmemPool::new(PoolConfig { size: 1 << 20, shards: 8, ..Default::default() })
+    }
+
+    #[test]
+    fn sorted_set_semantics() {
+        let p = pool();
+        let h = PmemHeap::open(&p);
+        let l = HarrisList::create(&h, None);
+        let t = NoopTracker;
+        assert!(l.insert(5, &t, None, 0, 1));
+        assert!(l.insert(2, &t, None, 0, 2));
+        assert!(l.insert(9, &t, None, 0, 3));
+        assert!(!l.insert(5, &t, None, 0, 4), "duplicate insert is a no-op");
+        assert_eq!(l.contents(), vec![2, 5, 9]);
+        assert!(l.remove(5, &t, None, 0, 5));
+        assert!(!l.remove(5, &t, None, 0, 6));
+        assert_eq!(l.contents(), vec![2, 9]);
+    }
+
+    #[test]
+    fn clean_insert_survives_pessimistic_crash() {
+        let p = pool();
+        let h = PmemHeap::open(&p);
+        let l = HarrisList::create(&h, None);
+        let t = NoopTracker;
+        l.insert(3, &t, None, 0, 1);
+        l.insert(8, &t, None, 0, 2);
+        let img = CrashPolicy::Pessimistic.apply(&p);
+        let p2 = img.reboot(8);
+        let h2 = PmemHeap::open(&p2);
+        let l2 = HarrisList::recover(&h2, None);
+        assert_eq!(l2.contents(), vec![3, 8]);
+    }
+
+    #[test]
+    fn unflushed_link_loses_acked_insert() {
+        let p = pool();
+        let h = PmemHeap::open(&p);
+        let l = HarrisList::create(&h, Some(DsBug::UnflushedLink));
+        let t = NoopTracker;
+        l.insert(3, &t, None, 0, 1);
+        let img = CrashPolicy::Pessimistic.apply(&p);
+        let p2 = img.reboot(8);
+        let h2 = PmemHeap::open(&p2);
+        let l2 = HarrisList::recover(&h2, Some(DsBug::UnflushedLink));
+        assert_eq!(l2.contents(), Vec::<u64>::new(), "sentinel link rolled back past the ack");
+    }
+}

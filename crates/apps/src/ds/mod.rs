@@ -1,0 +1,641 @@
+//! Concurrent persistent data structures with detectable persist
+//! protocols — the Memento-style corpus (PLDI'23) the dynamic checker was
+//! built for.
+//!
+//! Five structures, each expressing its checkpoint / detectable-CAS
+//! protocol through the simulated pool's store/flush/fence/CAS API:
+//!
+//! * [`treiber`] — Treiber stack: link-persist the node, CAS the top,
+//!   flush the top word, checkpoint.
+//! * [`msqueue`] — Michael–Scott queue: CAS `tail.next`, flush the link,
+//!   swing the tail, checkpoint the dequeue head for exactly-once
+//!   recovery.
+//! * [`harris`] — Harris-style sorted list (set): CAS `pred.next`, flush
+//!   the link word.
+//! * [`comb`] — flat-combining queue (PBComb-style): operations buffer in
+//!   DRAM; the combiner applies a whole batch to the persistent ring with
+//!   one flush + fence + checkpoint.
+//! * [`clevel`] — Clevel-style two-level hash: CAS-claim an empty slot,
+//!   flush the slot, checkpoint the insert for detectable replay.
+//!
+//! Every structure ships a set of **seeded bug variants** ([`DsBug`]) with
+//! ground-truth detection labels ([`expected`]): a missing flush on the
+//! link persist, a fence-less checkpoint, a recovery path that re-applies
+//! a completed detectable operation, and an unannotated (strand-racy)
+//! variant whose WAW/RAW persist dependences only the dynamic checker can
+//! see. [`pir`] renders each (structure, variant) as a PIR model for the
+//! static and dynamic checkers; [`sweep`] crash-tests the real Rust
+//! implementation at every step with the linearization-prefix oracle.
+//!
+//! ## Strand-annotation conventions (for adding a sixth structure)
+//!
+//! * One strand per client thread (`Tracker::region_begin` /
+//!   `region_end` around the thread's operation loop).
+//! * Every CAS-mediated shared word goes through [`Shared::read`] /
+//!   [`Shared::write`] / [`Shared::cas`]: under the clean variant these
+//!   hold a striped
+//!   per-word lock for the annotate+operate window and mirror it with
+//!   `lock_acquire`/`lock_release` on the word address, so the detector
+//!   sees exactly the synchronization that really happened. The
+//!   [`DsBug::StrandRace`] variant skips the synchronization (the
+//!   persists genuinely race) while still reporting the accesses.
+//! * Private-until-published memory (freshly allocated nodes) and
+//!   per-client checkpoint slots use plain [`Annot::access`] reports; the
+//!   publication CAS's release edge orders them for later readers.
+//! * Checkpoints live in per-client 64-byte slots
+//!   ([`CHECKPOINT_SLOTS`] slots per structure); recovery consults the
+//!   highest-sequence slot for detectable replay.
+
+pub mod clevel;
+pub mod comb;
+pub mod harris;
+pub mod msqueue;
+pub mod pir;
+pub mod sweep;
+pub mod treiber;
+
+use crate::tracker::Tracker;
+use nvm_runtime::{PAddr, PmemHeap, PmemPool, StrandId};
+use parking_lot::Mutex;
+
+pub use sweep::{ds_sweep, ds_sweep_script, DsSweepConfig, DsSweepOutcome, DsViolation};
+
+/// Per-client checkpoint slots each structure reserves (one cache line
+/// per slot). Client ids are taken modulo this, so drivers must not run
+/// more concurrent clients than slots or slots would be shared.
+pub const CHECKPOINT_SLOTS: u64 = 16;
+
+/// The five corpus structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DsKind {
+    Treiber,
+    MsQueue,
+    Harris,
+    Comb,
+    Clevel,
+}
+
+impl DsKind {
+    pub const ALL: [DsKind; 5] =
+        [DsKind::Treiber, DsKind::MsQueue, DsKind::Harris, DsKind::Comb, DsKind::Clevel];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            DsKind::Treiber => "treiber",
+            DsKind::MsQueue => "msqueue",
+            DsKind::Harris => "harris",
+            DsKind::Comb => "comb",
+            DsKind::Clevel => "clevel",
+        }
+    }
+
+    pub fn display(self) -> &'static str {
+        match self {
+            DsKind::Treiber => "Treiber stack",
+            DsKind::MsQueue => "Michael-Scott queue",
+            DsKind::Harris => "Harris list",
+            DsKind::Comb => "combining queue",
+            DsKind::Clevel => "Clevel hash",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<DsKind> {
+        DsKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// The seeded bug variants this structure ships with (every structure
+    /// has at least two).
+    pub fn seeded_bugs(self) -> &'static [DsBug] {
+        match self {
+            DsKind::Treiber => &[DsBug::UnflushedLink, DsBug::StrandRace],
+            DsKind::MsQueue => {
+                &[DsBug::SkipCheckpointFence, DsBug::DoubleApplyRecovery, DsBug::StrandRace]
+            }
+            DsKind::Harris => &[DsBug::UnflushedLink, DsBug::StrandRace],
+            DsKind::Comb => &[DsBug::SkipCheckpointFence, DsBug::StrandRace],
+            DsKind::Clevel => {
+                &[DsBug::UnflushedLink, DsBug::DoubleApplyRecovery, DsBug::StrandRace]
+            }
+        }
+    }
+
+    /// Clean first, then every seeded bug.
+    pub fn variants(self) -> Vec<Option<DsBug>> {
+        std::iter::once(None).chain(self.seeded_bugs().iter().copied().map(Some)).collect()
+    }
+
+    /// Operations per durability acknowledgement: the combining queue
+    /// persists per batch; everything else acks per operation.
+    pub fn batch(self) -> u64 {
+        match self {
+            DsKind::Comb => 4,
+            _ => 1,
+        }
+    }
+}
+
+/// Seeded persistency bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DsBug {
+    /// The link-publish store (stack top / queue head / `pred.next` /
+    /// hash slot) is never flushed before the operation acknowledges.
+    UnflushedLink,
+    /// The detectable-CAS checkpoint is flushed but the trailing fence is
+    /// skipped, so the acknowledgement races the write-backs.
+    SkipCheckpointFence,
+    /// Recovery re-applies the last checkpointed operation without
+    /// checking whether it already took effect (double dequeue / double
+    /// insert after crash-recovery).
+    DoubleApplyRecovery,
+    /// The strand-synchronization annotations (and the synchronization
+    /// they mirror) are missing: concurrent strands' persists to the same
+    /// words race. Invisible to static analysis (dynamic addresses),
+    /// caught by the happens-before detector.
+    StrandRace,
+}
+
+impl DsBug {
+    pub const ALL: [DsBug; 4] = [
+        DsBug::UnflushedLink,
+        DsBug::SkipCheckpointFence,
+        DsBug::DoubleApplyRecovery,
+        DsBug::StrandRace,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            DsBug::UnflushedLink => "unflushed-link",
+            DsBug::SkipCheckpointFence => "skip-checkpoint-fence",
+            DsBug::DoubleApplyRecovery => "double-apply-recovery",
+            DsBug::StrandRace => "strand-race",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<DsBug> {
+        DsBug::ALL.into_iter().find(|b| b.name() == name)
+    }
+
+    /// The DeepMC bug class the detecting checker reports (by name, so
+    /// this crate does not depend on `deepmc-models`).
+    pub fn class_label(self) -> &'static str {
+        match self {
+            DsBug::UnflushedLink => "UnflushedWrite",
+            DsBug::SkipCheckpointFence => "MissingPersistBarrier",
+            DsBug::DoubleApplyRecovery => "CrashRecovery",
+            DsBug::StrandRace => "InterStrandDependency",
+        }
+    }
+}
+
+/// A variant's name: `clean` or the bug name.
+pub fn variant_name(bug: Option<DsBug>) -> &'static str {
+    bug.map_or("clean", DsBug::name)
+}
+
+/// Ground-truth detection verdict per checker for one variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expected {
+    /// Static checker over the PIR model flags it.
+    pub static_: bool,
+    /// Dynamic (HB) checker over the PIR model flags it.
+    pub dynamic: bool,
+    /// Crash sweep with `--oracle` over the Rust implementation flags it.
+    pub crash: bool,
+}
+
+/// The detection matrix cell for a variant — identical across structures
+/// by construction (each bug is seeded the same way everywhere).
+pub fn expected(bug: Option<DsBug>) -> Expected {
+    match bug {
+        None => Expected { static_: false, dynamic: false, crash: false },
+        Some(DsBug::UnflushedLink) => Expected { static_: true, dynamic: false, crash: true },
+        Some(DsBug::SkipCheckpointFence) => Expected { static_: true, dynamic: false, crash: true },
+        Some(DsBug::DoubleApplyRecovery) => {
+            Expected { static_: false, dynamic: false, crash: true }
+        }
+        Some(DsBug::StrandRace) => Expected { static_: false, dynamic: true, crash: false },
+    }
+}
+
+/// One scripted operation. For the keyed structures (Harris, Clevel) the
+/// payload is the key; the stack and queues push the payload as a value
+/// and ignore `Remove`'s payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DsOp {
+    Add(u64),
+    Remove(u64),
+}
+
+/// Deterministic operation script over a small contended key range:
+/// ~70% adds, ~30% removes, everything derived from `seed`.
+pub fn ds_script(seed: u64, steps: u64) -> Vec<DsOp> {
+    (0..steps)
+        .map(|i| {
+            let r = crate::recovery::checksum(seed, &[0xD57A, i]);
+            let key = 1 + r % 8;
+            if r % 10 < 3 {
+                DsOp::Remove(key)
+            } else {
+                DsOp::Add(key)
+            }
+        })
+        .collect()
+}
+
+/// Canonical state of `kind` after every script prefix: `states[t]` is
+/// the state after the first `t` operations (so `states[0]` is empty).
+/// The crash oracle compares recovered contents against these.
+pub fn model_states(kind: DsKind, script: &[DsOp]) -> Vec<Vec<u64>> {
+    let mut states = Vec::with_capacity(script.len() + 1);
+    match kind {
+        DsKind::Treiber => {
+            // contents() reports bottom→top.
+            let mut stack: Vec<u64> = Vec::new();
+            states.push(stack.clone());
+            for op in script {
+                match op {
+                    DsOp::Add(v) => stack.push(*v),
+                    DsOp::Remove(_) => {
+                        stack.pop();
+                    }
+                }
+                states.push(stack.clone());
+            }
+        }
+        DsKind::MsQueue | DsKind::Comb => {
+            // contents() reports front→back.
+            let mut q: std::collections::VecDeque<u64> = Default::default();
+            states.push(Vec::new());
+            for op in script {
+                match op {
+                    DsOp::Add(v) => q.push_back(*v),
+                    DsOp::Remove(_) => {
+                        q.pop_front();
+                    }
+                }
+                states.push(q.iter().copied().collect());
+            }
+        }
+        DsKind::Harris | DsKind::Clevel => {
+            // contents() reports the key set, sorted.
+            let mut set: std::collections::BTreeSet<u64> = Default::default();
+            states.push(Vec::new());
+            for op in script {
+                match op {
+                    DsOp::Add(k) => {
+                        set.insert(*k);
+                    }
+                    DsOp::Remove(k) => {
+                        set.remove(k);
+                    }
+                }
+                states.push(set.iter().copied().collect());
+            }
+        }
+    }
+    states
+}
+
+/// Tracker + strand handle threaded through every structure operation,
+/// with the variant's synchronization switch baked in.
+#[derive(Clone, Copy)]
+pub(crate) struct Annot<'a> {
+    pub t: &'a dyn Tracker,
+    pub strand: Option<StrandId>,
+    /// False under [`DsBug::StrandRace`]: accesses are still reported,
+    /// but no synchronization happens or is annotated.
+    pub sync: bool,
+}
+
+impl<'a> Annot<'a> {
+    pub fn new(t: &'a dyn Tracker, strand: Option<StrandId>, bug: Option<DsBug>) -> Annot<'a> {
+        Annot { t, strand, sync: bug != Some(DsBug::StrandRace) }
+    }
+
+    /// Plain instrumented access (private-until-published memory,
+    /// per-client checkpoint slots).
+    pub fn access(&self, addr: PAddr, len: u64, is_write: bool) {
+        self.t.access(self.strand, addr.0, len, is_write);
+    }
+}
+
+const STRIPES: usize = 64;
+
+/// Striped per-word locks for CAS-mediated shared words. Holding the
+/// stripe across the annotate+operate window makes the annotation
+/// sequence atomic with the operation it describes, so the detector
+/// never sees an ordering the execution didn't have (no false WAW/RAW
+/// on the clean variants).
+pub(crate) struct Shared {
+    stripes: Vec<Mutex<()>>,
+}
+
+impl Shared {
+    pub fn new() -> Shared {
+        Shared { stripes: (0..STRIPES).map(|_| Mutex::new(())).collect() }
+    }
+
+    fn stripe(&self, addr: PAddr) -> &Mutex<()> {
+        &self.stripes[(addr.0 as usize / 8) % STRIPES]
+    }
+
+    /// Synchronized read of a shared word.
+    pub fn read(&self, pool: &PmemPool, a: &Annot<'_>, addr: PAddr) -> u64 {
+        let _g = a.sync.then(|| self.stripe(addr).lock());
+        if a.sync {
+            a.t.lock_acquire(a.strand, addr.0);
+        }
+        a.access(addr, 8, false);
+        let v = pool.read_u64(addr);
+        if a.sync {
+            a.t.lock_release(a.strand, addr.0);
+        }
+        v
+    }
+
+    /// Synchronized plain store to a shared word (e.g. a value slot that
+    /// different claimants write across reuse cycles: the claiming CAS
+    /// orders the *claims*, but not the writes that follow them).
+    pub fn write(&self, pool: &PmemPool, a: &Annot<'_>, addr: PAddr, v: u64) {
+        let _g = a.sync.then(|| self.stripe(addr).lock());
+        if a.sync {
+            a.t.lock_acquire(a.strand, addr.0);
+        }
+        pool.write_u64(addr, v);
+        a.access(addr, 8, true);
+        if a.sync {
+            a.t.lock_release(a.strand, addr.0);
+        }
+    }
+
+    /// Synchronized CAS of a shared word. A failed CAS only observed the
+    /// word, so it reports a read.
+    pub fn cas(
+        &self,
+        pool: &PmemPool,
+        a: &Annot<'_>,
+        addr: PAddr,
+        expected: u64,
+        new: u64,
+    ) -> Result<(), u64> {
+        let _g = a.sync.then(|| self.stripe(addr).lock());
+        if a.sync {
+            a.t.lock_acquire(a.strand, addr.0);
+        }
+        let r = pool.cas_u64(addr, expected, new);
+        a.access(addr, 8, r.is_ok());
+        if a.sync {
+            a.t.lock_release(a.strand, addr.0);
+        }
+        r
+    }
+}
+
+/// Checkpoint record kinds.
+pub(crate) const CK_NONE: u64 = 0;
+pub(crate) const CK_ADD: u64 = 1;
+pub(crate) const CK_REMOVE: u64 = 2;
+pub(crate) const CK_NOOP: u64 = 3;
+
+/// A decoded checkpoint slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CheckpointRec {
+    pub seq: u64,
+    pub kind: u64,
+    pub arg: u64,
+    pub result: u64,
+}
+
+/// Per-client detectable-operation checkpoints: [`CHECKPOINT_SLOTS`]
+/// cache lines after `base`, one per client. An operation records
+/// `{seq, kind, arg, result}`, flushes the slot, and fences — the fence
+/// is the acknowledgement point, and (being global) also retires the
+/// operation's earlier link flushes.
+pub(crate) struct CheckpointArea {
+    base: PAddr,
+}
+
+impl CheckpointArea {
+    pub fn at(base: PAddr) -> CheckpointArea {
+        CheckpointArea { base }
+    }
+
+    /// Bytes to reserve for the slots.
+    pub const BYTES: u64 = CHECKPOINT_SLOTS * 64;
+
+    fn slot(&self, client: u64) -> PAddr {
+        self.base.offset((client % CHECKPOINT_SLOTS) * 64)
+    }
+
+    /// Record and (optionally) fence one operation's checkpoint. With
+    /// `fence` false ([`DsBug::SkipCheckpointFence`]) the slot and every
+    /// earlier flush of the operation stay pending: the acknowledgement
+    /// returns before anything is guaranteed durable.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &self,
+        pool: &PmemPool,
+        a: &Annot<'_>,
+        client: u64,
+        seq: u64,
+        kind: u64,
+        arg: u64,
+        result: u64,
+        fence: bool,
+    ) {
+        let s = self.slot(client);
+        pool.write_u64(s, seq);
+        pool.write_u64(s.offset(8), kind);
+        pool.write_u64(s.offset(16), arg);
+        pool.write_u64(s.offset(24), result);
+        a.access(s, 32, true);
+        pool.flush(s, 32);
+        if fence {
+            pool.fence();
+        }
+    }
+
+    /// The highest-sequence checkpoint across all slots (recovery's
+    /// detectable-replay candidate).
+    pub fn latest(&self, pool: &PmemPool) -> Option<CheckpointRec> {
+        (0..CHECKPOINT_SLOTS)
+            .map(|c| {
+                let s = self.slot(c);
+                CheckpointRec {
+                    seq: pool.read_u64(s),
+                    kind: pool.read_u64(s.offset(8)),
+                    arg: pool.read_u64(s.offset(16)),
+                    result: pool.read_u64(s.offset(24)),
+                }
+            })
+            .filter(|r| r.kind != CK_NONE)
+            .max_by_key(|r| r.seq)
+    }
+}
+
+/// Uniform handle over the five structures.
+pub enum DsInstance<'p> {
+    Treiber(treiber::TreiberStack<'p>),
+    MsQueue(msqueue::MsQueue<'p>),
+    Harris(harris::HarrisList<'p>),
+    Comb(comb::CombQueue<'p>),
+    Clevel(clevel::ClevelHash<'p>),
+}
+
+impl<'p> DsInstance<'p> {
+    /// Create a fresh structure on an empty heap and set it as the root.
+    pub fn create(kind: DsKind, bug: Option<DsBug>, heap: &'p PmemHeap<'p>) -> DsInstance<'p> {
+        match kind {
+            DsKind::Treiber => DsInstance::Treiber(treiber::TreiberStack::create(heap, bug)),
+            DsKind::MsQueue => DsInstance::MsQueue(msqueue::MsQueue::create(heap, bug)),
+            DsKind::Harris => DsInstance::Harris(harris::HarrisList::create(heap, bug)),
+            DsKind::Comb => DsInstance::Comb(comb::CombQueue::create(heap, bug)),
+            DsKind::Clevel => DsInstance::Clevel(clevel::ClevelHash::create(heap, bug)),
+        }
+    }
+
+    /// Attach to a rebooted pool and run the structure's recovery
+    /// (tail catch-up, detectable replay of the latest checkpoint).
+    pub fn recover(kind: DsKind, bug: Option<DsBug>, heap: &'p PmemHeap<'p>) -> DsInstance<'p> {
+        match kind {
+            DsKind::Treiber => DsInstance::Treiber(treiber::TreiberStack::recover(heap, bug)),
+            DsKind::MsQueue => DsInstance::MsQueue(msqueue::MsQueue::recover(heap, bug)),
+            DsKind::Harris => DsInstance::Harris(harris::HarrisList::recover(heap, bug)),
+            DsKind::Comb => DsInstance::Comb(comb::CombQueue::recover(heap, bug)),
+            DsKind::Clevel => DsInstance::Clevel(clevel::ClevelHash::recover(heap, bug)),
+        }
+    }
+
+    /// Execute one operation as `client` with sequence number `seq`.
+    /// Returning is the durability acknowledgement (except for the
+    /// combining queue, which acks at [`DsInstance::batch_end`]).
+    pub fn apply(
+        &self,
+        op: DsOp,
+        t: &dyn Tracker,
+        strand: Option<StrandId>,
+        client: u64,
+        seq: u64,
+    ) -> Option<u64> {
+        match (self, op) {
+            (DsInstance::Treiber(s), DsOp::Add(v)) => {
+                s.push(v, t, strand, client, seq);
+                Some(v)
+            }
+            (DsInstance::Treiber(s), DsOp::Remove(_)) => s.pop(t, strand, client, seq),
+            (DsInstance::MsQueue(q), DsOp::Add(v)) => {
+                q.enqueue(v, t, strand, client, seq);
+                Some(v)
+            }
+            (DsInstance::MsQueue(q), DsOp::Remove(_)) => q.dequeue(t, strand, client, seq),
+            (DsInstance::Harris(l), DsOp::Add(k)) => {
+                l.insert(k, t, strand, client, seq);
+                Some(k)
+            }
+            (DsInstance::Harris(l), DsOp::Remove(k)) => {
+                l.remove(k, t, strand, client, seq).then_some(k)
+            }
+            (DsInstance::Comb(c), DsOp::Add(v)) => {
+                c.enqueue(v, t, strand, client, seq);
+                Some(v)
+            }
+            (DsInstance::Comb(c), DsOp::Remove(_)) => c.dequeue(t, strand, client, seq),
+            (DsInstance::Clevel(h), DsOp::Add(k)) => {
+                h.insert(k, t, strand, client, seq);
+                Some(k)
+            }
+            (DsInstance::Clevel(h), DsOp::Remove(k)) => {
+                h.remove(k, t, strand, client, seq).then_some(k)
+            }
+        }
+    }
+
+    /// Close the current batch (combining queue: apply + persist the
+    /// buffered operations; no-op elsewhere).
+    pub fn batch_end(&self, t: &dyn Tracker, strand: Option<StrandId>, client: u64, seq: u64) {
+        if let DsInstance::Comb(c) = self {
+            c.combine(t, strand, client, seq);
+        }
+    }
+
+    /// Canonical contents (see [`model_states`] for the per-kind order).
+    pub fn contents(&self) -> Vec<u64> {
+        match self {
+            DsInstance::Treiber(s) => s.contents(),
+            DsInstance::MsQueue(q) => q.contents(),
+            DsInstance::Harris(l) => l.contents(),
+            DsInstance::Comb(c) => c.contents(),
+            DsInstance::Clevel(h) => h.contents(),
+        }
+    }
+}
+
+/// Walk guard shared by the linked structures: a durable-but-stale
+/// pointer (the seeded unflushed-link bugs) can reference reused or
+/// never-persisted memory, so walks bound their steps and validate every
+/// hop instead of trusting the image.
+pub(crate) fn plausible_node(pool: &PmemPool, addr: u64) -> bool {
+    addr != 0 && addr.is_multiple_of(64) && addr + 64 <= pool.size()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_consistent() {
+        assert_eq!(DsKind::ALL.len(), 5);
+        let mut seeded = 0;
+        for kind in DsKind::ALL {
+            assert_eq!(DsKind::from_name(kind.name()), Some(kind));
+            assert!(kind.seeded_bugs().len() >= 2, "{} needs 2+ seeded bugs", kind.name());
+            seeded += kind.seeded_bugs().len();
+            assert_eq!(kind.variants().len(), kind.seeded_bugs().len() + 1);
+            assert_eq!(kind.variants()[0], None, "clean variant first");
+        }
+        assert!(seeded >= 10, "ISSUE floor: 10+ seeded variants, got {seeded}");
+    }
+
+    #[test]
+    fn every_seeded_bug_is_detected_by_some_checker() {
+        for kind in DsKind::ALL {
+            for &bug in kind.seeded_bugs() {
+                let e = expected(Some(bug));
+                assert!(
+                    e.static_ || e.dynamic || e.crash,
+                    "{}/{} undetectable",
+                    kind.name(),
+                    bug.name()
+                );
+            }
+        }
+        let clean = expected(None);
+        assert!(!clean.static_ && !clean.dynamic && !clean.crash);
+        // Every strand WAW/RAW variant is a dynamic-checker catch.
+        assert!(expected(Some(DsBug::StrandRace)).dynamic);
+    }
+
+    #[test]
+    fn script_is_deterministic_and_mixed() {
+        let s = ds_script(7, 64);
+        assert_eq!(s, ds_script(7, 64));
+        assert_ne!(s, ds_script(8, 64));
+        assert!(s.iter().any(|o| matches!(o, DsOp::Add(_))));
+        assert!(s.iter().any(|o| matches!(o, DsOp::Remove(_))));
+    }
+
+    #[test]
+    fn model_states_respect_semantics() {
+        let script = [DsOp::Add(3), DsOp::Add(5), DsOp::Add(3), DsOp::Remove(3)];
+        let stack = model_states(DsKind::Treiber, &script);
+        assert_eq!(stack[3], vec![3, 5, 3]);
+        assert_eq!(stack[4], vec![3, 5], "stack pops the top (LIFO)");
+        let queue = model_states(DsKind::MsQueue, &script);
+        assert_eq!(queue[4], vec![5, 3], "queue pops the front (FIFO)");
+        let set = model_states(DsKind::Harris, &script);
+        assert_eq!(set[3], vec![3, 5], "set semantics deduplicate");
+        assert_eq!(set[4], vec![5], "keyed remove");
+        assert_eq!(model_states(DsKind::Clevel, &script), set);
+        assert_eq!(model_states(DsKind::Comb, &script), queue);
+    }
+}

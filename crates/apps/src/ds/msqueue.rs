@@ -1,0 +1,276 @@
+//! Detectable Michael–Scott queue.
+//!
+//! Standard MSQ with a dummy node, plus the detectable-recoverability
+//! protocol: every dequeue checkpoints `{seq, val, head_after}` so a
+//! post-crash recovery can tell whether the dequeue took effect and
+//! complete it *exactly once*. The seeded bugs:
+//!
+//! * [`DsBug::SkipCheckpointFence`] — the enqueue's checkpoint is flushed
+//!   but never fenced, so the acknowledgement races every write-back of
+//!   the operation (link, tail, checkpoint are all still pending).
+//! * [`DsBug::DoubleApplyRecovery`] — recovery re-executes the last
+//!   checkpointed dequeue without checking `head_after`, dropping one
+//!   extra element after a crash (the classic double dequeue).
+
+use super::{Annot, CheckpointArea, CheckpointRec, DsBug, Shared, CK_ADD, CK_NOOP, CK_REMOVE};
+#[cfg(test)]
+use crate::tracker::NoopTracker;
+use crate::tracker::Tracker;
+use nvm_runtime::{PAddr, PmemHeap, PmemPool, StrandId};
+
+const MAGIC: u64 = 0x5C07_7107_AC00_0002;
+
+const OFF_MAGIC: u64 = 0;
+const OFF_HEAD: u64 = 8;
+const OFF_TAIL: u64 = 16;
+
+pub struct MsQueue<'p> {
+    heap: &'p PmemHeap<'p>,
+    meta: PAddr,
+    bug: Option<DsBug>,
+    shared: Shared,
+    ck: CheckpointArea,
+}
+
+impl<'p> MsQueue<'p> {
+    pub fn create(heap: &'p PmemHeap<'p>, bug: Option<DsBug>) -> MsQueue<'p> {
+        let pool = heap.pool();
+        let meta = heap.alloc_zeroed(64 + CheckpointArea::BYTES);
+        let dummy = heap.alloc_zeroed(64);
+        pool.write_u64(meta.offset(OFF_HEAD), dummy.0);
+        pool.write_u64(meta.offset(OFF_TAIL), dummy.0);
+        pool.write_u64(meta.offset(OFF_MAGIC), MAGIC);
+        pool.persist(meta, 64 + CheckpointArea::BYTES);
+        heap.set_root(meta);
+        MsQueue { heap, meta, bug, shared: Shared::new(), ck: CheckpointArea::at(meta.offset(64)) }
+    }
+
+    pub fn recover(heap: &'p PmemHeap<'p>, bug: Option<DsBug>) -> MsQueue<'p> {
+        let pool = heap.pool();
+        let meta = heap.root();
+        assert_eq!(pool.read_u64(meta.offset(OFF_MAGIC)), MAGIC, "msqueue root magic");
+        let q = MsQueue {
+            heap,
+            meta,
+            bug,
+            shared: Shared::new(),
+            ck: CheckpointArea::at(meta.offset(64)),
+        };
+        q.recover_inner();
+        q
+    }
+
+    fn recover_inner(&self) {
+        let pool = self.pool();
+        // Tail catch-up: a crash between the link CAS and the tail swing
+        // leaves the tail one node behind.
+        let mut tail = pool.read_u64(self.meta.offset(OFF_TAIL));
+        while super::plausible_node(pool, tail) {
+            let next = pool.read_u64(PAddr(tail + 8));
+            if !super::plausible_node(pool, next) {
+                break;
+            }
+            pool.write_u64(self.meta.offset(OFF_TAIL), next);
+            tail = next;
+        }
+        pool.persist(self.meta.offset(OFF_TAIL), 8);
+        // Detectable replay of the last checkpointed dequeue.
+        if let Some(CheckpointRec { kind: CK_REMOVE, result: head_after, .. }) =
+            self.ck.latest(pool)
+        {
+            let head = pool.read_u64(self.meta.offset(OFF_HEAD));
+            if self.bug == Some(DsBug::DoubleApplyRecovery) {
+                // BUG: no "already applied" check — the dequeue re-runs
+                // even though `head` already advanced past it.
+                let next = pool.read_u64(PAddr(head + 8));
+                if super::plausible_node(pool, head) && super::plausible_node(pool, next) {
+                    pool.write_u64(self.meta.offset(OFF_HEAD), next);
+                    pool.persist(self.meta.offset(OFF_HEAD), 8);
+                }
+            } else if head != head_after
+                && super::plausible_node(pool, head)
+                && pool.read_u64(PAddr(head + 8)) == head_after
+            {
+                // The CAS landed volatile but its flush never retired:
+                // complete the dequeue exactly once.
+                pool.write_u64(self.meta.offset(OFF_HEAD), head_after);
+                pool.persist(self.meta.offset(OFF_HEAD), 8);
+            }
+        }
+    }
+
+    fn pool(&self) -> &'p PmemPool {
+        self.heap.pool()
+    }
+
+    fn head_addr(&self) -> PAddr {
+        self.meta.offset(OFF_HEAD)
+    }
+
+    fn tail_addr(&self) -> PAddr {
+        self.meta.offset(OFF_TAIL)
+    }
+
+    pub fn enqueue(
+        &self,
+        v: u64,
+        t: &dyn Tracker,
+        strand: Option<StrandId>,
+        client: u64,
+        seq: u64,
+    ) {
+        let pool = self.pool();
+        let a = Annot::new(t, strand, self.bug);
+        let n = self.heap.alloc(64);
+        assert!(!n.is_null(), "msqueue pool exhausted");
+        pool.write_u64(n, v);
+        pool.write_u64(n.offset(8), 0);
+        a.access(n, 16, true);
+        pool.persist(n, 16);
+        loop {
+            let tail = self.shared.read(pool, &a, self.tail_addr());
+            let next = self.shared.read(pool, &a, PAddr(tail + 8));
+            if next != 0 {
+                // Help the lagging tail along.
+                let _ = self.shared.cas(pool, &a, self.tail_addr(), tail, next);
+                continue;
+            }
+            if self.shared.cas(pool, &a, PAddr(tail + 8), 0, n.0).is_ok() {
+                pool.flush(PAddr(tail + 8), 8);
+                let _ = self.shared.cas(pool, &a, self.tail_addr(), tail, n.0);
+                pool.flush(self.tail_addr(), 8);
+                let fence = self.bug != Some(DsBug::SkipCheckpointFence);
+                self.ck.record(pool, &a, client, seq, CK_ADD, v, n.0, fence);
+                return;
+            }
+        }
+    }
+
+    pub fn dequeue(
+        &self,
+        t: &dyn Tracker,
+        strand: Option<StrandId>,
+        client: u64,
+        seq: u64,
+    ) -> Option<u64> {
+        let pool = self.pool();
+        let a = Annot::new(t, strand, self.bug);
+        loop {
+            let head = self.shared.read(pool, &a, self.head_addr());
+            let next = self.shared.read(pool, &a, PAddr(head + 8));
+            if next == 0 {
+                self.ck.record(pool, &a, client, seq, CK_NOOP, 0, 0, true);
+                return None;
+            }
+            let val = pool.read_u64(PAddr(next));
+            a.access(PAddr(next), 8, false);
+            if self.shared.cas(pool, &a, self.head_addr(), head, next).is_ok() {
+                pool.flush(self.head_addr(), 8);
+                self.ck.record(pool, &a, client, seq, CK_REMOVE, val, next, true);
+                return Some(val);
+            }
+        }
+    }
+
+    /// Front→back contents from the durable head chain.
+    pub fn contents(&self) -> Vec<u64> {
+        let pool = self.pool();
+        let mut out = Vec::new();
+        let head = pool.read_u64(self.head_addr());
+        if !super::plausible_node(pool, head) {
+            return out;
+        }
+        let mut cur = pool.read_u64(PAddr(head + 8));
+        let mut steps = 0u32;
+        while super::plausible_node(pool, cur) && steps < 1 << 16 {
+            out.push(pool.read_u64(PAddr(cur)));
+            cur = pool.read_u64(PAddr(cur + 8));
+            steps += 1;
+        }
+        out
+    }
+}
+
+/// Single-threaded convenience used by unit tests.
+#[cfg(test)]
+fn drain(q: &MsQueue<'_>) -> Vec<u64> {
+    let t = NoopTracker;
+    let mut out = Vec::new();
+    let mut seq = 1000;
+    while let Some(v) = q.dequeue(&t, None, 0, seq) {
+        out.push(v);
+        seq += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_runtime::{CrashPolicy, PmemPool, PoolConfig};
+
+    fn pool() -> PmemPool {
+        PmemPool::new(PoolConfig { size: 1 << 20, shards: 8, ..Default::default() })
+    }
+
+    #[test]
+    fn fifo_order() {
+        let p = pool();
+        let h = PmemHeap::open(&p);
+        let q = MsQueue::create(&h, None);
+        let t = NoopTracker;
+        for (i, v) in [5, 6, 7].iter().enumerate() {
+            q.enqueue(*v, &t, None, 0, i as u64 + 1);
+        }
+        assert_eq!(q.contents(), vec![5, 6, 7]);
+        assert_eq!(drain(&q), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn fenceless_checkpoint_loses_acked_enqueue() {
+        let p = pool();
+        let h = PmemHeap::open(&p);
+        let q = MsQueue::create(&h, Some(DsBug::SkipCheckpointFence));
+        let t = NoopTracker;
+        q.enqueue(42, &t, None, 0, 1);
+        let img = CrashPolicy::Pessimistic.apply(&p);
+        let p2 = img.reboot(8);
+        let h2 = PmemHeap::open(&p2);
+        let q2 = MsQueue::recover(&h2, Some(DsBug::SkipCheckpointFence));
+        assert_eq!(q2.contents(), Vec::<u64>::new(), "pending write-backs all dropped");
+    }
+
+    #[test]
+    fn double_apply_recovery_dequeues_twice() {
+        let p = pool();
+        let h = PmemHeap::open(&p);
+        let q = MsQueue::create(&h, Some(DsBug::DoubleApplyRecovery));
+        let t = NoopTracker;
+        for (i, v) in [1, 2, 3].iter().enumerate() {
+            q.enqueue(*v, &t, None, 0, i as u64 + 1);
+        }
+        assert_eq!(q.dequeue(&t, None, 0, 4), Some(1));
+        let img = CrashPolicy::Pessimistic.apply(&p);
+        let p2 = img.reboot(8);
+        let h2 = PmemHeap::open(&p2);
+        let q2 = MsQueue::recover(&h2, Some(DsBug::DoubleApplyRecovery));
+        assert_eq!(q2.contents(), vec![3], "recovery replayed the completed dequeue");
+    }
+
+    #[test]
+    fn clean_recovery_is_exactly_once() {
+        let p = pool();
+        let h = PmemHeap::open(&p);
+        let q = MsQueue::create(&h, None);
+        let t = NoopTracker;
+        for (i, v) in [1, 2, 3].iter().enumerate() {
+            q.enqueue(*v, &t, None, 0, i as u64 + 1);
+        }
+        assert_eq!(q.dequeue(&t, None, 0, 4), Some(1));
+        let img = CrashPolicy::Pessimistic.apply(&p);
+        let p2 = img.reboot(8);
+        let h2 = PmemHeap::open(&p2);
+        let q2 = MsQueue::recover(&h2, None);
+        assert_eq!(q2.contents(), vec![2, 3], "no element lost, none dequeued twice");
+    }
+}

@@ -1,0 +1,268 @@
+//! PIR models of the corpus structures' persist protocols.
+//!
+//! Each (structure, variant) renders as a small PIR program capturing the
+//! *protocol shape* of one operation — node persist, link publish,
+//! checkpoint — for the static and dynamic checkers. The conventions:
+//!
+//! * One operation is one epoch (the checkpoint fence acks the whole op),
+//!   so the **static** checker runs under the Epoch model. The batched
+//!   combining queue is the motivating case: its whole batch persists
+//!   under one fence, which strict-model rules would misreport as
+//!   `MultipleWritesAtOnce`.
+//! * The **dynamic** checker runs the same program under the Strand
+//!   model. The [`DsBug::StrandRace`] variants write one array element
+//!   through two different computed indices ([`pick`]-style), so their
+//!   conflict is invisible to static address resolution (running the
+//!   static checker with `-strand` would flag them only by treating every
+//!   unknown index as overlapping — a conservative guess, not a
+//!   detection) but is caught exactly by the happens-before detector.
+//! * [`DsBug::DoubleApplyRecovery`] renders identically to the clean
+//!   protocol: it is a recovery-logic bug with no instruction-level
+//!   signature, which is why only the crash sweep catches it
+//!   (see [`super::expected`]).
+//!
+//! The seeded line numbers are stable: `loc 20` marks the unflushed
+//! publish store, `loc 30`/`31` the fence-less checkpoint flush, and
+//! `loc 31`/`40` the two racing strand stores.
+
+use super::{DsBug, DsKind};
+
+/// Model-name flag for the static run (`deepmc check -epoch`).
+pub const STATIC_MODEL: &str = "epoch";
+/// Model-name flag for the dynamic run.
+pub const DYNAMIC_MODEL: &str = "strand";
+
+/// Per-kind naming for the rendered protocol.
+struct Shape {
+    /// The structure's metadata struct ("stack", "queue", ...).
+    meta: &'static str,
+    /// The published link field on the metadata struct.
+    link: &'static str,
+}
+
+fn shape(kind: DsKind) -> Shape {
+    match kind {
+        DsKind::Treiber => Shape { meta: "stack", link: "top" },
+        DsKind::MsQueue => Shape { meta: "queue", link: "tail" },
+        DsKind::Harris => Shape { meta: "list", link: "head" },
+        DsKind::Comb => Shape { meta: "ring_hdr", link: "tail" },
+        DsKind::Clevel => Shape { meta: "dir", link: "root" },
+    }
+}
+
+fn module_name(kind: DsKind, bug: Option<DsBug>) -> String {
+    format!("{}_{}", kind.name(), super::variant_name(bug).replace('-', "_"))
+}
+
+/// Render the PIR model for one (structure, variant).
+pub fn pir_model(kind: DsKind, bug: Option<DsBug>) -> String {
+    if bug == Some(DsBug::StrandRace) {
+        return strand_race_model(kind);
+    }
+    let fenceless = bug == Some(DsBug::SkipCheckpointFence);
+    let unflushed = bug == Some(DsBug::UnflushedLink);
+    let s = shape(kind);
+    let mut p = String::new();
+    p.push_str(&format!("module {}\n", module_name(kind, bug)));
+    p.push_str(&format!("file \"{}.c\"\n", kind.name()));
+    match kind {
+        DsKind::Clevel => p.push_str("struct bucket { slots: [i64; 4] }\n"),
+        DsKind::Comb => p.push_str("struct ring { slots: [i64; 8] }\n"),
+        _ => p.push_str("struct node { val: i64, next: i64 }\n"),
+    }
+    p.push_str(&format!("struct {} {{ head: i64, {}: i64 }}\n", s.meta, s.link));
+    p.push_str("struct ckpt { seq: i64, kind: i64, arg: i64, result: i64 }\n");
+    if fenceless {
+        p.push_str("struct probe { a: i64 }\n");
+    }
+    p.push_str("fn main() {\nentry:\n");
+    p.push_str(&format!("  %m = palloc {}\n", s.meta));
+    p.push_str("  %c = palloc ckpt\n");
+    if fenceless {
+        p.push_str("  %d = palloc probe\n");
+    }
+    match kind {
+        DsKind::Clevel => p.push_str("  %b = palloc bucket\n"),
+        DsKind::Comb => p.push_str("  %r = palloc ring\n"),
+        _ => p.push_str("  %n = palloc node\n"),
+    }
+    p.push_str("  epoch_begin\n");
+    // Prepare: persist the private payload before it is published.
+    match kind {
+        DsKind::Clevel => {
+            // CAS-claim of the slot's key word, then the value beside it.
+            p.push_str("  loc 20\n  store %b.slots[2], 7\n  store %b.slots[3], 9\n");
+            if !unflushed {
+                p.push_str("  flush %b.slots[2]\n  flush %b.slots[3]\n  fence\n");
+            }
+        }
+        DsKind::Comb => {
+            // The combiner's batch: staged slots plus both indices.
+            p.push_str("  store %r.slots[0], 7\n  store %r.slots[1], 9\n");
+            p.push_str("  store %m.head, 0\n  store %m.tail, 2\n");
+            p.push_str("  flush %r.slots[0]\n  flush %r.slots[1]\n");
+            p.push_str("  flush %m.head\n  flush %m.tail\n  fence\n");
+        }
+        _ => {
+            p.push_str("  store %n.val, 7\n  store %n.next, 0\n  flush %n\n  fence\n");
+            // Publish: the link store the structure's CAS performs.
+            p.push_str(&format!("  loc 20\n  store %m.{}, 1\n", s.link));
+            if !unflushed {
+                p.push_str(&format!("  flush %m.{}\n  fence\n", s.link));
+            }
+        }
+    }
+    // Checkpoint: the detectable-operation record; its fence is the ack.
+    p.push_str("  store %c.seq, 1\n  store %c.kind, 1\n  store %c.arg, 7\n");
+    p.push_str("  store %c.result, 1\n");
+    p.push_str("  loc 30\n  flush %c\n");
+    if !fenceless {
+        p.push_str("  fence\n");
+    }
+    p.push_str("  epoch_end\n");
+    if fenceless {
+        // A successor persist unit: the missing tail barrier is reported
+        // where the next epoch begins.
+        p.push_str("  epoch_begin\n  store %d.a, 1\n  flush %d.a\n  fence\n  epoch_end\n");
+    }
+    p.push_str("  ret\n}\n");
+    p
+}
+
+/// Two strands persisting one array element through different computed
+/// indices: statically unresolvable, dynamically a WAW dependence.
+fn strand_race_model(kind: DsKind) -> String {
+    let arr = match kind {
+        DsKind::Treiber => "stack_cells",
+        DsKind::MsQueue => "queue_cells",
+        DsKind::Harris => "list_cells",
+        DsKind::Comb => "ring_cells",
+        DsKind::Clevel => "bucket_cells",
+    };
+    format!(
+        r#"module {name}
+file "{file}.c"
+struct {arr} {{ slots: [i64; 8] }}
+fn pick(%n: i64) -> i64 {{
+entry:
+  %m = mul %n, 3
+  %i = rem %m, 8
+  ret %i
+}}
+fn main() {{
+entry:
+  %x = palloc {arr}
+  %i1 = call pick(8)
+  %i2 = call pick(16)
+  strand_begin
+  loc 31
+  store %x.slots[%i1], 1
+  flush %x.slots[%i1]
+  fence
+  strand_end
+  strand_begin
+  loc 40
+  store %x.slots[%i2], 2
+  flush %x.slots[%i2]
+  fence
+  strand_end
+  ret
+}}
+"#,
+        name = module_name(kind, Some(DsBug::StrandRace)),
+        file = kind.name(),
+        arr = arr,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{expected, DsKind};
+    use super::*;
+    use deepmc::{check_source, DeepMcConfig};
+    use deepmc_models::{BugClass, PersistencyModel, Severity};
+
+    fn class_named(name: &str) -> BugClass {
+        match name {
+            "UnflushedWrite" => BugClass::UnflushedWrite,
+            "MissingPersistBarrier" => BugClass::MissingPersistBarrier,
+            "InterStrandDependency" => BugClass::InterStrandDependency,
+            other => panic!("no static class for {other}"),
+        }
+    }
+
+    #[test]
+    fn every_model_parses_and_verifies() {
+        for kind in DsKind::ALL {
+            for bug in kind.variants() {
+                let src = pir_model(kind, bug);
+                let m = deepmc_pir::parse(&src)
+                    .unwrap_or_else(|e| panic!("{}/{:?}: {e:?}", kind.name(), bug));
+                deepmc_pir::verify::verify_module(&m).expect("module verifies");
+            }
+        }
+    }
+
+    #[test]
+    fn static_matrix_matches_ground_truth() {
+        let config = DeepMcConfig::new(PersistencyModel::Epoch);
+        for kind in DsKind::ALL {
+            for bug in kind.variants() {
+                let src = pir_model(kind, bug);
+                let r = check_source(&src, &config).expect("checks");
+                let violations: Vec<_> = r
+                    .warnings
+                    .iter()
+                    .filter(|w| w.class.severity() == Severity::Violation)
+                    .collect();
+                let e = expected(bug);
+                assert_eq!(
+                    !violations.is_empty(),
+                    e.static_,
+                    "{}/{} static verdict: {r}",
+                    kind.name(),
+                    super::super::variant_name(bug)
+                );
+                if e.static_ {
+                    let want = class_named(bug.unwrap().class_label());
+                    assert!(
+                        violations.iter().any(|w| w.class == want),
+                        "{}/{} expected {want:?}: {r}",
+                        kind.name(),
+                        super::super::variant_name(bug)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_matrix_matches_ground_truth() {
+        for kind in DsKind::ALL {
+            for bug in kind.variants() {
+                let src = pir_model(kind, bug);
+                let m = deepmc_pir::parse(&src).unwrap();
+                let r = deepmc::dynamic::check_dynamic(
+                    std::slice::from_ref(&m),
+                    "main",
+                    PersistencyModel::Strand,
+                )
+                .expect("runs");
+                let e = expected(bug);
+                assert_eq!(
+                    !r.warnings.is_empty(),
+                    e.dynamic,
+                    "{}/{} dynamic verdict: {r}",
+                    kind.name(),
+                    super::super::variant_name(bug)
+                );
+                if e.dynamic {
+                    assert!(
+                        r.warnings.iter().all(|w| w.class == BugClass::InterStrandDependency),
+                        "{r}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Detectable Treiber stack.
+//!
+//! Persist protocol per push (the Memento `treiber_stack` recipe):
+//!
+//! 1. allocate the node, store `{val, next}`, **persist the node** before
+//!    it becomes reachable (link-persist: no durable pointer may ever
+//!    reference non-durable content);
+//! 2. CAS the top word to publish;
+//! 3. flush the top word — the seeded [`DsBug::UnflushedLink`] variant
+//!    skips exactly this flush, so the published top can roll back across
+//!    a crash even though step 4 acknowledged;
+//! 4. record the per-client checkpoint and fence (the fence retires the
+//!    top flush too, so one fence acknowledges the whole operation).
+
+use super::{Annot, CheckpointArea, DsBug, Shared, CK_ADD, CK_NOOP, CK_REMOVE};
+use crate::tracker::Tracker;
+use nvm_runtime::{PAddr, PmemHeap, PmemPool, StrandId};
+
+const MAGIC: u64 = 0x7E1B_E757_AC00_0001;
+
+const OFF_MAGIC: u64 = 0;
+const OFF_TOP: u64 = 8;
+
+pub struct TreiberStack<'p> {
+    heap: &'p PmemHeap<'p>,
+    meta: PAddr,
+    bug: Option<DsBug>,
+    shared: Shared,
+    ck: CheckpointArea,
+}
+
+impl<'p> TreiberStack<'p> {
+    pub fn create(heap: &'p PmemHeap<'p>, bug: Option<DsBug>) -> TreiberStack<'p> {
+        let pool = heap.pool();
+        let meta = heap.alloc_zeroed(64 + CheckpointArea::BYTES);
+        pool.write_u64(meta.offset(OFF_TOP), 0);
+        pool.write_u64(meta.offset(OFF_MAGIC), MAGIC);
+        pool.persist(meta, 64 + CheckpointArea::BYTES);
+        heap.set_root(meta);
+        TreiberStack {
+            heap,
+            meta,
+            bug,
+            shared: Shared::new(),
+            ck: CheckpointArea::at(meta.offset(64)),
+        }
+    }
+
+    pub fn recover(heap: &'p PmemHeap<'p>, bug: Option<DsBug>) -> TreiberStack<'p> {
+        let meta = heap.root();
+        assert_eq!(heap.pool().read_u64(meta.offset(OFF_MAGIC)), MAGIC, "treiber root magic");
+        TreiberStack {
+            heap,
+            meta,
+            bug,
+            shared: Shared::new(),
+            ck: CheckpointArea::at(meta.offset(64)),
+        }
+    }
+
+    fn pool(&self) -> &'p PmemPool {
+        self.heap.pool()
+    }
+
+    fn top_addr(&self) -> PAddr {
+        self.meta.offset(OFF_TOP)
+    }
+
+    pub fn push(&self, v: u64, t: &dyn Tracker, strand: Option<StrandId>, client: u64, seq: u64) {
+        let pool = self.pool();
+        let a = Annot::new(t, strand, self.bug);
+        let n = self.heap.alloc(64);
+        assert!(!n.is_null(), "treiber pool exhausted");
+        pool.write_u64(n, v);
+        a.access(n, 8, true);
+        loop {
+            let top = self.shared.read(pool, &a, self.top_addr());
+            pool.write_u64(n.offset(8), top);
+            a.access(n.offset(8), 8, true);
+            // Link-persist: the node is durable before it is reachable.
+            pool.persist(n, 16);
+            if self.shared.cas(pool, &a, self.top_addr(), top, n.0).is_ok() {
+                break;
+            }
+        }
+        if self.bug != Some(DsBug::UnflushedLink) {
+            pool.flush(self.top_addr(), 8);
+        }
+        self.ck.record(pool, &a, client, seq, CK_ADD, v, n.0, true);
+    }
+
+    pub fn pop(
+        &self,
+        t: &dyn Tracker,
+        strand: Option<StrandId>,
+        client: u64,
+        seq: u64,
+    ) -> Option<u64> {
+        let pool = self.pool();
+        let a = Annot::new(t, strand, self.bug);
+        loop {
+            let top = self.shared.read(pool, &a, self.top_addr());
+            if top == 0 {
+                self.ck.record(pool, &a, client, seq, CK_NOOP, 0, 0, true);
+                return None;
+            }
+            let val = pool.read_u64(PAddr(top));
+            let next = pool.read_u64(PAddr(top + 8));
+            a.access(PAddr(top), 16, false);
+            if self.shared.cas(pool, &a, self.top_addr(), top, next).is_ok() {
+                pool.flush(self.top_addr(), 8);
+                self.ck.record(pool, &a, client, seq, CK_REMOVE, val, next, true);
+                return Some(val);
+            }
+        }
+    }
+
+    /// Bottom→top contents, walked from the (possibly stale) top pointer
+    /// with plausibility guards.
+    pub fn contents(&self) -> Vec<u64> {
+        let pool = self.pool();
+        let mut out = Vec::new();
+        let mut cur = pool.read_u64(self.top_addr());
+        let mut steps = 0u32;
+        while super::plausible_node(pool, cur) && steps < 1 << 16 {
+            out.push(pool.read_u64(PAddr(cur)));
+            cur = pool.read_u64(PAddr(cur + 8));
+            steps += 1;
+        }
+        out.reverse();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::NoopTracker;
+    use nvm_runtime::{CrashPolicy, PmemPool, PoolConfig};
+
+    fn pool() -> PmemPool {
+        PmemPool::new(PoolConfig { size: 1 << 20, shards: 8, ..Default::default() })
+    }
+
+    #[test]
+    fn push_pop_lifo() {
+        let p = pool();
+        let h = PmemHeap::open(&p);
+        let s = TreiberStack::create(&h, None);
+        let t = NoopTracker;
+        for (i, v) in [11, 22, 33].iter().enumerate() {
+            s.push(*v, &t, None, 0, i as u64 + 1);
+        }
+        assert_eq!(s.contents(), vec![11, 22, 33]);
+        assert_eq!(s.pop(&t, None, 0, 4), Some(33));
+        assert_eq!(s.pop(&t, None, 0, 5), Some(22));
+        assert_eq!(s.contents(), vec![11]);
+        assert_eq!(s.pop(&t, None, 0, 6), Some(11));
+        assert_eq!(s.pop(&t, None, 0, 7), None);
+    }
+
+    #[test]
+    fn clean_push_survives_pessimistic_crash() {
+        let p = pool();
+        let h = PmemHeap::open(&p);
+        let s = TreiberStack::create(&h, None);
+        let t = NoopTracker;
+        s.push(7, &t, None, 0, 1);
+        s.push(9, &t, None, 0, 2);
+        let img = CrashPolicy::Pessimistic.apply(&p);
+        let p2 = img.reboot(8);
+        let h2 = PmemHeap::open(&p2);
+        let s2 = TreiberStack::recover(&h2, None);
+        assert_eq!(s2.contents(), vec![7, 9], "acked pushes are durable");
+    }
+
+    #[test]
+    fn unflushed_link_loses_acked_push() {
+        let p = pool();
+        let h = PmemHeap::open(&p);
+        let s = TreiberStack::create(&h, Some(DsBug::UnflushedLink));
+        let t = NoopTracker;
+        s.push(7, &t, None, 0, 1);
+        let img = CrashPolicy::Pessimistic.apply(&p);
+        let p2 = img.reboot(8);
+        let h2 = PmemHeap::open(&p2);
+        let s2 = TreiberStack::recover(&h2, Some(DsBug::UnflushedLink));
+        assert_eq!(s2.contents(), Vec::<u64>::new(), "top word rolled back past the ack");
+    }
+}

@@ -20,11 +20,17 @@
 //!   baseline uses [`tracker::NoopTracker`], the DeepMC run uses
 //!   [`tracker::DeepMcTracker`] (shadow memory + happens-before).
 //! * [`workloads`] — memslap mixes, the redis-benchmark suite, and YCSB
-//!   A–F.
+//!   A–F, plus the multi-strand [`workloads::ds_driver`] over the
+//!   concurrent DS corpus.
+//! * [`ds`] — the concurrent persistent data-structure corpus
+//!   (Memento-style detectable Treiber stack, MS queue, Harris list,
+//!   combining queue, Clevel hash) with seeded ground-truth bug variants
+//!   and a crash-recovery sweep.
 //! * [`pirgen`] — synthetic PIR module generation sized after each
 //!   application, for the Table 9 compilation-overhead experiment.
 
 pub mod crashsweep;
+pub mod ds;
 mod explore;
 pub mod memcached;
 pub mod nstore;
@@ -36,6 +42,7 @@ pub mod tracker;
 pub mod workloads;
 
 pub use crashsweep::{sweep, SweepApp, SweepConfig, SweepOutcome};
+pub use ds::{ds_sweep, ds_sweep_script, DsBug, DsKind, DsSweepConfig, DsSweepOutcome};
 pub use recovery::RecoveryReport;
 pub use store::{PersistStyle, PmKv};
 pub use tracker::{DeepMcTracker, NoopTracker, Tracker};

@@ -215,6 +215,115 @@ struct ExplorationBench {
     pruned_ms: f64,
 }
 
+/// One Table 9h row: a corpus data structure's multi-threaded detectable
+/// driver throughput (happens-before tracker attached), its detection
+/// recall over the seeded bug variants, and the crash-sweep prune
+/// reduction on the clean variant.
+#[derive(Debug, Serialize)]
+struct DsCorpusBench {
+    structure: &'static str,
+    /// `ds_driver` ops/sec: 4 producer/consumer strands over the clean
+    /// variant with the race detector recording every shared access.
+    driver_ops_per_sec: f64,
+    /// WAW/RAW dependences the detector reports on the strand-race
+    /// variant under contention (must be nonzero).
+    races_detected: u64,
+    /// Seeded bug variants on this structure.
+    seeded: u64,
+    /// Seeded variants flagged by at least one *executed* checker
+    /// (static over the PIR model, dynamic over the PIR model, pruned
+    /// oracle crash sweep over the implementation). Must equal `seeded`.
+    detected: u64,
+    /// Crash images in the clean sweep and how many the pruned run
+    /// actually recovered; `reduction` = total / explored.
+    states_total: u64,
+    states_explored: u64,
+    reduction: f64,
+}
+
+/// Table 9h: run the whole DS corpus — driver, detector, and all three
+/// validators — and distill one row per structure.
+fn bench_ds_corpus() -> Vec<DsCorpusBench> {
+    use nvm_apps::ds::{self, DsBug, DsKind, DsSweepConfig};
+    use nvm_apps::tracker::DeepMcTracker;
+    use nvm_apps::workloads::{ds_driver, DsDriverSpec};
+
+    let static_config = DeepMcConfig::new(deepmc_models::PersistencyModel::Epoch);
+    DsKind::ALL
+        .iter()
+        .map(|&kind| {
+            // Driver throughput on the clean protocol; the detector sees
+            // every shared access and must stay silent.
+            let tracker = DeepMcTracker::new();
+            let tp = ds_driver(&DsDriverSpec::new(kind, None), &tracker);
+            assert!(
+                tracker.reports().is_empty(),
+                "{}: clean driver run must be race-free",
+                kind.name()
+            );
+
+            // The strand-race variant under contention must trip it.
+            let racy = DeepMcTracker::new();
+            let mut spec = DsDriverSpec::new(kind, Some(DsBug::StrandRace));
+            spec.key_range = 2;
+            ds_driver(&spec, &racy);
+            let races_detected = racy.reports().len() as u64;
+
+            // Executed recall: a seeded variant counts as detected only
+            // if one of the three validators actually flags it here.
+            let detected = kind
+                .seeded_bugs()
+                .iter()
+                .filter(|&&bug| {
+                    let src = ds::pir::pir_model(kind, Some(bug));
+                    let static_hit = deepmc::check_source(&src, &static_config)
+                        .expect("static check runs")
+                        .warnings
+                        .iter()
+                        .any(|w| w.class.severity() == deepmc_models::Severity::Violation);
+                    let module = deepmc_pir::parse(&src).expect("model parses");
+                    let dynamic_hit = !deepmc::dynamic::check_dynamic(
+                        std::slice::from_ref(&module),
+                        "main",
+                        deepmc_models::PersistencyModel::Strand,
+                    )
+                    .expect("dynamic check runs")
+                    .warnings
+                    .is_empty();
+                    let mut cfg = DsSweepConfig::new(kind, Some(bug));
+                    cfg.prune = true;
+                    cfg.oracle = true;
+                    let crash_hit = !ds::ds_sweep(&cfg).violations.is_empty();
+                    static_hit || dynamic_hit || crash_hit
+                })
+                .count() as u64;
+
+            // Prune reduction on the clean sweep; zero violations is the
+            // corpus's false-positive bar.
+            let mut cfg = DsSweepConfig::new(kind, None);
+            cfg.prune = true;
+            cfg.oracle = true;
+            let sweep = ds::ds_sweep(&cfg);
+            assert!(
+                sweep.violations.is_empty(),
+                "{}: clean crash sweep must be violation-free",
+                kind.name()
+            );
+
+            DsCorpusBench {
+                structure: kind.name(),
+                driver_ops_per_sec: tp.ops_per_sec(),
+                races_detected,
+                seeded: kind.seeded_bugs().len() as u64,
+                detected,
+                states_total: sweep.images_checked,
+                states_explored: sweep.states_explored,
+                reduction: sweep.images_checked as f64 / sweep.states_explored as f64,
+            }
+        })
+        .collect()
+}
+
 /// EXPERIMENTS.md Table 9g: the run-ledger record of one instrumented
 /// `--jobs 1` pass over the Table-9 apps — per-phase latency percentiles
 /// plus folded flamegraph stacks — and where it was appended.
@@ -235,6 +344,8 @@ struct BenchReport {
     throughput: ThroughputTable,
     scaling: ScalingSweep,
     exploration: Vec<ExplorationBench>,
+    /// EXPERIMENTS.md Table 9h.
+    ds_corpus: Vec<DsCorpusBench>,
     /// EXPERIMENTS.md Table 9g.
     observatory: ObservatoryBench,
     total_cold_ms: f64,
@@ -754,6 +865,7 @@ fn main() {
         throughput,
         scaling: bench_scaling(reps),
         exploration: bench_exploration(),
+        ds_corpus: bench_ds_corpus(),
         observatory: bench_observatory(),
         total_cold_ms,
         total_warm_ms,
@@ -903,6 +1015,35 @@ fn main() {
     }
 
     println!(
+        "\nConcurrent persistent DS corpus (Table 9h; 4-strand detectable driver \
+         + executed detection matrix + clean pruned sweep):\n"
+    );
+    println!(
+        "{:<10} {:>12} {:>7} {:>8} {:>9} {:>7} {:>9} {:>10}",
+        "Structure",
+        "driver op/s",
+        "races",
+        "seeded",
+        "detected",
+        "states",
+        "explored",
+        "reduction"
+    );
+    for d in &report.ds_corpus {
+        println!(
+            "{:<10} {:>12.0} {:>7} {:>8} {:>9} {:>7} {:>9} {:>9.1}x",
+            d.structure,
+            d.driver_ops_per_sec,
+            d.races_detected,
+            d.seeded,
+            d.detected,
+            d.states_total,
+            d.states_explored,
+            d.reduction
+        );
+    }
+
+    println!(
         "\nRun-ledger observatory (Table 9g): per-phase latency percentiles, \
          one instrumented --jobs 1 pass over the Table-9 apps:\n"
     );
@@ -978,6 +1119,30 @@ fn main() {
             eprintln!(
                 "FAIL: {} pruned sweep attributed {} bugs vs {} exhaustive",
                 e.app, e.bugs_pruned, e.bugs_exhaustive
+            );
+            std::process::exit(1);
+        }
+    }
+    // Table 9h gates: 100% executed recall on every structure's seeded
+    // variants, the HB detector firing on the strand-race driver, and a
+    // clean sweep that actually prunes (clean-run freedom from races and
+    // crash violations is asserted inside bench_ds_corpus).
+    for d in &report.ds_corpus {
+        if d.detected != d.seeded {
+            eprintln!(
+                "FAIL: {} detected {} of {} seeded variants (acceptance bar: all)",
+                d.structure, d.detected, d.seeded
+            );
+            std::process::exit(1);
+        }
+        if d.races_detected == 0 {
+            eprintln!("FAIL: {} strand-race driver tripped no HB dependences", d.structure);
+            std::process::exit(1);
+        }
+        if d.states_explored >= d.states_total {
+            eprintln!(
+                "FAIL: {} clean sweep explored {} of {} crash images (pruning inert)",
+                d.structure, d.states_explored, d.states_total
             );
             std::process::exit(1);
         }

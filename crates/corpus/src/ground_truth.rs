@@ -217,6 +217,81 @@ pub const GROUND_TRUTH: &[BugSite] = &[
           "Multiple flushes to a persistent object", 10.0),
 ];
 
+/// One cell of the concurrent persistent data-structure corpus detection
+/// matrix (Table 9h): a structure × variant pair and which of the three
+/// validators must flag it.
+///
+/// Labels are plain strings so this table has no dependency on
+/// `nvm-apps`; the `ds_matrix` integration test cross-checks it against
+/// the live registry (`nvm_apps::ds`) in both directions, so a structure
+/// or seeded variant added there without a row here fails CI — and vice
+/// versa.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DsLabel {
+    /// Registry name (`nvm_apps::ds::DsKind::name()`).
+    pub structure: &'static str,
+    /// `"clean"` or the seeded bug's registry name.
+    pub variant: &'static str,
+    /// DeepMC bug-class label of the detecting checker's report
+    /// (`"CrashRecovery"` for recovery-logic bugs only the sweep sees);
+    /// `"-"` for clean variants.
+    pub class: &'static str,
+    /// The Epoch-model static checker over the variant's PIR protocol
+    /// model flags it.
+    pub static_: bool,
+    /// The Strand-model dynamic (happens-before) checker flags it.
+    pub dynamic: bool,
+    /// The pruned crash sweep with the linearization-prefix oracle over
+    /// the Rust implementation flags it.
+    pub crash: bool,
+}
+
+macro_rules! ds {
+    ($s:literal / $v:literal, $class:literal, $st:literal, $dy:literal, $cr:literal) => {
+        DsLabel {
+            structure: $s,
+            variant: $v,
+            class: $class,
+            static_: $st,
+            dynamic: $dy,
+            crash: $cr,
+        }
+    };
+}
+
+/// The 17 cells of the DS-corpus detection matrix: 5 clean baselines and
+/// 12 seeded bug variants, every seeded variant caught by at least one
+/// checker and every clean baseline by none.
+pub const DS_GROUND_TRUTH: &[DsLabel] = &[
+    // Treiber stack
+    ds!("treiber" / "clean", "-", false, false, false),
+    ds!("treiber" / "unflushed-link", "UnflushedWrite", true, false, true),
+    ds!("treiber" / "strand-race", "InterStrandDependency", false, true, false),
+    // Michael-Scott queue
+    ds!("msqueue" / "clean", "-", false, false, false),
+    ds!("msqueue" / "skip-checkpoint-fence", "MissingPersistBarrier", true, false, true),
+    ds!("msqueue" / "double-apply-recovery", "CrashRecovery", false, false, true),
+    ds!("msqueue" / "strand-race", "InterStrandDependency", false, true, false),
+    // Harris list
+    ds!("harris" / "clean", "-", false, false, false),
+    ds!("harris" / "unflushed-link", "UnflushedWrite", true, false, true),
+    ds!("harris" / "strand-race", "InterStrandDependency", false, true, false),
+    // Flat-combining queue
+    ds!("comb" / "clean", "-", false, false, false),
+    ds!("comb" / "skip-checkpoint-fence", "MissingPersistBarrier", true, false, true),
+    ds!("comb" / "strand-race", "InterStrandDependency", false, true, false),
+    // Clevel hash
+    ds!("clevel" / "clean", "-", false, false, false),
+    ds!("clevel" / "unflushed-link", "UnflushedWrite", true, false, true),
+    ds!("clevel" / "double-apply-recovery", "CrashRecovery", false, false, true),
+    ds!("clevel" / "strand-race", "InterStrandDependency", false, true, false),
+];
+
+/// DS-matrix cells for one structure.
+pub fn ds_labels_for<'a>(structure: &'a str) -> impl Iterator<Item = &'static DsLabel> + 'a {
+    DS_GROUND_TRUTH.iter().filter(move |l| l.structure == structure)
+}
+
 /// Sites for one framework.
 pub fn sites_for(fw: Framework) -> impl Iterator<Item = &'static BugSite> {
     GROUND_TRUTH.iter().filter(move |s| s.framework == fw)
@@ -310,6 +385,42 @@ mod tests {
             .collect();
         let avg = new.iter().sum::<f32>() / new.len() as f32;
         assert!((avg - 5.4).abs() < 0.3, "average new-bug age {avg} ≉ 5.4y");
+    }
+
+    #[test]
+    fn ds_matrix_counts_are_pinned() {
+        assert_eq!(DS_GROUND_TRUTH.len(), 17, "5 clean + 12 seeded cells");
+        let structures: Vec<&str> = ["treiber", "msqueue", "harris", "comb", "clevel"].to_vec();
+        for s in &structures {
+            let cells: Vec<_> = ds_labels_for(s).collect();
+            assert!(cells.len() >= 3, "{s}: clean + at least two seeded variants");
+            assert_eq!(cells.iter().filter(|l| l.variant == "clean").count(), 1, "{s}");
+        }
+        let seeded = DS_GROUND_TRUTH.iter().filter(|l| l.variant != "clean").count();
+        assert_eq!(seeded, 12, "12 seeded bug variants across the corpus");
+    }
+
+    #[test]
+    fn ds_seeded_variants_are_detected_and_clean_ones_are_not() {
+        for l in DS_GROUND_TRUTH {
+            let caught = l.static_ || l.dynamic || l.crash;
+            if l.variant == "clean" {
+                assert!(!caught, "{}/{}: clean cell must be all-clear", l.structure, l.variant);
+                assert_eq!(l.class, "-", "{}/{}", l.structure, l.variant);
+            } else {
+                assert!(caught, "{}/{}: no checker catches it", l.structure, l.variant);
+                assert_ne!(l.class, "-", "{}/{}", l.structure, l.variant);
+            }
+        }
+    }
+
+    #[test]
+    fn ds_cells_are_unique_per_structure_variant() {
+        let mut seen = HashMap::new();
+        for l in DS_GROUND_TRUTH {
+            let key = (l.structure, l.variant);
+            assert!(seen.insert(key, ()).is_none(), "duplicate DS cell {key:?}");
+        }
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub mod nvm_direct;
 pub mod pmdk;
 pub mod pmfs;
 
-pub use ground_truth::{BugOrigin, BugSite, CodeLocation, Validity, GROUND_TRUTH};
+pub use ground_truth::{
+    ds_labels_for, BugOrigin, BugSite, CodeLocation, DsLabel, Validity, DS_GROUND_TRUTH,
+    GROUND_TRUTH,
+};
 
 use deepmc_analysis::Program;
 use deepmc_models::PersistencyModel;

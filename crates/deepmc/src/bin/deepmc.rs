@@ -5,6 +5,8 @@
 //!               [--no-cache] [--cache-dir DIR] [--cache-staleness-ms MS] [--jobs N]
 //!               [--root-timeout SECS] [--max-walk-steps N] [--chaos-panic ROOT]
 //!               [--profile] [--verbose] [--trace-out FILE] [--metrics-out FILE] FILE...
+//! deepmc check  --ds STRUCTURE|all [--steps N] [--jobs N] [--profile] [--progress]
+//!               [--trace-out FILE] [--metrics-out FILE] [--ledger FILE] [--build-id ID]
 //! deepmc dynamic -strand ENTRY FILE...
 //! deepmc run     ENTRY FILE...            # execute on the simulated NVM runtime
 //! deepmc crash   ENTRY FILE... [--steps N] [--seeds N]
@@ -63,6 +65,7 @@ fn usage() -> ExitCode {
         "deepmc — detect deep memory persistency bugs in NVM programs\n\n\
          USAGE:\n  \
          deepmc check  (-strict|-epoch|-strand) [--json] [--violations-only|--performance-only] [--suppress DB.json] [--no-cache] [--cache-dir DIR] [--cache-staleness-ms MS] [--jobs N] [--root-timeout SECS] [--max-walk-steps N] [--chaos-panic ROOT] [--profile] [--verbose] [--progress] [--trace-out FILE] [--metrics-out FILE] [--ledger FILE] [--build-id ID] FILE...\n  \
+         deepmc check  --ds STRUCTURE|all [--steps N] [--jobs N] [--profile] [--progress] [--trace-out FILE] [--metrics-out FILE] [--ledger FILE] [--build-id ID]   # DS-corpus detection matrix\n  \
          deepmc fix    (-strict|-epoch|-strand) FILE... [-o DIR]\n  \
          deepmc dynamic ENTRY FILE...\n  \
          deepmc run ENTRY FILE...\n  \
@@ -272,7 +275,184 @@ fn quiet_chaos_panics() {
     }));
 }
 
+/// `deepmc check --ds STRUCTURE|all` — run the concurrent persistent
+/// data-structure corpus through all three validators and compare every
+/// cell against the registered ground truth:
+///
+/// * **static**: the variant's PIR protocol model under the Epoch-model
+///   static checker (one operation is one epoch — see
+///   `nvm_apps::ds::pir`);
+/// * **dynamic**: the same model executed under the Strand model with
+///   the happens-before detector;
+/// * **crash**: the pruned crash sweep (`--prune --oracle` semantics)
+///   over the Rust implementation's canonical operation script.
+///
+/// The verdict table on stdout is deterministic for any `--jobs` value.
+/// Exit 0 when every cell matches the expected matrix, 1 on any
+/// mismatch, 2 on usage errors.
+fn cmd_check_ds(args: &[String]) -> ExitCode {
+    use nvm_apps::ds::{self, DsKind, DsSweepConfig};
+    let mut target: Option<String> = None;
+    let mut steps = 24u64;
+    let mut jobs = 0usize;
+    let mut obs_opts = ObsOpts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match obs_opts.parse(a, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(()) => return usage(),
+        }
+        match a.as_str() {
+            "--ds" => match it.next() {
+                Some(t) => target = Some(t.clone()),
+                None => return usage(),
+            },
+            "--steps" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => steps = n,
+                _ => return usage(),
+            },
+            // 0 is a valid request: "use all cores" (resolve_jobs_request).
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => jobs = n,
+                None => return usage(),
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let kinds: Vec<DsKind> = match target.as_deref() {
+        Some("all") => DsKind::ALL.to_vec(),
+        Some(name) => match DsKind::from_name(name) {
+            Some(k) => vec![k],
+            None => {
+                eprintln!(
+                    "unknown structure `{name}` (expected all, {})",
+                    DsKind::ALL.map(DsKind::name).join(", ")
+                );
+                return ExitCode::from(2);
+            }
+        },
+        None => return usage(),
+    };
+    let recorder = obs_opts.recorder();
+    let attach = recorder.as_ref().map(|r| r.attach(0));
+    let progress = obs_opts.progress_guard("ds");
+    let total_span = obs::span("total");
+    let hit = |b: bool| if b { "hit" } else { "clean" };
+    let static_config = DeepMcConfig::new(PersistencyModel::Epoch);
+    let mut lines = Vec::new();
+    let mut cells = 0u64;
+    let mut mismatches = 0u64;
+    for &kind in &kinds {
+        for bug in kind.variants() {
+            let src = ds::pir::pir_model(kind, bug);
+
+            let static_span = obs::span("ds.static");
+            let got_static = match deepmc::check_source(&src, &static_config) {
+                Ok(r) => r
+                    .warnings
+                    .iter()
+                    .any(|w| w.class.severity() == deepmc_models::Severity::Violation),
+                Err(e) => {
+                    eprintln!(
+                        "{}/{}: static check failed: {e}",
+                        kind.name(),
+                        ds::variant_name(bug)
+                    );
+                    return ExitCode::from(2);
+                }
+            };
+            drop(static_span);
+
+            let dynamic_span = obs::span("ds.dynamic");
+            let module = match deepmc_pir::parse(&src) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("{}/{}: model parse failed: {e}", kind.name(), ds::variant_name(bug));
+                    return ExitCode::from(2);
+                }
+            };
+            let got_dynamic = match deepmc::dynamic::check_dynamic(
+                std::slice::from_ref(&module),
+                "main",
+                PersistencyModel::Strand,
+            ) {
+                Ok(r) => !r.warnings.is_empty(),
+                Err(e) => {
+                    eprintln!(
+                        "{}/{}: dynamic check failed: {e}",
+                        kind.name(),
+                        ds::variant_name(bug)
+                    );
+                    return ExitCode::from(2);
+                }
+            };
+            drop(dynamic_span);
+
+            let crash_span = obs::span("ds.crash");
+            let mut cfg = DsSweepConfig::new(kind, bug);
+            cfg.steps = steps;
+            cfg.prune = true;
+            cfg.oracle = true;
+            cfg.jobs = jobs;
+            let sweep = ds::ds_sweep(&cfg);
+            let got_crash = !sweep.violations.is_empty();
+            drop(crash_span);
+
+            let e = ds::expected(bug);
+            let ok = got_static == e.static_ && got_dynamic == e.dynamic && got_crash == e.crash;
+            cells += 1;
+            if !ok {
+                mismatches += 1;
+            }
+            lines.push(format!(
+                "{}/{}: static={} dynamic={} crash={} {}",
+                kind.name(),
+                ds::variant_name(bug),
+                hit(got_static),
+                hit(got_dynamic),
+                hit(got_crash),
+                if ok {
+                    "ok".to_string()
+                } else {
+                    format!(
+                        "MISMATCH (expected static={} dynamic={} crash={})",
+                        hit(e.static_),
+                        hit(e.dynamic),
+                        hit(e.crash)
+                    )
+                },
+            ));
+        }
+    }
+    drop(total_span);
+    drop(progress);
+    drop(attach);
+    let code: u8 = if mismatches > 0 { 1 } else { 0 };
+    let digest = config_digest("check-ds", &digest_args(args));
+    if let Err(e) = obs_opts.emit(recorder, "deepmc check --ds", &digest, i32::from(code)) {
+        eprintln!("{e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "ds corpus: {} structure(s), {} cell(s), steps={steps}, pruned sweep with oracle",
+        kinds.len(),
+        cells
+    );
+    for line in &lines {
+        println!("{line}");
+    }
+    println!("ds corpus verdict: {} cell(s), {} mismatch(es)", cells, mismatches);
+    ExitCode::from(code)
+}
+
 fn cmd_check(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--ds") {
+        return cmd_check_ds(args);
+    }
     let mut model: Option<PersistencyModel> = None;
     let mut json = false;
     let mut violations_only = false;

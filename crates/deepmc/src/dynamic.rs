@@ -84,7 +84,14 @@ impl Hooks for DynamicChecker {
             obs::counter("dynamic.writes", 1);
         }
         let cells_before = if obs::active() { self.detector.shadow_cells() } else { 0 };
+        // Timed like pmem.flush/pmem.fence so "dynamic.hb_edge" shows up
+        // as a latency family in the v2 metrics snapshot (p50/p90/p99 of
+        // the per-access shadow-memory check), not just a counter.
+        let t0 = obs::active().then(std::time::Instant::now);
         let fresh = self.detector.on_access(strand, addr, len, is_write);
+        if let Some(t0) = t0 {
+            obs::latency("dynamic.hb_edge", t0.elapsed().as_micros() as u64);
+        }
         if obs::active() {
             let grown = self.detector.shadow_cells().saturating_sub(cells_before);
             obs::counter("dynamic.shadow_cells_allocated", grown as u64);
@@ -282,6 +289,45 @@ entry:
 "#,
         );
         assert!(r.warnings.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn hb_edge_latency_appears_in_the_metrics_snapshot() {
+        // Instrumented: every on_access check is timed into the
+        // "dynamic.hb_edge" latency family, so the v2 metrics snapshot
+        // carries its percentiles next to pmem.flush/pmem.fence — not
+        // just the dynamic.accesses counter.
+        let rec = obs::Recorder::new();
+        {
+            let _a = rec.attach(0);
+            let r = check(
+                r#"
+module m
+struct s { a: i64 }
+fn main() {
+entry:
+  %x = palloc s
+  strand_begin
+  store %x.a, 1
+  strand_end
+  strand_begin
+  store %x.a, 2
+  strand_end
+  ret
+}
+"#,
+            );
+            assert_eq!(r.warnings.len(), 1, "{r}");
+        }
+        let m = rec.finish().metrics_snapshot("deepmc dynamic");
+        let p = m
+            .phases
+            .iter()
+            .find(|p| p.name == "dynamic.hb_edge")
+            .expect("hb_edge latency family in the snapshot");
+        assert_eq!(p.count, 2, "one timed sample per instrumented access");
+        assert_eq!(m.counter("dynamic.accesses"), 2);
+        assert_eq!(m.counter("dynamic.hb_edges"), 1);
     }
 
     #[test]

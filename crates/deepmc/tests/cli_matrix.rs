@@ -54,6 +54,16 @@ impl Ctx {
         };
         vec![
             ("check", vec!["check".to_string(), "-strict".into(), "--no-cache".into(), f]),
+            (
+                "check --ds",
+                vec![
+                    "check".to_string(),
+                    "--ds".into(),
+                    "treiber".into(),
+                    "--steps".into(),
+                    "4".into(),
+                ],
+            ),
             ("crashsweep", sweep(&[])),
             ("crashsweep --prune", sweep(&["--prune"])),
             ("crashsweep --prune --oracle", sweep(&["--prune", "--oracle"])),
@@ -193,4 +203,31 @@ fn progress_flag_never_perturbs_outputs() {
     // it within each jobs level: --progress must not change it.
     assert_eq!(q1.2, p1.2, "jobs=1: --progress changed the redacted metrics");
     assert_eq!(q4.2, p4.2, "jobs=4: --progress changed the redacted metrics");
+}
+
+/// Same contract for the DS-corpus matrix: the verdict table on stdout
+/// is byte-identical with and without `--progress`, at `--jobs 1` and
+/// `--jobs 4`, and every run of the full matrix exits 0 (all cells match
+/// the registered ground truth).
+#[test]
+fn check_ds_is_deterministic_across_progress_and_jobs() {
+    let run = |extra: &[&str]| -> Vec<u8> {
+        // 12 steps is the shortest canonical script that arms every
+        // seeded bug (the double-apply replay needs a completed dequeue
+        // with the queue still non-empty).
+        let mut args =
+            vec!["check".to_string(), "--ds".into(), "all".into(), "--steps".into(), "12".into()];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let out = Command::new(BIN).args(&args).output().expect("spawn deepmc");
+        let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+        assert_eq!(out.status.code(), Some(0), "check --ds all failed ({extra:?}):\n{stderr}");
+        out.stdout
+    };
+    let q1 = run(&["--jobs", "1"]);
+    let p1 = run(&["--progress", "--jobs", "1"]);
+    let q4 = run(&["--jobs", "4"]);
+    let p4 = run(&["--progress", "--jobs", "4"]);
+    assert_eq!(q1, p1, "--progress changed the jobs=1 verdict table");
+    assert_eq!(q1, q4, "worker count changed the verdict table");
+    assert_eq!(q4, p4, "--progress changed the jobs=4 verdict table");
 }

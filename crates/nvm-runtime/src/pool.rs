@@ -138,6 +138,10 @@ pub struct PoolStats {
     /// counter a dropped flush is indistinguishable from a flush that was
     /// never issued.
     pub dropped_flushes: AtomicU64,
+    /// Word-sized compare-and-swap attempts ([`PmemPool::cas_u64`]).
+    pub cas_ops: AtomicU64,
+    /// CAS attempts that lost (observed value != expected).
+    pub cas_failures: AtomicU64,
 }
 
 /// A point-in-time copy of [`PoolStats`].
@@ -151,6 +155,8 @@ pub struct StatsSnapshot {
     pub fences: u64,
     pub lines_written_back: u64,
     pub dropped_flushes: u64,
+    pub cas_ops: u64,
+    pub cas_failures: u64,
 }
 
 /// The simulated persistent memory pool.
@@ -168,6 +174,11 @@ pub struct PmemPool {
     /// [`crate::CrashImage::reboot`] and by tests; reads through the typed
     /// API fail on these lines until they are scrubbed by a store.
     poisoned: Mutex<HashMap<u64, bool>>,
+    /// Serializes [`PmemPool::cas_u64`] read-modify-write sequences. All
+    /// mutators of a CAS-mediated word must go through `cas_u64` — a plain
+    /// `write` to the same word concurrent with a CAS is a program bug,
+    /// exactly as mixing `mov` and `lock cmpxchg` on real hardware is.
+    cas_lock: Mutex<()>,
 }
 
 impl PmemPool {
@@ -208,6 +219,7 @@ impl PmemPool {
             flush_cost: config.flush_cost,
             fault,
             poisoned: Mutex::new(HashMap::new()),
+            cas_lock: Mutex::new(()),
         }
     }
 
@@ -395,6 +407,27 @@ impl PmemPool {
         Ok(u64::from_le_bytes(b))
     }
 
+    /// Word-sized compare-and-swap (`lock cmpxchg` on an 8-byte NVM word):
+    /// atomically replace the visible value at `addr` with `new` iff it
+    /// currently equals `expected`. Returns `Ok(())` on success and
+    /// `Err(observed)` on failure. Like a hardware CAS, this orders only
+    /// the *visible* image — the new value reaches the durable image
+    /// through the usual flush + fence (or eviction), which is precisely
+    /// the window the detectable-CAS protocols close with a persisted
+    /// checkpoint.
+    pub fn cas_u64(&self, addr: PAddr, expected: u64, new: u64) -> Result<(), u64> {
+        self.check_range(addr, 8);
+        self.stats.cas_ops.fetch_add(1, Ordering::Relaxed);
+        let _g = self.cas_lock.lock();
+        let observed = self.read_u64(addr);
+        if observed != expected {
+            self.stats.cas_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(observed);
+        }
+        self.write_u64(addr, new);
+        Ok(())
+    }
+
     /// `clwb`: issue a write-back for every line overlapping the range.
     /// Durability is guaranteed only after the next [`PmemPool::fence`].
     pub fn flush(&self, addr: PAddr, len: u64) {
@@ -526,6 +559,8 @@ impl PmemPool {
             fences: self.stats.fences.load(Ordering::Relaxed),
             lines_written_back: self.stats.lines_written_back.load(Ordering::Relaxed),
             dropped_flushes: self.stats.dropped_flushes.load(Ordering::Relaxed),
+            cas_ops: self.stats.cas_ops.load(Ordering::Relaxed),
+            cas_failures: self.stats.cas_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -841,6 +876,54 @@ mod tests {
         let (line, _) = img.poisoned()[0];
         let mut b = [0u8; 8];
         assert!(p2.try_read(PAddr(line * CACHE_LINE), &mut b).is_err());
+    }
+
+    #[test]
+    fn cas_succeeds_only_on_expected_value() {
+        let p = pool();
+        p.write_u64(PAddr(64), 5);
+        assert_eq!(p.cas_u64(PAddr(64), 5, 9), Ok(()));
+        assert_eq!(p.read_u64(PAddr(64)), 9);
+        assert_eq!(p.cas_u64(PAddr(64), 5, 11), Err(9), "stale expected loses");
+        assert_eq!(p.read_u64(PAddr(64)), 9);
+        let s = p.stats();
+        assert_eq!(s.cas_ops, 2);
+        assert_eq!(s.cas_failures, 1);
+    }
+
+    #[test]
+    fn cas_is_visible_not_durable() {
+        let p = pool();
+        p.write_u64(PAddr(0), 1);
+        p.persist(PAddr(0), 8);
+        assert_eq!(p.cas_u64(PAddr(0), 1, 2), Ok(()));
+        let img = p.crash_image(&mut |_, _| false);
+        assert_eq!(img.read_u64(PAddr(0)), 1, "un-flushed CAS result is lost");
+        p.persist(PAddr(0), 8);
+        let img = p.crash_image(&mut |_, _| false);
+        assert_eq!(img.read_u64(PAddr(0)), 2);
+    }
+
+    #[test]
+    fn concurrent_cas_increments_never_lose_updates() {
+        let p = std::sync::Arc::new(pool());
+        crossbeam::scope(|s| {
+            for _ in 0..8 {
+                let p = p.clone();
+                s.spawn(move |_| {
+                    for _ in 0..100 {
+                        loop {
+                            let cur = p.read_u64(PAddr(0));
+                            if p.cas_u64(PAddr(0), cur, cur + 1).is_ok() {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(p.read_u64(PAddr(0)), 800, "every increment landed exactly once");
     }
 
     #[test]
